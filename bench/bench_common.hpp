@@ -1,0 +1,147 @@
+// Shared helpers for the table/figure reproduction harnesses.
+//
+// Every bench binary prints the measured values side by side with the
+// paper's published numbers (where the paper reports that cell). Default
+// sweeps are host-friendly; environment variables widen them to the paper's
+// full ranges:
+//
+//   AABFT_BENCH_MAX_N    largest matrix dimension in the sweep (default 1024
+//                        for the performance/bounds tables, 256 for the
+//                        fault-injection figure)
+//   AABFT_BENCH_TRIALS   injections per campaign cell (default 24)
+//   AABFT_BENCH_SAMPLES  checksum elements sampled for the exact rounding
+//                        error reference (default 64)
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/table.hpp"
+
+namespace aabft::bench {
+
+/// If AABFT_BENCH_CSV names a directory, write the printed table there as
+/// <name>.csv (for plotting); silently skipped otherwise.
+inline void maybe_write_csv(const TablePrinter& table, const char* name) {
+  const char* dir = std::getenv("AABFT_BENCH_CSV");
+  if (dir == nullptr || *dir == '\0') return;
+  const std::string path = std::string(dir) + "/" + name + ".csv";
+  if (!table.write_csv(path))
+    std::cerr << "could not write " << path << '\n';
+  else
+    std::cout << "(csv written to " << path << ")\n";
+}
+
+/// The paper's matrix-dimension sweep (Tables I-IV).
+inline std::vector<std::size_t> paper_sweep() {
+  return {512, 1024, 2048, 3072, 4096, 5120, 6144, 7168, 8192};
+}
+
+/// Host-scaled sweep: powers of two from 256 up to AABFT_BENCH_MAX_N
+/// (default `default_max`), continuing through the paper's full list when
+/// the cap allows.
+inline std::vector<std::size_t> bench_sweep(std::size_t default_max) {
+  const std::size_t max_n = env_size_or("AABFT_BENCH_MAX_N", default_max);
+  std::vector<std::size_t> sweep;
+  for (std::size_t n : {std::size_t{256}, std::size_t{512}, std::size_t{1024},
+                        std::size_t{2048}, std::size_t{3072}, std::size_t{4096},
+                        std::size_t{5120}, std::size_t{6144}, std::size_t{7168},
+                        std::size_t{8192}})
+    if (n <= max_n) sweep.push_back(n);
+  // A cap below the smallest standard size still yields one (tiny) round —
+  // keeps smoke runs meaningful.
+  if (sweep.empty()) sweep.push_back(std::max<std::size_t>(max_n, 64));
+  return sweep;
+}
+
+/// A paper table column: value per matrix dimension; empty when the paper
+/// does not report the cell (e.g. our 256-row warm-up sizes).
+using PaperColumn = std::map<std::size_t, double>;
+
+inline std::string paper_cell(const PaperColumn& column, std::size_t n,
+                              bool fixed_format = false, int digits = 2) {
+  const auto it = column.find(n);
+  if (it == column.end()) return "-";
+  return fixed_format ? TablePrinter::fixed(it->second, digits)
+                      : TablePrinter::sci(it->second, digits);
+}
+
+// ---- paper-reported values -------------------------------------------------
+
+/// Table I: GFLOPS on the K20C.
+inline PaperColumn paper_table1_abft() {
+  return {{512, 382.30}, {1024, 659.02}, {2048, 807.91},  {3072, 872.93},
+          {4096, 894.14}, {5120, 924.38}, {6144, 926.61}, {7168, 944.50},
+          {8192, 942.61}};
+}
+inline PaperColumn paper_table1_aabft() {
+  return {{512, 279.19}, {1024, 514.17}, {2048, 706.85},  {3072, 772.64},
+          {4096, 829.10}, {5120, 848.43}, {6144, 874.59}, {7168, 885.23},
+          {8192, 903.44}};
+}
+inline PaperColumn paper_table1_sea() {
+  return {{512, 307.75}, {1024, 499.53}, {2048, 635.67},  {3072, 657.28},
+          {4096, 686.39}, {5120, 690.51}, {6144, 703.91}, {7168, 705.51},
+          {8192, 712.75}};
+}
+inline PaperColumn paper_table1_tmr() {
+  return {{512, 185.56}, {1024, 322.22}, {2048, 335.65},  {3072, 339.33},
+          {4096, 345.26}, {5120, 344.95}, {6144, 346.76}, {7168, 347.68},
+          {8192, 348.09}};
+}
+
+/// Table II: input range -1..1 — avg rounding error / A-ABFT bound / SEA bound.
+inline PaperColumn paper_table2_rnd() {
+  return {{512, 2.25e-14}, {1024, 4.53e-14}, {2048, 9.09e-14},
+          {3072, 1.35e-13}, {4096, 1.81e-13}, {5120, 2.25e-13},
+          {6144, 2.71e-13}, {7168, 3.17e-13}, {8192, 3.62e-13}};
+}
+inline PaperColumn paper_table2_aabft() {
+  return {{512, 1.68e-11}, {1024, 4.88e-11}, {2048, 1.46e-10},
+          {3072, 2.77e-10}, {4096, 4.27e-10}, {5120, 6.21e-10},
+          {6144, 8.15e-10}, {7168, 1.06e-9},  {8192, 1.28e-9}};
+}
+inline PaperColumn paper_table2_sea() {
+  return {{512, 8.58e-10}, {1024, 3.30e-9}, {2048, 1.29e-8},
+          {3072, 2.88e-8}, {4096, 5.09e-8}, {5120, 7.95e-8},
+          {6144, 1.14e-7}, {7168, 1.56e-7}, {8192, 2.03e-7}};
+}
+
+/// Table III: input range -100..100.
+inline PaperColumn paper_table3_rnd() {
+  return {{512, 2.22e-10}, {1024, 4.55e-10}, {2048, 9.07e-10},
+          {3072, 1.36e-9},  {4096, 1.81e-9},  {5120, 2.26e-9},
+          {6144, 2.71e-9},  {7168, 3.16e-9},  {8192, 3.62e-9}};
+}
+inline PaperColumn paper_table3_aabft() {
+  return {{512, 1.61e-7}, {1024, 4.92e-7}, {2048, 1.48e-6},
+          {3072, 2.81e-6}, {4096, 4.27e-6}, {5120, 6.10e-6},
+          {6144, 8.15e-6}, {7168, 1.04e-5}, {8192, 1.29e-5}};
+}
+inline PaperColumn paper_table3_sea() {
+  return {{512, 8.65e-6}, {1024, 3.30e-5}, {2048, 1.29e-4},
+          {3072, 2.88e-4}, {4096, 5.10e-4}, {5120, 7.93e-4},
+          {6144, 1.14e-3}, {7168, 1.55e-3}, {8192, 2.03e-3}};
+}
+
+/// Table IV: dynamic range inputs, alpha = 0, kappa = 2.
+inline PaperColumn paper_table4_rnd() {
+  return {{512, 6.19e-11}, {1024, 2.44e-10}, {2048, 9.72e-10},
+          {3072, 2.20e-9},  {4096, 3.89e-9},  {5120, 6.04e-9},
+          {6144, 8.77e-9},  {7168, 1.20e-8},  {8192, 1.54e-8}};
+}
+inline PaperColumn paper_table4_aabft() {
+  return {{512, 7.99e-8}, {1024, 5.12e-7}, {2048, 3.22e-6},
+          {3072, 9.51e-6}, {4096, 2.02e-5}, {5120, 3.61e-5},
+          {6144, 5.88e-5}, {7168, 8.82e-5}, {8192, 1.24e-4}};
+}
+inline PaperColumn paper_table4_sea() {
+  return {{512, 1.34e-6}, {1024, 1.02e-5}, {2048, 7.96e-5},
+          {3072, 2.69e-4}, {4096, 6.31e-4}, {5120, 1.22e-3},
+          {6144, 2.28e-3}, {7168, 4.08e-3}, {8192, 8.04e-3}};
+}
+
+}  // namespace aabft::bench

@@ -1,0 +1,90 @@
+// Figure 4 reproduction: percentage of detected errors for single-bit
+// mantissa flips, per floating-point operation site (inner-loop addition,
+// inner-loop multiplication, final sum addition), input value range and
+// matrix dimension — A-ABFT vs SEA-ABFT.
+//
+// The paper additionally reports (text, Section VI-C) that sign- and
+// exponent-field injections are detected 100 % by both schemes and that 3-
+// and 5-bit flips behave like single-bit flips; set AABFT_BENCH_BITS=3 (or
+// 5) and AABFT_BENCH_FIELD=sign|exponent to regenerate those experiments.
+//
+// Default: n in {128, 256}, 24 injections per cell. AABFT_BENCH_MAX_N and
+// AABFT_BENCH_TRIALS widen the sweep toward the paper's 512..8192 x many.
+#include <cstring>
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "core/table.hpp"
+#include "inject/sweep.hpp"
+
+namespace {
+
+using namespace aabft;
+
+fp::BitField field_from_env() {
+  const char* v = std::getenv("AABFT_BENCH_FIELD");
+  if (v == nullptr || std::strcmp(v, "mantissa") == 0)
+    return fp::BitField::kMantissa;
+  if (std::strcmp(v, "sign") == 0) return fp::BitField::kSign;
+  if (std::strcmp(v, "exponent") == 0) return fp::BitField::kExponent;
+  std::cerr << "unknown AABFT_BENCH_FIELD '" << v << "', using mantissa\n";
+  return fp::BitField::kMantissa;
+}
+
+std::string rate_or_dash(const inject::SchemeDetectionStats& stats) {
+  if (!stats.has_critical()) return "-";
+  return TablePrinter::fixed(stats.detection_rate(), 1);
+}
+
+}  // namespace
+
+int main() {
+  inject::SweepConfig config;
+  config.field = field_from_env();
+  config.num_bits = static_cast<int>(env_size_or("AABFT_BENCH_BITS", 1));
+  config.trials = env_size_or("AABFT_BENCH_TRIALS", 24);
+
+  const std::size_t max_n = env_size_or("AABFT_BENCH_MAX_N", 256);
+  config.sizes.clear();
+  for (std::size_t n :
+       {std::size_t{128}, std::size_t{256}, std::size_t{512}, std::size_t{1024},
+        std::size_t{2048}, std::size_t{4096}, std::size_t{8192}})
+    if (n <= max_n) config.sizes.push_back(n);
+
+  std::cout << "\n=== Figure 4: % detected critical errors, "
+            << fp::to_string(config.field) << " " << config.num_bits
+            << "-bit flips (" << config.trials << " injections/cell) ===\n"
+            << "Columns: detection rate among ground-truth-critical errors; "
+               "tol = detected tolerable / tolerable.\n\n";
+
+  const inject::SweepResult sweep = inject::run_sweep(config);
+
+  TablePrinter table({"operation", "inputs", "n", "A-ABFT %", "SEA %",
+                      "crit", "A-tol", "S-tol", "masked"});
+  for (const auto& cell : sweep.cells) {
+    const auto& r = cell.result;
+    table.add_row({gpusim::to_string(cell.site), linalg::to_string(cell.input),
+                   std::to_string(cell.n), rate_or_dash(r.aabft),
+                   rate_or_dash(r.sea), std::to_string(r.aabft.critical),
+                   std::to_string(r.aabft.detected_tolerable) + "/" +
+                       std::to_string(r.aabft.tolerable),
+                   std::to_string(r.sea.detected_tolerable) + "/" +
+                       std::to_string(r.sea.tolerable),
+                   std::to_string(r.masked)});
+  }
+  table.print();
+  bench::maybe_write_csv(table, "fig4_detection");
+
+  if (sweep.false_positive_runs() > 0)
+    std::cout << "WARNING: " << sweep.false_positive_runs()
+              << " false positives on clean reference runs\n";
+  std::cout << "\naggregate critical-error detection: A-ABFT "
+            << TablePrinter::fixed(sweep.aggregate_rate_aabft(), 1)
+            << "%, SEA-ABFT "
+            << TablePrinter::fixed(sweep.aggregate_rate_sea(), 1) << "%\n";
+  std::cout << "\nShape checks (paper): A-ABFT detection is well over 90% and "
+               "does not degrade with n;\nSEA-ABFT detects fewer errors and "
+               "tends to degrade as n grows. Sign/exponent flips (set\n"
+               "AABFT_BENCH_FIELD) are detected 100% by both schemes.\n";
+  return 0;
+}

@@ -1,0 +1,166 @@
+// google-benchmark microbenchmarks of the library's building blocks.
+//
+// These measure *host* execution of the simulated kernels and of the exact
+// reference arithmetic on this machine — useful for tracking regressions in
+// the implementation itself (the K20C numbers of Table I come from the
+// analytic model, not from these timings).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "abft/aabft.hpp"
+#include "abft/checker.hpp"
+#include "abft/encoder.hpp"
+#include "abft/pmax_scan.hpp"
+#include "baselines/plain_encode.hpp"
+#include "baselines/sea_abft.hpp"
+#include "core/rng.hpp"
+#include "fp/exact_dot.hpp"
+#include "gpusim/kernel.hpp"
+#include "linalg/matmul.hpp"
+#include "linalg/workload.hpp"
+
+namespace {
+
+using namespace aabft;
+
+linalg::Matrix random_matrix(std::size_t rows, std::size_t cols,
+                             std::uint64_t seed) {
+  Rng rng(seed);
+  return linalg::uniform_matrix(rows, cols, -1.0, 1.0, rng);
+}
+
+void BM_BlockedMatmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_matrix(n, n, 1);
+  const auto b = random_matrix(n, n, 2);
+  gpusim::Launcher launcher;
+  for (auto _ : state) {
+    auto c = linalg::blocked_matmul(launcher, a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          static_cast<std::int64_t>(n * n * n));
+}
+BENCHMARK(BM_BlockedMatmul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_BlockedMatmulFma(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_matrix(n, n, 1);
+  const auto b = random_matrix(n, n, 2);
+  gpusim::Launcher launcher;
+  linalg::GemmConfig config;
+  config.use_fma = true;
+  for (auto _ : state) {
+    auto c = linalg::blocked_matmul(launcher, a, b, config);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          static_cast<std::int64_t>(n * n * n));
+}
+BENCHMARK(BM_BlockedMatmulFma)->Arg(128);
+
+void BM_PairwiseMatmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_matrix(n, n, 1);
+  const auto b = random_matrix(n, n, 2);
+  gpusim::Launcher launcher;
+  for (auto _ : state) {
+    auto c = linalg::pairwise_matmul(launcher, a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_PairwiseMatmul)->Arg(128);
+
+void BM_EncodeColumns(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_matrix(n, n, 3);
+  const abft::PartitionedCodec codec(32);
+  gpusim::Launcher launcher;
+  for (auto _ : state) {
+    auto enc = abft::encode_columns(launcher, a, codec, 2);
+    benchmark::DoNotOptimize(enc.data.data());
+  }
+}
+BENCHMARK(BM_EncodeColumns)->Arg(256)->Arg(512);
+
+void BM_CheckProduct(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const abft::PartitionedCodec codec(32);
+  gpusim::Launcher launcher;
+  const auto a_cc = abft::encode_columns(launcher, random_matrix(n, n, 4),
+                                         codec, 2);
+  const auto b_rc = abft::encode_rows(launcher, random_matrix(n, n, 5),
+                                      codec, 2);
+  const auto c_fc =
+      linalg::blocked_matmul(launcher, a_cc.data, b_rc.data, {});
+  const abft::BoundParams params;
+  for (auto _ : state) {
+    auto report = abft::check_product(launcher, c_fc, codec, a_cc.pmax,
+                                      b_rc.pmax, n, params, nullptr);
+    benchmark::DoNotOptimize(report.mismatches.data());
+  }
+}
+BENCHMARK(BM_CheckProduct)->Arg(256)->Arg(512);
+
+void BM_SeaBoundsAndCheck(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const abft::PartitionedCodec codec(32);
+  gpusim::Launcher launcher;
+  const auto a_cc =
+      baselines::plain_encode_columns(launcher, random_matrix(n, n, 6), codec);
+  const auto b_rc =
+      baselines::plain_encode_rows(launcher, random_matrix(n, n, 7), codec);
+  const auto c_fc = linalg::blocked_matmul(launcher, a_cc, b_rc, {});
+  for (auto _ : state) {
+    const auto bounds = baselines::compute_sea_bounds(launcher, a_cc, b_rc, codec);
+    auto report =
+        baselines::sea_check_product(launcher, c_fc, codec, bounds, n, nullptr);
+    benchmark::DoNotOptimize(report.mismatches.data());
+  }
+}
+BENCHMARK(BM_SeaBoundsAndCheck)->Arg(256);
+
+void BM_PMaxRows(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto m = random_matrix(n, n, 8);
+  gpusim::Launcher launcher;
+  for (auto _ : state) {
+    auto table = abft::collect_row_pmax(launcher, m, 2);
+    benchmark::DoNotOptimize(table.data());
+  }
+}
+BENCHMARK(BM_PMaxRows)->Arg(256)->Arg(512);
+
+void BM_ExactDot(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(9);
+  std::vector<double> a(n);
+  std::vector<double> b(n);
+  for (auto& x : a) x = rng.uniform(-1.0, 1.0);
+  for (auto& x : b) x = rng.uniform(-1.0, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fp::exact_dot_rounded(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ExactDot)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_ProtectedMultiplyEndToEnd(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_matrix(n, n, 10);
+  const auto b = random_matrix(n, n, 11);
+  gpusim::Launcher launcher;
+  abft::AabftConfig config;
+  abft::AabftMultiplier mult(launcher, config);
+  for (auto _ : state) {
+    auto result = mult.multiply(a, b);
+    benchmark::DoNotOptimize(result.c.data());
+  }
+}
+BENCHMARK(BM_ProtectedMultiplyEndToEnd)->Arg(128)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

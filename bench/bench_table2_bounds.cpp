@@ -1,0 +1,15 @@
+// Table II reproduction: bound quality for random inputs in [-1, 1].
+#include "bench/bounds_table.hpp"
+
+int main() {
+  using namespace aabft::bench;
+  BoundsTableSpec spec;
+  spec.title = "Table II: rounding error bounds, input range -1.0 to 1.0";
+  spec.csv_name = "table2_bounds";
+  spec.input = aabft::linalg::InputClass::kUnit;
+  spec.kappa = 2.0;
+  spec.paper_rnd = paper_table2_rnd();
+  spec.paper_aabft = paper_table2_aabft();
+  spec.paper_sea = paper_table2_sea();
+  return run_bounds_table(spec);
+}

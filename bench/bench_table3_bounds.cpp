@@ -1,0 +1,15 @@
+// Table III reproduction: bound quality for random inputs in [-100, 100].
+#include "bench/bounds_table.hpp"
+
+int main() {
+  using namespace aabft::bench;
+  BoundsTableSpec spec;
+  spec.title = "Table III: rounding error bounds, input range -100.0 to 100.0";
+  spec.csv_name = "table3_bounds";
+  spec.input = aabft::linalg::InputClass::kHundred;
+  spec.kappa = 2.0;
+  spec.paper_rnd = paper_table3_rnd();
+  spec.paper_aabft = paper_table3_aabft();
+  spec.paper_sea = paper_table3_sea();
+  return run_bounds_table(spec);
+}

@@ -1,0 +1,17 @@
+// Table IV reproduction: bound quality for high value-range-dynamic inputs
+// A = 10^alpha * U * D_kappa * V^T with alpha = 0, kappa = 2.
+#include "bench/bounds_table.hpp"
+
+int main() {
+  using namespace aabft::bench;
+  BoundsTableSpec spec;
+  spec.title =
+      "Table IV: rounding error bounds, dynamic inputs (alpha = 0, kappa = 2)";
+  spec.csv_name = "table4_bounds";
+  spec.input = aabft::linalg::InputClass::kDynamic;
+  spec.kappa = 2.0;
+  spec.paper_rnd = paper_table4_rnd();
+  spec.paper_aabft = paper_table4_aabft();
+  spec.paper_sea = paper_table4_sea();
+  return run_bounds_table(spec);
+}

@@ -1,0 +1,139 @@
+// Shared implementation of the bound-quality tables (paper Tables II-IV):
+// average exact rounding error of the checksum elements vs. the average
+// rounding-error bounds determined by A-ABFT and by SEA-ABFT.
+//
+// The exact reference uses the Kulisch superaccumulator (bit-exact inner
+// products) in place of the paper's GMP arithmetic; checksum elements are
+// sampled (AABFT_BENCH_SAMPLES, default 64 per matrix) because the exact
+// reference is O(n) per element — the paper likewise reports averages.
+#pragma once
+
+#include <iostream>
+#include <vector>
+
+#include "abft/checker.hpp"
+#include "abft/checksum.hpp"
+#include "abft/encoder.hpp"
+#include "baselines/sea_abft.hpp"
+#include "bench/bench_common.hpp"
+#include "core/rng.hpp"
+#include "core/table.hpp"
+#include "fp/exact_dot.hpp"
+#include "linalg/matmul.hpp"
+#include "linalg/workload.hpp"
+
+namespace aabft::bench {
+
+struct BoundsTableSpec {
+  const char* title;
+  const char* csv_name = "bounds_table";
+  linalg::InputClass input;
+  double kappa;                 ///< only used by the dynamic input class
+  PaperColumn paper_rnd;
+  PaperColumn paper_aabft;
+  PaperColumn paper_sea;
+};
+
+struct BoundsRow {
+  double avg_rounding_error = 0.0;
+  double avg_aabft_bound = 0.0;
+  double avg_sea_bound = 0.0;
+};
+
+/// Measure one row of the table at dimension n.
+inline BoundsRow measure_bounds_row(std::size_t n, linalg::InputClass input,
+                                    double kappa, std::uint64_t seed) {
+  const std::size_t bs = 32;
+  const std::size_t p = 2;
+  Rng rng(seed);
+  const abft::PartitionedCodec codec(bs);
+  gpusim::Launcher launcher;
+
+  const auto a = linalg::make_input(input, n, kappa, rng);
+  const auto b = linalg::make_input(input, n, kappa, rng);
+
+  const auto a_cc = abft::encode_columns(launcher, a, codec, p);
+  const auto b_rc = abft::encode_rows(launcher, b, codec, p);
+  const auto c_fc =
+      linalg::blocked_matmul(launcher, a_cc.data, b_rc.data, linalg::GemmConfig{});
+
+  BoundsRow row;
+
+  // A-ABFT bounds: trace every epsilon of the check (omega = 3, the paper's
+  // conservative "worst case" reporting choice).
+  abft::EpsilonTrace aabft_trace;
+  abft::BoundParams params;  // omega = 3, PaperDirect
+  const auto report =
+      abft::check_product(launcher, c_fc, codec, a_cc.pmax, b_rc.pmax, n,
+                          params, &aabft_trace);
+  if (!report.clean())
+    std::cout << "WARNING: A-ABFT false positive during bound measurement\n";
+  row.avg_aabft_bound = aabft_trace.average();
+
+  // SEA bounds.
+  abft::EpsilonTrace sea_trace;
+  const auto sea_bounds =
+      baselines::compute_sea_bounds(launcher, a_cc.data, b_rc.data, codec);
+  const auto sea_report = baselines::sea_check_product(
+      launcher, c_fc, codec, sea_bounds, n, &sea_trace);
+  if (!sea_report.clean())
+    std::cout << "WARNING: SEA false positive during bound measurement\n";
+  row.avg_sea_bound = sea_trace.average();
+
+  // Exact rounding error of sampled checksum elements: |stored - exact|,
+  // with the exact inner product from the superaccumulator.
+  const std::size_t samples = env_size_or("AABFT_BENCH_SAMPLES", 64);
+  const std::size_t grid_rows = c_fc.rows() / (bs + 1);
+  const std::size_t grid_cols = c_fc.cols() / (bs + 1);
+  double err_sum = 0.0;
+  std::size_t err_count = 0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    if (s % 2 == 0) {
+      // Column-checksum element: (checksum row of block I) x (column gc).
+      const auto block = static_cast<std::size_t>(rng.below(grid_rows));
+      const auto gc = static_cast<std::size_t>(rng.below(c_fc.cols()));
+      const std::size_t cs_row = codec.checksum_index(block);
+      const auto col = b_rc.data.col(gc);
+      const auto exact = fp::exact_dot(a_cc.data.row(cs_row), col);
+      err_sum += std::fabs(exact.round_minus(c_fc(cs_row, gc)));
+    } else {
+      // Row-checksum element: (row gr) x (checksum column of block J).
+      const auto block = static_cast<std::size_t>(rng.below(grid_cols));
+      const auto gr = static_cast<std::size_t>(rng.below(c_fc.rows()));
+      const std::size_t cs_col = codec.checksum_index(block);
+      const auto col = b_rc.data.col(cs_col);
+      const auto exact = fp::exact_dot(a_cc.data.row(gr), col);
+      err_sum += std::fabs(exact.round_minus(c_fc(gr, cs_col)));
+    }
+    ++err_count;
+  }
+  row.avg_rounding_error = err_sum / static_cast<double>(err_count);
+  return row;
+}
+
+inline int run_bounds_table(const BoundsTableSpec& spec) {
+  const auto sweep = bench_sweep(/*default_max=*/1024);
+  std::cout << "\n=== " << spec.title << " (measured | paper) ===\n\n";
+  TablePrinter table({"MATRIX", "RND.ERR", "(paper)", "A-ABFT", "(paper)",
+                      "SEA-ABFT", "(paper)"});
+  Rng seeds(0xb0b);
+  for (const std::size_t n : sweep) {
+    const BoundsRow row =
+        measure_bounds_row(n, spec.input, spec.kappa, seeds.next_u64());
+    table.add_row({std::to_string(n),
+                   TablePrinter::sci(row.avg_rounding_error),
+                   paper_cell(spec.paper_rnd, n),
+                   TablePrinter::sci(row.avg_aabft_bound),
+                   paper_cell(spec.paper_aabft, n),
+                   TablePrinter::sci(row.avg_sea_bound),
+                   paper_cell(spec.paper_sea, n)});
+  }
+  table.print();
+  maybe_write_csv(table, spec.csv_name);
+  std::cout << "\nShape check (paper): the A-ABFT bound sits roughly two "
+               "orders of magnitude below the SEA bound\nand two to three "
+               "above the actual rounding error, at every size.\n";
+  return 0;
+}
+
+}  // namespace aabft::bench

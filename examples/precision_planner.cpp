@@ -1,0 +1,94 @@
+// Precision planner: use the rounding-analysis by-product to decide whether
+// a workload can run in single precision — and protect it there.
+//
+//   ./build/examples/precision_planner [n] [tolerance]
+//
+// The paper's introduction notes that A-ABFT "is able to deliver error
+// functions or rounding error analyses for the performed operation with
+// little additional overhead". This example puts that by-product to work:
+//
+//   1. collect the p-max tables of A and B (one cheap pass),
+//   2. query the per-element rounding model at t = 52 and t = 23,
+//   3. if the predicted 3-sigma single-precision error is below the user's
+//      tolerance, run the protected multiply on the simulated binary32
+//      pipeline (with t = 23 bounds) — otherwise stay in double,
+//   4. verify the prediction against the exact (superaccumulator) errors.
+#include <cmath>
+#include <cstdio>
+
+#include "abft/aabft.hpp"
+#include "abft/pmax_scan.hpp"
+#include "abft/rounding_report.hpp"
+#include "core/rng.hpp"
+#include "fp/exact_dot.hpp"
+#include "gpusim/kernel.hpp"
+#include "linalg/workload.hpp"
+
+int main(int argc, char** argv) {
+  using namespace aabft;
+
+  std::size_t n = 128;
+  double tolerance = 1e-3;
+  if (argc > 1) n = static_cast<std::size_t>(std::atoll(argv[1]));
+  if (argc > 2) tolerance = std::atof(argv[2]);
+
+  Rng rng(99);
+  linalg::Matrix a = linalg::uniform_matrix(n, n, -1.0, 1.0, rng);
+  linalg::Matrix b = linalg::uniform_matrix(n, n, -1.0, 1.0, rng);
+  a.round_to_single();  // pretend the data arrived as float
+  b.round_to_single();
+
+  // 1-2: rounding forecast for both precisions from one p-max pass.
+  gpusim::Launcher launcher;
+  const auto a_rows = abft::collect_row_pmax(launcher, a, 2);
+  const auto b_cols = abft::collect_col_pmax(launcher, b, 2);
+
+  abft::BoundParams double_params;   // t = 52
+  abft::BoundParams single_params;
+  single_params.t = 23;
+  const auto forecast_double =
+      abft::analyze_rounding(launcher, a_rows, b_cols, n, double_params);
+  const auto forecast_single =
+      abft::analyze_rounding(launcher, a_rows, b_cols, n, single_params);
+
+  std::printf("rounding forecast for C = A*B (n = %zu):\n", n);
+  std::printf("  double : max 3-sigma error %.3e, avg sigma %.3e\n",
+              3.0 * forecast_double.max_sigma, forecast_double.avg_sigma);
+  std::printf("  single : max 3-sigma error %.3e, avg sigma %.3e\n",
+              3.0 * forecast_single.max_sigma, forecast_single.avg_sigma);
+
+  const bool use_single = 3.0 * forecast_single.max_sigma <= tolerance;
+  std::printf("tolerance %.1e -> running the protected multiply in %s "
+              "precision\n\n",
+              tolerance, use_single ? "SINGLE" : "DOUBLE");
+
+  // 3: protected multiply on the chosen pipeline.
+  if (use_single) launcher.set_precision(gpusim::Precision::kSingle);
+  abft::AabftConfig config;
+  config.bs = 32;
+  config.bounds.t = use_single ? 23 : 52;
+  abft::AabftMultiplier mult(launcher, config);
+  const auto result = mult.multiply(a, b);
+  std::printf("protected multiply: detected=%s (autonomous bounds at t=%d)\n",
+              result.error_detected() ? "yes" : "no", config.bounds.t);
+
+  // 4: validate the forecast against exact errors on a sample of elements.
+  double worst = 0.0;
+  std::size_t covered = 0;
+  std::size_t sampled = 0;
+  for (std::size_t i = 0; i < n; i += n / 8) {
+    for (std::size_t j = 0; j < n; j += n / 8) {
+      const auto col = b.col(j);
+      const double err = std::fabs(
+          fp::exact_dot(a.row(i), col).round_minus(result.c(i, j)));
+      worst = std::max(worst, err);
+      const auto& forecast = use_single ? forecast_single : forecast_double;
+      if (err <= forecast.interval(i, j, 3.0)) ++covered;
+      ++sampled;
+    }
+  }
+  std::printf("validation: worst exact element error %.3e; %zu/%zu sampled "
+              "elements within the forecast 3-sigma interval\n",
+              worst, covered, sampled);
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Protected conjugate gradient: an iterative solver whose matrix-vector
+// products run through the A-ABFT-protected GEMV — the pattern the paper's
+// introduction motivates (long-running scientific iterations on unreliable
+// hardware).
+//
+//   ./build/examples/protected_conjugate_gradient [n] [fault_every]
+//
+// A is SPD; every `fault_every`-th iteration a transient fault strikes the
+// GEMV kernel. Detection + recompute keep the Krylov iteration on the exact
+// fault-free trajectory (the returned vector is bitwise the clean product),
+// so convergence is unaffected — compare the residual curve with and without
+// injections.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "aabft.hpp"
+
+namespace {
+
+using namespace aabft;
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t n = 128;
+  std::size_t fault_every = 4;
+  if (argc > 1) n = static_cast<std::size_t>(std::atoll(argv[1]));
+  if (argc > 2) fault_every = static_cast<std::size_t>(std::atoll(argv[2]));
+
+  // SPD system: A = M^T M + n I, with a known solution.
+  Rng rng(31);
+  const linalg::Matrix m = linalg::uniform_matrix(n, n, -1.0, 1.0, rng);
+  gpusim::Launcher setup;
+  linalg::Matrix a = linalg::blocked_matmul(setup, m.transposed(), m);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  std::vector<double> x_true(n);
+  for (auto& v : x_true) v = rng.uniform(-1.0, 1.0);
+  std::vector<double> b(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) b[i] += a(i, j) * x_true[j];
+
+  gpusim::Launcher launcher;
+  gpusim::FaultController controller;
+  launcher.set_fault_controller(&controller);
+  abft::AabftConfig config;
+  config.bs = 32;
+  abft::ProtectedGemv gemv(launcher, a, config);
+
+  // Conjugate gradient with protected products.
+  std::vector<double> x(n, 0.0);
+  std::vector<double> r = b;
+  std::vector<double> p = r;
+  double rs = dot(r, r);
+  const double rs0 = rs;
+
+  std::size_t detections = 0;
+  std::size_t recomputes = 0;
+  std::size_t iterations = 0;
+  for (std::size_t it = 1; it <= n && std::sqrt(rs / rs0) > 1e-12; ++it) {
+    ++iterations;
+    if (fault_every > 0 && it % fault_every == 0) {
+      gpusim::FaultConfig fault;
+      fault.site = gpusim::FaultSite::kInnerAdd;
+      fault.sm_id = static_cast<int>(
+          rng.below(static_cast<std::uint64_t>(launcher.device().num_sms)));
+      fault.k_injection = static_cast<std::int64_t>(rng.below(n));
+      fault.error_vec = fp::make_error_vec(fp::BitField::kExponent, 1, rng);
+      controller.arm(fault);
+    }
+
+    const abft::GemvResult ap = gemv.multiply(p);
+    controller.disarm();
+    if (ap.error_detected()) ++detections;
+    recomputes += ap.recomputations;
+
+    const double alpha = rs / dot(p, ap.y);
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * ap.y[i];
+    }
+    const double rs_new = dot(r, r);
+    const double beta = rs_new / rs;
+    for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+    rs = rs_new;
+
+    if (it % 8 == 0 || ap.error_detected())
+      std::printf("iter %3zu  |r|/|r0| = %.3e%s\n", it, std::sqrt(rs / rs0),
+                  ap.error_detected() ? "  [fault detected, recomputed]" : "");
+  }
+
+  double err = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    err = std::max(err, std::fabs(x[i] - x_true[i]));
+  std::printf("\nconverged in %zu iterations; faults detected %zu, products "
+              "recomputed %zu\nmax |x - x_true| = %.3e\n",
+              iterations, detections, recomputes, err);
+  return err < 1e-8 ? 0 : 1;
+}

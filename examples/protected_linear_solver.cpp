@@ -1,0 +1,81 @@
+// Protected linear solver: factor A and solve A x = b while transient
+// faults strike the O(n^3) trailing updates — the "other operations" the
+// paper says A-ABFT extends to, in action.
+//
+//   ./build/examples/protected_linear_solver [n] [faults]
+//
+// Every trailing update of the blocked LU runs through the A-ABFT protected
+// multiplier; injected faults are detected, localised and corrected (or the
+// update is recomputed), and the final solution matches a fault-free solve.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "abft/protected_lu.hpp"
+#include "core/rng.hpp"
+#include "fp/fault_vector.hpp"
+#include "gpusim/kernel.hpp"
+#include "linalg/workload.hpp"
+
+int main(int argc, char** argv) {
+  using namespace aabft;
+
+  std::size_t n = 128;
+  std::size_t num_faults = 3;
+  if (argc > 1) n = static_cast<std::size_t>(std::atoll(argv[1]));
+  if (argc > 2) num_faults = static_cast<std::size_t>(std::atoll(argv[2]));
+
+  // A well-conditioned system with a known solution.
+  Rng rng(7);
+  linalg::Matrix a = linalg::uniform_matrix(n, n, -1.0, 1.0, rng);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  std::vector<double> x_true(n);
+  for (auto& v : x_true) v = rng.uniform(-1.0, 1.0);
+  std::vector<double> b(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) b[i] += a(i, j) * x_true[j];
+
+  // Arm a batch of faults against the protected updates.
+  gpusim::Launcher launcher;
+  gpusim::FaultController controller;
+  launcher.set_fault_controller(&controller);
+  std::vector<gpusim::FaultConfig> faults(
+      std::min<std::size_t>(num_faults, gpusim::FaultController::kMaxFaults));
+  for (auto& fault : faults) {
+    fault.site = gpusim::FaultSite::kInnerAdd;
+    fault.sm_id = static_cast<int>(
+        rng.below(static_cast<std::uint64_t>(launcher.device().num_sms)));
+    fault.module_id = static_cast<int>(rng.below(16));
+    fault.k_injection = static_cast<std::int64_t>(rng.below(32));
+    fault.error_vec = fp::make_error_vec(fp::BitField::kExponent, 2, rng);
+  }
+  controller.arm_many(faults);
+
+  abft::ProtectedLuConfig config;
+  config.panel = 32;
+  config.aabft.bs = 32;
+  abft::ProtectedLu lu(launcher, config);
+  const auto factorisation = lu.factor(a);
+  launcher.set_fault_controller(nullptr);
+
+  std::printf("blocked LU of a %zux%zu system under fault injection:\n", n, n);
+  std::printf("  protected trailing updates : %zu\n",
+              factorisation.protected_updates);
+  std::printf("  faults that hit            : %zu\n",
+              controller.fired_count());
+  std::printf("  updates flagged            : %zu\n",
+              factorisation.faults_detected);
+  std::printf("  corrections / recomputes   : %zu / %zu\n",
+              factorisation.corrections, factorisation.recomputations);
+  std::printf("  factorisation ok           : %s\n",
+              factorisation.ok ? "yes" : "NO");
+  std::printf("  |PA - LU| residual         : %.3e\n",
+              abft::ProtectedLu::residual(a, factorisation));
+
+  const auto x = abft::ProtectedLu::solve(factorisation, b);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    worst = std::max(worst, std::fabs(x[i] - x_true[i]));
+  std::printf("  |x - x_true| (max)         : %.3e\n", worst);
+  return factorisation.ok ? 0 : 1;
+}

@@ -1,0 +1,132 @@
+// Protected power iteration: a small "scientific application" built on the
+// A-ABFT public API — the usage pattern the paper's introduction motivates
+// (long-running GPU linear algebra that must not silently produce garbage).
+//
+//   ./build/examples/protected_power_iteration [n] [iterations] [fault_every]
+//
+// The dominant eigenvalue of S = A^T A (A random) is estimated by blocked
+// power iteration: X_{k+1} = normalise(S * X_k), where X holds a panel of 32
+// vectors so each step is a matrix multiplication the A-ABFT multiplier can
+// protect. Every `fault_every`-th step a transient fault is injected into
+// the GEMM kernel; the run shows that A-ABFT detects and repairs each hit,
+// and that the converged Rayleigh quotient matches an unprotected fault-free
+// reference run.
+#include <cmath>
+#include <cstdio>
+
+#include "abft/aabft.hpp"
+#include "core/rng.hpp"
+#include "fp/fault_vector.hpp"
+#include "gpusim/kernel.hpp"
+#include "linalg/matmul.hpp"
+#include "linalg/workload.hpp"
+
+namespace {
+
+using namespace aabft;
+using linalg::Matrix;
+
+/// Normalise every column of x to unit 2-norm.
+void normalise_columns(Matrix& x) {
+  for (std::size_t j = 0; j < x.cols(); ++j) {
+    double norm_sq = 0.0;
+    for (std::size_t i = 0; i < x.rows(); ++i) norm_sq += x(i, j) * x(i, j);
+    const double inv = 1.0 / std::sqrt(norm_sq);
+    for (std::size_t i = 0; i < x.rows(); ++i) x(i, j) *= inv;
+  }
+}
+
+/// Rayleigh quotient of the first column: x0^T S x0 (with S x available).
+double rayleigh(const Matrix& x, const Matrix& sx) {
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    num += x(i, 0) * sx(i, 0);
+    den += x(i, 0) * x(i, 0);
+  }
+  return num / den;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t n = 128;
+  std::size_t iterations = 12;
+  std::size_t fault_every = 3;
+  if (argc > 1) n = static_cast<std::size_t>(std::atoll(argv[1]));
+  if (argc > 2) iterations = static_cast<std::size_t>(std::atoll(argv[2]));
+  if (argc > 3) fault_every = static_cast<std::size_t>(std::atoll(argv[3]));
+
+  Rng rng(2024);
+  const Matrix a = linalg::uniform_matrix(n, n, -1.0, 1.0, rng);
+  gpusim::Launcher setup_launcher;
+  const Matrix s =
+      linalg::blocked_matmul(setup_launcher, a.transposed(), a);  // SPD
+
+  // Panel of 32 start vectors (32 = checksum block size, so the panel's
+  // column count is already a multiple of BS).
+  Matrix x = linalg::uniform_matrix(n, 32, -1.0, 1.0, rng);
+  normalise_columns(x);
+  Matrix x_ref = x;
+
+  gpusim::Launcher launcher;
+  gpusim::FaultController controller;
+  launcher.set_fault_controller(&controller);
+  abft::AabftConfig config;
+  config.bs = 32;
+  abft::AabftMultiplier mult(launcher, config);
+
+  std::printf("power iteration on S = A^T A, n=%zu, panel=32, fault every "
+              "%zu steps\n\n",
+              n, fault_every);
+
+  std::size_t faults_injected = 0;
+  std::size_t faults_detected = 0;
+  std::size_t faults_corrected = 0;
+  double lambda = 0.0;
+
+  for (std::size_t it = 1; it <= iterations; ++it) {
+    const bool inject = fault_every > 0 && it % fault_every == 0;
+    if (inject) {
+      gpusim::FaultConfig fault;
+      fault.site = gpusim::FaultSite::kInnerAdd;
+      fault.sm_id = static_cast<int>(rng.below(
+          static_cast<std::uint64_t>(launcher.device().num_sms)));
+      fault.module_id = static_cast<int>(rng.below(16));
+      fault.k_injection = static_cast<std::int64_t>(rng.below(n));
+      fault.error_vec = fp::make_error_vec(fp::BitField::kExponent, 1, rng);
+      controller.arm(fault);
+    }
+
+    const auto result = mult.multiply(s, x);
+    controller.disarm();
+    if (inject && controller.fired()) ++faults_injected;
+
+    if (result.error_detected()) ++faults_detected;
+    if (!result.corrections.empty() && result.recheck_clean)
+      ++faults_corrected;
+
+    lambda = rayleigh(x, result.c);
+    x = result.c;
+    normalise_columns(x);
+
+    // Fault-free reference step on the host.
+    const Matrix sx_ref = linalg::naive_matmul(s, x_ref, false);
+    x_ref = sx_ref;
+    normalise_columns(x_ref);
+
+    std::printf("step %2zu: lambda ~= %.12g%s%s\n", it, lambda,
+                inject ? "  [fault injected]" : "",
+                result.error_detected() ? " [detected+corrected]" : "");
+  }
+
+  const double drift = x.max_abs_diff(x_ref);
+  std::printf("\nfaults that hit an instruction: %zu, detected %zu, corrected "
+              "%zu\n(a hit can land on a padded kernel lane and mask itself; "
+              "masked faults never\nreach the result and need no detection)\n",
+              faults_injected, faults_detected, faults_corrected);
+  std::printf("max |protected iterate - fault-free reference| = %.3g\n", drift);
+  std::printf("(correction rebuilds elements from checksums, so tiny rounding-"
+              "level drift is expected)\n");
+  return 0;
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Reproduce the paper's full-size sweeps (512..8192). This is CPU-simulated
+# GPU work: expect hours at the 8192 end. Start smaller (e.g. MAX_N=2048)
+# for a same-day run. CSVs land in ./paper_results.
+set -euo pipefail
+build=${1:-build}
+out=${2:-paper_results}
+mkdir -p "$out"
+export AABFT_BENCH_MAX_N=${AABFT_BENCH_MAX_N:-8192}
+export AABFT_BENCH_TRIALS=${AABFT_BENCH_TRIALS:-100}
+export AABFT_BENCH_SAMPLES=${AABFT_BENCH_SAMPLES:-128}
+export AABFT_BENCH_CSV="$out"
+for b in "$build"/bench/bench_table1_performance \
+         "$build"/bench/bench_table2_bounds \
+         "$build"/bench/bench_table3_bounds \
+         "$build"/bench/bench_table4_bounds \
+         "$build"/bench/bench_fig4_detection \
+         "$build"/bench/bench_ablation_bounds; do
+  echo "=== $b ==="
+  "$b" | tee "$out/$(basename "$b").txt"
+done
+# The text-reported variants of Figure 4:
+AABFT_BENCH_FIELD=exponent "$build"/bench/bench_fig4_detection | tee "$out/fig4_exponent.txt"
+AABFT_BENCH_FIELD=sign     "$build"/bench/bench_fig4_detection | tee "$out/fig4_sign.txt"
+AABFT_BENCH_BITS=3         "$build"/bench/bench_fig4_detection | tee "$out/fig4_3bit.txt"
+AABFT_BENCH_BITS=5         "$build"/bench/bench_fig4_detection | tee "$out/fig4_5bit.txt"

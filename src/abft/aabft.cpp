@@ -1,0 +1,107 @@
+#include "abft/aabft.hpp"
+
+#include "core/require.hpp"
+
+namespace aabft::abft {
+
+using linalg::Matrix;
+
+AabftMultiplier::AabftMultiplier(gpusim::Launcher& launcher, AabftConfig config)
+    : launcher_(launcher), config_(config), codec_(config.bs) {
+  AABFT_REQUIRE(config_.valid(),
+                "invalid A-ABFT configuration (check bs, p, gemm blocking and "
+                "that the FMA flags of bounds and gemm agree)");
+  // The bound model's t must match the pipeline's arithmetic precision.
+  const int expected_t =
+      launcher.precision() == gpusim::Precision::kSingle ? 23 : 52;
+  AABFT_REQUIRE(config_.bounds.t == expected_t,
+                "bounds.t must match the launcher's arithmetic precision "
+                "(52 for double, 23 for single)");
+}
+
+AabftResult AabftMultiplier::multiply(const Matrix& a, const Matrix& b) {
+  return run(a, b, nullptr);
+}
+
+AabftResult AabftMultiplier::multiply_traced(const Matrix& a, const Matrix& b,
+                                             EpsilonTrace& trace) {
+  return run(a, b, &trace);
+}
+
+AabftResult AabftMultiplier::multiply_padded(const Matrix& a, const Matrix& b) {
+  AABFT_REQUIRE(a.cols() == b.rows(), "inner dimensions must agree");
+  const std::size_t padded_m = padded_dim(a.rows(), config_.bs);
+  const std::size_t padded_q = padded_dim(b.cols(), config_.bs);
+  const Matrix a_padded = pad_to(a, padded_m, a.cols());
+  const Matrix b_padded = pad_to(b, b.rows(), padded_q);
+  AabftResult result = run(a_padded, b_padded, nullptr);
+  result.c = unpad_to(result.c, a.rows(), b.cols());
+  return result;
+}
+
+AabftResult AabftMultiplier::run(const Matrix& a, const Matrix& b,
+                                 EpsilonTrace* trace) {
+  AABFT_REQUIRE(a.cols() == b.rows(), "inner dimensions must agree");
+  AABFT_REQUIRE(codec_.divides(a.rows()),
+                "rows of A must be a multiple of the checksum block size");
+  AABFT_REQUIRE(codec_.divides(b.cols()),
+                "columns of B must be a multiple of the checksum block size");
+
+  // Step 1: encode + blockwise maxima (Algorithm 1), step 3's global
+  // reduction is launched inside encode_* right after.
+  EncodedMatrix a_cc = encode_columns(launcher_, a, codec_, config_.p);
+  EncodedMatrix b_rc = encode_rows(launcher_, b, codec_, config_.p);
+
+  // Step 2: the block-based product over the encoded operands (Algorithm 3).
+  Matrix c_fc = linalg::blocked_matmul(launcher_, a_cc.data, b_rc.data,
+                                       config_.gemm);
+
+  // Step 4: bounds determination + reference checksums + comparison
+  // (Algorithm 2).
+  CheckReport report =
+      check_product(launcher_, c_fc, codec_, a_cc.pmax, b_rc.pmax, a.cols(),
+                    config_.bounds, trace);
+
+  AabftResult result;
+  result.report = report;
+
+  // Step 5: localisation and correction.
+  if (!report.clean() && config_.correct_errors) {
+    CorrectionOutcome outcome = locate_and_correct(c_fc, report, codec_);
+    result.corrections = std::move(outcome.corrections);
+    result.uncorrectable = outcome.uncorrectable;
+    if (!result.corrections.empty() && !result.uncorrectable) {
+      // Verify the patch: the corrected matrix must pass a clean re-check.
+      const CheckReport recheck =
+          check_product(launcher_, c_fc, codec_, a_cc.pmax, b_rc.pmax,
+                        a.cols(), config_.bounds, nullptr);
+      result.recheck_clean = recheck.clean();
+    } else {
+      result.recheck_clean = false;
+    }
+
+    // Recovery of last resort for transient faults: re-execute the product.
+    std::size_t attempts = config_.max_recompute_attempts;
+    while ((result.uncorrectable || !result.recheck_clean) && attempts-- > 0) {
+      c_fc = linalg::blocked_matmul(launcher_, a_cc.data, b_rc.data,
+                                    config_.gemm);
+      ++result.recomputations;
+      const CheckReport recheck =
+          check_product(launcher_, c_fc, codec_, a_cc.pmax, b_rc.pmax,
+                        a.cols(), config_.bounds, nullptr);
+      if (recheck.clean()) {
+        result.uncorrectable = false;
+        result.recheck_clean = true;
+      }
+    }
+  } else if (!report.clean()) {
+    result.uncorrectable = true;  // detection-only mode
+    result.recheck_clean = false;
+  }
+
+  result.c = codec_.strip(c_fc);
+  result.c_fc = std::move(c_fc);
+  return result;
+}
+
+}  // namespace aabft::abft

@@ -1,0 +1,103 @@
+// A-ABFT: the autonomously bounded, ABFT-protected matrix multiplication —
+// the paper's primary contribution, assembled from the pieces of Section V:
+//
+//   1. encode kernels: checksum encoding fused with p-max determination
+//      (Algorithm 1) for A (column checksums) and B (row checksums);
+//   2. the block-based matrix product (Algorithm 3 kernel);
+//   3. global reduction of block-wise maxima to p per vector;
+//   4. check kernel: autonomous rounding-error bounds, reference checksums,
+//      comparison (Algorithm 2);
+//   5. error localisation at row/column mismatch intersections and
+//      single-error correction from the checksum information.
+//
+// No calibration runs, no user-provided bounds: everything the check needs
+// is collected while encoding.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "abft/bounds.hpp"
+#include "abft/checker.hpp"
+#include "abft/checksum.hpp"
+#include "abft/correction.hpp"
+#include "abft/encoder.hpp"
+#include "abft/padding.hpp"
+#include "gpusim/kernel.hpp"
+#include "linalg/matmul.hpp"
+#include "linalg/matrix.hpp"
+
+namespace aabft::abft {
+
+struct AabftConfig {
+  std::size_t bs = 32;        ///< checksum block size (partitioned encoding)
+  std::size_t p = 2;          ///< tracked maxima per vector (paper uses p = 2)
+  BoundParams bounds;         ///< omega, FMA mode, bound policy
+  linalg::GemmConfig gemm;    ///< product-kernel blocking
+  bool correct_errors = true; ///< attempt single-error correction
+  /// When localisation fails (or the post-correction re-check still flags
+  /// errors), re-execute the product and check once more — the standard
+  /// recovery for transient faults. 0 disables recomputation.
+  std::size_t max_recompute_attempts = 1;
+
+  /// Keeps the GEMM kernel's FMA mode and the bound model consistent.
+  void set_fma(bool fma) noexcept {
+    bounds.fma = fma;
+    gemm.use_fma = fma;
+  }
+
+  [[nodiscard]] bool valid() const noexcept {
+    return bs >= 2 && p >= 1 && gemm.valid() && bounds.fma == gemm.use_fma;
+  }
+};
+
+struct AabftResult {
+  linalg::Matrix c;                    ///< stripped m x q result
+  linalg::Matrix c_fc;                 ///< full-checksum product (post-correction)
+  CheckReport report;                  ///< mismatches of the *first* check pass
+  std::vector<Correction> corrections; ///< applied single-error corrections
+  bool uncorrectable = false;          ///< mismatches did not localise cleanly
+  bool recheck_clean = true;           ///< the post-correction check passed
+  std::size_t recomputations = 0;      ///< full re-executions performed
+
+  [[nodiscard]] bool error_detected() const noexcept {
+    return !report.clean();
+  }
+};
+
+class AabftMultiplier {
+ public:
+  AabftMultiplier(gpusim::Launcher& launcher, AabftConfig config);
+
+  /// Protected multiply: C = A * B with autonomous error detection (and, if
+  /// configured, correction). Requires a.rows() % bs == 0 and
+  /// b.cols() % bs == 0 (pad beforehand otherwise; the paper pads too).
+  [[nodiscard]] AabftResult multiply(const linalg::Matrix& a,
+                                     const linalg::Matrix& b);
+
+  /// Epsilon-trace variant for the bound-quality experiments (Tables II-IV):
+  /// identical to multiply() but records every epsilon the check computed.
+  [[nodiscard]] AabftResult multiply_traced(const linalg::Matrix& a,
+                                            const linalg::Matrix& b,
+                                            EpsilonTrace& trace);
+
+  /// Convenience for arbitrary shapes: zero-pads A's rows and B's columns up
+  /// to the next block multiple (checksum-neutral, see padding.hpp), runs the
+  /// protected multiply, and returns the unpadded m x q result. The
+  /// full-checksum matrix in the result keeps the padded extents.
+  [[nodiscard]] AabftResult multiply_padded(const linalg::Matrix& a,
+                                            const linalg::Matrix& b);
+
+  [[nodiscard]] const AabftConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const PartitionedCodec& codec() const noexcept { return codec_; }
+
+ private:
+  AabftResult run(const linalg::Matrix& a, const linalg::Matrix& b,
+                  EpsilonTrace* trace);
+
+  gpusim::Launcher& launcher_;
+  AabftConfig config_;
+  PartitionedCodec codec_;
+};
+
+}  // namespace aabft::abft

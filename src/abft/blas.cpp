@@ -1,0 +1,37 @@
+#include "abft/blas.hpp"
+
+#include "core/require.hpp"
+
+namespace aabft::abft {
+
+using linalg::Matrix;
+
+GemmCallResult protected_gemm(gpusim::Launcher& launcher, double alpha,
+                              const Matrix& a, const Matrix& b, double beta,
+                              Matrix& c, const AabftConfig& config) {
+  AABFT_REQUIRE(a.cols() == b.rows(), "inner dimensions must agree");
+  AABFT_REQUIRE(c.rows() == a.rows() && c.cols() == b.cols(),
+                "C must be m x n");
+
+  GemmCallResult result;
+
+  if (alpha != 0.0) {
+    AabftMultiplier mult(launcher, config);
+    const AabftResult product = mult.multiply_padded(a, b);
+    if (product.error_detected()) ++result.faults_detected;
+    result.corrections = product.corrections.size();
+    result.recomputations = product.recomputations;
+    result.ok = !product.uncorrectable && product.recheck_clean;
+
+    for (std::size_t i = 0; i < c.rows(); ++i)
+      for (std::size_t j = 0; j < c.cols(); ++j)
+        c(i, j) = alpha * product.c(i, j) + beta * c(i, j);
+  } else {
+    for (std::size_t i = 0; i < c.rows(); ++i)
+      for (std::size_t j = 0; j < c.cols(); ++j) c(i, j) = beta * c(i, j);
+  }
+
+  return result;
+}
+
+}  // namespace aabft::abft

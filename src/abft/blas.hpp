@@ -1,0 +1,34 @@
+// BLAS-style convenience front end: the dgemm signature, protected.
+//
+//   C <- alpha * A * B + beta * C
+//
+// The O(n^3) product A * B runs through the A-ABFT protected multiplier;
+// the O(n^2) scale-and-accumulate epilogue is performed afterwards. This is
+// the call signature numerical codes already use, so dropping A-ABFT into an
+// existing application is a one-line change.
+#pragma once
+
+#include "abft/aabft.hpp"
+#include "gpusim/kernel.hpp"
+#include "linalg/matrix.hpp"
+
+namespace aabft::abft {
+
+struct GemmCallResult {
+  std::size_t faults_detected = 0;
+  std::size_t corrections = 0;
+  std::size_t recomputations = 0;
+  bool ok = true;  ///< the protected product ended recheck-clean
+};
+
+/// C <- alpha * A * B + beta * C, with the product protected by A-ABFT.
+/// Shapes: A is m x k, B is k x n, C is m x n (C must be pre-sized).
+/// Dimensions may be arbitrary (padding is applied internally).
+[[nodiscard]] GemmCallResult protected_gemm(gpusim::Launcher& launcher,
+                                            double alpha,
+                                            const linalg::Matrix& a,
+                                            const linalg::Matrix& b,
+                                            double beta, linalg::Matrix& c,
+                                            const AabftConfig& config = {});
+
+}  // namespace aabft::abft

@@ -1,0 +1,102 @@
+#include "abft/bounds.hpp"
+
+#include <cmath>
+
+#include "core/require.hpp"
+
+namespace aabft::abft {
+
+namespace {
+
+/// 2^-t as a double (t up to 52 — always representable).
+double pow2_neg(int t) noexcept { return std::ldexp(1.0, -t); }
+
+}  // namespace
+
+double var_beta_add(int t) noexcept {
+  const double u = pow2_neg(t);
+  return 0.125 * u * u;  // 1/8 * 2^-2t  (Eq. 21)
+}
+
+double ev_beta_mul(int t) noexcept {
+  const double u = pow2_neg(t);
+  return (1.0 / 3.0) * u * u;  // 1/3 * 2^-2t  (Eq. 34)
+}
+
+double var_beta_mul(int t) noexcept {
+  const double u = pow2_neg(t);
+  return (1.0 / 12.0) * u * u;  // 1/12 * 2^-2t  (Eq. 35)
+}
+
+double sigma_sum(std::size_t n, double y, int t) noexcept {
+  if (n < 2) return 0.0;  // a single addend incurs no summation rounding
+  const auto nd = static_cast<double>(n);
+  // Eq. (28): sqrt(n(n+1)(2n+1)/48) * y * 2^-t.
+  return std::sqrt(nd * (nd + 1.0) * (2.0 * nd + 1.0) / 48.0) * y * pow2_neg(t);
+}
+
+double ev_inner_product(std::size_t n, double y, int t) noexcept {
+  // Eq. (43): n/3 * 2^-2t * y. (Summation mean is zero, Eq. 22.)
+  const double u = pow2_neg(t);
+  return static_cast<double>(n) / 3.0 * u * u * y;
+}
+
+double sigma_inner_product(std::size_t n, double y, int t) noexcept {
+  if (n == 0) return 0.0;
+  const auto nd = static_cast<double>(n);
+  // Eq. (46): sqrt((n(n+1)(n+1/2) + 2n)/24) * 2^-t * y, which is
+  // sqrt(Var_sum + Var_prod) with Var_sum from Eq. (28) and
+  // Var_prod = n/12 * 2^-2t * y^2 (Eq. 41).
+  return std::sqrt((nd * (nd + 1.0) * (nd + 0.5) + 2.0 * nd) / 24.0) *
+         pow2_neg(t) * y;
+}
+
+double sigma_inner_product_fma(std::size_t n, double y, int t) noexcept {
+  // Section IV-D: fused multiply-add rounds only the addition, so the
+  // product variance term vanishes and Eq. (28) alone applies.
+  return sigma_sum(n, y, t);
+}
+
+RoundingStats inner_product_stats(std::size_t n, double y,
+                                  const BoundParams& params) {
+  AABFT_REQUIRE(y >= 0.0, "upper bound y must be non-negative");
+  AABFT_REQUIRE(params.t > 0 && params.t <= 52, "t must be in (0, 52]");
+  RoundingStats stats;
+  if (params.fma) {
+    stats.mean = 0.0;
+    stats.sigma = sigma_inner_product_fma(n, y, params.t);
+  } else {
+    stats.mean = ev_inner_product(n, y, params.t);
+    stats.sigma = sigma_inner_product(n, y, params.t);
+  }
+  return stats;
+}
+
+double checksum_epsilon(std::size_t n, std::size_t bs, double y_cs,
+                        double y_data, const BoundParams& params) {
+  AABFT_REQUIRE(params.omega > 0.0, "omega must be positive");
+  AABFT_REQUIRE(y_cs >= 0.0 && y_data >= 0.0, "upper bounds must be non-negative");
+
+  const RoundingStats cs = inner_product_stats(n, y_cs, params);
+  double sigma = cs.sigma;
+  double mean = cs.mean;
+
+  if (params.policy == BoundPolicy::kCompositional) {
+    // The reference checksum sums bs result elements, each itself an inner
+    // product of length n bounded by y_data; the summation's intermediate
+    // results are bounded by k * (n * y_data). Sigmas combine in quadrature
+    // via hypot — squaring them directly would underflow for very small
+    // magnitudes (sigma ~ 1e-200 squares to 0).
+    const RoundingStats data = inner_product_stats(n, y_data, params);
+    const double s_data =
+        std::sqrt(static_cast<double>(bs)) * data.sigma;
+    const double s_sum =
+        sigma_sum(bs, static_cast<double>(n) * y_data, params.t);
+    sigma = std::hypot(sigma, std::hypot(s_data, s_sum));
+    mean += static_cast<double>(bs) * data.mean;
+  }
+
+  return mean + params.omega * sigma;
+}
+
+}  // namespace aabft::abft

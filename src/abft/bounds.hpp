@@ -1,0 +1,97 @@
+// Probabilistic rounding-error model — paper Section IV.
+//
+// A-ABFT's central idea: instead of calibration runs or pessimistic analytic
+// bounds, derive a confidence interval [EV - w*sigma, EV + w*sigma] for each
+// checksum element from the Barlow/Bareiss model of rounding-error
+// distributions, using only quantities that are cheap to collect at runtime
+// (the p largest absolute values of the involved vectors).
+//
+// Mantissa-error moments (base 2, t mantissa bits, reciprocal mantissa
+// distribution):
+//   addition/subtraction:  EV(beta) = 0,          Var(beta) <= 1/8  * 2^-2t   (Eqs. 20, 21)
+//   multiplication:        EV(beta) = 1/3 * 2^-2t, Var(beta) = 1/12 * 2^-2t   (Eqs. 34, 35)
+//
+// Summation of n terms whose k-th intermediate sum is bounded by k*y (Eq. 28):
+//   sigma_sum <= sqrt(n(n+1)(2n+1)/48) * y * 2^-t
+//
+// Inner product of length n with every product bounded by y (Eq. 46):
+//   sigma_ip  <= sqrt((n(n+1)(n+1/2) + 2n)/24) * 2^-t * y
+//
+// With hardware FMA the multiplication rounding disappears (Section IV-D) and
+// only the summation term remains.
+#pragma once
+
+#include <cstddef>
+
+#include "fp/bits.hpp"
+
+namespace aabft::abft {
+
+/// How the check kernel composes epsilon for a checksum comparison.
+enum class BoundPolicy {
+  /// The paper's formulation: apply the inner-product bound (Eq. 46) to the
+  /// checksum element, with y taken from the runtime-determined maxima of
+  /// the checksum vector itself.
+  kPaperDirect,
+  /// Additionally account for the rounding of the *reference* checksum
+  /// (the recomputed sum of BS already-rounded result elements), which the
+  /// comparison also contains. Slightly looser, strictly safer; an ablation
+  /// bench quantifies the difference.
+  kCompositional,
+};
+
+struct BoundParams {
+  int t = fp::kPaperT;    ///< mantissa bits (52 for binary64)
+  double omega = 3.0;     ///< confidence-interval width in standard deviations
+  bool fma = false;       ///< GEMM kernel fuses mul+add (Section IV-D)
+  BoundPolicy policy = BoundPolicy::kPaperDirect;
+};
+
+/// Var(beta) upper bound for addition/subtraction (Eq. 21).
+[[nodiscard]] double var_beta_add(int t) noexcept;
+
+/// EV(beta) for multiplication with symmetric rounding (Eq. 34).
+[[nodiscard]] double ev_beta_mul(int t) noexcept;
+
+/// Var(beta) for multiplication with symmetric rounding (Eq. 35).
+[[nodiscard]] double var_beta_mul(int t) noexcept;
+
+/// Eq. (28): standard deviation of the summation rounding error for n
+/// addends when the k-th intermediate sum is bounded in magnitude by k*y.
+[[nodiscard]] double sigma_sum(std::size_t n, double y, int t) noexcept;
+
+/// Eq. (43): mean of the accumulated multiplication rounding error for n
+/// products bounded by y. (The summation contributes zero mean, Eq. 22.)
+[[nodiscard]] double ev_inner_product(std::size_t n, double y, int t) noexcept;
+
+/// Eq. (46): standard deviation of the inner-product rounding error
+/// (separate multiply and add, i.e. two roundings per term).
+[[nodiscard]] double sigma_inner_product(std::size_t n, double y, int t) noexcept;
+
+/// FMA variant (Section IV-D): only the summation variance remains.
+[[nodiscard]] double sigma_inner_product_fma(std::size_t n, double y,
+                                             int t) noexcept;
+
+/// First two moments of the rounding error of one inner product of length n
+/// whose products are bounded by y, under the given parameters.
+struct RoundingStats {
+  double mean = 0.0;
+  double sigma = 0.0;
+};
+
+[[nodiscard]] RoundingStats inner_product_stats(std::size_t n, double y,
+                                                const BoundParams& params);
+
+/// The epsilon used when comparing one checksum element against its
+/// recomputed reference:
+///   n       — inner-product length (K dimension of the multiply),
+///   bs      — checksum block size (number of result elements summed into
+///             the reference checksum),
+///   y_cs    — runtime upper bound on |a_cs,k * b_kj| for the checksum
+///             element's own inner product,
+///   y_data  — runtime upper bound on |a_ik * b_kj| for the data elements
+///             (used only by the compositional policy).
+[[nodiscard]] double checksum_epsilon(std::size_t n, std::size_t bs, double y_cs,
+                                      double y_data, const BoundParams& params);
+
+}  // namespace aabft::abft

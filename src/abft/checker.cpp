@@ -1,0 +1,149 @@
+#include "abft/checker.hpp"
+
+#include <cmath>
+#include <mutex>
+#include <numeric>
+
+#include "abft/upper_bound.hpp"
+#include "core/require.hpp"
+
+namespace aabft::abft {
+
+using gpusim::BlockCtx;
+using gpusim::Dim3;
+using linalg::Matrix;
+
+std::string to_string(CheckKind kind) {
+  return kind == CheckKind::kColumn ? "column" : "row";
+}
+
+double Mismatch::difference() const noexcept {
+  return std::fabs(reference - stored);
+}
+
+std::size_t CheckReport::count(CheckKind kind) const noexcept {
+  std::size_t n = 0;
+  for (const auto& m : mismatches)
+    if (m.kind == kind) ++n;
+  return n;
+}
+
+double EpsilonTrace::average() const {
+  const std::size_t n = column_epsilons.size() + row_epsilons.size();
+  AABFT_REQUIRE(n > 0, "EpsilonTrace::average on an empty trace");
+  const double sum =
+      std::accumulate(column_epsilons.begin(), column_epsilons.end(), 0.0) +
+      std::accumulate(row_epsilons.begin(), row_epsilons.end(), 0.0);
+  return sum / static_cast<double>(n);
+}
+
+CheckReport check_product(gpusim::Launcher& launcher, const Matrix& c_fc,
+                          const PartitionedCodec& codec,
+                          const PMaxTable& a_pmax, const PMaxTable& b_pmax,
+                          std::size_t inner_dim, const BoundParams& params,
+                          EpsilonTrace* trace) {
+  const std::size_t bs = codec.bs();
+  AABFT_REQUIRE(c_fc.rows() % (bs + 1) == 0 && c_fc.cols() % (bs + 1) == 0,
+                "C_fc dimensions must be multiples of BS+1");
+  AABFT_REQUIRE(a_pmax.size() == c_fc.rows(),
+                "a_pmax must have one list per row of C_fc");
+  AABFT_REQUIRE(b_pmax.size() == c_fc.cols(),
+                "b_pmax must have one list per column of C_fc");
+  const std::size_t grid_rows = c_fc.rows() / (bs + 1);
+  const std::size_t grid_cols = c_fc.cols() / (bs + 1);
+
+  // Per-block-row maxima over the *data* rows of A (and data columns of B),
+  // used by the compositional policy to bound the reference checksum's own
+  // rounding. Cheap host pre-pass over already-reduced p-max lists.
+  std::vector<double> a_block_max(grid_rows, 0.0);
+  for (std::size_t br = 0; br < grid_rows; ++br)
+    for (std::size_t i = 0; i < bs; ++i)
+      a_block_max[br] = std::max(
+          a_block_max[br], a_pmax[br * (bs + 1) + i].max_value());
+  std::vector<double> b_block_max(grid_cols, 0.0);
+  for (std::size_t bc = 0; bc < grid_cols; ++bc)
+    for (std::size_t j = 0; j < bs; ++j)
+      b_block_max[bc] = std::max(
+          b_block_max[bc], b_pmax[bc * (bs + 1) + j].max_value());
+
+  CheckReport report;
+  std::mutex report_mutex;
+
+  launcher.launch("check", Dim3{grid_cols, grid_rows, 1}, [&](BlockCtx& blk) {
+    auto& math = blk.math;
+    const std::size_t gbr = blk.block.y;
+    const std::size_t gbc = blk.block.x;
+    const std::size_t row0 = gbr * (bs + 1);
+    const std::size_t col0 = gbc * (bs + 1);
+
+    math.load_doubles((bs + 1) * (bs + 1));
+
+    std::vector<Mismatch> local_mismatches;
+    std::vector<double> local_col_eps;
+    std::vector<double> local_row_eps;
+
+    const PMaxList& a_cs = a_pmax[codec.checksum_index(gbr)];
+    const PMaxList& b_cs = b_pmax[codec.checksum_index(gbc)];
+
+    // ---- column checksums: every column of the block, incl. the corner ----
+    for (std::size_t j = 0; j <= bs; ++j) {
+      const std::size_t gc = col0 + j;
+      double ref = 0.0;
+      for (std::size_t i = 0; i < bs; ++i)
+        ref = math.add(ref, c_fc(row0 + i, gc));
+      const double stored = c_fc(row0 + bs, gc);
+
+      const double y_cs = determine_upper_bound(a_cs, b_pmax[gc]);
+      const double y_data = a_block_max[gbr] * b_pmax[gc].max_value();
+      math.count_compares(2 * a_cs.size() * b_pmax[gc].size());
+      const double eps = checksum_epsilon(inner_dim, bs, y_cs, y_data, params);
+      math.count_muls(6);
+      math.count_adds(6);
+
+      const double diff = math.abs(math.sub(ref, stored));
+      math.count_compares(1);
+      if (!(diff <= eps))  // NaN-aware: Inf/NaN corruption must trip the check
+        local_mismatches.push_back(
+            {CheckKind::kColumn, gbr, gbc, j, ref, stored, eps});
+      if (trace != nullptr) local_col_eps.push_back(eps);
+    }
+
+    // ---- row checksums: every row of the block, incl. the checksum row ----
+    for (std::size_t i = 0; i <= bs; ++i) {
+      const std::size_t gr = row0 + i;
+      double ref = 0.0;
+      for (std::size_t j = 0; j < bs; ++j)
+        ref = math.add(ref, c_fc(gr, col0 + j));
+      const double stored = c_fc(gr, col0 + bs);
+
+      const double y_cs = determine_upper_bound(a_pmax[gr], b_cs);
+      const double y_data = a_pmax[gr].max_value() * b_block_max[gbc];
+      math.count_compares(2 * a_pmax[gr].size() * b_cs.size());
+      const double eps = checksum_epsilon(inner_dim, bs, y_cs, y_data, params);
+      math.count_muls(6);
+      math.count_adds(6);
+
+      const double diff = math.abs(math.sub(ref, stored));
+      math.count_compares(1);
+      if (!(diff <= eps))  // NaN-aware: Inf/NaN corruption must trip the check
+        local_mismatches.push_back(
+            {CheckKind::kRow, gbr, gbc, i, ref, stored, eps});
+      if (trace != nullptr) local_row_eps.push_back(eps);
+    }
+
+    if (!local_mismatches.empty() || trace != nullptr) {
+      const std::lock_guard<std::mutex> lock(report_mutex);
+      for (auto& m : local_mismatches) report.mismatches.push_back(m);
+      if (trace != nullptr) {
+        trace->column_epsilons.insert(trace->column_epsilons.end(),
+                                      local_col_eps.begin(), local_col_eps.end());
+        trace->row_epsilons.insert(trace->row_epsilons.end(),
+                                   local_row_eps.begin(), local_row_eps.end());
+      }
+    }
+  });
+
+  return report;
+}
+
+}  // namespace aabft::abft

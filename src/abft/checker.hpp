@@ -1,0 +1,73 @@
+// Check kernel — paper Algorithm 2.
+//
+// Invoked after the matrix product: per result sub-matrix it (a) determines
+// the rounding-error bounds from the p-max lists collected at encode time,
+// (b) recomputes the reference row/column checksums, and (c) compares the
+// reference against the checksums that went through the multiplication,
+// flagging every difference that exceeds its bound.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "abft/bounds.hpp"
+#include "abft/checksum.hpp"
+#include "abft/pmax.hpp"
+#include "gpusim/kernel.hpp"
+#include "linalg/matrix.hpp"
+
+namespace aabft::abft {
+
+enum class CheckKind : std::uint8_t {
+  kColumn,  ///< column checksum (bottom row of a block) mismatched
+  kRow,     ///< row checksum (right column of a block) mismatched
+};
+
+[[nodiscard]] std::string to_string(CheckKind kind);
+
+struct Mismatch {
+  CheckKind kind = CheckKind::kColumn;
+  std::size_t block_row = 0;  ///< block coordinates within the C_fc grid
+  std::size_t block_col = 0;
+  /// Local index within the block: the column (kColumn) or row (kRow) whose
+  /// checksum failed; ranges over 0..BS inclusive (BS = the checksum line).
+  std::size_t local = 0;
+  double reference = 0.0;  ///< recomputed checksum
+  double stored = 0.0;     ///< checksum that went through the multiplication
+  double epsilon = 0.0;    ///< bound the comparison used
+
+  [[nodiscard]] double difference() const noexcept;
+};
+
+struct CheckReport {
+  std::vector<Mismatch> mismatches;
+
+  [[nodiscard]] bool clean() const noexcept { return mismatches.empty(); }
+  [[nodiscard]] std::size_t count(CheckKind kind) const noexcept;
+};
+
+/// Bound-relevant statistics the check kernel also exposes (Tables II-IV):
+/// the epsilons computed for every column/row checksum comparison.
+struct EpsilonTrace {
+  std::vector<double> column_epsilons;  ///< one per checked column checksum
+  std::vector<double> row_epsilons;     ///< one per checked row checksum
+
+  [[nodiscard]] double average() const;
+};
+
+/// Run the full check over a full-checksum product C_fc.
+///   inner_dim — K extent of the multiply (cols of A == rows of B);
+///   a_pmax    — per encoded row of A_cc (from encode_columns);
+///   b_pmax    — per encoded column of B_rc (from encode_rows).
+/// If `trace` is non-null, every computed epsilon is recorded.
+[[nodiscard]] CheckReport check_product(gpusim::Launcher& launcher,
+                                        const linalg::Matrix& c_fc,
+                                        const PartitionedCodec& codec,
+                                        const PMaxTable& a_pmax,
+                                        const PMaxTable& b_pmax,
+                                        std::size_t inner_dim,
+                                        const BoundParams& params,
+                                        EpsilonTrace* trace = nullptr);
+
+}  // namespace aabft::abft

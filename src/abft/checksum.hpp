@@ -1,0 +1,96 @@
+// Partitioned checksum encoding — paper Section II, Figure 1.
+//
+// Following Rexford/Jha's partitioned scheme, checksums are kept per
+// BS x BS sub-matrix rather than once per full matrix: every block row of A
+// carries an extra column-checksum row, every block column of B an extra
+// row-checksum column. The encoded matrices are
+//
+//   A_cc : (m + m/BS) x n        — checksum row after each block of BS rows
+//   B_rc : n x (q + q/BS)        — checksum column after each block of BS cols
+//
+// and their plain product C_fc = A_cc * B_rc is a grid of (BS+1) x (BS+1)
+// full-checksum blocks, each independently checkable (and correctable) —
+// which is exactly what makes the scheme block-parallel on a GPU.
+//
+// This header defines the index arithmetic between data coordinates and
+// encoded coordinates, plus host (uninstrumented) encode/strip helpers used
+// by tests and baselines. The instrumented encode kernels (Algorithm 1,
+// fused with p-max determination) live in encoder.hpp.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/matrix.hpp"
+
+namespace aabft::abft {
+
+class PartitionedCodec {
+ public:
+  explicit PartitionedCodec(std::size_t bs) : bs_(bs) {
+    AABFT_REQUIRE(bs >= 2, "checksum block size must be at least 2");
+  }
+
+  [[nodiscard]] std::size_t bs() const noexcept { return bs_; }
+
+  [[nodiscard]] bool divides(std::size_t dim) const noexcept {
+    return dim > 0 && dim % bs_ == 0;
+  }
+
+  [[nodiscard]] std::size_t num_blocks(std::size_t dim) const {
+    AABFT_REQUIRE(divides(dim), "dimension must be a multiple of the block size");
+    return dim / bs_;
+  }
+
+  /// Encoded extent of a dimension of length d: d + d/BS checksum lines.
+  [[nodiscard]] std::size_t encoded_dim(std::size_t dim) const {
+    return dim + num_blocks(dim);
+  }
+
+  /// Position of data line i (row of A / column of B) in the encoded matrix.
+  [[nodiscard]] std::size_t enc_index(std::size_t i) const noexcept {
+    return i + i / bs_;
+  }
+
+  /// Position of block b's checksum line in the encoded matrix.
+  [[nodiscard]] std::size_t checksum_index(std::size_t block) const noexcept {
+    return block * (bs_ + 1) + bs_;
+  }
+
+  /// Whether encoded position e holds a checksum line.
+  [[nodiscard]] bool is_checksum_index(std::size_t e) const noexcept {
+    return e % (bs_ + 1) == bs_;
+  }
+
+  /// Data index of encoded position e; requires !is_checksum_index(e).
+  [[nodiscard]] std::size_t data_index(std::size_t e) const {
+    AABFT_REQUIRE(!is_checksum_index(e), "encoded index holds a checksum line");
+    return e - e / (bs_ + 1);
+  }
+
+  /// Which block an encoded position belongs to.
+  [[nodiscard]] std::size_t block_of(std::size_t e) const noexcept {
+    return e / (bs_ + 1);
+  }
+
+  // ---- host-side (uninstrumented) encode / strip for tests & baselines ----
+
+  /// A -> A_cc: per-block column checksums appended below each block row.
+  [[nodiscard]] linalg::Matrix encode_columns_host(const linalg::Matrix& a) const;
+
+  /// B -> B_rc: per-block row checksums appended right of each block column.
+  [[nodiscard]] linalg::Matrix encode_rows_host(const linalg::Matrix& b) const;
+
+  /// Remove all checksum rows and columns from a full-checksum result.
+  [[nodiscard]] linalg::Matrix strip(const linalg::Matrix& c_fc) const;
+
+  /// Verify that `enc` has consistent per-block checksum *rows* when
+  /// recomputed in plain left-to-right double summation. Test helper; exact
+  /// (tolerance 0) because encode kernels use the same summation order.
+  [[nodiscard]] bool column_checksums_consistent(const linalg::Matrix& enc) const;
+  [[nodiscard]] bool row_checksums_consistent(const linalg::Matrix& enc) const;
+
+ private:
+  std::size_t bs_;
+};
+
+}  // namespace aabft::abft

@@ -1,0 +1,53 @@
+// Runtime error classification — paper Section VI-C.
+//
+// A-ABFT distinguishes three classes of value deviations in a result
+// element:
+//   1. inevitable rounding errors        — within the expected rounding noise
+//   2. tolerable compute errors          — in the magnitude of the rounding
+//                                          noise; insignificant for the result
+//   3. intolerable critical compute errors — larger than omega * sigma of the
+//                                          probabilistically determined
+//                                          rounding error; must be detected.
+//
+// The classification baseline for the fault-injection experiments uses the
+// probabilistic moments (EV, sigma) of the affected element's inner product.
+#pragma once
+
+#include <cmath>
+#include <string>
+
+#include "abft/bounds.hpp"
+#include "core/require.hpp"
+
+namespace aabft::abft {
+
+enum class ErrorClass : std::uint8_t {
+  kRoundingNoise,  ///< |error| within one sigma of the rounding model
+  kTolerable,      ///< between sigma and omega*sigma — same magnitude as noise
+  kCritical,       ///< beyond omega*sigma — must be detected and corrected
+};
+
+[[nodiscard]] inline std::string to_string(ErrorClass c) {
+  switch (c) {
+    case ErrorClass::kRoundingNoise: return "rounding-noise";
+    case ErrorClass::kTolerable: return "tolerable";
+    case ErrorClass::kCritical: return "critical";
+  }
+  return "?";
+}
+
+/// Classify an absolute value deviation of one result element against the
+/// rounding statistics of its inner product.
+[[nodiscard]] inline ErrorClass classify_error(double abs_error,
+                                               const RoundingStats& stats,
+                                               double omega) {
+  AABFT_REQUIRE(abs_error >= 0.0, "classify_error expects |error|");
+  AABFT_REQUIRE(omega >= 1.0, "omega must be at least 1");
+  const double noise = std::fabs(stats.mean) + stats.sigma;
+  if (abs_error <= noise) return ErrorClass::kRoundingNoise;
+  if (abs_error <= std::fabs(stats.mean) + omega * stats.sigma)
+    return ErrorClass::kTolerable;
+  return ErrorClass::kCritical;
+}
+
+}  // namespace aabft::abft

@@ -1,0 +1,46 @@
+// Error localisation and single-error correction.
+//
+// Classic ABFT localisation (Huang/Abraham): a single corrupted element in a
+// full-checksum block produces exactly one mismatching column checksum and
+// one mismatching row checksum; their intersection is the element. With the
+// partitioned encoding every BS+1 x BS+1 block is independently correctable,
+// so one fault per block — even many faults across blocks — can be repaired.
+//
+// The corrected value is rebuilt from the checksum that went *through* the
+// multiplication (data elements) or by recomputation from intact data lines
+// (checksum elements). Correction is exact up to the rounding of a BS-term
+// sum, i.e. within the same noise the bounds already absorb.
+#pragma once
+
+#include <vector>
+
+#include "abft/checker.hpp"
+#include "abft/checksum.hpp"
+#include "linalg/matrix.hpp"
+
+namespace aabft::abft {
+
+/// One applied correction.
+struct Correction {
+  std::size_t block_row = 0;  ///< block coordinates within the C_fc grid
+  std::size_t block_col = 0;
+  std::size_t local_row = 0;  ///< 0..BS; BS designates the checksum line
+  std::size_t local_col = 0;
+  double old_value = 0.0;
+  double new_value = 0.0;
+};
+
+struct CorrectionOutcome {
+  std::vector<Correction> corrections;  ///< applied patches
+  /// True when at least one block's mismatches did not localise to a single
+  /// element (e.g. two faults in one block): the block needs recomputation.
+  bool uncorrectable = false;
+};
+
+/// Localise the mismatches of `report` block-wise and patch every uniquely
+/// localised error in `c_fc` in place.
+[[nodiscard]] CorrectionOutcome locate_and_correct(
+    linalg::Matrix& c_fc, const CheckReport& report,
+    const PartitionedCodec& codec);
+
+}  // namespace aabft::abft

@@ -1,0 +1,224 @@
+#include "abft/encoder.hpp"
+
+#include <vector>
+
+#include "core/require.hpp"
+
+namespace aabft::abft {
+
+using gpusim::BlockCtx;
+using gpusim::Dim3;
+using linalg::Matrix;
+
+namespace {
+
+/// Merge per-block candidate lists into one list per vector. Runs as its own
+/// (low-utilisation) kernel launch so Table I can charge its cost; the paper
+/// overlaps it with the GEMM, which the scheme-level timing also models.
+PMaxTable reduce_pmax(gpusim::Launcher& launcher, const char* name,
+                      const std::vector<PMaxList>& candidates,
+                      std::size_t vectors, std::size_t chunks, std::size_t p) {
+  PMaxTable table(vectors, PMaxList(p));
+  launcher.launch(name, Dim3{vectors, 1, 1}, [&](BlockCtx& blk) {
+    const std::size_t v = blk.block.x;
+    PMaxList merged(p);
+    std::size_t comparisons = 0;
+    for (std::size_t c = 0; c < chunks; ++c)
+      comparisons += merged.merge(candidates[v * chunks + c]);
+    blk.math.count_compares(comparisons);
+    blk.math.load_doubles(chunks * p * 2);  // candidate values + indices
+    blk.math.store_doubles(p * 2);
+    table[v] = std::move(merged);
+  });
+  return table;
+}
+
+}  // namespace
+
+EncodedMatrix encode_columns(gpusim::Launcher& launcher, const Matrix& a,
+                             const PartitionedCodec& codec, std::size_t p) {
+  AABFT_REQUIRE(p >= 1, "p must be at least 1");
+  AABFT_REQUIRE(codec.divides(a.rows()),
+                "rows of A must be a multiple of the checksum block size");
+  const std::size_t bs = codec.bs();
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  const std::size_t block_rows = m / bs;
+  const std::size_t col_chunks = (n + bs - 1) / bs;
+  const std::size_t enc_rows = codec.encoded_dim(m);
+
+  Matrix enc(enc_rows, n, 0.0);
+  // Data rows are laid out in encoded positions up front: on the GPU the
+  // matrix lives in the padded encoded buffer to begin with, so this copy is
+  // host-side layout preparation, not device work.
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::size_t ei = codec.enc_index(i);
+    for (std::size_t j = 0; j < n; ++j) enc(ei, j) = a(i, j);
+  }
+
+  // Per-block candidate lists: one per (encoded row, column chunk).
+  std::vector<PMaxList> candidates(enc_rows * col_chunks, PMaxList(p));
+
+  launcher.launch("encode_a", Dim3{col_chunks, block_rows, 1}, [&](BlockCtx& blk) {
+    auto& math = blk.math;
+    const std::size_t br = blk.block.y;       // block row of A
+    const std::size_t bc = blk.block.x;       // column chunk
+    const std::size_t row0 = br * bs;
+    const std::size_t col0 = bc * bs;
+    const std::size_t width = std::min(bs, n - col0);  // ragged last chunk
+
+    // Shared memory: the sub-matrix (replaced by absolute values during the
+    // checksum pass, as in Algorithm 1 / Figure 2) and the per-thread
+    // column checksums (localSums).
+    std::vector<double> asub(bs * width);
+    std::vector<double> local_sums(width, 0.0);
+    math.use_shared_doubles(bs * width + width);
+
+    math.load_doubles(bs * width);
+    // Phase 1: each thread (one per column) accumulates its column checksum
+    // top-to-bottom and replaces the element by its absolute value.
+    for (std::size_t c = 0; c < width; ++c) {
+      double sum = 0.0;
+      for (std::size_t r = 0; r < bs; ++r) {
+        const double v = a(row0 + r, col0 + c);
+        sum = math.add(sum, v);
+        asub[r * width + c] = math.abs(v);
+      }
+      enc(codec.checksum_index(br), col0 + c) = sum;
+      local_sums[c] = math.abs(sum);
+    }
+    math.store_doubles(width);
+
+    // Phase 2: numMax passes of max-scan-and-zero per row (Figure 3), plus
+    // the reduction over the checksum entries (maxSum path).
+    for (std::size_t pass = 0; pass < p; ++pass) {
+      for (std::size_t r = 0; r < bs; ++r) {
+        double max_val = 0.0;
+        std::size_t max_id = 0;
+        for (std::size_t c = 0; c < width; ++c) {
+          const double v = asub[r * width + c];
+          math.count_compares(1);
+          if (v > max_val) {
+            max_val = v;
+            max_id = c;
+          }
+        }
+        const std::size_t enc_row = codec.enc_index(row0 + r);
+        candidates[enc_row * col_chunks + bc].offer(max_val, col0 + max_id);
+        asub[r * width + max_id] = 0.0;  // exclude from the next pass
+      }
+      {
+        double max_sum = 0.0;
+        std::size_t max_id = 0;
+        for (std::size_t c = 0; c < width; ++c) {
+          math.count_compares(1);
+          if (local_sums[c] > max_sum) {
+            max_sum = local_sums[c];
+            max_id = c;
+          }
+        }
+        const std::size_t cs_row = codec.checksum_index(br);
+        candidates[cs_row * col_chunks + bc].offer(max_sum, col0 + max_id);
+        local_sums[max_id] = 0.0;
+      }
+    }
+    math.store_doubles((bs + 1) * p * 2);  // maxValues + maxValueIDs
+  });
+
+  EncodedMatrix out;
+  out.data = std::move(enc);
+  out.pmax = reduce_pmax(launcher, "reduce_pmax_a", candidates, enc_rows,
+                         col_chunks, p);
+  return out;
+}
+
+EncodedMatrix encode_rows(gpusim::Launcher& launcher, const Matrix& b,
+                          const PartitionedCodec& codec, std::size_t p) {
+  AABFT_REQUIRE(p >= 1, "p must be at least 1");
+  AABFT_REQUIRE(codec.divides(b.cols()),
+                "columns of B must be a multiple of the checksum block size");
+  const std::size_t bs = codec.bs();
+  const std::size_t n = b.rows();
+  const std::size_t q = b.cols();
+  const std::size_t block_cols = q / bs;
+  const std::size_t row_chunks = (n + bs - 1) / bs;
+  const std::size_t enc_cols = codec.encoded_dim(q);
+
+  Matrix enc(n, enc_cols, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < q; ++j) enc(i, codec.enc_index(j)) = b(i, j);
+  }
+
+  std::vector<PMaxList> candidates(enc_cols * row_chunks, PMaxList(p));
+
+  launcher.launch("encode_b", Dim3{block_cols, row_chunks, 1}, [&](BlockCtx& blk) {
+    auto& math = blk.math;
+    const std::size_t br = blk.block.y;       // row chunk of B
+    const std::size_t bc = blk.block.x;       // block column of B
+    const std::size_t row0 = br * bs;
+    const std::size_t col0 = bc * bs;
+    const std::size_t height = std::min(bs, n - row0);  // ragged last chunk
+
+    std::vector<double> bsub(height * bs);
+    std::vector<double> local_sums(height, 0.0);
+    math.use_shared_doubles(height * bs + height);
+
+    math.load_doubles(height * bs);
+    // Phase 1: each thread (one per row) accumulates its row checksum
+    // left-to-right and replaces the element by its absolute value.
+    for (std::size_t r = 0; r < height; ++r) {
+      double sum = 0.0;
+      for (std::size_t c = 0; c < bs; ++c) {
+        const double v = b(row0 + r, col0 + c);
+        sum = math.add(sum, v);
+        bsub[r * bs + c] = math.abs(v);
+      }
+      enc(row0 + r, codec.checksum_index(bc)) = sum;
+      local_sums[r] = math.abs(sum);
+    }
+    math.store_doubles(height);
+
+    // Phase 2: p passes of max-scan-and-zero per column, plus the checksum
+    // column's own maxima.
+    for (std::size_t pass = 0; pass < p; ++pass) {
+      for (std::size_t c = 0; c < bs; ++c) {
+        double max_val = 0.0;
+        std::size_t max_id = 0;
+        for (std::size_t r = 0; r < height; ++r) {
+          const double v = bsub[r * bs + c];
+          math.count_compares(1);
+          if (v > max_val) {
+            max_val = v;
+            max_id = r;
+          }
+        }
+        const std::size_t enc_col = codec.enc_index(col0 + c);
+        candidates[enc_col * row_chunks + br].offer(max_val, row0 + max_id);
+        bsub[max_id * bs + c] = 0.0;
+      }
+      {
+        double max_sum = 0.0;
+        std::size_t max_id = 0;
+        for (std::size_t r = 0; r < height; ++r) {
+          math.count_compares(1);
+          if (local_sums[r] > max_sum) {
+            max_sum = local_sums[r];
+            max_id = r;
+          }
+        }
+        const std::size_t cs_col = codec.checksum_index(bc);
+        candidates[cs_col * row_chunks + br].offer(max_sum, row0 + max_id);
+        local_sums[max_id] = 0.0;
+      }
+    }
+    math.store_doubles((bs + 1) * p * 2);
+  });
+
+  EncodedMatrix out;
+  out.data = std::move(enc);
+  out.pmax = reduce_pmax(launcher, "reduce_pmax_b", candidates, enc_cols,
+                         row_chunks, p);
+  return out;
+}
+
+}  // namespace aabft::abft

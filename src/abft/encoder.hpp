@@ -1,0 +1,45 @@
+// Encode kernels — paper Algorithm 1 (and its row-checksum twin).
+//
+// One kernel launch encodes a matrix block-wise AND determines, per BS x BS
+// sub-matrix, the p largest absolute values of each vector segment (rows of A
+// / columns of B), including the freshly computed checksum vector itself
+// (Algorithm 1's localSums / maxSum path). A second, low-utilisation
+// reduction kernel then merges the per-block lists into p global maxima per
+// full vector — the paper runs this reduction concurrently with the matrix
+// product.
+//
+// The result couples the encoded matrix with a PMaxTable indexed by encoded
+// row (for A_cc) or encoded column (for B_rc); checksum vectors therefore
+// have their own p-max lists, which is what lets the check kernel bound the
+// checksum elements' inner products directly.
+#pragma once
+
+#include <cstddef>
+
+#include "abft/checksum.hpp"
+#include "abft/pmax.hpp"
+#include "gpusim/kernel.hpp"
+#include "linalg/matrix.hpp"
+
+namespace aabft::abft {
+
+struct EncodedMatrix {
+  linalg::Matrix data;  ///< A_cc or B_rc
+  PMaxTable pmax;       ///< per encoded row (A) / per encoded column (B)
+};
+
+/// Encode A into the column-checksum matrix A_cc and collect p-max lists for
+/// every encoded row. Requires codec.divides(a.rows()).
+[[nodiscard]] EncodedMatrix encode_columns(gpusim::Launcher& launcher,
+                                           const linalg::Matrix& a,
+                                           const PartitionedCodec& codec,
+                                           std::size_t p);
+
+/// Encode B into the row-checksum matrix B_rc and collect p-max lists for
+/// every encoded column. Requires codec.divides(b.cols()).
+[[nodiscard]] EncodedMatrix encode_rows(gpusim::Launcher& launcher,
+                                        const linalg::Matrix& b,
+                                        const PartitionedCodec& codec,
+                                        std::size_t p);
+
+}  // namespace aabft::abft

@@ -1,0 +1,67 @@
+// A-ABFT-protected matrix-vector multiplication.
+//
+// The original ABFT construction (Huang/Abraham) starts from the matrix-
+// vector case: encode A with column checksums, compute y = A_cc * x, and the
+// extra result element y_cs must equal the sum of the data elements. The
+// autonomous part carries over directly: the comparison bound comes from the
+// Section-IV inner-product model with the runtime maxima of A's checksum
+// rows and of the vector x.
+//
+// GEMV is the kernel of iterative methods (CG, GMRES, power iteration), so a
+// protected y = A x makes those methods fault-tolerant without restructuring.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "abft/bounds.hpp"
+#include "abft/checksum.hpp"
+#include "abft/aabft.hpp"
+#include "abft/encoder.hpp"
+#include "gpusim/kernel.hpp"
+#include "linalg/matrix.hpp"
+
+namespace aabft::abft {
+
+struct GemvMismatch {
+  std::size_t block = 0;     ///< block row of A whose checksum failed
+  double reference = 0.0;    ///< recomputed sum of the block's y elements
+  double stored = 0.0;       ///< checksum element that went through the GEMV
+  double epsilon = 0.0;
+};
+
+struct GemvResult {
+  std::vector<double> y;               ///< the m data elements of A x
+  std::vector<GemvMismatch> mismatches;
+  std::size_t recomputations = 0;
+  bool ok = true;
+  [[nodiscard]] bool error_detected() const noexcept {
+    return !mismatches.empty();
+  }
+};
+
+/// One-shot protected GEMV: encodes A (or use the class below to amortise
+/// the encoding over many products with the same A).
+class ProtectedGemv {
+ public:
+  /// Encoding happens once here; every multiply() reuses it — the right
+  /// shape for iterative solvers where A is fixed and x changes.
+  ProtectedGemv(gpusim::Launcher& launcher, const linalg::Matrix& a,
+                AabftConfig config);
+
+  [[nodiscard]] GemvResult multiply(const std::vector<double>& x);
+
+  [[nodiscard]] const linalg::Matrix& encoded() const noexcept {
+    return a_cc_.data;
+  }
+
+ private:
+  gpusim::Launcher& launcher_;
+  AabftConfig config_;
+  PartitionedCodec codec_;
+  EncodedMatrix a_cc_;
+  std::size_t rows_;
+  std::size_t cols_;
+};
+
+}  // namespace aabft::abft

@@ -1,0 +1,27 @@
+#include "abft/padding.hpp"
+
+#include "core/require.hpp"
+
+namespace aabft::abft {
+
+using linalg::Matrix;
+
+Matrix pad_to(const Matrix& m, std::size_t rows, std::size_t cols) {
+  AABFT_REQUIRE(rows >= m.rows() && cols >= m.cols(),
+                "pad_to target must not shrink the matrix");
+  if (rows == m.rows() && cols == m.cols()) return m;
+  Matrix out(rows, cols, 0.0);
+  out.paste(m, 0, 0, m.rows(), m.cols(), 0, 0);
+  return out;
+}
+
+Matrix unpad_to(const Matrix& m, std::size_t rows, std::size_t cols) {
+  AABFT_REQUIRE(rows <= m.rows() && cols <= m.cols(),
+                "unpad_to target must not grow the matrix");
+  if (rows == m.rows() && cols == m.cols()) return m;
+  Matrix out(rows, cols, 0.0);
+  out.paste(m, 0, 0, rows, cols, 0, 0);
+  return out;
+}
+
+}  // namespace aabft::abft

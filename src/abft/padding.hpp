@@ -1,0 +1,31 @@
+// Zero-padding to checksum-block multiples.
+//
+// The partitioned encoding needs A's row count and B's column count to be
+// multiples of BS; the paper pads its matrices ("Input: padded matrix A",
+// Algorithm 1). These helpers pad with zeros — which is checksum-neutral:
+// zero rows/columns contribute zero to every checksum and product — and
+// strip the padding from the result.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/matrix.hpp"
+
+namespace aabft::abft {
+
+/// Smallest multiple of `block` that is >= dim.
+[[nodiscard]] constexpr std::size_t padded_dim(std::size_t dim,
+                                               std::size_t block) noexcept {
+  return (dim + block - 1) / block * block;
+}
+
+/// Copy of `m` zero-padded on the bottom/right to the given extents.
+/// Requires rows >= m.rows() and cols >= m.cols().
+[[nodiscard]] linalg::Matrix pad_to(const linalg::Matrix& m, std::size_t rows,
+                                    std::size_t cols);
+
+/// Top-left rows x cols corner of `m` (inverse of pad_to).
+[[nodiscard]] linalg::Matrix unpad_to(const linalg::Matrix& m, std::size_t rows,
+                                      std::size_t cols);
+
+}  // namespace aabft::abft

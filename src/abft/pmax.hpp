@@ -1,0 +1,109 @@
+// Tracking of the p largest absolute values (and their indices) of a vector.
+//
+// A-ABFT's runtime upper-bound determination (Section IV-E) needs, for every
+// row vector of A_cc and every column vector of B_rc, the p elements with the
+// largest absolute values and their positions. The encode kernel collects
+// them per BS x BS sub-matrix (Algorithm 1, Figure 3); a global reduction
+// merges the per-block lists into p values per full vector.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "core/require.hpp"
+
+namespace aabft::abft {
+
+struct PMaxEntry {
+  double value = 0.0;      ///< absolute value (>= 0)
+  std::size_t index = 0;   ///< position within the full vector
+};
+
+/// A fixed-capacity, descending-sorted list of the largest absolute values
+/// seen so far. Capacity is the paper's parameter p (typically 2).
+class PMaxList {
+ public:
+  PMaxList() = default;
+  explicit PMaxList(std::size_t p) : capacity_(p) {
+    AABFT_REQUIRE(p >= 1, "p must be at least 1");
+    entries_.reserve(p);
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+
+  [[nodiscard]] const PMaxEntry& operator[](std::size_t i) const {
+    AABFT_REQUIRE(i < entries_.size(), "PMaxList index out of range");
+    return entries_[i];
+  }
+
+  /// Largest tracked absolute value (0 if empty).
+  [[nodiscard]] double max_value() const noexcept {
+    return entries_.empty() ? 0.0 : entries_.front().value;
+  }
+
+  /// Smallest tracked absolute value, i.e. the p-th largest of the vector
+  /// once the list is full (0 if empty).
+  [[nodiscard]] double min_value() const noexcept {
+    return entries_.empty() ? 0.0 : entries_.back().value;
+  }
+
+  /// Whether the list is full: min_value() is then a valid upper bound for
+  /// every element *not* in the list.
+  [[nodiscard]] bool saturated() const noexcept {
+    return entries_.size() == capacity_;
+  }
+
+  /// Offer a candidate; kept only if it ranks among the p largest. Returns
+  /// the number of comparisons performed (for op accounting in kernels).
+  std::size_t offer(double abs_value, std::size_t index) {
+    AABFT_REQUIRE(abs_value >= 0.0, "offer expects an absolute value");
+    std::size_t comparisons = 1;
+    if (saturated() && abs_value <= entries_.back().value) return comparisons;
+    // Insertion into the (tiny) sorted array.
+    std::size_t pos = entries_.size();
+    while (pos > 0 && entries_[pos - 1].value < abs_value) {
+      --pos;
+      ++comparisons;
+    }
+    entries_.insert(entries_.begin() + static_cast<std::ptrdiff_t>(pos),
+                    PMaxEntry{abs_value, index});
+    if (entries_.size() > capacity_) entries_.pop_back();
+    return comparisons;
+  }
+
+  /// Merge another list into this one (global reduction step). Returns the
+  /// comparison count.
+  std::size_t merge(const PMaxList& other) {
+    std::size_t comparisons = 0;
+    for (std::size_t i = 0; i < other.size(); ++i)
+      comparisons += offer(other[i].value, other[i].index);
+    return comparisons;
+  }
+
+  /// Whether `index` is one of the tracked positions.
+  [[nodiscard]] bool contains(std::size_t index) const noexcept {
+    for (const auto& e : entries_)
+      if (e.index == index) return true;
+    return false;
+  }
+
+  /// Value at a tracked index; requires contains(index).
+  [[nodiscard]] double value_at(std::size_t index) const {
+    for (const auto& e : entries_)
+      if (e.index == index) return e.value;
+    AABFT_REQUIRE(false, "index not tracked by this PMaxList");
+    return 0.0;
+  }
+
+ private:
+  std::size_t capacity_ = 2;
+  std::vector<PMaxEntry> entries_;
+};
+
+/// One PMaxList per vector (per encoded row of A_cc / encoded column of B_rc).
+using PMaxTable = std::vector<PMaxList>;
+
+}  // namespace aabft::abft

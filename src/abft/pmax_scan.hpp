@@ -1,0 +1,32 @@
+// Standalone p-max collection kernels (no checksum encoding).
+//
+// The fused encode kernels (encoder.hpp) collect p-max lists for *encoded*
+// matrices as Algorithm 1 prescribes. Some consumers need the same
+// information for plain, unencoded operands — e.g. the diverse-kernel TMR
+// baseline, which has no checksums but still needs per-element rounding
+// bounds, and the rounding-analysis by-product API. These kernels run the
+// identical block-wise scan-and-zero search followed by the global
+// reduction, minus the checksum arithmetic.
+#pragma once
+
+#include <cstddef>
+
+#include "abft/pmax.hpp"
+#include "gpusim/kernel.hpp"
+#include "linalg/matrix.hpp"
+
+namespace aabft::abft {
+
+/// p largest absolute values (plus indices) of every row of `m`.
+[[nodiscard]] PMaxTable collect_row_pmax(gpusim::Launcher& launcher,
+                                         const linalg::Matrix& m,
+                                         std::size_t p,
+                                         std::size_t chunk = 32);
+
+/// p largest absolute values (plus indices) of every column of `m`.
+[[nodiscard]] PMaxTable collect_col_pmax(gpusim::Launcher& launcher,
+                                         const linalg::Matrix& m,
+                                         std::size_t p,
+                                         std::size_t chunk = 32);
+
+}  // namespace aabft::abft

@@ -1,0 +1,61 @@
+// ABFT-protected LU factorisation — the paper's generality claim made
+// concrete.
+//
+// The introduction notes that although A-ABFT is presented for matrix
+// multiplication, "the approach itself is much more general and can be
+// extended to other operations as well"; the original ABFT literature the
+// paper builds on (Huang/Abraham [10]) already covered LU. This module
+// implements the standard construction: a right-looking blocked LU with
+// partial pivoting whose O(n^3) trailing updates — the part worth
+// protecting — run through the A-ABFT protected multiplier (detection,
+// localisation, correction, recompute fallback), while the O(n * panel^2)
+// panel factorisations and triangular solves stay on the host.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "abft/aabft.hpp"
+#include "gpusim/kernel.hpp"
+#include "linalg/matrix.hpp"
+
+namespace aabft::abft {
+
+struct LuResult {
+  /// Combined factors: unit-lower L below the diagonal, U on and above it.
+  linalg::Matrix lu;
+  /// Row permutation: factored row i of PA is original row perm[i].
+  std::vector<std::size_t> perm;
+  std::size_t protected_updates = 0;   ///< A-ABFT-protected GEMM updates run
+  std::size_t faults_detected = 0;     ///< updates that flagged an error
+  std::size_t corrections = 0;         ///< localised repairs applied
+  std::size_t recomputations = 0;      ///< transient-fault re-executions
+  bool ok = true;                      ///< factorisation completed cleanly
+};
+
+struct ProtectedLuConfig {
+  std::size_t panel = 32;   ///< blocking width of the factorisation
+  AabftConfig aabft;        ///< protection of the trailing updates
+};
+
+class ProtectedLu {
+ public:
+  ProtectedLu(gpusim::Launcher& launcher, ProtectedLuConfig config);
+
+  /// Factor a square matrix: P A = L U with partial pivoting.
+  [[nodiscard]] LuResult factor(const linalg::Matrix& a);
+
+  /// Solve A x = b given a factorisation (forward/back substitution).
+  [[nodiscard]] static std::vector<double> solve(const LuResult& lu,
+                                                 std::vector<double> b);
+
+  /// max_ij |(P A - L U)_ij| — reconstruction residual (test/diagnostic).
+  [[nodiscard]] static double residual(const linalg::Matrix& a,
+                                       const LuResult& lu);
+
+ private:
+  gpusim::Launcher& launcher_;
+  ProtectedLuConfig config_;
+};
+
+}  // namespace aabft::abft

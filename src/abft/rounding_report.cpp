@@ -1,0 +1,62 @@
+#include "abft/rounding_report.hpp"
+
+#include <atomic>
+#include <mutex>
+
+#include "abft/upper_bound.hpp"
+#include "core/require.hpp"
+
+namespace aabft::abft {
+
+using gpusim::BlockCtx;
+using gpusim::Dim3;
+
+RoundingAnalysis analyze_rounding(gpusim::Launcher& launcher,
+                                  const PMaxTable& a_rows,
+                                  const PMaxTable& b_cols,
+                                  std::size_t inner_dim,
+                                  const BoundParams& params) {
+  AABFT_REQUIRE(!a_rows.empty() && !b_cols.empty(),
+                "p-max tables must not be empty");
+  const std::size_t m = a_rows.size();
+  const std::size_t q = b_cols.size();
+
+  RoundingAnalysis analysis;
+  analysis.mean = linalg::Matrix(m, q, 0.0);
+  analysis.sigma = linalg::Matrix(m, q, 0.0);
+
+  std::mutex stats_mutex;
+  double max_sigma = 0.0;
+  double sigma_sum = 0.0;
+
+  // One block per result row: each thread-equivalent evaluates the closed-
+  // form moments for its elements; only the (tiny) p-max lists are read.
+  launcher.launch("rounding_analysis", Dim3{m, 1, 1}, [&](BlockCtx& blk) {
+    auto& math = blk.math;
+    const std::size_t i = blk.block.x;
+    math.load_doubles(2 * a_rows[i].size());
+    double local_max = 0.0;
+    double local_sum = 0.0;
+    for (std::size_t j = 0; j < q; ++j) {
+      const double y = determine_upper_bound(a_rows[i], b_cols[j]);
+      math.count_compares(2 * a_rows[i].size() * b_cols[j].size());
+      const RoundingStats stats = inner_product_stats(inner_dim, y, params);
+      math.count_muls(8);
+      math.count_adds(4);
+      analysis.mean(i, j) = stats.mean;
+      analysis.sigma(i, j) = stats.sigma;
+      local_max = std::max(local_max, stats.sigma);
+      local_sum += stats.sigma;
+    }
+    math.store_doubles(2 * q);
+    const std::lock_guard<std::mutex> lock(stats_mutex);
+    max_sigma = std::max(max_sigma, local_max);
+    sigma_sum += local_sum;
+  });
+
+  analysis.max_sigma = max_sigma;
+  analysis.avg_sigma = sigma_sum / static_cast<double>(m * q);
+  return analysis;
+}
+
+}  // namespace aabft::abft

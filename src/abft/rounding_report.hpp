@@ -1,0 +1,45 @@
+// Per-element probabilistic rounding-error analysis — the "by-product" the
+// paper's introduction mentions: "A-ABFT is able to deliver error functions
+// or rounding error analyses for the performed operation with little
+// additional overhead."
+//
+// From the p-max lists of A's rows and B's columns, the expected rounding
+// error (EV) and its standard deviation (sigma) of every result element's
+// inner product follow directly from the Section IV model — no extra passes
+// over the data. The analysis is useful on its own (e.g. to decide whether a
+// downstream algorithm can tolerate single precision) and as the
+// classification baseline in fault-injection experiments.
+#pragma once
+
+#include <cstddef>
+
+#include "abft/bounds.hpp"
+#include "abft/pmax.hpp"
+#include "gpusim/kernel.hpp"
+#include "linalg/matrix.hpp"
+
+namespace aabft::abft {
+
+struct RoundingAnalysis {
+  linalg::Matrix mean;    ///< per element: expected rounding error (Eq. 43)
+  linalg::Matrix sigma;   ///< per element: standard deviation (Eq. 46)
+  double max_sigma = 0.0;
+  double avg_sigma = 0.0;
+
+  /// The omega-sigma confidence interval half-width of element (i, j).
+  [[nodiscard]] double interval(std::size_t i, std::size_t j,
+                                double omega) const {
+    return mean(i, j) + omega * sigma(i, j);
+  }
+};
+
+/// Analyse the product C = A * B (m x n times n x q) from the operands'
+/// p-max tables (one list per row of A / column of B; use
+/// collect_row_pmax / collect_col_pmax or the lists of an EncodedMatrix).
+[[nodiscard]] RoundingAnalysis analyze_rounding(gpusim::Launcher& launcher,
+                                                const PMaxTable& a_rows,
+                                                const PMaxTable& b_cols,
+                                                std::size_t inner_dim,
+                                                const BoundParams& params);
+
+}  // namespace aabft::abft

@@ -1,0 +1,27 @@
+#include "abft/upper_bound.hpp"
+
+#include <algorithm>
+
+#include "core/require.hpp"
+
+namespace aabft::abft {
+
+double determine_upper_bound(const PMaxList& a, const PMaxList& b) {
+  AABFT_REQUIRE(!a.empty() && !b.empty(),
+                "upper-bound determination needs non-empty p-max lists");
+
+  // Case 1: aligned tracked indices — exact products.
+  double y = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const std::size_t idx = a[i].index;
+    if (b.contains(idx)) y = std::max(y, a[i].value * b.value_at(idx));
+  }
+
+  // Cases 2 and 3: a tracked maximum pairs with an untracked element of the
+  // other vector, bounded by that vector's p-th largest value.
+  y = std::max(y, a.max_value() * b.min_value());
+  y = std::max(y, b.max_value() * a.min_value());
+  return y;
+}
+
+}  // namespace aabft::abft

@@ -1,0 +1,29 @@
+// Runtime determination of the upper bound y (paper Section IV-E).
+//
+// For a result element c_ij = sum_k a_ik * b_kj the probabilistic bound needs
+// y >= |a_ik * b_kj| for all k. Given the p largest absolute values of the
+// two vectors (A_idx from a_i, B_idx from b_j), y is the maximum of three
+// cases:
+//
+//   1. S = A_idx ∩ B_idx != {} : two tracked values align at the same k
+//        -> max over s in S of |a_s * b_s|  (the actual largest products)
+//   2. the largest |a| pairs with some untracked b (necessarily <= min B_idx)
+//        -> max(A_idx) * min(B_idx)
+//   3. symmetric for the largest |b|
+//        -> max(B_idx) * min(A_idx)
+//
+// Taking the maximum of all three is sound for every alignment of the
+// untracked elements: any k outside both index sets contributes at most
+// min(A_idx) * min(B_idx), which cases 2 and 3 dominate.
+#pragma once
+
+#include "abft/pmax.hpp"
+
+namespace aabft::abft {
+
+/// Upper bound on |a_k * b_k| over all k, from the two p-max lists.
+/// Both lists must be non-empty (an encode kernel always produces at least
+/// one entry per vector).
+[[nodiscard]] double determine_upper_bound(const PMaxList& a, const PMaxList& b);
+
+}  // namespace aabft::abft

@@ -1,0 +1,168 @@
+// Weighted-checksum ABFT — the Jou/Abraham extension (paper reference [11]),
+// implemented on top of the A-ABFT bound machinery.
+//
+// Each BS x BS block of A carries TWO checksum rows:
+//
+//   plain    : cs_j  = sum_i a_ij
+//   weighted : wcs_j = sum_i w_i * a_ij          with weights w_i = i + 1
+//
+// (and symmetrically two checksum columns per block of B). Because both rows
+// are linear combinations of the data rows, the block product preserves both
+// invariants. The payoff over plain checksums: a single corrupted element in
+// a column is *localised from the column checks alone* —
+//
+//   delta_s = ref_s - cs,  delta_w = ref_w - wcs,  row = delta_w / delta_s - 1
+//
+// — and corrected by subtracting delta_s, without any row checksums. The
+// rounding-error bounds for both comparisons come from the same autonomous
+// Section-IV model, with the weighted row's own p-max list collected at
+// encode time (exactly like A-ABFT treats the plain checksum vector).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "abft/bounds.hpp"
+#include "abft/pmax.hpp"
+#include "gpusim/kernel.hpp"
+#include "linalg/matmul.hpp"
+#include "linalg/matrix.hpp"
+
+namespace aabft::abft {
+
+/// Index arithmetic for the two-checksum-row layout: each block of BS data
+/// lines is followed by its plain and weighted checksum lines (stride BS+2).
+class WeightedCodec {
+ public:
+  explicit WeightedCodec(std::size_t bs) : bs_(bs) {
+    AABFT_REQUIRE(bs >= 2, "checksum block size must be at least 2");
+  }
+
+  [[nodiscard]] std::size_t bs() const noexcept { return bs_; }
+
+  [[nodiscard]] bool divides(std::size_t dim) const noexcept {
+    return dim > 0 && dim % bs_ == 0;
+  }
+
+  [[nodiscard]] std::size_t num_blocks(std::size_t dim) const {
+    AABFT_REQUIRE(divides(dim), "dimension must be a multiple of BS");
+    return dim / bs_;
+  }
+
+  [[nodiscard]] std::size_t encoded_dim(std::size_t dim) const {
+    return dim + 2 * num_blocks(dim);
+  }
+
+  [[nodiscard]] std::size_t enc_index(std::size_t i) const noexcept {
+    return i + 2 * (i / bs_);
+  }
+
+  [[nodiscard]] std::size_t sum_index(std::size_t block) const noexcept {
+    return block * (bs_ + 2) + bs_;
+  }
+
+  [[nodiscard]] std::size_t weighted_index(std::size_t block) const noexcept {
+    return block * (bs_ + 2) + bs_ + 1;
+  }
+
+  [[nodiscard]] bool is_checksum_index(std::size_t e) const noexcept {
+    return e % (bs_ + 2) >= bs_;
+  }
+
+  [[nodiscard]] std::size_t block_of(std::size_t e) const noexcept {
+    return e / (bs_ + 2);
+  }
+
+  /// Weight of data line i within its block (w = local index + 1).
+  [[nodiscard]] double weight(std::size_t local) const noexcept {
+    return static_cast<double>(local + 1);
+  }
+
+  /// Host-side encodes (reference for the kernels, used by tests).
+  [[nodiscard]] linalg::Matrix encode_columns_host(const linalg::Matrix& a) const;
+  [[nodiscard]] linalg::Matrix encode_rows_host(const linalg::Matrix& b) const;
+
+  /// Strip all checksum lines from a full-checksum product.
+  [[nodiscard]] linalg::Matrix strip(const linalg::Matrix& c_fc) const;
+
+ private:
+  std::size_t bs_;
+};
+
+struct WeightedEncoded {
+  linalg::Matrix data;
+  PMaxTable pmax;  ///< per encoded line (data, sum and weighted checksums)
+};
+
+/// Encode kernels fused with p-max collection (Algorithm-1 style, with the
+/// weighted accumulation added).
+[[nodiscard]] WeightedEncoded weighted_encode_columns(gpusim::Launcher& launcher,
+                                                      const linalg::Matrix& a,
+                                                      const WeightedCodec& codec,
+                                                      std::size_t p);
+[[nodiscard]] WeightedEncoded weighted_encode_rows(gpusim::Launcher& launcher,
+                                                   const linalg::Matrix& b,
+                                                   const WeightedCodec& codec,
+                                                   std::size_t p);
+
+/// One column-check failure, with the ratio-localised row when reliable.
+struct WeightedMismatch {
+  std::size_t block_row = 0;
+  std::size_t block_col = 0;
+  std::size_t local_col = 0;        ///< 0..BS+1 (checksum columns included)
+  double delta_sum = 0.0;           ///< ref_s - stored_s
+  double delta_weighted = 0.0;      ///< ref_w - stored_w
+  double epsilon_sum = 0.0;
+  double epsilon_weighted = 0.0;
+  /// Row localised from delta_weighted / delta_sum, when the ratio lands
+  /// close to an integer in [1, BS]; nullopt otherwise.
+  std::optional<std::size_t> local_row;
+};
+
+struct WeightedCheckReport {
+  std::vector<WeightedMismatch> mismatches;
+  [[nodiscard]] bool clean() const noexcept { return mismatches.empty(); }
+};
+
+/// Column-checksum checks (both rows) over every block of the product.
+[[nodiscard]] WeightedCheckReport weighted_check_product(
+    gpusim::Launcher& launcher, const linalg::Matrix& c_fc,
+    const WeightedCodec& codec, const PMaxTable& a_pmax,
+    const PMaxTable& b_pmax, std::size_t inner_dim, const BoundParams& params);
+
+struct WeightedAabftConfig {
+  std::size_t bs = 32;
+  std::size_t p = 2;
+  BoundParams bounds;
+  linalg::GemmConfig gemm;
+  bool correct_errors = true;
+};
+
+struct WeightedAabftResult {
+  linalg::Matrix c;
+  WeightedCheckReport report;
+  std::size_t corrected = 0;
+  bool uncorrectable = false;
+  bool recheck_clean = true;
+  [[nodiscard]] bool error_detected() const noexcept { return !report.clean(); }
+};
+
+/// Protected multiply with weighted checksums: detection AND localisation
+/// from column checks alone (no row checksums needed).
+class WeightedAabftMultiplier {
+ public:
+  WeightedAabftMultiplier(gpusim::Launcher& launcher, WeightedAabftConfig config);
+
+  [[nodiscard]] WeightedAabftResult multiply(const linalg::Matrix& a,
+                                             const linalg::Matrix& b);
+
+  [[nodiscard]] const WeightedCodec& codec() const noexcept { return codec_; }
+
+ private:
+  gpusim::Launcher& launcher_;
+  WeightedAabftConfig config_;
+  WeightedCodec codec_;
+};
+
+}  // namespace aabft::abft

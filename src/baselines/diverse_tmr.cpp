@@ -1,0 +1,125 @@
+#include "baselines/diverse_tmr.hpp"
+
+#include <atomic>
+#include <cmath>
+
+#include "abft/pmax_scan.hpp"
+#include "abft/rounding_report.hpp"
+#include "core/require.hpp"
+
+namespace aabft::baselines {
+
+using gpusim::BlockCtx;
+using gpusim::Dim3;
+using linalg::Matrix;
+
+DiverseTmrMultiplier::DiverseTmrMultiplier(gpusim::Launcher& launcher,
+                                           DiverseTmrConfig config)
+    : launcher_(launcher), config_(config) {
+  AABFT_REQUIRE(config_.p >= 1 && config_.omega > 0 && config_.gemm.valid(),
+                "invalid diverse-TMR configuration");
+}
+
+DiverseTmrResult DiverseTmrMultiplier::multiply(const Matrix& a,
+                                                const Matrix& b) {
+  AABFT_REQUIRE(a.cols() == b.rows(), "inner dimensions must agree");
+  const std::size_t n = a.cols();
+
+  // Replica 1: separate multiply + add.
+  linalg::GemmConfig mul_add = config_.gemm;
+  mul_add.use_fma = false;
+  const Matrix c1 = linalg::blocked_matmul(launcher_, a, b, mul_add);
+
+  // Replica 2: fused multiply-add (one rounding per term).
+  linalg::GemmConfig fma = config_.gemm;
+  fma.use_fma = true;
+  const Matrix c2 = linalg::blocked_matmul(launcher_, a, b, fma);
+
+  // Replica 3: pairwise tree accumulation.
+  const Matrix c3 = linalg::pairwise_matmul(launcher_, a, b);
+
+  // Per-element rounding sigmas from the operands' p-max tables. The
+  // sequential-sum model (Eq. 46) upper-bounds all three accumulation
+  // orders (pairwise intermediate sums are no larger), so it is a sound
+  // agreement bound for every replica pair.
+  const abft::PMaxTable a_rows =
+      abft::collect_row_pmax(launcher_, a, config_.p);
+  const abft::PMaxTable b_cols =
+      abft::collect_col_pmax(launcher_, b, config_.p);
+  abft::BoundParams mul_add_params;
+  mul_add_params.omega = config_.omega;
+  const abft::RoundingAnalysis sigma_mul_add =
+      abft::analyze_rounding(launcher_, a_rows, b_cols, n, mul_add_params);
+  abft::BoundParams fma_params = mul_add_params;
+  fma_params.fma = true;
+  const abft::RoundingAnalysis sigma_fma =
+      abft::analyze_rounding(launcher_, a_rows, b_cols, n, fma_params);
+
+  DiverseTmrResult result;
+  result.c = Matrix(a.rows(), b.cols(), 0.0);
+  std::atomic<std::size_t> disagreeing{0};
+  std::atomic<std::size_t> unresolved{0};
+
+  constexpr std::size_t kTile = 64;
+  const std::size_t tile_rows = (a.rows() + kTile - 1) / kTile;
+  const std::size_t tile_cols = (b.cols() + kTile - 1) / kTile;
+  const double omega = config_.omega;
+
+  launcher_.launch("diverse_tmr_vote", Dim3{tile_cols, tile_rows, 1},
+                   [&](BlockCtx& blk) {
+    auto& math = blk.math;
+    const std::size_t row0 = blk.block.y * kTile;
+    const std::size_t col0 = blk.block.x * kTile;
+    const std::size_t h = std::min(kTile, a.rows() - row0);
+    const std::size_t w = std::min(kTile, b.cols() - col0);
+    math.load_doubles(5 * h * w);  // three replicas + two sigma fields
+    std::size_t local_disagreeing = 0;
+    std::size_t local_unresolved = 0;
+
+    for (std::size_t i = 0; i < h; ++i) {
+      for (std::size_t j = 0; j < w; ++j) {
+        const std::size_t gi = row0 + i;
+        const std::size_t gj = col0 + j;
+        const double v1 = c1(gi, gj);
+        const double v2 = c2(gi, gj);
+        const double v3 = c3(gi, gj);
+        const double s1 = sigma_mul_add.sigma(gi, gj);
+        const double s2 = sigma_fma.sigma(gi, gj);
+        const double s3 = s1;  // sound stand-in for the pairwise replica
+
+        // hypot avoids underflow of sigma^2 for tiny-magnitude elements.
+        const double eps12 = omega * std::hypot(s1, s2);
+        const double eps13 = omega * std::hypot(s1, s3);
+        const double eps23 = omega * std::hypot(s2, s3);
+        math.count_muls(9);
+        math.count_adds(3);
+
+        // NaN-aware agreement: a NaN replica agrees with nothing.
+        const bool agree12 = std::fabs(v1 - v2) <= eps12;
+        const bool agree13 = std::fabs(v1 - v3) <= eps13;
+        const bool agree23 = std::fabs(v2 - v3) <= eps23;
+        math.count_compares(3);
+
+        double voted = v1;
+        if (agree12 || agree13) {
+          voted = v1;
+        } else if (agree23) {
+          voted = v2;
+        } else {
+          ++local_unresolved;
+        }
+        if (!(agree12 && agree13 && agree23)) ++local_disagreeing;
+        result.c(gi, gj) = voted;
+      }
+    }
+    math.store_doubles(h * w);
+    disagreeing.fetch_add(local_disagreeing, std::memory_order_relaxed);
+    unresolved.fetch_add(local_unresolved, std::memory_order_relaxed);
+  });
+
+  result.disagreeing_elements = disagreeing.load();
+  result.unresolved_elements = unresolved.load();
+  return result;
+}
+
+}  // namespace aabft::baselines

@@ -1,0 +1,89 @@
+#include "baselines/fixed_abft.hpp"
+
+#include <mutex>
+
+#include "baselines/plain_encode.hpp"
+#include "core/require.hpp"
+
+namespace aabft::baselines {
+
+using abft::CheckKind;
+using abft::CheckReport;
+using abft::Mismatch;
+using gpusim::BlockCtx;
+using gpusim::Dim3;
+using linalg::Matrix;
+
+CheckReport fixed_check_product(gpusim::Launcher& launcher, const Matrix& c_fc,
+                                const abft::PartitionedCodec& codec,
+                                double epsilon) {
+  AABFT_REQUIRE(epsilon >= 0.0, "epsilon must be non-negative");
+  const std::size_t bs = codec.bs();
+  AABFT_REQUIRE(c_fc.rows() % (bs + 1) == 0 && c_fc.cols() % (bs + 1) == 0,
+                "C_fc dimensions must be multiples of BS+1");
+  const std::size_t grid_rows = c_fc.rows() / (bs + 1);
+  const std::size_t grid_cols = c_fc.cols() / (bs + 1);
+
+  CheckReport report;
+  std::mutex report_mutex;
+
+  launcher.launch("check_fixed", Dim3{grid_cols, grid_rows, 1},
+                  [&](BlockCtx& blk) {
+    auto& math = blk.math;
+    const std::size_t gbr = blk.block.y;
+    const std::size_t gbc = blk.block.x;
+    const std::size_t row0 = gbr * (bs + 1);
+    const std::size_t col0 = gbc * (bs + 1);
+    math.load_doubles((bs + 1) * (bs + 1));
+
+    std::vector<Mismatch> local;
+    for (std::size_t j = 0; j <= bs; ++j) {
+      double ref = 0.0;
+      for (std::size_t i = 0; i < bs; ++i)
+        ref = math.add(ref, c_fc(row0 + i, col0 + j));
+      const double stored = c_fc(row0 + bs, col0 + j);
+      const double diff = math.abs(math.sub(ref, stored));
+      math.count_compares(1);
+      if (!(diff <= epsilon))  // NaN-aware comparison
+        local.push_back({CheckKind::kColumn, gbr, gbc, j, ref, stored, epsilon});
+    }
+    for (std::size_t i = 0; i <= bs; ++i) {
+      double ref = 0.0;
+      for (std::size_t j = 0; j < bs; ++j)
+        ref = math.add(ref, c_fc(row0 + i, col0 + j));
+      const double stored = c_fc(row0 + i, col0 + bs);
+      const double diff = math.abs(math.sub(ref, stored));
+      math.count_compares(1);
+      if (!(diff <= epsilon))  // NaN-aware comparison
+        local.push_back({CheckKind::kRow, gbr, gbc, i, ref, stored, epsilon});
+    }
+    if (!local.empty()) {
+      const std::lock_guard<std::mutex> lock(report_mutex);
+      report.mismatches.insert(report.mismatches.end(), local.begin(),
+                               local.end());
+    }
+  });
+
+  return report;
+}
+
+FixedAbftMultiplier::FixedAbftMultiplier(gpusim::Launcher& launcher,
+                                         FixedAbftConfig config)
+    : launcher_(launcher), config_(config), codec_(config.bs) {
+  AABFT_REQUIRE(config_.gemm.valid(), "invalid GEMM configuration");
+  AABFT_REQUIRE(config_.epsilon >= 0.0, "epsilon must be non-negative");
+}
+
+FixedAbftResult FixedAbftMultiplier::multiply(const Matrix& a,
+                                              const Matrix& b) {
+  AABFT_REQUIRE(a.cols() == b.rows(), "inner dimensions must agree");
+  const Matrix a_cc = plain_encode_columns(launcher_, a, codec_);
+  const Matrix b_rc = plain_encode_rows(launcher_, b, codec_);
+  Matrix c_fc = linalg::blocked_matmul(launcher_, a_cc, b_rc, config_.gemm);
+  FixedAbftResult result;
+  result.report = fixed_check_product(launcher_, c_fc, codec_, config_.epsilon);
+  result.c = codec_.strip(c_fc);
+  return result;
+}
+
+}  // namespace aabft::baselines

@@ -1,0 +1,56 @@
+// Standard ABFT with a manually set error bound — the paper's first
+// performance contender (Table I).
+//
+// This is the classic Huang/Abraham scheme in partitioned form: encode,
+// multiply, recompute and compare checksums — with one global epsilon the
+// *user* must supply. It has the lowest overhead of the protected schemes
+// but cannot operate autonomously: a bound that fits one input distribution
+// silently mis-detects on another (which the bound-quality tests
+// demonstrate).
+#pragma once
+
+#include <cstddef>
+
+#include "abft/checker.hpp"
+#include "abft/checksum.hpp"
+#include "gpusim/kernel.hpp"
+#include "linalg/matmul.hpp"
+#include "linalg/matrix.hpp"
+
+namespace aabft::baselines {
+
+struct FixedAbftConfig {
+  std::size_t bs = 32;
+  double epsilon = 1e-9;     ///< the manual, global comparison bound
+  linalg::GemmConfig gemm;
+};
+
+/// Compare every block checksum of c_fc against its recomputed reference
+/// with the single fixed bound. Exposed separately so fault-injection
+/// campaigns can check an already-computed product.
+[[nodiscard]] abft::CheckReport fixed_check_product(
+    gpusim::Launcher& launcher, const linalg::Matrix& c_fc,
+    const abft::PartitionedCodec& codec, double epsilon);
+
+struct FixedAbftResult {
+  linalg::Matrix c;
+  abft::CheckReport report;
+  [[nodiscard]] bool error_detected() const noexcept { return !report.clean(); }
+};
+
+class FixedAbftMultiplier {
+ public:
+  FixedAbftMultiplier(gpusim::Launcher& launcher, FixedAbftConfig config);
+
+  [[nodiscard]] FixedAbftResult multiply(const linalg::Matrix& a,
+                                         const linalg::Matrix& b);
+
+  [[nodiscard]] const FixedAbftConfig& config() const noexcept { return config_; }
+
+ private:
+  gpusim::Launcher& launcher_;
+  FixedAbftConfig config_;
+  abft::PartitionedCodec codec_;
+};
+
+}  // namespace aabft::baselines

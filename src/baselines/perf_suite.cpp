@@ -1,0 +1,131 @@
+#include "baselines/perf_suite.hpp"
+
+#include <chrono>
+
+#include "abft/aabft.hpp"
+#include "baselines/fixed_abft.hpp"
+#include "baselines/scheme_timing.hpp"
+#include "baselines/sea_abft.hpp"
+#include "baselines/tmr.hpp"
+#include "baselines/unprotected.hpp"
+#include "core/rng.hpp"
+#include "gpusim/perf_model.hpp"
+#include "linalg/workload.hpp"
+
+namespace aabft::baselines {
+
+namespace {
+
+template <typename Pipeline>
+SchemePerf run_one(gpusim::Launcher& launcher, std::size_t n,
+                   Pipeline&& pipeline) {
+  launcher.clear_launch_log();
+  const auto t0 = std::chrono::steady_clock::now();
+  SchemePerf perf;
+  perf.false_positive = pipeline();
+  perf.host_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  perf.log = launcher.launch_log();
+  const SchemeTiming timing = price_launch_log(launcher.device(), perf.log);
+  perf.model_seconds = timing.total_seconds();
+  const auto payload = static_cast<std::uint64_t>(2) * n * n * n;
+  perf.model_gflops = gpusim::gflops(payload, perf.model_seconds);
+  return perf;
+}
+
+SchemePerf project_one(const SchemePerf& base, std::size_t n0, std::size_t n) {
+  SchemePerf perf;
+  perf.log = project_log(base.log, n0, n);
+  const SchemeTiming timing = price_launch_log(gpusim::k20c(), perf.log);
+  perf.model_seconds = timing.total_seconds();
+  const auto payload = static_cast<std::uint64_t>(2) * n * n * n;
+  perf.model_gflops = gpusim::gflops(payload, perf.model_seconds);
+  return perf;
+}
+
+}  // namespace
+
+std::vector<gpusim::LaunchStats> project_log(
+    const std::vector<gpusim::LaunchStats>& log, std::size_t n0,
+    std::size_t n) {
+  AABFT_REQUIRE(n0 > 0 && n > 0, "sizes must be positive");
+  const double r = static_cast<double>(n) / static_cast<double>(n0);
+  const double r2 = r * r;
+  const double r3 = r2 * r;
+  auto scale = [](std::uint64_t v, double f) {
+    return static_cast<std::uint64_t>(static_cast<double>(v) * f);
+  };
+  std::vector<gpusim::LaunchStats> out = log;
+  for (auto& entry : out) {
+    const bool cubic = entry.kernel_name.starts_with("gemm");
+    const double flop_factor = cubic ? r3 : r2;
+    entry.counters.adds = scale(entry.counters.adds, flop_factor);
+    entry.counters.muls = scale(entry.counters.muls, flop_factor);
+    entry.counters.fmas = scale(entry.counters.fmas, flop_factor);
+    entry.counters.compares = scale(entry.counters.compares, flop_factor);
+    // GEMM loads are staged per K-panel (O(n^3)); its stores and every
+    // other kernel's traffic are O(n^2).
+    entry.counters.bytes_loaded =
+        scale(entry.counters.bytes_loaded, cubic ? r3 : r2);
+    entry.counters.bytes_stored = scale(entry.counters.bytes_stored, r2);
+    entry.blocks = scale(entry.blocks, r2);
+  }
+  return out;
+}
+
+PerfSuiteResult project_perf_suite(const PerfSuiteResult& base, std::size_t n0,
+                                   std::size_t n) {
+  PerfSuiteResult result;
+  result.n = n;
+  result.unprotected = project_one(base.unprotected, n0, n);
+  result.fixed_abft = project_one(base.fixed_abft, n0, n);
+  result.aabft = project_one(base.aabft, n0, n);
+  result.sea_abft = project_one(base.sea_abft, n0, n);
+  result.tmr = project_one(base.tmr, n0, n);
+  return result;
+}
+
+PerfSuiteResult run_perf_suite(std::size_t n, const PerfSuiteConfig& config) {
+  Rng rng(config.seed);
+  const auto a = linalg::uniform_matrix(n, n, -1.0, 1.0, rng);
+  const auto b = linalg::uniform_matrix(n, n, -1.0, 1.0, rng);
+  gpusim::Launcher launcher;
+
+  PerfSuiteResult result;
+  result.n = n;
+
+  UnprotectedMultiplier unprot(launcher, linalg::GemmConfig{});
+  result.unprotected = run_one(launcher, n, [&] {
+    (void)unprot.multiply(a, b);
+    return false;
+  });
+
+  FixedAbftConfig fixed_config;
+  fixed_config.bs = config.bs;
+  fixed_config.epsilon = config.fixed_epsilon;
+  FixedAbftMultiplier fixed(launcher, fixed_config);
+  result.fixed_abft = run_one(
+      launcher, n, [&] { return fixed.multiply(a, b).error_detected(); });
+
+  abft::AabftConfig aabft_config;
+  aabft_config.bs = config.bs;
+  aabft_config.p = config.p;
+  abft::AabftMultiplier aabft(launcher, aabft_config);
+  result.aabft = run_one(
+      launcher, n, [&] { return aabft.multiply(a, b).error_detected(); });
+
+  SeaAbftConfig sea_config;
+  sea_config.bs = config.bs;
+  SeaAbftMultiplier sea(launcher, sea_config);
+  result.sea_abft = run_one(
+      launcher, n, [&] { return sea.multiply(a, b).error_detected(); });
+
+  TmrMultiplier tmr(launcher, TmrConfig{});
+  result.tmr = run_one(
+      launcher, n, [&] { return tmr.multiply(a, b).error_detected(); });
+
+  return result;
+}
+
+}  // namespace aabft::baselines

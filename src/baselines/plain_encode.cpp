@@ -1,0 +1,77 @@
+#include "baselines/plain_encode.hpp"
+
+#include "core/require.hpp"
+
+namespace aabft::baselines {
+
+using gpusim::BlockCtx;
+using gpusim::Dim3;
+using linalg::Matrix;
+
+Matrix plain_encode_columns(gpusim::Launcher& launcher, const Matrix& a,
+                            const abft::PartitionedCodec& codec) {
+  AABFT_REQUIRE(codec.divides(a.rows()),
+                "rows of A must be a multiple of the checksum block size");
+  const std::size_t bs = codec.bs();
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  const std::size_t block_rows = m / bs;
+  const std::size_t col_chunks = (n + bs - 1) / bs;
+
+  Matrix enc(codec.encoded_dim(m), n, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::size_t ei = codec.enc_index(i);
+    for (std::size_t j = 0; j < n; ++j) enc(ei, j) = a(i, j);
+  }
+
+  launcher.launch("encode_a_plain", Dim3{col_chunks, block_rows, 1},
+                  [&](BlockCtx& blk) {
+                    auto& math = blk.math;
+                    const std::size_t row0 = blk.block.y * bs;
+                    const std::size_t col0 = blk.block.x * bs;
+                    const std::size_t width = std::min(bs, n - col0);
+                    math.load_doubles(bs * width);
+                    for (std::size_t c = 0; c < width; ++c) {
+                      double sum = 0.0;
+                      for (std::size_t r = 0; r < bs; ++r)
+                        sum = math.add(sum, a(row0 + r, col0 + c));
+                      enc(codec.checksum_index(blk.block.y), col0 + c) = sum;
+                    }
+                    math.store_doubles(width);
+                  });
+  return enc;
+}
+
+Matrix plain_encode_rows(gpusim::Launcher& launcher, const Matrix& b,
+                         const abft::PartitionedCodec& codec) {
+  AABFT_REQUIRE(codec.divides(b.cols()),
+                "columns of B must be a multiple of the checksum block size");
+  const std::size_t bs = codec.bs();
+  const std::size_t n = b.rows();
+  const std::size_t q = b.cols();
+  const std::size_t block_cols = q / bs;
+  const std::size_t row_chunks = (n + bs - 1) / bs;
+
+  Matrix enc(n, codec.encoded_dim(q), 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < q; ++j) enc(i, codec.enc_index(j)) = b(i, j);
+
+  launcher.launch("encode_b_plain", Dim3{block_cols, row_chunks, 1},
+                  [&](BlockCtx& blk) {
+                    auto& math = blk.math;
+                    const std::size_t row0 = blk.block.y * bs;
+                    const std::size_t col0 = blk.block.x * bs;
+                    const std::size_t height = std::min(bs, n - row0);
+                    math.load_doubles(height * bs);
+                    for (std::size_t r = 0; r < height; ++r) {
+                      double sum = 0.0;
+                      for (std::size_t c = 0; c < bs; ++c)
+                        sum = math.add(sum, b(row0 + r, col0 + c));
+                      enc(row0 + r, codec.checksum_index(blk.block.x)) = sum;
+                    }
+                    math.store_doubles(height);
+                  });
+  return enc;
+}
+
+}  // namespace aabft::baselines

@@ -1,0 +1,25 @@
+// Plain (checksum-only) encode kernels for the baseline ABFT schemes.
+//
+// The fixed-bound ABFT and SEA-ABFT contenders of the paper's evaluation use
+// the same partitioned checksum encoding as A-ABFT but do *not* collect
+// p-max information — that is exactly the work A-ABFT adds. Keeping the lean
+// kernels separate lets Table I charge each scheme its true encode cost.
+#pragma once
+
+#include "abft/checksum.hpp"
+#include "gpusim/kernel.hpp"
+#include "linalg/matrix.hpp"
+
+namespace aabft::baselines {
+
+/// A -> A_cc via a per-block column-checksum kernel (no p-max collection).
+[[nodiscard]] linalg::Matrix plain_encode_columns(gpusim::Launcher& launcher,
+                                                  const linalg::Matrix& a,
+                                                  const abft::PartitionedCodec& codec);
+
+/// B -> B_rc via a per-block row-checksum kernel (no p-max collection).
+[[nodiscard]] linalg::Matrix plain_encode_rows(gpusim::Launcher& launcher,
+                                               const linalg::Matrix& b,
+                                               const abft::PartitionedCodec& codec);
+
+}  // namespace aabft::baselines

@@ -1,0 +1,29 @@
+#include "baselines/scheme_timing.hpp"
+
+#include <string_view>
+
+namespace aabft::baselines {
+
+SchemeTiming price_launch_log(const gpusim::DeviceSpec& device,
+                              const std::vector<gpusim::LaunchStats>& log) {
+  SchemeTiming timing;
+  for (const auto& entry : log) {
+    const std::string_view name = entry.kernel_name;
+    if (name == "gemm") {
+      timing.gemm_seconds +=
+          gpusim::kernel_seconds(device, entry.counters, gpusim::gemm_profile());
+    } else if (name.starts_with("reduce_pmax")) {
+      timing.overlapped_seconds += gpusim::kernel_seconds(
+          device, entry.counters, gpusim::reduction_profile());
+    } else if (name == "row_norms" || name == "col_norms") {
+      timing.overhead_seconds += gpusim::kernel_seconds(
+          device, entry.counters, gpusim::reduction_profile());
+    } else {
+      timing.overhead_seconds += gpusim::kernel_seconds(
+          device, entry.counters, gpusim::streaming_profile());
+    }
+  }
+  return timing;
+}
+
+}  // namespace aabft::baselines

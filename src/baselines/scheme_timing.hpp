@@ -1,0 +1,38 @@
+// Scheme-level timing composition for the Table I reproduction.
+//
+// Each scheme's pipeline is executed on the simulator, which logs every
+// kernel launch with exact op/byte counts. This module prices the log with
+// the analytic Kepler model (gpusim/perf_model), assigning each kernel its
+// utilisation class by name and applying the paper's overlap: the global
+// p-max reduction "is executed in parallel to the matrix multiplication
+// kernel" (Section V-A), so its time is hidden behind the GEMM.
+#pragma once
+
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "gpusim/kernel.hpp"
+#include "gpusim/perf_model.hpp"
+
+namespace aabft::baselines {
+
+struct SchemeTiming {
+  double gemm_seconds = 0.0;        ///< product kernel(s)
+  double overlapped_seconds = 0.0;  ///< kernels hidden behind the GEMM
+  double overhead_seconds = 0.0;    ///< encode / check / norm / vote kernels
+
+  [[nodiscard]] double total_seconds() const noexcept {
+    return overhead_seconds + std::max(gemm_seconds, overlapped_seconds);
+  }
+};
+
+/// Price a launch log. Kernel classes (by name):
+///   gemm                         — GEMM profile
+///   reduce_pmax_*                — reduction profile, overlapped with GEMM
+///   row_norms / col_norms        — reduction profile (SEA's penalty)
+///   everything else              — streaming (bandwidth-bound) profile
+[[nodiscard]] SchemeTiming price_launch_log(
+    const gpusim::DeviceSpec& device,
+    const std::vector<gpusim::LaunchStats>& log);
+
+}  // namespace aabft::baselines

@@ -1,0 +1,174 @@
+#include "baselines/sea_abft.hpp"
+
+#include <cmath>
+#include <mutex>
+
+#include "baselines/plain_encode.hpp"
+#include "core/require.hpp"
+#include "linalg/norms.hpp"
+
+namespace aabft::baselines {
+
+using abft::CheckKind;
+using abft::CheckReport;
+using abft::EpsilonTrace;
+using abft::Mismatch;
+using gpusim::BlockCtx;
+using gpusim::Dim3;
+using linalg::Matrix;
+
+SeaBounds compute_sea_bounds(gpusim::Launcher& launcher, const Matrix& a_cc,
+                             const Matrix& b_rc,
+                             const abft::PartitionedCodec& codec) {
+  const std::size_t bs = codec.bs();
+  AABFT_REQUIRE(a_cc.rows() % (bs + 1) == 0,
+                "A_cc rows must be a multiple of BS+1");
+  AABFT_REQUIRE(b_rc.cols() % (bs + 1) == 0,
+                "B_rc columns must be a multiple of BS+1");
+
+  SeaBounds bounds;
+  bounds.a_row_norms = linalg::row_norms2(launcher, a_cc);
+  bounds.b_col_norms = linalg::col_norms2(launcher, b_rc);
+
+  const std::size_t block_rows = a_cc.rows() / (bs + 1);
+  bounds.a_block_norm_sum.assign(block_rows, 0.0);
+  for (std::size_t br = 0; br < block_rows; ++br)
+    for (std::size_t i = 0; i < bs; ++i)
+      bounds.a_block_norm_sum[br] += bounds.a_row_norms[br * (bs + 1) + i];
+
+  const std::size_t block_cols = b_rc.cols() / (bs + 1);
+  bounds.b_block_norm_sum.assign(block_cols, 0.0);
+  for (std::size_t bc = 0; bc < block_cols; ++bc)
+    for (std::size_t j = 0; j < bs; ++j)
+      bounds.b_block_norm_sum[bc] += bounds.b_col_norms[bc * (bs + 1) + j];
+
+  return bounds;
+}
+
+namespace {
+
+double epsilon_m(int t) noexcept { return std::ldexp(1.0, -t); }
+
+}  // namespace
+
+double sea_column_epsilon(const SeaBounds& bounds,
+                          const abft::PartitionedCodec& codec,
+                          std::size_t block_row, std::size_t enc_col,
+                          std::size_t n) {
+  const auto m = static_cast<double>(codec.bs());
+  const auto nd = static_cast<double>(n);
+  const double b_norm = bounds.b_col_norms[enc_col];
+  const double a_sum = bounds.a_block_norm_sum[block_row];
+  const double a_cs_norm = bounds.a_row_norms[codec.checksum_index(block_row)];
+  return ((nd + 2.0 * m - 2.0) * b_norm * a_sum + nd * a_cs_norm * b_norm) *
+         epsilon_m(bounds.t);
+}
+
+double sea_row_epsilon(const SeaBounds& bounds,
+                       const abft::PartitionedCodec& codec, std::size_t enc_row,
+                       std::size_t block_col, std::size_t n) {
+  const auto m = static_cast<double>(codec.bs());
+  const auto nd = static_cast<double>(n);
+  const double a_norm = bounds.a_row_norms[enc_row];
+  const double b_sum = bounds.b_block_norm_sum[block_col];
+  const double b_cs_norm = bounds.b_col_norms[codec.checksum_index(block_col)];
+  return ((nd + 2.0 * m - 2.0) * a_norm * b_sum + nd * b_cs_norm * a_norm) *
+         epsilon_m(bounds.t);
+}
+
+CheckReport sea_check_product(gpusim::Launcher& launcher, const Matrix& c_fc,
+                              const abft::PartitionedCodec& codec,
+                              const SeaBounds& bounds, std::size_t inner_dim,
+                              EpsilonTrace* trace) {
+  const std::size_t bs = codec.bs();
+  AABFT_REQUIRE(c_fc.rows() % (bs + 1) == 0 && c_fc.cols() % (bs + 1) == 0,
+                "C_fc dimensions must be multiples of BS+1");
+  AABFT_REQUIRE(bounds.a_row_norms.size() == c_fc.rows(),
+                "SEA bounds must cover every row of C_fc");
+  AABFT_REQUIRE(bounds.b_col_norms.size() == c_fc.cols(),
+                "SEA bounds must cover every column of C_fc");
+  const std::size_t grid_rows = c_fc.rows() / (bs + 1);
+  const std::size_t grid_cols = c_fc.cols() / (bs + 1);
+
+  CheckReport report;
+  std::mutex report_mutex;
+
+  launcher.launch("check_sea", Dim3{grid_cols, grid_rows, 1}, [&](BlockCtx& blk) {
+    auto& math = blk.math;
+    const std::size_t gbr = blk.block.y;
+    const std::size_t gbc = blk.block.x;
+    const std::size_t row0 = gbr * (bs + 1);
+    const std::size_t col0 = gbc * (bs + 1);
+    math.load_doubles((bs + 1) * (bs + 1));
+
+    std::vector<Mismatch> local;
+    std::vector<double> local_col_eps;
+    std::vector<double> local_row_eps;
+
+    for (std::size_t j = 0; j <= bs; ++j) {
+      const std::size_t gc = col0 + j;
+      double ref = 0.0;
+      for (std::size_t i = 0; i < bs; ++i)
+        ref = math.add(ref, c_fc(row0 + i, gc));
+      const double stored = c_fc(row0 + bs, gc);
+      const double eps = sea_column_epsilon(bounds, codec, gbr, gc, inner_dim);
+      math.count_muls(4);
+      math.count_adds(3);
+      const double diff = math.abs(math.sub(ref, stored));
+      math.count_compares(1);
+      if (!(diff <= eps))  // NaN-aware: Inf/NaN corruption must trip the check
+        local.push_back({CheckKind::kColumn, gbr, gbc, j, ref, stored, eps});
+      if (trace != nullptr) local_col_eps.push_back(eps);
+    }
+    for (std::size_t i = 0; i <= bs; ++i) {
+      const std::size_t gr = row0 + i;
+      double ref = 0.0;
+      for (std::size_t j = 0; j < bs; ++j)
+        ref = math.add(ref, c_fc(gr, col0 + j));
+      const double stored = c_fc(gr, col0 + bs);
+      const double eps = sea_row_epsilon(bounds, codec, gr, gbc, inner_dim);
+      math.count_muls(4);
+      math.count_adds(3);
+      const double diff = math.abs(math.sub(ref, stored));
+      math.count_compares(1);
+      if (!(diff <= eps))  // NaN-aware: Inf/NaN corruption must trip the check
+        local.push_back({CheckKind::kRow, gbr, gbc, i, ref, stored, eps});
+      if (trace != nullptr) local_row_eps.push_back(eps);
+    }
+
+    if (!local.empty() || trace != nullptr) {
+      const std::lock_guard<std::mutex> lock(report_mutex);
+      report.mismatches.insert(report.mismatches.end(), local.begin(),
+                               local.end());
+      if (trace != nullptr) {
+        trace->column_epsilons.insert(trace->column_epsilons.end(),
+                                      local_col_eps.begin(), local_col_eps.end());
+        trace->row_epsilons.insert(trace->row_epsilons.end(),
+                                   local_row_eps.begin(), local_row_eps.end());
+      }
+    }
+  });
+
+  return report;
+}
+
+SeaAbftMultiplier::SeaAbftMultiplier(gpusim::Launcher& launcher,
+                                     SeaAbftConfig config)
+    : launcher_(launcher), config_(config), codec_(config.bs) {
+  AABFT_REQUIRE(config_.gemm.valid(), "invalid GEMM configuration");
+}
+
+SeaAbftResult SeaAbftMultiplier::multiply(const Matrix& a, const Matrix& b) {
+  AABFT_REQUIRE(a.cols() == b.rows(), "inner dimensions must agree");
+  const Matrix a_cc = plain_encode_columns(launcher_, a, codec_);
+  const Matrix b_rc = plain_encode_rows(launcher_, b, codec_);
+  const SeaBounds bounds = compute_sea_bounds(launcher_, a_cc, b_rc, codec_);
+  Matrix c_fc = linalg::blocked_matmul(launcher_, a_cc, b_rc, config_.gemm);
+  SeaAbftResult result;
+  result.report =
+      sea_check_product(launcher_, c_fc, codec_, bounds, a.cols(), nullptr);
+  result.c = codec_.strip(c_fc);
+  return result;
+}
+
+}  // namespace aabft::baselines

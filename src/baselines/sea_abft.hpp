@@ -1,0 +1,89 @@
+// SEA-ABFT — ABFT with bounds from Simplified Error Analysis
+// (Roy-Chowdhury & Banerjee, FTCS'93), the paper's main qualitative
+// contender for bound quality (Tables II-IV) and detection (Figure 4).
+//
+// SEA neglects second-order rounding terms and bounds the total error of a
+// checksum comparison by norms of the involved vectors. For a column
+// checksum of a block with m = BS data rows a_i, checksum row a_cs and the
+// column b of B (inner-product length n):
+//
+//   |c_cs - c_cs*| < ( (n + 2m - 2) * ||b||_2 * sum_i ||a_i||_2
+//                      + n * ||a_cs||_2 * ||b||_2 ) * epsilon_M
+//
+// with epsilon_M = 2^-t. Row checksums are bounded symmetrically. The norms
+// are computed at runtime by (poorly utilised) reduction kernels — the
+// source of SEA-ABFT's performance penalty in Table I.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "abft/checker.hpp"
+#include "abft/checksum.hpp"
+#include "gpusim/kernel.hpp"
+#include "linalg/matmul.hpp"
+#include "linalg/matrix.hpp"
+
+namespace aabft::baselines {
+
+/// Precomputed norm data the SEA check consumes.
+struct SeaBounds {
+  std::vector<double> a_row_norms;        ///< per encoded row of A_cc
+  std::vector<double> b_col_norms;        ///< per encoded column of B_rc
+  std::vector<double> a_block_norm_sum;   ///< per block row: sum of data-row norms
+  std::vector<double> b_block_norm_sum;   ///< per block col: sum of data-col norms
+  int t = 52;                             ///< mantissa bits for epsilon_M = 2^-t
+};
+
+/// Run the norm kernels over the encoded operands.
+[[nodiscard]] SeaBounds compute_sea_bounds(gpusim::Launcher& launcher,
+                                           const linalg::Matrix& a_cc,
+                                           const linalg::Matrix& b_rc,
+                                           const abft::PartitionedCodec& codec);
+
+/// The SEA epsilon for one column-checksum comparison (exposed for tests and
+/// the bound-quality tables). `n` is the inner-product length.
+[[nodiscard]] double sea_column_epsilon(const SeaBounds& bounds,
+                                        const abft::PartitionedCodec& codec,
+                                        std::size_t block_row,
+                                        std::size_t enc_col, std::size_t n);
+
+/// The SEA epsilon for one row-checksum comparison.
+[[nodiscard]] double sea_row_epsilon(const SeaBounds& bounds,
+                                     const abft::PartitionedCodec& codec,
+                                     std::size_t enc_row, std::size_t block_col,
+                                     std::size_t n);
+
+/// Check a full-checksum product with SEA bounds.
+[[nodiscard]] abft::CheckReport sea_check_product(
+    gpusim::Launcher& launcher, const linalg::Matrix& c_fc,
+    const abft::PartitionedCodec& codec, const SeaBounds& bounds,
+    std::size_t inner_dim, abft::EpsilonTrace* trace = nullptr);
+
+struct SeaAbftConfig {
+  std::size_t bs = 32;
+  linalg::GemmConfig gemm;
+};
+
+struct SeaAbftResult {
+  linalg::Matrix c;
+  abft::CheckReport report;
+  [[nodiscard]] bool error_detected() const noexcept { return !report.clean(); }
+};
+
+class SeaAbftMultiplier {
+ public:
+  SeaAbftMultiplier(gpusim::Launcher& launcher, SeaAbftConfig config);
+
+  [[nodiscard]] SeaAbftResult multiply(const linalg::Matrix& a,
+                                       const linalg::Matrix& b);
+
+  [[nodiscard]] const SeaAbftConfig& config() const noexcept { return config_; }
+
+ private:
+  gpusim::Launcher& launcher_;
+  SeaAbftConfig config_;
+  abft::PartitionedCodec codec_;
+};
+
+}  // namespace aabft::baselines

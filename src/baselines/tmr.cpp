@@ -1,0 +1,73 @@
+#include "baselines/tmr.hpp"
+
+#include <atomic>
+
+#include "core/require.hpp"
+
+namespace aabft::baselines {
+
+using gpusim::BlockCtx;
+using gpusim::Dim3;
+using linalg::Matrix;
+
+TmrMultiplier::TmrMultiplier(gpusim::Launcher& launcher, TmrConfig config)
+    : launcher_(launcher), config_(config) {
+  AABFT_REQUIRE(config_.gemm.valid(), "invalid GEMM configuration");
+}
+
+TmrResult TmrMultiplier::multiply(const Matrix& a, const Matrix& b) {
+  AABFT_REQUIRE(a.cols() == b.rows(), "inner dimensions must agree");
+  const Matrix c1 = linalg::blocked_matmul(launcher_, a, b, config_.gemm);
+  const Matrix c2 = linalg::blocked_matmul(launcher_, a, b, config_.gemm);
+  const Matrix c3 = linalg::blocked_matmul(launcher_, a, b, config_.gemm);
+
+  TmrResult result;
+  result.c = Matrix(a.rows(), b.cols(), 0.0);
+  std::atomic<std::size_t> mismatched{0};
+  std::atomic<std::size_t> unresolved{0};
+
+  // Voter kernel: tile-wise exact comparison and majority selection.
+  constexpr std::size_t kTile = 64;
+  const std::size_t tile_rows = (a.rows() + kTile - 1) / kTile;
+  const std::size_t tile_cols = (b.cols() + kTile - 1) / kTile;
+  launcher_.launch("tmr_vote", Dim3{tile_cols, tile_rows, 1},
+                   [&](BlockCtx& blk) {
+    auto& math = blk.math;
+    const std::size_t row0 = blk.block.y * kTile;
+    const std::size_t col0 = blk.block.x * kTile;
+    const std::size_t h = std::min(kTile, a.rows() - row0);
+    const std::size_t w = std::min(kTile, b.cols() - col0);
+    math.load_doubles(3 * h * w);
+    std::size_t local_mismatched = 0;
+    std::size_t local_unresolved = 0;
+    for (std::size_t i = 0; i < h; ++i) {
+      for (std::size_t j = 0; j < w; ++j) {
+        const double v1 = c1(row0 + i, col0 + j);
+        const double v2 = c2(row0 + i, col0 + j);
+        const double v3 = c3(row0 + i, col0 + j);
+        math.count_compares(2);
+        double voted = v1;
+        if (v1 == v2 || v1 == v3) {
+          voted = v1;
+          if (v1 != v2 || v1 != v3) ++local_mismatched;
+        } else if (v2 == v3) {
+          voted = v2;
+          ++local_mismatched;
+        } else {
+          ++local_mismatched;
+          ++local_unresolved;
+        }
+        result.c(row0 + i, col0 + j) = voted;
+      }
+    }
+    math.store_doubles(h * w);
+    mismatched.fetch_add(local_mismatched, std::memory_order_relaxed);
+    unresolved.fetch_add(local_unresolved, std::memory_order_relaxed);
+  });
+
+  result.mismatched_elements = mismatched.load();
+  result.unresolved_elements = unresolved.load();
+  return result;
+}
+
+}  // namespace aabft::baselines

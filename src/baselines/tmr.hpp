@@ -1,0 +1,46 @@
+// Triple modular redundancy — the paper's third performance contender.
+//
+// The multiplication runs three times with an identical kernel; a voter
+// compares the three results element-wise. Because the executions are
+// bit-identical in the fault-free case, the comparison is exact (no bounds
+// needed) — the paper notes that realistic TMR with *diverse* kernels would
+// again require rounding-error bounds, which is part of A-ABFT's motivation.
+#pragma once
+
+#include <cstddef>
+
+#include "gpusim/kernel.hpp"
+#include "linalg/matmul.hpp"
+#include "linalg/matrix.hpp"
+
+namespace aabft::baselines {
+
+struct TmrConfig {
+  linalg::GemmConfig gemm;
+};
+
+struct TmrResult {
+  linalg::Matrix c;                 ///< majority-voted result
+  std::size_t mismatched_elements = 0;  ///< positions where a replica disagreed
+  std::size_t unresolved_elements = 0;  ///< all three replicas disagreed
+  [[nodiscard]] bool error_detected() const noexcept {
+    return mismatched_elements > 0;
+  }
+};
+
+class TmrMultiplier {
+ public:
+  TmrMultiplier(gpusim::Launcher& launcher, TmrConfig config);
+
+  /// Three runs + element-wise majority vote. Faults injected through the
+  /// launcher's controller hit (at most) one replica, since the controller
+  /// fires one-shot.
+  [[nodiscard]] TmrResult multiply(const linalg::Matrix& a,
+                                   const linalg::Matrix& b);
+
+ private:
+  gpusim::Launcher& launcher_;
+  TmrConfig config_;
+};
+
+}  // namespace aabft::baselines

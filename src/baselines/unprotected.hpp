@@ -1,0 +1,26 @@
+// Unprotected GEMM — the overhead reference point ("a completely unprotected
+// matrix multiplication ... delivered up to 1048.4 GFLOPS" in the paper).
+#pragma once
+
+#include "gpusim/kernel.hpp"
+#include "linalg/matmul.hpp"
+#include "linalg/matrix.hpp"
+
+namespace aabft::baselines {
+
+class UnprotectedMultiplier {
+ public:
+  UnprotectedMultiplier(gpusim::Launcher& launcher, linalg::GemmConfig config)
+      : launcher_(launcher), config_(config) {}
+
+  [[nodiscard]] linalg::Matrix multiply(const linalg::Matrix& a,
+                                        const linalg::Matrix& b) {
+    return linalg::blocked_matmul(launcher_, a, b, config_);
+  }
+
+ private:
+  gpusim::Launcher& launcher_;
+  linalg::GemmConfig config_;
+};
+
+}  // namespace aabft::baselines

@@ -1,0 +1,42 @@
+// Contract-checking macros used across the library.
+//
+// AABFT_REQUIRE   — precondition on public API arguments; throws
+//                   std::invalid_argument so callers can recover or report.
+// AABFT_ASSERT    — internal invariant; throws std::logic_error (a violation
+//                   is a bug in this library, not in the caller).
+//
+// Both are always on: the library exists to detect silent data corruption,
+// so it must not itself fail silently in release builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace aabft::detail {
+
+[[noreturn]] inline void throw_requirement(const char* kind, const char* expr,
+                                           const char* file, int line,
+                                           const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " violated: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  if (std::string(kind) == "precondition") throw std::invalid_argument(os.str());
+  throw std::logic_error(os.str());
+}
+
+}  // namespace aabft::detail
+
+#define AABFT_REQUIRE(cond, msg)                                            \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::aabft::detail::throw_requirement("precondition", #cond, __FILE__,   \
+                                         __LINE__, (msg));                  \
+  } while (0)
+
+#define AABFT_ASSERT(cond, msg)                                             \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::aabft::detail::throw_requirement("invariant", #cond, __FILE__,      \
+                                         __LINE__, (msg));                  \
+  } while (0)

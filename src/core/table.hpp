@@ -1,0 +1,108 @@
+// Minimal fixed-width table printer used by the benchmark harnesses to emit
+// rows in the same layout as the paper's tables.
+#pragma once
+
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/require.hpp"
+
+namespace aabft {
+
+/// Accumulates rows of string cells and prints them with aligned columns.
+/// Intentionally tiny: the bench binaries are the only consumers.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {
+    AABFT_REQUIRE(!headers_.empty(), "a table needs at least one column");
+  }
+
+  void add_row(std::vector<std::string> cells) {
+    AABFT_REQUIRE(cells.size() == headers_.size(),
+                  "row width must match header width");
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Format a double in scientific notation the way the paper prints bounds
+  /// (two significant decimals, e.g. 1.68e-11).
+  static std::string sci(double v, int digits = 2) {
+    std::ostringstream os;
+    os << std::scientific << std::setprecision(digits) << v;
+    return os.str();
+  }
+
+  /// Format a double in fixed notation (GFLOPS-style columns).
+  static std::string fixed(double v, int digits = 2) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(digits) << v;
+    return os.str();
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+    for (const auto& row : rows_)
+      for (std::size_t c = 0; c < row.size(); ++c)
+        width[c] = std::max(width[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (std::size_t c = 0; c < row.size(); ++c)
+        os << "  " << std::setw(static_cast<int>(width[c])) << row[c];
+      os << '\n';
+    };
+    print_row(headers_);
+    std::size_t total = 0;
+    for (auto w : width) total += w + 2;
+    os << std::string(total, '-') << '\n';
+    for (const auto& row : rows_) print_row(row);
+    os.flush();
+  }
+
+  /// Write the table as CSV (RFC-4180-ish: cells containing commas or
+  /// quotes are quoted). Returns false if the file could not be opened.
+  bool write_csv(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    auto emit = [&out](const std::vector<std::string>& row) {
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        if (c > 0) out << ',';
+        const std::string& cell = row[c];
+        if (cell.find_first_of(",\"\n") != std::string::npos) {
+          out << '"';
+          for (const char ch : cell) {
+            if (ch == '"') out << '"';
+            out << ch;
+          }
+          out << '"';
+        } else {
+          out << cell;
+        }
+      }
+      out << '\n';
+    };
+    emit(headers_);
+    for (const auto& row : rows_) emit(row);
+    return out.good();
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Read an environment-variable override used by the bench binaries to grow
+/// the default (host-friendly) sweeps up to the paper's full dimensions.
+inline std::size_t env_size_or(const char* name, std::size_t fallback) {
+  if (const char* v = std::getenv(name)) {
+    const long long parsed = std::atoll(v);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return fallback;
+}
+
+}  // namespace aabft

@@ -1,0 +1,257 @@
+#include "fp/bigfloat.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+#include "core/require.hpp"
+#include "fp/bits.hpp"
+
+namespace aabft::fp {
+
+BigFloat BigFloat::from_double(double x) {
+  AABFT_REQUIRE(std::isfinite(x), "BigFloat::from_double requires finite input");
+  BigFloat out;
+  if (x == 0.0) return out;
+  const Decomposed d = decompose(x);
+  out.negative_ = d.negative;
+  out.exponent_ = d.exponent;
+  out.magnitude_ = {d.significand};
+  out.normalize();
+  return out;
+}
+
+void BigFloat::normalize() {
+  while (!magnitude_.empty() && magnitude_.back() == 0) magnitude_.pop_back();
+  if (magnitude_.empty()) {
+    negative_ = false;
+    exponent_ = 0;
+    return;
+  }
+  // Strip trailing zero limbs into the exponent to keep magnitudes small.
+  std::size_t zero_limbs = 0;
+  while (zero_limbs < magnitude_.size() && magnitude_[zero_limbs] == 0)
+    ++zero_limbs;
+  if (zero_limbs > 0) {
+    magnitude_.erase(magnitude_.begin(),
+                     magnitude_.begin() + static_cast<std::ptrdiff_t>(zero_limbs));
+    exponent_ += static_cast<std::int64_t>(zero_limbs) * 64;
+  }
+}
+
+int BigFloat::mag_compare(const std::vector<std::uint64_t>& a,
+                          const std::vector<std::uint64_t>& b) noexcept {
+  // Leading zero limbs (produced by shifts) must not influence the order.
+  auto effective = [](const std::vector<std::uint64_t>& v) {
+    std::size_t n = v.size();
+    while (n > 0 && v[n - 1] == 0) --n;
+    return n;
+  };
+  const std::size_t ea = effective(a);
+  const std::size_t eb = effective(b);
+  if (ea != eb) return ea < eb ? -1 : 1;
+  for (std::size_t i = ea; i-- > 0;)
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  return 0;
+}
+
+std::vector<std::uint64_t> BigFloat::mag_add(
+    const std::vector<std::uint64_t>& a, const std::vector<std::uint64_t>& b) {
+  const auto& longer = a.size() >= b.size() ? a : b;
+  const auto& shorter = a.size() >= b.size() ? b : a;
+  std::vector<std::uint64_t> out(longer.size() + 1, 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < longer.size(); ++i) {
+    const unsigned __int128 sum =
+        static_cast<unsigned __int128>(longer[i]) +
+        (i < shorter.size() ? shorter[i] : 0) + carry;
+    out[i] = static_cast<std::uint64_t>(sum);
+    carry = static_cast<std::uint64_t>(sum >> 64);
+  }
+  out[longer.size()] = carry;
+  return out;
+}
+
+std::vector<std::uint64_t> BigFloat::mag_sub(
+    const std::vector<std::uint64_t>& a, const std::vector<std::uint64_t>& b) {
+  AABFT_ASSERT(mag_compare(a, b) >= 0, "mag_sub requires a >= b");
+  std::vector<std::uint64_t> out(a.size(), 0);
+  std::uint64_t borrow = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const std::uint64_t bi = (i < b.size() ? b[i] : 0);
+    const std::uint64_t sub = bi + borrow;
+    // sub overflows to 0 only when bi == ~0 and borrow == 1; then the
+    // subtraction of 2^64 is exactly the borrow itself.
+    if (sub == 0 && borrow == 1) {
+      out[i] = a[i];
+      borrow = 1;
+      continue;
+    }
+    out[i] = a[i] - sub;
+    borrow = a[i] < sub ? 1 : 0;
+  }
+  AABFT_ASSERT(borrow == 0, "mag_sub underflow");
+  return out;
+}
+
+std::vector<std::uint64_t> BigFloat::mag_mul(
+    const std::vector<std::uint64_t>& a, const std::vector<std::uint64_t>& b) {
+  std::vector<std::uint64_t> out(a.size() + b.size(), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      const unsigned __int128 cur =
+          static_cast<unsigned __int128>(a[i]) * b[j] + out[i + j] + carry;
+      out[i + j] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    std::size_t k = i + b.size();
+    while (carry != 0) {
+      const unsigned __int128 cur =
+          static_cast<unsigned __int128>(out[k]) + carry;
+      out[k] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+      ++k;
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> BigFloat::mag_shift_left(
+    const std::vector<std::uint64_t>& a, std::int64_t bits) {
+  AABFT_ASSERT(bits >= 0, "mag_shift_left requires non-negative shift");
+  if (a.empty() || bits == 0) return a;
+  const auto limb_shift = static_cast<std::size_t>(bits / 64);
+  const int bit_shift = static_cast<int>(bits % 64);
+  std::vector<std::uint64_t> out(a.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i + limb_shift] |= bit_shift ? (a[i] << bit_shift) : a[i];
+    if (bit_shift != 0) out[i + limb_shift + 1] |= a[i] >> (64 - bit_shift);
+  }
+  return out;
+}
+
+BigFloat::Aligned BigFloat::align(const BigFloat& rhs) const {
+  Aligned out;
+  out.exponent = std::min(exponent_, rhs.exponent_);
+  out.a = mag_shift_left(magnitude_, exponent_ - out.exponent);
+  out.b = mag_shift_left(rhs.magnitude_, rhs.exponent_ - out.exponent);
+  return out;
+}
+
+BigFloat BigFloat::operator-() const {
+  BigFloat out = *this;
+  if (!out.is_zero()) out.negative_ = !out.negative_;
+  return out;
+}
+
+BigFloat BigFloat::operator+(const BigFloat& rhs) const {
+  if (is_zero()) return rhs;
+  if (rhs.is_zero()) return *this;
+  Aligned al = align(rhs);
+  BigFloat out;
+  out.exponent_ = al.exponent;
+  if (negative_ == rhs.negative_) {
+    out.magnitude_ = mag_add(al.a, al.b);
+    out.negative_ = negative_;
+  } else {
+    const int cmp = mag_compare(al.a, al.b);
+    if (cmp == 0) return BigFloat{};
+    if (cmp > 0) {
+      out.magnitude_ = mag_sub(al.a, al.b);
+      out.negative_ = negative_;
+    } else {
+      out.magnitude_ = mag_sub(al.b, al.a);
+      out.negative_ = rhs.negative_;
+    }
+  }
+  out.normalize();
+  return out;
+}
+
+BigFloat BigFloat::operator-(const BigFloat& rhs) const { return *this + (-rhs); }
+
+BigFloat BigFloat::operator*(const BigFloat& rhs) const {
+  if (is_zero() || rhs.is_zero()) return BigFloat{};
+  BigFloat out;
+  out.negative_ = negative_ != rhs.negative_;
+  out.exponent_ = exponent_ + rhs.exponent_;
+  out.magnitude_ = mag_mul(magnitude_, rhs.magnitude_);
+  out.normalize();
+  return out;
+}
+
+int BigFloat::compare(const BigFloat& rhs) const {
+  const BigFloat diff = *this - rhs;
+  return diff.sign();
+}
+
+BigFloat BigFloat::abs() const {
+  BigFloat out = *this;
+  out.negative_ = false;
+  return out;
+}
+
+double BigFloat::to_double() const noexcept {
+  if (is_zero()) return 0.0;
+
+  // MSB position relative to magnitude bit 0.
+  const std::size_t top = magnitude_.size() - 1;
+  const int top_bit = 63 - std::countl_zero(magnitude_.back());
+  const std::int64_t msb = static_cast<std::int64_t>(top) * 64 + top_bit;
+
+  // Absolute weight of the MSB: exponent_ + msb. A double keeps 53 bits, or
+  // fewer in the subnormal range (lsb weight floor is 2^-1074).
+  const std::int64_t msb_weight = exponent_ + msb;
+  if (msb_weight > 1024)  // certainly overflows (2^1024 > DBL_MAX)
+    return negative_ ? -std::numeric_limits<double>::infinity()
+                     : std::numeric_limits<double>::infinity();
+  std::int64_t lsb_weight = std::max<std::int64_t>(msb_weight - 52, -1074);
+  std::int64_t lsb = lsb_weight - exponent_;  // may be negative (pad zeros)
+
+  auto get_bit = [this](std::int64_t bit) -> unsigned {
+    if (bit < 0) return 0;
+    const auto limb = static_cast<std::size_t>(bit / 64);
+    if (limb >= magnitude_.size()) return 0;
+    return static_cast<unsigned>((magnitude_[limb] >> (bit % 64)) & 1U);
+  };
+
+  std::uint64_t significand = 0;
+  for (std::int64_t bit = msb; bit >= lsb; --bit)
+    significand = (significand << 1) | get_bit(bit);
+
+  // Round to nearest, ties to even.
+  const unsigned guard = get_bit(lsb - 1);
+  if (guard) {
+    bool sticky = false;
+    for (std::int64_t bit = lsb - 2; bit >= 0 && !sticky; --bit)
+      sticky = get_bit(bit) != 0;
+    if (sticky || (significand & 1U)) ++significand;
+  }
+  if (significand == (1ULL << 53)) {
+    significand >>= 1;
+    ++lsb_weight;
+  }
+
+  const double mag =
+      std::ldexp(static_cast<double>(significand), static_cast<int>(lsb_weight));
+  return negative_ ? -mag : mag;
+}
+
+std::string BigFloat::to_string() const {
+  if (is_zero()) return "0";
+  std::ostringstream os;
+  if (negative_) os << '-';
+  os << "0x";
+  for (std::size_t i = magnitude_.size(); i-- > 0;) {
+    char buf[17];
+    std::snprintf(buf, sizeof buf, i + 1 == magnitude_.size() ? "%llx" : "%016llx",
+                  static_cast<unsigned long long>(magnitude_[i]));
+    os << buf;
+  }
+  os << " * 2^" << exponent_;
+  return os.str();
+}
+
+}  // namespace aabft::fp

@@ -1,0 +1,88 @@
+// Exact dyadic (base-2 rational) arithmetic.
+//
+// BigFloat represents sign * magnitude * 2^exponent with an arbitrary-size
+// magnitude, and performs addition and multiplication *exactly* — no
+// rounding, ever. It is the second, independent implementation of the exact
+// reference arithmetic (the first being ExactAccumulator); the two are
+// cross-checked against each other in the test suite, standing in for the
+// paper's GMP-based reference.
+//
+// Complexity is irrelevant here (schoolbook multiply, linear add): BigFloat
+// is a verification oracle, never on a measured path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aabft::fp {
+
+class BigFloat {
+ public:
+  /// Zero.
+  BigFloat() = default;
+
+  /// Exact conversion from a finite double.
+  static BigFloat from_double(double x);
+
+  [[nodiscard]] bool is_zero() const noexcept { return magnitude_.empty(); }
+  [[nodiscard]] int sign() const noexcept {
+    return is_zero() ? 0 : (negative_ ? -1 : 1);
+  }
+
+  [[nodiscard]] BigFloat operator-() const;
+  [[nodiscard]] BigFloat operator+(const BigFloat& rhs) const;
+  [[nodiscard]] BigFloat operator-(const BigFloat& rhs) const;
+  [[nodiscard]] BigFloat operator*(const BigFloat& rhs) const;
+
+  BigFloat& operator+=(const BigFloat& rhs) { return *this = *this + rhs; }
+  BigFloat& operator-=(const BigFloat& rhs) { return *this = *this - rhs; }
+  BigFloat& operator*=(const BigFloat& rhs) { return *this = *this * rhs; }
+
+  /// Exact three-way comparison: -1, 0, +1.
+  [[nodiscard]] int compare(const BigFloat& rhs) const;
+  [[nodiscard]] bool operator==(const BigFloat& rhs) const {
+    return compare(rhs) == 0;
+  }
+
+  [[nodiscard]] BigFloat abs() const;
+
+  /// Round to the nearest double, ties to even. Saturates to +/-infinity.
+  [[nodiscard]] double to_double() const noexcept;
+
+  /// Hex-ish debug rendering: "-0x<limbs> * 2^<exp>".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  // Invariants: magnitude_ empty <=> value is zero (then negative_ == false,
+  // exponent_ == 0). Otherwise top limb non-zero; value ==
+  // (-1)^negative * (sum_i magnitude_[i] * 2^(64 i)) * 2^exponent_.
+  void normalize();
+
+  static std::vector<std::uint64_t> mag_add(const std::vector<std::uint64_t>& a,
+                                            const std::vector<std::uint64_t>& b);
+  // Requires a >= b.
+  static std::vector<std::uint64_t> mag_sub(const std::vector<std::uint64_t>& a,
+                                            const std::vector<std::uint64_t>& b);
+  static int mag_compare(const std::vector<std::uint64_t>& a,
+                         const std::vector<std::uint64_t>& b) noexcept;
+  static std::vector<std::uint64_t> mag_mul(const std::vector<std::uint64_t>& a,
+                                            const std::vector<std::uint64_t>& b);
+  static std::vector<std::uint64_t> mag_shift_left(
+      const std::vector<std::uint64_t>& a, std::int64_t bits);
+
+  /// Align *this and rhs to a common exponent, returning the shifted
+  /// magnitudes and that exponent.
+  struct Aligned {
+    std::vector<std::uint64_t> a;
+    std::vector<std::uint64_t> b;
+    std::int64_t exponent;
+  };
+  [[nodiscard]] Aligned align(const BigFloat& rhs) const;
+
+  bool negative_ = false;
+  std::int64_t exponent_ = 0;              // weight of magnitude bit 0
+  std::vector<std::uint64_t> magnitude_;   // little-endian limbs
+};
+
+}  // namespace aabft::fp

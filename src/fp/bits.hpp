@@ -1,0 +1,104 @@
+// IEEE-754 binary64 bit-level utilities.
+//
+// The probabilistic rounding-error model (paper Section IV) and the fault
+// model (Section VI-C / Algorithm 3) both operate on the bit layout of
+// doubles: the model needs exponents of intermediate results (Eq. 13), the
+// fault model XORs error vectors into the sign / exponent / mantissa fields.
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "core/require.hpp"
+
+namespace aabft::fp {
+
+inline constexpr int kMantissaBits = 52;   ///< explicit fraction bits of binary64
+inline constexpr int kExponentBits = 11;
+inline constexpr int kExponentBias = 1023;
+inline constexpr std::uint64_t kSignMask = 0x8000'0000'0000'0000ULL;
+inline constexpr std::uint64_t kExponentMask = 0x7ff0'0000'0000'0000ULL;
+inline constexpr std::uint64_t kFractionMask = 0x000f'ffff'ffff'ffffULL;
+
+/// `t` in the paper's notation: number of mantissa bits used by the rounding
+/// error model, 2^-t being the unit roundoff scale for binary64.
+inline constexpr int kPaperT = 52;
+
+[[nodiscard]] inline std::uint64_t to_bits(double x) noexcept {
+  return std::bit_cast<std::uint64_t>(x);
+}
+
+[[nodiscard]] inline double from_bits(std::uint64_t b) noexcept {
+  return std::bit_cast<double>(b);
+}
+
+[[nodiscard]] inline bool sign_bit(double x) noexcept {
+  return (to_bits(x) & kSignMask) != 0;
+}
+
+/// Raw biased exponent field (0 for zero/subnormal, 2047 for inf/nan).
+[[nodiscard]] inline int biased_exponent(double x) noexcept {
+  return static_cast<int>((to_bits(x) & kExponentMask) >> kMantissaBits);
+}
+
+[[nodiscard]] inline std::uint64_t fraction_field(double x) noexcept {
+  return to_bits(x) & kFractionMask;
+}
+
+/// Decomposition of a finite double into integer significand and power of
+/// two: value == sign * significand * 2^exponent with significand < 2^53.
+struct Decomposed {
+  bool negative = false;
+  std::uint64_t significand = 0;  ///< includes the implicit leading 1 if normal
+  int exponent = 0;               ///< power-of-two weight of significand bit 0
+};
+
+[[nodiscard]] inline Decomposed decompose(double x) {
+  AABFT_REQUIRE(std::isfinite(x), "decompose requires a finite double");
+  Decomposed d;
+  d.negative = sign_bit(x);
+  const int be = biased_exponent(x);
+  const std::uint64_t frac = fraction_field(x);
+  if (be == 0) {  // zero or subnormal
+    d.significand = frac;
+    d.exponent = 1 - kExponentBias - kMantissaBits;  // == -1074
+  } else {
+    d.significand = frac | (1ULL << kMantissaBits);
+    d.exponent = be - kExponentBias - kMantissaBits;
+  }
+  return d;
+}
+
+/// Paper Eq. (13): E = ceil(log2|s*|). Exact, via bit inspection (no libm
+/// rounding concerns). Requires s != 0 and finite.
+[[nodiscard]] inline int ceil_log2_abs(double x) {
+  AABFT_REQUIRE(std::isfinite(x) && x != 0.0,
+                "ceil_log2_abs requires finite non-zero input");
+  const Decomposed d = decompose(x);
+  // significand in [1, 2^53); find its MSB position.
+  const int msb = 63 - std::countl_zero(d.significand);
+  // |x| = significand * 2^exponent; 2^(msb+exponent) <= |x| < 2^(msb+1+exponent).
+  const int floor_log2 = msb + d.exponent;
+  // ceil(log2|x|) == floor_log2 when |x| is an exact power of two, else +1.
+  const bool power_of_two = (d.significand & (d.significand - 1)) == 0;
+  return power_of_two ? floor_log2 : floor_log2 + 1;
+}
+
+/// Unit in the last place of x (distance to the next representable double of
+/// larger magnitude). Finite non-zero x only.
+[[nodiscard]] inline double ulp(double x) {
+  AABFT_REQUIRE(std::isfinite(x), "ulp requires a finite double");
+  const double ax = std::fabs(x);
+  const double next = std::nextafter(ax, std::numeric_limits<double>::infinity());
+  return next - ax;
+}
+
+/// XOR an error mask into the bit pattern of a double — the paper's fault
+/// injection primitive (dataVec ^ errorVec).
+[[nodiscard]] inline double xor_bits(double x, std::uint64_t error_vec) noexcept {
+  return from_bits(to_bits(x) ^ error_vec);
+}
+
+}  // namespace aabft::fp

@@ -1,0 +1,76 @@
+// Error-free transformations (EFTs) for IEEE-754 doubles.
+//
+// These are the building blocks of the exact reference arithmetic that
+// replaces the paper's GMP usage: a rounded operation plus its exact rounding
+// error, both representable as doubles.
+//
+//   two_sum(a, b)      : a + b  == s + e   exactly (Knuth / Møller)
+//   fast_two_sum(a, b) : same, requires |a| >= |b| (Dekker)
+//   two_prod_fma(a, b) : a * b  == p + e   exactly (uses hardware FMA)
+//   two_prod(a, b)     : FMA-free variant via Dekker splitting
+//
+// References: Ogita, Rump, Oishi, "Accurate sum and dot product", SISC 2005.
+#pragma once
+
+#include <cmath>
+
+namespace aabft::fp {
+
+/// Result of an error-free transformation: `value` is the rounded result,
+/// `error` the exact residual, so that the exact answer is value + error.
+struct Eft {
+  double value = 0.0;
+  double error = 0.0;
+};
+
+/// Knuth's TwoSum: 6 flops, no branch, no magnitude precondition.
+[[nodiscard]] inline Eft two_sum(double a, double b) noexcept {
+  const double s = a + b;
+  const double bp = s - a;
+  const double ap = s - bp;
+  const double db = b - bp;
+  const double da = a - ap;
+  return {s, da + db};
+}
+
+/// Dekker's FastTwoSum: 3 flops, requires |a| >= |b| (or a == 0).
+[[nodiscard]] inline Eft fast_two_sum(double a, double b) noexcept {
+  const double s = a + b;
+  const double e = b - (s - a);
+  return {s, e};
+}
+
+/// Dekker split: x == hi + lo with hi, lo each holding at most 26 significant
+/// bits, enabling exact double-length products without FMA.
+struct Split {
+  double hi = 0.0;
+  double lo = 0.0;
+};
+
+[[nodiscard]] inline Split split(double x) noexcept {
+  constexpr double kSplitter = 134217729.0;  // 2^27 + 1
+  const double c = kSplitter * x;
+  const double hi = c - (c - x);
+  return {hi, x - hi};
+}
+
+/// TwoProd via FMA: p = fl(a*b), e = fma(a, b, -p) is the exact error.
+[[nodiscard]] inline Eft two_prod_fma(double a, double b) noexcept {
+  const double p = a * b;
+  const double e = std::fma(a, b, -p);
+  return {p, e};
+}
+
+/// Dekker/Veltkamp TwoProd without FMA (17 flops). Kept as an independent
+/// implementation for cross-checking the FMA path in tests; overflows the
+/// split for |x| >~ 2^996, which our workloads never approach.
+[[nodiscard]] inline Eft two_prod(double a, double b) noexcept {
+  const double p = a * b;
+  const Split as = split(a);
+  const Split bs = split(b);
+  const double e =
+      ((as.hi * bs.hi - p) + as.hi * bs.lo + as.lo * bs.hi) + as.lo * bs.lo;
+  return {p, e};
+}
+
+}  // namespace aabft::fp

@@ -1,0 +1,197 @@
+#include "fp/exact_accumulator.hpp"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "core/require.hpp"
+#include "fp/bits.hpp"
+#include "fp/eft.hpp"
+
+namespace aabft::fp {
+
+namespace {
+
+// Negate a two's-complement limb array in place.
+void negate_limbs(std::array<std::uint64_t, ExactAccumulator::kLimbs>& limbs) noexcept {
+  std::uint64_t carry = 1;
+  for (auto& limb : limbs) {
+    const std::uint64_t inverted = ~limb;
+    limb = inverted + carry;
+    carry = (carry != 0 && limb == 0) ? 1 : 0;
+  }
+}
+
+}  // namespace
+
+void ExactAccumulator::add_shifted(std::uint64_t significand, int shift,
+                                   bool negative) noexcept {
+  if (significand == 0) return;
+  const int limb_index = shift / 64;
+  const int offset = shift % 64;
+  const std::uint64_t lo = significand << offset;
+  const std::uint64_t hi = offset != 0 ? (significand >> (64 - offset)) : 0;
+
+  if (!negative) {
+    unsigned __int128 acc =
+        static_cast<unsigned __int128>(limbs_[limb_index]) + lo;
+    limbs_[limb_index] = static_cast<std::uint64_t>(acc);
+    std::uint64_t carry = static_cast<std::uint64_t>(acc >> 64);
+    acc = static_cast<unsigned __int128>(limbs_[limb_index + 1]) + hi + carry;
+    limbs_[limb_index + 1] = static_cast<std::uint64_t>(acc);
+    carry = static_cast<std::uint64_t>(acc >> 64);
+    for (int i = limb_index + 2; carry != 0 && i < kLimbs; ++i) {
+      acc = static_cast<unsigned __int128>(limbs_[i]) + carry;
+      limbs_[i] = static_cast<std::uint64_t>(acc);
+      carry = static_cast<std::uint64_t>(acc >> 64);
+    }
+  } else {
+    std::uint64_t old = limbs_[limb_index];
+    limbs_[limb_index] = old - lo;
+    std::uint64_t borrow = old < lo ? 1 : 0;
+    const std::uint64_t hi_sub = hi + borrow;  // hi < 2^63, cannot overflow
+    old = limbs_[limb_index + 1];
+    limbs_[limb_index + 1] = old - hi_sub;
+    borrow = old < hi_sub ? 1 : 0;
+    for (int i = limb_index + 2; borrow != 0 && i < kLimbs; ++i) {
+      old = limbs_[i];
+      limbs_[i] = old - 1;
+      borrow = old == 0 ? 1 : 0;
+    }
+  }
+}
+
+void ExactAccumulator::add(double x) {
+  AABFT_REQUIRE(std::isfinite(x), "ExactAccumulator::add requires finite input");
+  if (x == 0.0) return;
+  const Decomposed d = decompose(x);
+  add_shifted(d.significand, d.exponent + kBias, d.negative);
+}
+
+void ExactAccumulator::sub(double x) {
+  AABFT_REQUIRE(std::isfinite(x), "ExactAccumulator::sub requires finite input");
+  if (x == 0.0) return;
+  const Decomposed d = decompose(x);
+  add_shifted(d.significand, d.exponent + kBias, !d.negative);
+}
+
+void ExactAccumulator::add_product(double a, double b) {
+  const Eft p = two_prod_fma(a, b);
+  AABFT_REQUIRE(std::isfinite(p.value),
+                "ExactAccumulator::add_product overflowed in the product");
+  add(p.value);
+  add(p.error);
+}
+
+void ExactAccumulator::sub_product(double a, double b) {
+  const Eft p = two_prod_fma(a, b);
+  AABFT_REQUIRE(std::isfinite(p.value),
+                "ExactAccumulator::sub_product overflowed in the product");
+  sub(p.value);
+  sub(p.error);
+}
+
+ExactAccumulator& ExactAccumulator::operator+=(
+    const ExactAccumulator& other) noexcept {
+  std::uint64_t carry = 0;
+  for (int i = 0; i < kLimbs; ++i) {
+    const unsigned __int128 acc = static_cast<unsigned __int128>(limbs_[i]) +
+                                  other.limbs_[i] + carry;
+    limbs_[i] = static_cast<std::uint64_t>(acc);
+    carry = static_cast<std::uint64_t>(acc >> 64);
+  }
+  return *this;
+}
+
+void ExactAccumulator::negate() noexcept { negate_limbs(limbs_); }
+
+bool ExactAccumulator::is_zero() const noexcept {
+  for (const auto limb : limbs_)
+    if (limb != 0) return false;
+  return true;
+}
+
+int ExactAccumulator::sign() const noexcept {
+  if (limbs_[kLimbs - 1] >> 63) return -1;
+  return is_zero() ? 0 : 1;
+}
+
+int ExactAccumulator::compare(const ExactAccumulator& other) const noexcept {
+  // Two's-complement comparison: compare top limbs as signed, rest unsigned.
+  const auto top_a = static_cast<std::int64_t>(limbs_[kLimbs - 1]);
+  const auto top_b = static_cast<std::int64_t>(other.limbs_[kLimbs - 1]);
+  if (top_a != top_b) return top_a < top_b ? -1 : 1;
+  for (int i = kLimbs - 2; i >= 0; --i) {
+    if (limbs_[i] != other.limbs_[i])
+      return limbs_[i] < other.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+double ExactAccumulator::round_to_double() const noexcept {
+  const int s = sign();
+  if (s == 0) return 0.0;
+
+  std::array<std::uint64_t, kLimbs> mag = limbs_;
+  if (s < 0) negate_limbs(mag);
+
+  // Locate the most significant set bit.
+  int msb_limb = kLimbs - 1;
+  while (msb_limb >= 0 && mag[msb_limb] == 0) --msb_limb;
+  const int msb_bit_in_limb = 63 - std::countl_zero(mag[msb_limb]);
+  const int msb = msb_limb * 64 + msb_bit_in_limb;  // bit index of MSB
+
+  // The double result keeps bits [lsb, msb]; anything below lsb is rounded.
+  // lsb is clamped at 0 because bit 0 already matches the smallest subnormal.
+  const int lsb = std::max(msb - 52, 0);
+
+  auto get_bit = [&mag](int bit) -> unsigned {
+    return static_cast<unsigned>((mag[bit / 64] >> (bit % 64)) & 1U);
+  };
+
+  // Extract the significand bits [lsb, msb] into a 64-bit integer.
+  std::uint64_t significand = 0;
+  {
+    const int limb = lsb / 64;
+    const int off = lsb % 64;
+    significand = mag[limb] >> off;
+    if (off != 0 && limb + 1 < kLimbs)
+      significand |= mag[limb + 1] << (64 - off);
+    const int width = msb - lsb + 1;
+    if (width < 64) significand &= (1ULL << width) - 1;
+  }
+
+  // Round to nearest, ties to even.
+  if (lsb > 0) {
+    const unsigned guard = get_bit(lsb - 1);
+    bool sticky = false;
+    if (guard) {
+      // Sticky = any set bit strictly below the guard bit.
+      const int guard_pos = lsb - 1;
+      for (int i = 0; i < guard_pos / 64 && !sticky; ++i) sticky = mag[i] != 0;
+      if (!sticky && guard_pos % 64 != 0) {
+        const std::uint64_t mask = (1ULL << (guard_pos % 64)) - 1;
+        sticky = (mag[guard_pos / 64] & mask) != 0;
+      }
+      if (sticky || (significand & 1U)) ++significand;
+    }
+  }
+
+  int exponent = lsb - kBias;
+  if (significand == (1ULL << 53)) {  // rounding overflowed the significand
+    significand >>= 1;
+    ++exponent;
+  }
+
+  const double magnitude =
+      std::ldexp(static_cast<double>(significand), exponent);
+  return s < 0 ? -magnitude : magnitude;
+}
+
+double ExactAccumulator::round_minus(double x) const {
+  ExactAccumulator tmp = *this;
+  tmp.sub(x);
+  return tmp.round_to_double();
+}
+
+}  // namespace aabft::fp

@@ -1,0 +1,77 @@
+// Kulisch-style exact fixed-point superaccumulator for binary64.
+//
+// This replaces the paper's GMP reference arithmetic: a dot product of
+// doubles is accumulated *exactly* (every addend is a double or an exact
+// product split into two doubles via an error-free transformation), so the
+// "actual rounding error" columns of Tables II-IV can be computed bit-exactly
+// rather than at some finite GMP precision.
+//
+// Representation: a 2176-bit two's-complement fixed-point number whose bit k
+// carries weight 2^(k-1074). Bit 0 therefore aligns with the smallest
+// positive subnormal double, and the largest finite double (< 2^1024) sets
+// bits up to index 2097. The remaining ~78 high-order bits are carry
+// headroom: more than 2^60 accumulated doubles are required to overflow,
+// far beyond any workload in this repository.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace aabft::fp {
+
+class ExactAccumulator {
+ public:
+  static constexpr int kLimbs = 34;       ///< 34 × 64 = 2176 bits
+  static constexpr int kBias = 1074;      ///< bit k weighs 2^(k - kBias)
+
+  ExactAccumulator() = default;
+
+  /// Add a double exactly. Infinities/NaN are rejected via AABFT_REQUIRE.
+  void add(double x);
+
+  /// Subtract a double exactly.
+  void sub(double x);
+
+  /// Add the exact (unrounded) product a*b using TwoProdFMA.
+  void add_product(double a, double b);
+
+  /// Subtract the exact product a*b.
+  void sub_product(double a, double b);
+
+  /// Accumulate another accumulator (exact).
+  ExactAccumulator& operator+=(const ExactAccumulator& other) noexcept;
+
+  /// Negate in place (two's complement).
+  void negate() noexcept;
+
+  void clear() noexcept { limbs_.fill(0); }
+
+  [[nodiscard]] bool is_zero() const noexcept;
+
+  /// Sign of the exact value: -1, 0, +1.
+  [[nodiscard]] int sign() const noexcept;
+
+  /// Three-way comparison of exact values.
+  [[nodiscard]] int compare(const ExactAccumulator& other) const noexcept;
+
+  /// Round the exact value to the nearest double (ties to even). Values
+  /// beyond the finite double range return +/-infinity.
+  [[nodiscard]] double round_to_double() const noexcept;
+
+  /// Convenience: round(exact_value - x) — the correctly rounded difference
+  /// between the exact value held here and a computed double, i.e. the exact
+  /// rounding error of `x` as an approximation of this accumulator.
+  [[nodiscard]] double round_minus(double x) const;
+
+  /// Raw limb access for tests (little-endian, two's complement).
+  [[nodiscard]] const std::array<std::uint64_t, kLimbs>& limbs() const noexcept {
+    return limbs_;
+  }
+
+ private:
+  void add_shifted(std::uint64_t significand, int shift, bool negative) noexcept;
+
+  std::array<std::uint64_t, kLimbs> limbs_{};  // value-initialised to zero
+};
+
+}  // namespace aabft::fp

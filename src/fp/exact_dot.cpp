@@ -1,0 +1,52 @@
+#include "fp/exact_dot.hpp"
+
+#include <cmath>
+
+#include "core/require.hpp"
+
+namespace aabft::fp {
+
+ExactAccumulator exact_dot(std::span<const double> a, std::span<const double> b) {
+  AABFT_REQUIRE(a.size() == b.size(), "exact_dot requires equal lengths");
+  ExactAccumulator acc;
+  for (std::size_t i = 0; i < a.size(); ++i) acc.add_product(a[i], b[i]);
+  return acc;
+}
+
+ExactAccumulator exact_sum(std::span<const double> a) {
+  ExactAccumulator acc;
+  for (const double x : a) acc.add(x);
+  return acc;
+}
+
+double exact_dot_rounded(std::span<const double> a, std::span<const double> b) {
+  return exact_dot(a, b).round_to_double();
+}
+
+double rounding_error_of_dot(std::span<const double> a,
+                             std::span<const double> b, double computed) {
+  return std::fabs(exact_dot(a, b).round_minus(computed));
+}
+
+double rounding_error_of_sum(std::span<const double> a, double computed) {
+  return std::fabs(exact_sum(a).round_minus(computed));
+}
+
+double fp_dot(std::span<const double> a, std::span<const double> b,
+              bool use_fma) noexcept {
+  double s = 0.0;
+  if (use_fma) {
+    for (std::size_t i = 0; i < a.size(); ++i) s = std::fma(a[i], b[i], s);
+  } else {
+    for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  }
+  return s;
+}
+
+double fp_sum(std::span<const double> a) noexcept {
+  double s = 0.0;
+  for (const double x : a) s += x;
+  return s;
+}
+
+}  // namespace aabft::fp

@@ -1,0 +1,42 @@
+// Exact dot products and rounding-error references.
+//
+// These functions produce the "actual rounding error" baselines of the
+// paper's Tables II-IV: the exact value of an inner product (computed in the
+// Kulisch superaccumulator, hence bit-exact) compared against the value a
+// floating-point kernel actually produced.
+#pragma once
+
+#include <span>
+
+#include "fp/exact_accumulator.hpp"
+
+namespace aabft::fp {
+
+/// Exact value of sum_i a[i] * b[i], held in a superaccumulator.
+[[nodiscard]] ExactAccumulator exact_dot(std::span<const double> a,
+                                         std::span<const double> b);
+
+/// Exact value of sum_i a[i].
+[[nodiscard]] ExactAccumulator exact_sum(std::span<const double> a);
+
+/// Correctly rounded exact dot product.
+[[nodiscard]] double exact_dot_rounded(std::span<const double> a,
+                                       std::span<const double> b);
+
+/// |computed - exact(a.b)| — the actual absolute rounding error of a
+/// floating-point evaluation `computed` of the inner product a.b.
+[[nodiscard]] double rounding_error_of_dot(std::span<const double> a,
+                                           std::span<const double> b,
+                                           double computed);
+
+/// |computed - exact(sum a)| for plain summations (checksum encodes).
+[[nodiscard]] double rounding_error_of_sum(std::span<const double> a,
+                                           double computed);
+
+/// Plain recursive (left-to-right) floating-point evaluations, used when a
+/// test needs "what the naive kernel would compute" on the host.
+[[nodiscard]] double fp_dot(std::span<const double> a, std::span<const double> b,
+                            bool use_fma) noexcept;
+[[nodiscard]] double fp_sum(std::span<const double> a) noexcept;
+
+}  // namespace aabft::fp

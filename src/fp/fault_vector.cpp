@@ -1,0 +1,112 @@
+#include "fp/fault_vector.hpp"
+
+#include <bit>
+
+#include "core/require.hpp"
+#include "fp/bits.hpp"
+
+namespace aabft::fp {
+
+std::string to_string(BitField field) {
+  switch (field) {
+    case BitField::kSign: return "sign";
+    case BitField::kExponent: return "exponent";
+    case BitField::kMantissa: return "mantissa";
+  }
+  return "?";
+}
+
+int field_width(BitField field) noexcept {
+  switch (field) {
+    case BitField::kSign: return 1;
+    case BitField::kExponent: return kExponentBits;
+    case BitField::kMantissa: return kMantissaBits;
+  }
+  return 0;
+}
+
+int field_offset(BitField field) noexcept {
+  switch (field) {
+    case BitField::kSign: return 63;
+    case BitField::kExponent: return kMantissaBits;
+    case BitField::kMantissa: return 0;
+  }
+  return 0;
+}
+
+int field_width32(BitField field) noexcept {
+  switch (field) {
+    case BitField::kSign: return 1;
+    case BitField::kExponent: return 8;
+    case BitField::kMantissa: return 23;
+  }
+  return 0;
+}
+
+int field_offset32(BitField field) noexcept {
+  switch (field) {
+    case BitField::kSign: return 31;
+    case BitField::kExponent: return 23;
+    case BitField::kMantissa: return 0;
+  }
+  return 0;
+}
+
+namespace {
+
+std::uint64_t make_error_vec_impl(int width, int offset, int num_bits,
+                                  Rng& rng) {
+  AABFT_REQUIRE(num_bits >= 1 && num_bits <= width,
+                "num_bits must fit inside the targeted field");
+
+  if (num_bits == 1) {
+    const int pos = static_cast<int>(rng.below(static_cast<std::uint64_t>(width)));
+    return 1ULL << (offset + pos);
+  }
+
+  // Neighbourhood construction: endpoints lo < hi with enough room between
+  // them for the remaining num_bits - 2 flips.
+  int lo = 0;
+  int hi = 0;
+  do {
+    const int a = static_cast<int>(rng.below(static_cast<std::uint64_t>(width)));
+    const int b = static_cast<int>(rng.below(static_cast<std::uint64_t>(width)));
+    lo = std::min(a, b);
+    hi = std::max(a, b);
+  } while (hi - lo - 1 < num_bits - 2 || lo == hi);
+
+  std::uint64_t vec = (1ULL << lo) | (1ULL << hi);
+  int placed = 2;
+  while (placed < num_bits) {
+    const int pos =
+        lo + 1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(hi - lo - 1)));
+    const std::uint64_t bit = 1ULL << pos;
+    if ((vec & bit) == 0) {
+      vec |= bit;
+      ++placed;
+    }
+  }
+  return vec << offset;
+}
+
+}  // namespace
+
+std::uint64_t make_error_vec(BitField field, int num_bits, Rng& rng) {
+  return make_error_vec_impl(field_width(field), field_offset(field), num_bits,
+                             rng);
+}
+
+std::uint64_t make_error_vec32(BitField field, int num_bits, Rng& rng) {
+  return make_error_vec_impl(field_width32(field), field_offset32(field),
+                             num_bits, rng);
+}
+
+int popcount_in_field(std::uint64_t error_vec, BitField field) noexcept {
+  const int width = field_width(field);
+  const int offset = field_offset(field);
+  const std::uint64_t mask =
+      width == 64 ? ~0ULL : (((1ULL << width) - 1) << offset);
+  return std::popcount(error_vec & mask);
+}
+
+}  // namespace aabft::fp

@@ -1,0 +1,51 @@
+// Construction of fault (error) vectors per the paper's Section VI-C.
+//
+// A fault is injected by XOR-ing an `errorVec` bit mask into the binary64
+// result of a floating-point instruction. The paper targets all three fields
+// of the number — sign, exponent, mantissa — with either a single bit flip or
+// a multi-bit flip with "neighbourhood characteristics": two bit positions
+// are chosen at random and the remaining flips are placed randomly between
+// them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/rng.hpp"
+
+namespace aabft::fp {
+
+/// Which field of the IEEE-754 double an injection targets.
+enum class BitField { kSign, kExponent, kMantissa };
+
+[[nodiscard]] std::string to_string(BitField field);
+
+/// Width in bits of a field (sign 1, exponent 11, mantissa 52).
+[[nodiscard]] int field_width(BitField field) noexcept;
+
+/// Lowest bit index of a field within the 64-bit pattern.
+[[nodiscard]] int field_offset(BitField field) noexcept;
+
+/// Build an error vector with exactly `num_bits` set bits inside `field`.
+///
+/// num_bits == 1: one uniformly random position in the field.
+/// num_bits >= 2: the paper's neighbourhood construction — two endpoint bits
+/// at random positions, the remaining num_bits-2 flips at distinct random
+/// positions strictly between them.
+///
+/// Requires 1 <= num_bits <= field_width(field).
+[[nodiscard]] std::uint64_t make_error_vec(BitField field, int num_bits,
+                                           Rng& rng);
+
+/// Number of set bits inside a given field of an error vector (test helper).
+[[nodiscard]] int popcount_in_field(std::uint64_t error_vec, BitField field) noexcept;
+
+/// binary32 variants, for single-precision pipelines (gpusim::Precision::
+/// kSingle): field geometry of a float (sign bit 31, 8 exponent bits,
+/// 23 mantissa bits). The returned mask lives in the low 32 bits.
+[[nodiscard]] int field_width32(BitField field) noexcept;
+[[nodiscard]] int field_offset32(BitField field) noexcept;
+[[nodiscard]] std::uint64_t make_error_vec32(BitField field, int num_bits,
+                                             Rng& rng);
+
+}  // namespace aabft::fp

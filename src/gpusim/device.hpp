@@ -1,0 +1,35 @@
+// Device description for the SIMT execution model and the analytic timing
+// model. The K20C preset matches the accelerator used in the paper's
+// evaluation (GK110 Kepler).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace aabft::gpusim {
+
+struct DeviceSpec {
+  std::string name = "sim";
+  int num_sms = 13;                  ///< streaming multiprocessors
+  int cores_per_sm = 192;
+  double clock_ghz = 0.706;
+  double peak_dp_gflops = 1170.0;    ///< peak double-precision rate
+  double mem_bandwidth_gbs = 208.0;  ///< global memory bandwidth
+  double kernel_launch_us = 5.0;     ///< fixed per-launch overhead
+  std::size_t shared_mem_per_block = 48 * 1024;
+};
+
+/// The NVIDIA Tesla K20C used in the paper (GK110, 13 SMX, 2496 cores,
+/// 1.17 TFLOP/s DP peak, 5 GB GDDR5 at 208 GB/s).
+[[nodiscard]] inline DeviceSpec k20c() {
+  DeviceSpec spec;
+  spec.name = "Tesla K20C (simulated)";
+  spec.num_sms = 13;
+  spec.cores_per_sm = 192;
+  spec.clock_ghz = 0.706;
+  spec.peak_dp_gflops = 1170.0;
+  spec.mem_bandwidth_gbs = 208.0;
+  return spec;
+}
+
+}  // namespace aabft::gpusim

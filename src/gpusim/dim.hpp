@@ -1,0 +1,37 @@
+// CUDA-like 3-component launch dimensions for the SIMT execution model.
+#pragma once
+
+#include <cstddef>
+
+namespace aabft::gpusim {
+
+/// Grid/block extent, mirroring CUDA's dim3.
+struct Dim3 {
+  std::size_t x = 1;
+  std::size_t y = 1;
+  std::size_t z = 1;
+
+  [[nodiscard]] constexpr std::size_t count() const noexcept { return x * y * z; }
+  [[nodiscard]] constexpr bool operator==(const Dim3&) const noexcept = default;
+};
+
+/// Coordinates of one block within a grid, plus its linearised index.
+struct BlockCoord {
+  std::size_t x = 0;
+  std::size_t y = 0;
+  std::size_t z = 0;
+  std::size_t linear = 0;
+};
+
+/// Enumerate block coordinates in CUDA's launch order (x fastest).
+[[nodiscard]] constexpr BlockCoord block_coord(const Dim3& grid,
+                                               std::size_t linear) noexcept {
+  BlockCoord c;
+  c.linear = linear;
+  c.x = linear % grid.x;
+  c.y = (linear / grid.x) % grid.y;
+  c.z = linear / (grid.x * grid.y);
+  return c;
+}
+
+}  // namespace aabft::gpusim

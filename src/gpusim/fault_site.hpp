@@ -1,0 +1,148 @@
+// Instruction-level fault injection for simulated kernels (paper Alg. 3).
+//
+// The paper extends its GEMM kernel so that a fault-injection routine can
+// flip bits in the output of a single floating-point instruction, selected
+// by: the streaming multiprocessor executing it, the operation kind (inner-
+// loop multiplication, inner-loop addition, or the final merge addition),
+// the module id (which of the RX*RY per-thread result slots), and the point
+// in time `kInjection`. FaultController reproduces exactly that interface.
+//
+// The paper's campaigns inject one fault per multiplication; as an
+// extension, the controller can also be armed with several faults at once
+// (each one-shot) to study multi-error behaviour of the partitioned scheme.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "core/require.hpp"
+
+namespace aabft::gpusim {
+
+/// The three floating-point operation classes Algorithm 3 can target.
+enum class FaultSite : std::uint8_t {
+  kInnerMul,   ///< rA * rB inside the K loop
+  kInnerAdd,   ///< accumulation inside the K loop
+  kFinalAdd,   ///< merge of per-thread accumulators into C
+};
+
+[[nodiscard]] inline std::string to_string(FaultSite site) {
+  switch (site) {
+    case FaultSite::kInnerMul: return "inner-loop multiplication";
+    case FaultSite::kInnerAdd: return "inner-loop addition";
+    case FaultSite::kFinalAdd: return "final sum addition";
+  }
+  return "?";
+}
+
+/// Static description of one fault to inject.
+struct FaultConfig {
+  FaultSite site = FaultSite::kInnerMul;
+  int sm_id = 0;                  ///< virtual SM that must execute the op
+  int module_id = 0;              ///< which RX*RY result slot within a thread
+  std::int64_t k_injection = 0;   ///< sequence index (K-loop step) to fire at
+  std::uint64_t error_vec = 0;    ///< XOR mask applied to the op result
+};
+
+/// Arms one or more faults; each fires at most once. Thread-safe: when
+/// several blocks race on the same (site, sm, module, k) coordinates,
+/// exactly one injection happens per armed fault — matching the paper's
+/// single-fault-per-multiplication experiments (and extending them to
+/// multi-fault campaigns).
+class FaultController {
+ public:
+  static constexpr std::size_t kMaxFaults = 8;
+
+  FaultController() = default;
+
+  /// Arm a single fault (the paper's mode).
+  void arm(const FaultConfig& config) { arm_many({&config, 1}); }
+
+  /// Arm up to kMaxFaults simultaneous one-shot faults.
+  void arm_many(std::span<const FaultConfig> configs) {
+    AABFT_REQUIRE(configs.size() >= 1 && configs.size() <= kMaxFaults,
+                  "between 1 and kMaxFaults faults can be armed");
+    count_ = configs.size();
+    for (std::size_t i = 0; i < count_; ++i) {
+      configs_[i] = configs[i];
+      fired_[i].store(false, std::memory_order_relaxed);
+    }
+    armed_ = true;
+  }
+
+  void disarm() noexcept { armed_ = false; }
+
+  [[nodiscard]] bool armed() const noexcept { return armed_; }
+
+  /// Whether any armed fault has fired.
+  [[nodiscard]] bool fired() const noexcept { return fired_count() > 0; }
+
+  [[nodiscard]] std::size_t fired_count() const noexcept {
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < count_; ++i)
+      if (fired_[i].load(std::memory_order_relaxed)) ++n;
+    return n;
+  }
+
+  [[nodiscard]] std::size_t armed_count() const noexcept { return count_; }
+
+  /// First armed fault (the paper's single-fault accessors).
+  [[nodiscard]] const FaultConfig& config() const noexcept { return configs_[0]; }
+
+  /// Value observed at the moment of injection (pre-XOR) of fault `i`, for
+  /// experiment bookkeeping. Only meaningful once that fault fired.
+  [[nodiscard]] double original_value(std::size_t i = 0) const noexcept {
+    return original_values_[i];
+  }
+  [[nodiscard]] double faulty_value(std::size_t i = 0) const noexcept {
+    return faulty_values_[i];
+  }
+
+  /// Called by MathCtx for every injectable operation. Returns the possibly
+  /// corrupted value. When several armed faults match the same instruction,
+  /// their masks compose (XOR is associative). With `single_precision` the
+  /// low 32 bits of error_vec are XORed into the value's *binary32* pattern
+  /// (the value is float-representable in that mode).
+  [[nodiscard]] double maybe_inject(FaultSite site, int sm_id, int module_id,
+                                    std::int64_t k, double value,
+                                    bool single_precision = false) noexcept {
+    if (!armed_) return value;
+    for (std::size_t i = 0; i < count_; ++i) {
+      const FaultConfig& cfg = configs_[i];
+      if (site != cfg.site || sm_id != cfg.sm_id ||
+          module_id != cfg.module_id || k != cfg.k_injection)
+        continue;
+      bool expected = false;
+      if (!fired_[i].compare_exchange_strong(expected, true,
+                                             std::memory_order_acq_rel))
+        continue;  // this fault was already consumed
+      original_values_[i] = value;
+      if (single_precision) {
+        const std::uint32_t bits =
+            std::bit_cast<std::uint32_t>(static_cast<float>(value)) ^
+            static_cast<std::uint32_t>(cfg.error_vec);
+        value = static_cast<double>(std::bit_cast<float>(bits));
+      } else {
+        const std::uint64_t bits =
+            std::bit_cast<std::uint64_t>(value) ^ cfg.error_vec;
+        value = std::bit_cast<double>(bits);
+      }
+      faulty_values_[i] = value;
+    }
+    return value;
+  }
+
+ private:
+  std::array<FaultConfig, kMaxFaults> configs_{};
+  std::size_t count_ = 0;
+  bool armed_ = false;
+  std::array<std::atomic<bool>, kMaxFaults> fired_{};
+  std::array<double, kMaxFaults> original_values_{};
+  std::array<double, kMaxFaults> faulty_values_{};
+};
+
+}  // namespace aabft::gpusim

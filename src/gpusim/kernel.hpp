@@ -1,0 +1,137 @@
+// Kernel launch abstraction for the SIMT execution model.
+//
+// A "kernel" is any callable invoked once per thread block:
+//
+//     void kernel(BlockCtx& block);
+//
+// Inside the callable, code is written in the block-synchronous style: the
+// work of the BS x 1 (or BM x BN) threads of one block is expressed as loops
+// over thread ids, with shared memory as block-local arrays. Sequential
+// execution of those per-thread loops gives the same operation set, operand
+// values and rounding behaviour the CUDA kernels produce; barriers are
+// implicit between loop nests, exactly where the CUDA code has __syncthreads.
+//
+// Blocks are distributed over a host worker pool and deterministically
+// assigned to virtual streaming multiprocessors (sm = linear_block_index mod
+// num_sms), which the fault-injection machinery uses for SM targeting. All
+// floating-point work inside a block goes through BlockCtx::math.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/require.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/dim.hpp"
+#include "gpusim/fault_site.hpp"
+#include "gpusim/math_ctx.hpp"
+#include "gpusim/perf_counters.hpp"
+
+namespace aabft::gpusim {
+
+/// Everything a kernel body can see about the block it runs as.
+struct BlockCtx {
+  BlockCoord block;      ///< coordinates within the grid
+  Dim3 grid;             ///< grid dimensions
+  MathCtx math;          ///< counted / injectable arithmetic
+
+  BlockCtx(BlockCoord b, Dim3 g, int sm_id, FaultController* faults,
+           Precision precision, std::uint64_t shared_limit) noexcept
+      : block(b), grid(g), math(sm_id, faults, precision) {
+    math.set_shared_limit(shared_limit);
+  }
+};
+
+/// Aggregated result of one kernel launch.
+struct LaunchStats {
+  std::string kernel_name;
+  std::size_t blocks = 0;
+  PerfCounters counters;
+};
+
+/// Executes kernels over a grid of blocks.
+class Launcher {
+ public:
+  /// workers == 0 selects std::thread::hardware_concurrency().
+  explicit Launcher(DeviceSpec spec = k20c(), unsigned workers = 0)
+      : spec_(std::move(spec)),
+        workers_(workers != 0 ? workers
+                              : std::max(1u, std::thread::hardware_concurrency())) {}
+
+  [[nodiscard]] const DeviceSpec& device() const noexcept { return spec_; }
+
+  /// Attach (or detach, with nullptr) the fault controller consulted by all
+  /// subsequently launched kernels.
+  void set_fault_controller(FaultController* faults) noexcept { faults_ = faults; }
+  [[nodiscard]] FaultController* fault_controller() const noexcept { return faults_; }
+
+  /// Arithmetic precision of subsequently launched kernels (default double;
+  /// kSingle simulates a binary32 GPU pipeline — see MathCtx::Precision).
+  void set_precision(Precision precision) noexcept { precision_ = precision; }
+  [[nodiscard]] Precision precision() const noexcept { return precision_; }
+
+  /// Run `body(BlockCtx&)` for every block of the grid. Returns op counts
+  /// aggregated across blocks and records them in the launch log.
+  template <typename Body>
+  LaunchStats launch(const std::string& name, Dim3 grid, Body&& body) {
+    AABFT_REQUIRE(grid.count() > 0, "empty grid");
+    const std::size_t total = grid.count();
+    LaunchStats stats;
+    stats.kernel_name = name;
+    stats.blocks = total;
+
+    if (workers_ <= 1 || total == 1) {
+      for (std::size_t i = 0; i < total; ++i) {
+        BlockCtx ctx(block_coord(grid, i),
+                     grid,
+                     static_cast<int>(i % static_cast<std::size_t>(spec_.num_sms)),
+                     faults_, precision_, spec_.shared_mem_per_block);
+        body(ctx);
+        stats.counters += ctx.math.counters();
+      }
+    } else {
+      std::atomic<std::size_t> next{0};
+      std::vector<PerfCounters> partial(workers_);
+      std::vector<std::thread> pool;
+      pool.reserve(workers_);
+      for (unsigned w = 0; w < workers_; ++w) {
+        pool.emplace_back([&, w] {
+          PerfCounters local;
+          for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+               i < total; i = next.fetch_add(1, std::memory_order_relaxed)) {
+            BlockCtx ctx(block_coord(grid, i), grid,
+                         static_cast<int>(i % static_cast<std::size_t>(spec_.num_sms)),
+                         faults_, precision_, spec_.shared_mem_per_block);
+            body(ctx);
+            local += ctx.math.counters();
+          }
+          partial[w] = local;
+        });
+      }
+      for (auto& t : pool) t.join();
+      for (const auto& p : partial) stats.counters += p;
+    }
+
+    log_.push_back(stats);
+    return stats;
+  }
+
+  /// Launch log: one entry per kernel launch since the last clear, in launch
+  /// order. The Table I harness reads this to cost every kernel a scheme ran.
+  [[nodiscard]] const std::vector<LaunchStats>& launch_log() const noexcept {
+    return log_;
+  }
+  void clear_launch_log() noexcept { log_.clear(); }
+
+ private:
+  DeviceSpec spec_;
+  unsigned workers_;
+  FaultController* faults_ = nullptr;
+  Precision precision_ = Precision::kDouble;
+  std::vector<LaunchStats> log_;
+};
+
+}  // namespace aabft::gpusim

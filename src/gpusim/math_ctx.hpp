@@ -1,0 +1,166 @@
+// Per-block floating-point context: counted, optionally faulty arithmetic.
+//
+// Simulated kernels perform all their floating-point work through a MathCtx.
+// This gives the library three properties at once:
+//   1. exact operation counts per kernel (feeding the Table I timing model),
+//   2. a well-defined injection surface for the paper's Algorithm 3 faults,
+//   3. a single switch between mul+add and FMA accumulation (Section IV-D),
+//      which the rounding-error bound model must know about.
+//
+// The fast path (no armed fault) is a pointer null-check per injectable op;
+// non-injectable ops only bump local counters.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "core/require.hpp"
+
+#include "gpusim/fault_site.hpp"
+#include "gpusim/perf_counters.hpp"
+
+namespace aabft::gpusim {
+
+/// Arithmetic precision of a simulated kernel. Values are carried in
+/// doubles either way; kSingle rounds every operation result to binary32
+/// (every float is exactly representable as a double, so this reproduces a
+/// single-precision GPU kernel's rounding bit-for-bit). The bound model then
+/// runs with t = 23.
+enum class Precision : std::uint8_t { kDouble, kSingle };
+
+class MathCtx {
+ public:
+  MathCtx(int sm_id, FaultController* faults,
+          Precision precision = Precision::kDouble) noexcept
+      : sm_id_(sm_id), faults_(faults), precision_(precision) {}
+
+  [[nodiscard]] Precision precision() const noexcept { return precision_; }
+
+  // ---- plain counted arithmetic (not an injection target) ----
+
+  [[nodiscard]] double add(double a, double b) noexcept {
+    ++counters_.adds;
+    return round_result(a + b);
+  }
+
+  [[nodiscard]] double sub(double a, double b) noexcept {
+    ++counters_.adds;
+    return round_result(a - b);
+  }
+
+  [[nodiscard]] double mul(double a, double b) noexcept {
+    ++counters_.muls;
+    return round_result(a * b);
+  }
+
+  [[nodiscard]] double fma(double a, double b, double c) noexcept {
+    ++counters_.fmas;
+    return fma_raw(a, b, c);
+  }
+
+  [[nodiscard]] double abs(double a) noexcept {
+    ++counters_.compares;
+    return std::fabs(a);
+  }
+
+  [[nodiscard]] double max(double a, double b) noexcept {
+    ++counters_.compares;
+    return a > b ? a : b;
+  }
+
+  // ---- injectable arithmetic (paper Algorithm 3 fault sites) ----
+
+  [[nodiscard]] double faulty_mul(double a, double b, FaultSite site,
+                                  int module_id, std::int64_t k) noexcept {
+    ++counters_.muls;
+    double r = round_result(a * b);
+    if (faults_ != nullptr)
+      r = faults_->maybe_inject(site, sm_id_, module_id, k, r,
+                                precision_ == Precision::kSingle);
+    return r;
+  }
+
+  [[nodiscard]] double faulty_add(double a, double b, FaultSite site,
+                                  int module_id, std::int64_t k) noexcept {
+    ++counters_.adds;
+    double r = round_result(a + b);
+    if (faults_ != nullptr)
+      r = faults_->maybe_inject(site, sm_id_, module_id, k, r,
+                                precision_ == Precision::kSingle);
+    return r;
+  }
+
+  /// FMA with injection applied to the fused result (the multiplication is
+  /// not separately observable in hardware FMA, so the add site is used).
+  [[nodiscard]] double faulty_fma(double a, double b, double c, FaultSite site,
+                                  int module_id, std::int64_t k) noexcept {
+    ++counters_.fmas;
+    double r = fma_raw(a, b, c);
+    if (faults_ != nullptr)
+      r = faults_->maybe_inject(site, sm_id_, module_id, k, r,
+                                precision_ == Precision::kSingle);
+    return r;
+  }
+
+  // ---- bulk accounting for library helpers (e.g. PMaxList::offer returns
+  // its comparison count; the epsilon computation is a handful of flops) ----
+
+  void count_adds(std::uint64_t n) noexcept { counters_.adds += n; }
+  void count_muls(std::uint64_t n) noexcept { counters_.muls += n; }
+  void count_compares(std::uint64_t n) noexcept { counters_.compares += n; }
+
+  // ---- logical global-memory traffic ----
+
+  void load_bytes(std::uint64_t n) noexcept { counters_.bytes_loaded += n; }
+  void store_bytes(std::uint64_t n) noexcept { counters_.bytes_stored += n; }
+  void load_doubles(std::uint64_t n) noexcept { counters_.bytes_loaded += 8 * n; }
+  void store_doubles(std::uint64_t n) noexcept { counters_.bytes_stored += 8 * n; }
+
+  // ---- shared-memory budget ----
+
+  /// Declare the block's shared-memory footprint. Kernels call this once per
+  /// allocation; the launcher validates the total against the device's
+  /// per-block shared-memory capacity (a real CUDA kernel with this
+  /// footprint would fail to launch).
+  void use_shared_doubles(std::uint64_t n) { use_shared_bytes(8 * n); }
+  void use_shared_bytes(std::uint64_t n) {
+    shared_bytes_ += n;
+    AABFT_REQUIRE(shared_limit_ == 0 || shared_bytes_ <= shared_limit_,
+                  "kernel exceeds the device's per-block shared memory");
+  }
+  void set_shared_limit(std::uint64_t bytes) noexcept { shared_limit_ = bytes; }
+  [[nodiscard]] std::uint64_t shared_bytes() const noexcept {
+    return shared_bytes_;
+  }
+
+  [[nodiscard]] int sm_id() const noexcept { return sm_id_; }
+  [[nodiscard]] const PerfCounters& counters() const noexcept { return counters_; }
+
+ private:
+  /// In single-precision mode, round an (exact-in-double) op result to
+  /// binary32. Adding or multiplying two float-valued doubles is exact in
+  /// double, so round_result gives the correctly rounded float operation —
+  /// no double rounding.
+  [[nodiscard]] double round_result(double x) const noexcept {
+    return precision_ == Precision::kSingle
+               ? static_cast<double>(static_cast<float>(x))
+               : x;
+  }
+
+  [[nodiscard]] double fma_raw(double a, double b, double c) const noexcept {
+    if (precision_ == Precision::kSingle)
+      return static_cast<double>(
+          std::fmaf(static_cast<float>(a), static_cast<float>(b),
+                    static_cast<float>(c)));
+    return std::fma(a, b, c);
+  }
+
+  int sm_id_;
+  FaultController* faults_;
+  Precision precision_;
+  PerfCounters counters_{};
+  std::uint64_t shared_bytes_ = 0;
+  std::uint64_t shared_limit_ = 0;  // 0 = unchecked
+};
+
+}  // namespace aabft::gpusim

@@ -1,0 +1,41 @@
+// Operation and memory-traffic accounting for simulated kernels.
+//
+// Every floating-point operation a kernel performs goes through MathCtx
+// (see math_ctx.hpp) and is tallied here; kernels additionally self-report
+// their logical global-memory traffic. The analytic performance model turns
+// these exact counts into K20C time estimates for Table I.
+#pragma once
+
+#include <cstdint>
+
+namespace aabft::gpusim {
+
+struct PerfCounters {
+  std::uint64_t adds = 0;        ///< floating-point additions/subtractions
+  std::uint64_t muls = 0;        ///< floating-point multiplications
+  std::uint64_t fmas = 0;        ///< fused multiply-adds (2 flops each)
+  std::uint64_t compares = 0;    ///< comparisons / abs / max operations
+  std::uint64_t bytes_loaded = 0;   ///< logical global-memory reads
+  std::uint64_t bytes_stored = 0;   ///< logical global-memory writes
+
+  constexpr PerfCounters& operator+=(const PerfCounters& o) noexcept {
+    adds += o.adds;
+    muls += o.muls;
+    fmas += o.fmas;
+    compares += o.compares;
+    bytes_loaded += o.bytes_loaded;
+    bytes_stored += o.bytes_stored;
+    return *this;
+  }
+
+  /// Total flops with FMA counted as two.
+  [[nodiscard]] constexpr std::uint64_t flops() const noexcept {
+    return adds + muls + 2 * fmas;
+  }
+
+  [[nodiscard]] constexpr std::uint64_t bytes() const noexcept {
+    return bytes_loaded + bytes_stored;
+  }
+};
+
+}  // namespace aabft::gpusim

@@ -1,0 +1,30 @@
+// Launch-log profiling report: a human-readable per-kernel summary of what a
+// scheme executed — op counts, traffic, modelled time and the share of the
+// total. Observability for users tuning block sizes or comparing schemes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "gpusim/kernel.hpp"
+
+namespace aabft::gpusim {
+
+struct KernelProfile {
+  std::string name;
+  std::size_t launches = 0;
+  std::size_t blocks = 0;
+  PerfCounters counters;
+  double modelled_seconds = 0.0;  ///< summed analytic time of the launches
+};
+
+/// Aggregate a launch log by kernel name (in first-seen order), pricing each
+/// launch with the profile its name selects (same mapping as Table I).
+[[nodiscard]] std::vector<KernelProfile> profile_launch_log(
+    const DeviceSpec& device, const std::vector<LaunchStats>& log);
+
+/// Render the aggregation as an aligned text table.
+[[nodiscard]] std::string format_profile(const std::vector<KernelProfile>& profiles);
+
+}  // namespace aabft::gpusim

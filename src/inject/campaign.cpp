@@ -1,0 +1,166 @@
+#include "inject/campaign.hpp"
+
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "abft/checker.hpp"
+#include "abft/encoder.hpp"
+#include "abft/upper_bound.hpp"
+#include "baselines/sea_abft.hpp"
+#include "core/require.hpp"
+#include "core/rng.hpp"
+
+namespace aabft::inject {
+
+using abft::PartitionedCodec;
+using gpusim::FaultConfig;
+using gpusim::FaultController;
+using linalg::Matrix;
+
+namespace {
+
+/// Location and magnitude of the one element a fired fault corrupted.
+struct CorruptedElement {
+  std::size_t row = 0;  ///< encoded coordinates within C_fc
+  std::size_t col = 0;
+  double abs_error = 0.0;
+};
+
+/// Locate corrupted elements; at most `max_expected` may differ (each armed
+/// fault hits one accumulator). Returns the element with the largest
+/// deviation — the one that dominates the ground-truth classification.
+std::optional<CorruptedElement> find_corruption(const Matrix& faulty,
+                                                const Matrix& reference,
+                                                std::size_t max_expected) {
+  std::optional<CorruptedElement> worst;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < faulty.rows(); ++i) {
+    for (std::size_t j = 0; j < faulty.cols(); ++j) {
+      if (faulty(i, j) != reference(i, j)) {
+        ++count;
+        double deviation = std::fabs(faulty(i, j) - reference(i, j));
+        if (std::isnan(deviation))
+          deviation = std::numeric_limits<double>::infinity();
+        if (!worst.has_value() || deviation > worst->abs_error)
+          worst = CorruptedElement{i, j, deviation};
+      }
+    }
+  }
+  AABFT_ASSERT(count <= max_expected,
+               "injected faults corrupted more elements than armed");
+  return worst;
+}
+
+/// Exact per-element upper bound y = max_k |a_ik * b_kj| for the
+/// classification baseline (ground truth, not the runtime p-max estimate).
+double exact_upper_bound(const Matrix& a_cc, const Matrix& b_rc,
+                         std::size_t row, std::size_t col) {
+  double y = 0.0;
+  for (std::size_t k = 0; k < a_cc.cols(); ++k)
+    y = std::max(y, std::fabs(a_cc(row, k) * b_rc(k, col)));
+  return y;
+}
+
+}  // namespace
+
+CampaignResult run_campaign(gpusim::Launcher& launcher,
+                            const CampaignConfig& config) {
+  AABFT_REQUIRE(config.valid(), "invalid campaign configuration");
+  Rng rng(config.seed);
+  const PartitionedCodec codec(config.bs);
+
+  // Inputs and fault-free state: generated once per campaign; every trial
+  // injects into a fresh multiplication of these operands.
+  Matrix a = linalg::make_input(config.input, config.n, config.kappa, rng);
+  Matrix b = linalg::make_input(config.input, config.n, config.kappa, rng);
+
+  const abft::EncodedMatrix a_cc =
+      abft::encode_columns(launcher, a, codec, config.p);
+  const abft::EncodedMatrix b_rc =
+      abft::encode_rows(launcher, b, codec, config.p);
+  const baselines::SeaBounds sea_bounds =
+      baselines::compute_sea_bounds(launcher, a_cc.data, b_rc.data, codec);
+
+  const Matrix reference =
+      linalg::blocked_matmul(launcher, a_cc.data, b_rc.data, config.gemm);
+
+  CampaignResult result;
+  result.trials = config.trials;
+
+  // Sanity: both schemes must be clean on the fault-free product; a false
+  // positive here would poison every detection number below.
+  {
+    const auto aabft_clean =
+        abft::check_product(launcher, reference, codec, a_cc.pmax, b_rc.pmax,
+                            config.n, config.bounds, nullptr);
+    if (!aabft_clean.clean()) ++result.aabft_false_positive_runs;
+    const auto sea_clean = baselines::sea_check_product(
+        launcher, reference, codec, sea_bounds, config.n, nullptr);
+    if (!sea_clean.clean()) ++result.sea_false_positive_runs;
+  }
+
+  FaultController controller;
+  launcher.set_fault_controller(&controller);
+
+  const std::size_t modules = config.gemm.rx * config.gemm.ry;
+  const auto num_sms =
+      static_cast<std::uint64_t>(launcher.device().num_sms);
+
+  for (std::size_t trial = 0; trial < config.trials; ++trial) {
+    std::vector<FaultConfig> faults(config.faults_per_trial);
+    for (auto& fault : faults) {
+      fault.site = config.site;
+      fault.sm_id = static_cast<int>(rng.below(num_sms));
+      fault.module_id = static_cast<int>(rng.below(modules));
+      fault.k_injection = config.site == gpusim::FaultSite::kFinalAdd
+                              ? 0
+                              : static_cast<std::int64_t>(rng.below(config.n));
+      fault.error_vec = fp::make_error_vec(config.field, config.num_bits, rng);
+    }
+    controller.arm_many(faults);
+
+    const Matrix faulty =
+        linalg::blocked_matmul(launcher, a_cc.data, b_rc.data, config.gemm);
+    controller.disarm();
+
+    if (!controller.fired()) continue;
+    ++result.fired;
+
+    const auto corrupted =
+        find_corruption(faulty, reference, config.faults_per_trial);
+    if (!corrupted.has_value()) {
+      ++result.masked;  // e.g. the flip hit a padded lane or was value-neutral
+      continue;
+    }
+
+    // Ground-truth classification of the deviation (Section VI-C baseline):
+    // probabilistic EV / sigma of the affected element's inner product, with
+    // the exact per-element upper bound.
+    const double y =
+        exact_upper_bound(a_cc.data, b_rc.data, corrupted->row, corrupted->col);
+    const abft::RoundingStats stats =
+        abft::inner_product_stats(config.n, y, config.bounds);
+    const abft::ErrorClass cls =
+        abft::classify_error(corrupted->abs_error, stats, config.bounds.omega);
+
+    // Both schemes check the same faulty product.
+    const bool aabft_detected =
+        !abft::check_product(launcher, faulty, codec, a_cc.pmax, b_rc.pmax,
+                             config.n, config.bounds, nullptr)
+             .clean();
+    const bool sea_detected =
+        !baselines::sea_check_product(launcher, faulty, codec, sea_bounds,
+                                      config.n, nullptr)
+             .clean();
+
+    result.aabft.record(cls, aabft_detected);
+    result.sea.record(cls, sea_detected);
+  }
+
+  launcher.set_fault_controller(nullptr);
+  return result;
+}
+
+}  // namespace aabft::inject

@@ -1,0 +1,79 @@
+#include "inject/sweep.hpp"
+
+#include "core/require.hpp"
+
+namespace aabft::inject {
+
+namespace {
+
+double rate(std::size_t detected, std::size_t total) {
+  AABFT_REQUIRE(total > 0, "no critical errors recorded across the sweep");
+  return 100.0 * static_cast<double>(detected) / static_cast<double>(total);
+}
+
+}  // namespace
+
+double SweepResult::aggregate_rate_aabft() const {
+  std::size_t detected = 0;
+  std::size_t total = 0;
+  for (const auto& cell : cells) {
+    detected += cell.result.aabft.detected_critical;
+    total += cell.result.aabft.critical;
+  }
+  return rate(detected, total);
+}
+
+double SweepResult::aggregate_rate_sea() const {
+  std::size_t detected = 0;
+  std::size_t total = 0;
+  for (const auto& cell : cells) {
+    detected += cell.result.sea.detected_critical;
+    total += cell.result.sea.critical;
+  }
+  return rate(detected, total);
+}
+
+std::size_t SweepResult::false_positive_runs() const {
+  std::size_t n = 0;
+  for (const auto& cell : cells)
+    n += cell.result.aabft_false_positive_runs +
+         cell.result.sea_false_positive_runs;
+  return n;
+}
+
+SweepResult run_sweep(const SweepConfig& config) {
+  AABFT_REQUIRE(!config.sizes.empty() && !config.sites.empty() &&
+                    !config.inputs.empty(),
+                "sweep grid must not be empty");
+  SweepResult result;
+  std::uint64_t seed = config.seed;
+  for (const auto site : config.sites) {
+    for (const auto& [input, kappa] : config.inputs) {
+      for (const std::size_t n : config.sizes) {
+        CampaignConfig campaign;
+        campaign.n = n;
+        campaign.bs = config.bs;
+        campaign.p = config.p;
+        campaign.site = site;
+        campaign.field = config.field;
+        campaign.num_bits = config.num_bits;
+        campaign.input = input;
+        campaign.kappa = kappa;
+        campaign.trials = config.trials;
+        campaign.seed = seed++;
+
+        gpusim::Launcher launcher;
+        SweepCell cell;
+        cell.site = site;
+        cell.input = input;
+        cell.kappa = kappa;
+        cell.n = n;
+        cell.result = run_campaign(launcher, campaign);
+        result.cells.push_back(std::move(cell));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace aabft::inject

@@ -1,0 +1,57 @@
+// Campaign grid sweeps — the programmatic form of the Figure-4 experiment.
+//
+// A sweep runs one campaign per (operation site x input class x matrix
+// dimension) cell and collects the results into a grid that benches, tests
+// and user code can query. The Figure-4 bench binary is a thin printer over
+// this module.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "inject/campaign.hpp"
+
+namespace aabft::inject {
+
+struct SweepConfig {
+  std::vector<std::size_t> sizes = {128, 256};
+  std::vector<gpusim::FaultSite> sites = {gpusim::FaultSite::kInnerAdd,
+                                          gpusim::FaultSite::kInnerMul,
+                                          gpusim::FaultSite::kFinalAdd};
+  /// Input classes with their kappa (only used by the dynamic class).
+  std::vector<std::pair<linalg::InputClass, double>> inputs = {
+      {linalg::InputClass::kUnit, 2.0},
+      {linalg::InputClass::kHundred, 2.0},
+      {linalg::InputClass::kDynamic, 65536.0}};
+  fp::BitField field = fp::BitField::kMantissa;
+  int num_bits = 1;
+  std::size_t trials = 24;
+  std::size_t bs = 32;
+  std::size_t p = 2;
+  std::uint64_t seed = 0xf164;
+};
+
+struct SweepCell {
+  gpusim::FaultSite site;
+  linalg::InputClass input;
+  double kappa = 0.0;
+  std::size_t n = 0;
+  CampaignResult result;
+};
+
+struct SweepResult {
+  std::vector<SweepCell> cells;
+
+  /// Aggregate detection rate (percent) over all cells with critical errors.
+  [[nodiscard]] double aggregate_rate_aabft() const;
+  [[nodiscard]] double aggregate_rate_sea() const;
+
+  /// Total clean-run false positives across cells (must stay zero).
+  [[nodiscard]] std::size_t false_positive_runs() const;
+};
+
+/// Run the full grid. Each cell gets its own launcher and derived seed, so
+/// cells are independent and the whole sweep is reproducible.
+[[nodiscard]] SweepResult run_sweep(const SweepConfig& config);
+
+}  // namespace aabft::inject

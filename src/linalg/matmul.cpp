@@ -1,0 +1,198 @@
+#include "linalg/matmul.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "core/require.hpp"
+#include "gpusim/fault_site.hpp"
+
+namespace aabft::linalg {
+
+using gpusim::FaultSite;
+
+namespace {
+
+constexpr std::size_t ceil_div(std::size_t a, std::size_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+}  // namespace
+
+Matrix blocked_matmul(gpusim::Launcher& launcher, const Matrix& a,
+                      const Matrix& b, const GemmConfig& config) {
+  AABFT_REQUIRE(config.valid(), "invalid GEMM configuration");
+  AABFT_REQUIRE(a.cols() == b.rows(), "inner dimensions must agree");
+  const std::size_t m = a.rows();
+  const std::size_t k_dim = a.cols();
+  const std::size_t n = b.cols();
+  const std::size_t bm = config.bm;
+  const std::size_t bn = config.bn;
+  const std::size_t bk = config.bk;
+  const std::size_t rx = config.rx;
+  const std::size_t ry = config.ry;
+
+  Matrix c(m, n, 0.0);
+
+  const gpusim::Dim3 grid{ceil_div(n, bn), ceil_div(m, bm), 1};
+
+  launcher.launch("gemm", grid, [&](gpusim::BlockCtx& blk) {
+    auto& math = blk.math;
+    const std::size_t row0 = blk.block.y * bm;
+    const std::size_t col0 = blk.block.x * bn;
+
+    // Per-thread register tiles for the whole block, laid out as the BM x BN
+    // accumulator grid. Element (i, j) belongs to thread (i/rx, j/ry) and is
+    // that thread's module (i%rx)*ry + (j%ry).
+    std::vector<double> accum(bm * bn, 0.0);
+    std::vector<double> sm_a(bm * bk);  // shared memory tile of A
+    std::vector<double> sm_b(bk * bn);  // shared memory tile of B
+    math.use_shared_doubles(bm * bk + bk * bn);
+
+    // Precomputed module ids to keep modulo arithmetic out of the hot loop.
+    std::vector<int> module_row(bm);
+    std::vector<int> module_col(bn);
+    for (std::size_t i = 0; i < bm; ++i)
+      module_row[i] = static_cast<int>((i % rx) * ry);
+    for (std::size_t j = 0; j < bn; ++j)
+      module_col[j] = static_cast<int>(j % ry);
+
+    const std::size_t num_panels = ceil_div(k_dim, bk);
+    for (std::size_t panel = 0; panel < num_panels; ++panel) {
+      const std::size_t kbase = panel * bk;
+
+      // Stage the A and B tiles through "shared memory", zero-padding the
+      // ragged edges exactly like the padded CUDA kernel.
+      for (std::size_t i = 0; i < bm; ++i) {
+        const std::size_t gr = row0 + i;
+        for (std::size_t kk = 0; kk < bk; ++kk) {
+          const std::size_t gk = kbase + kk;
+          sm_a[i * bk + kk] = (gr < m && gk < k_dim) ? a(gr, gk) : 0.0;
+        }
+      }
+      for (std::size_t kk = 0; kk < bk; ++kk) {
+        const std::size_t gk = kbase + kk;
+        for (std::size_t j = 0; j < bn; ++j) {
+          const std::size_t gc = col0 + j;
+          sm_b[kk * bn + j] = (gk < k_dim && gc < n) ? b(gk, gc) : 0.0;
+        }
+      }
+      math.load_doubles(bm * bk + bk * bn);
+
+      // K-loop: every thread multiplies its rA/rB registers and accumulates.
+      for (std::size_t kk = 0; kk < bk; ++kk) {
+        const std::size_t gk = kbase + kk;
+        if (gk >= k_dim) break;
+        const auto k_global = static_cast<std::int64_t>(gk);
+        for (std::size_t i = 0; i < bm; ++i) {
+          const double av = sm_a[i * bk + kk];
+          const int mrow = module_row[i];
+          double* acc_row = accum.data() + i * bn;
+          const double* b_row = sm_b.data() + kk * bn;
+          if (config.use_fma) {
+            for (std::size_t j = 0; j < bn; ++j) {
+              acc_row[j] = math.faulty_fma(av, b_row[j], acc_row[j],
+                                           FaultSite::kInnerAdd,
+                                           mrow + module_col[j], k_global);
+            }
+          } else {
+            for (std::size_t j = 0; j < bn; ++j) {
+              const int module = mrow + module_col[j];
+              const double prod = math.faulty_mul(
+                  av, b_row[j], FaultSite::kInnerMul, module, k_global);
+              acc_row[j] = math.faulty_add(acc_row[j], prod,
+                                           FaultSite::kInnerAdd, module,
+                                           k_global);
+            }
+          }
+        }
+      }
+    }
+
+    // Final merge: accumulators are summed into the (zero-initialised) C
+    // tile — the paper's "Final Sum Addition" site.
+    std::size_t stored = 0;
+    for (std::size_t i = 0; i < bm; ++i) {
+      const std::size_t gr = row0 + i;
+      if (gr >= m) break;
+      for (std::size_t j = 0; j < bn; ++j) {
+        const std::size_t gc = col0 + j;
+        if (gc >= n) break;
+        const int module = module_row[i] + module_col[j];
+        c(gr, gc) = math.faulty_add(c(gr, gc), accum[i * bn + j],
+                                    FaultSite::kFinalAdd, module, 0);
+        ++stored;
+      }
+    }
+    math.store_doubles(stored);
+  });
+
+  return c;
+}
+
+Matrix pairwise_matmul(gpusim::Launcher& launcher, const Matrix& a,
+                       const Matrix& b, std::size_t tile) {
+  AABFT_REQUIRE(a.cols() == b.rows(), "inner dimensions must agree");
+  AABFT_REQUIRE(tile > 0, "tile must be positive");
+  const std::size_t m = a.rows();
+  const std::size_t k_dim = a.cols();
+  const std::size_t n = b.cols();
+  Matrix c(m, n, 0.0);
+
+  const gpusim::Dim3 grid{ceil_div(n, tile), ceil_div(m, tile), 1};
+  launcher.launch("gemm_pairwise", grid, [&](gpusim::BlockCtx& blk) {
+    auto& math = blk.math;
+    const std::size_t row0 = blk.block.y * tile;
+    const std::size_t col0 = blk.block.x * tile;
+    const std::size_t h = std::min(tile, m - row0);
+    const std::size_t w = std::min(tile, n - col0);
+    math.load_doubles(h * k_dim + k_dim * w);
+
+    std::vector<double> scratch(k_dim);
+    for (std::size_t i = 0; i < h; ++i) {
+      for (std::size_t j = 0; j < w; ++j) {
+        for (std::size_t k = 0; k < k_dim; ++k)
+          scratch[k] = math.mul(a(row0 + i, k), b(k, col0 + j));
+        // Pairwise tree reduction: O(log n) error growth instead of O(n),
+        // and a genuinely different rounding sequence.
+        std::size_t len = k_dim;
+        while (len > 1) {
+          const std::size_t half = len / 2;
+          for (std::size_t k = 0; k < half; ++k)
+            scratch[k] = math.add(scratch[2 * k], scratch[2 * k + 1]);
+          if (len % 2 != 0) {
+            scratch[half] = scratch[len - 1];
+            len = half + 1;
+          } else {
+            len = half;
+          }
+        }
+        c(row0 + i, col0 + j) = scratch[0];
+      }
+    }
+    math.store_doubles(h * w);
+  });
+  return c;
+}
+
+Matrix naive_matmul(const Matrix& a, const Matrix& b, bool use_fma) {
+  AABFT_REQUIRE(a.cols() == b.rows(), "inner dimensions must agree");
+  const std::size_t m = a.rows();
+  const std::size_t k_dim = a.cols();
+  const std::size_t n = b.cols();
+  Matrix c(m, n, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      if (use_fma) {
+        for (std::size_t k = 0; k < k_dim; ++k) s = std::fma(a(i, k), b(k, j), s);
+      } else {
+        for (std::size_t k = 0; k < k_dim; ++k) s += a(i, k) * b(k, j);
+      }
+      // Final merge into the zero-initialised C, matching the kernel.
+      c(i, j) = c(i, j) + s;
+    }
+  }
+  return c;
+}
+
+}  // namespace aabft::linalg

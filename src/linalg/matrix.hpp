@@ -1,0 +1,125 @@
+// Dense row-major double-precision matrix.
+//
+// The whole library works in binary64, like the paper's evaluation; a single
+// concrete type keeps the kernels, checksum codecs and reference arithmetic
+// simple and fast.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/require.hpp"
+
+namespace aabft::linalg {
+
+class Matrix {
+ public:
+  Matrix() = default;
+
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+    AABFT_REQUIRE(rows > 0 && cols > 0, "matrix dimensions must be positive");
+  }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  /// Bounds-checked element access for non-hot paths.
+  [[nodiscard]] double& at(std::size_t r, std::size_t c) {
+    AABFT_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const {
+    AABFT_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] double* data() noexcept { return data_.data(); }
+  [[nodiscard]] const double* data() const noexcept { return data_.data(); }
+
+  /// Contiguous view of row r.
+  [[nodiscard]] std::span<const double> row(std::size_t r) const {
+    AABFT_REQUIRE(r < rows_, "row index out of range");
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<double> row(std::size_t r) {
+    AABFT_REQUIRE(r < rows_, "row index out of range");
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// Copy of column c (columns are strided in row-major storage).
+  [[nodiscard]] std::vector<double> col(std::size_t c) const {
+    AABFT_REQUIRE(c < cols_, "column index out of range");
+    std::vector<double> out(rows_);
+    for (std::size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+    return out;
+  }
+
+  [[nodiscard]] Matrix transposed() const {
+    Matrix t(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+      for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+    return t;
+  }
+
+  [[nodiscard]] bool same_shape(const Matrix& o) const noexcept {
+    return rows_ == o.rows_ && cols_ == o.cols_;
+  }
+
+  /// Bitwise equality (the TMR voter's comparison).
+  [[nodiscard]] bool operator==(const Matrix& o) const noexcept {
+    return rows_ == o.rows_ && cols_ == o.cols_ && data_ == o.data_;
+  }
+
+  /// max_ij |a_ij - b_ij|; shapes must match.
+  [[nodiscard]] double max_abs_diff(const Matrix& o) const {
+    AABFT_REQUIRE(same_shape(o), "shape mismatch in max_abs_diff");
+    double m = 0.0;
+    for (std::size_t i = 0; i < data_.size(); ++i)
+      m = std::max(m, std::fabs(data_[i] - o.data_[i]));
+    return m;
+  }
+
+  [[nodiscard]] double max_abs() const noexcept {
+    double m = 0.0;
+    for (const double v : data_) m = std::max(m, std::fabs(v));
+    return m;
+  }
+
+  /// Round every element to binary32 (for single-precision pipelines: all
+  /// values stay doubles, but become exactly float-representable).
+  void round_to_single() noexcept {
+    for (auto& v : data_) v = static_cast<double>(static_cast<float>(v));
+  }
+
+  /// Copy the rectangle [r0, r0+h) x [c0, c0+w) of `src` into this matrix at
+  /// (dr, dc). Fully bounds-checked.
+  void paste(const Matrix& src, std::size_t r0, std::size_t c0, std::size_t h,
+             std::size_t w, std::size_t dr, std::size_t dc) {
+    AABFT_REQUIRE(r0 + h <= src.rows_ && c0 + w <= src.cols_,
+                  "paste source rectangle out of range");
+    AABFT_REQUIRE(dr + h <= rows_ && dc + w <= cols_,
+                  "paste destination rectangle out of range");
+    for (std::size_t i = 0; i < h; ++i)
+      for (std::size_t j = 0; j < w; ++j)
+        (*this)(dr + i, dc + j) = src(r0 + i, c0 + j);
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace aabft::linalg

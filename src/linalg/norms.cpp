@@ -1,0 +1,49 @@
+#include "linalg/norms.hpp"
+
+#include <cmath>
+
+namespace aabft::linalg {
+
+double norm2(std::span<const double> v) noexcept {
+  double s = 0.0;
+  for (const double x : v) s += x * x;
+  return std::sqrt(s);
+}
+
+std::vector<double> row_norms2(gpusim::Launcher& launcher, const Matrix& a) {
+  std::vector<double> out(a.rows(), 0.0);
+  launcher.launch("row_norms", gpusim::Dim3{a.rows(), 1, 1},
+                  [&](gpusim::BlockCtx& blk) {
+                    auto& math = blk.math;
+                    const std::size_t r = blk.block.x;
+                    math.load_doubles(a.cols());
+                    double s = 0.0;
+                    for (std::size_t c = 0; c < a.cols(); ++c) {
+                      const double x = a(r, c);
+                      s = math.add(s, math.mul(x, x));
+                    }
+                    out[r] = std::sqrt(s);
+                    math.store_doubles(1);
+                  });
+  return out;
+}
+
+std::vector<double> col_norms2(gpusim::Launcher& launcher, const Matrix& a) {
+  std::vector<double> out(a.cols(), 0.0);
+  launcher.launch("col_norms", gpusim::Dim3{a.cols(), 1, 1},
+                  [&](gpusim::BlockCtx& blk) {
+                    auto& math = blk.math;
+                    const std::size_t c = blk.block.x;
+                    math.load_doubles(a.rows());
+                    double s = 0.0;
+                    for (std::size_t r = 0; r < a.rows(); ++r) {
+                      const double x = a(r, c);
+                      s = math.add(s, math.mul(x, x));
+                    }
+                    out[c] = std::sqrt(s);
+                    math.store_doubles(1);
+                  });
+  return out;
+}
+
+}  // namespace aabft::linalg

@@ -1,0 +1,30 @@
+// Vector and matrix norms.
+//
+// SEA-ABFT's bound (Roy-Chowdhury & Banerjee, FTCS'93) is built from 2-norms
+// of the rows of A and the columns of B. On the GPU the paper notes these
+// norm reductions use "only a small fraction of the available GPU threads";
+// we therefore implement them as kernels on the SIMT model (one block per
+// vector) so the perf model can charge their real cost with a
+// low-utilisation profile, plus plain host variants for tests.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "gpusim/kernel.hpp"
+#include "linalg/matrix.hpp"
+
+namespace aabft::linalg {
+
+/// Host 2-norm of a vector.
+[[nodiscard]] double norm2(std::span<const double> v) noexcept;
+
+/// Kernel: ||row_i||_2 for every row of `a` (one block per row).
+[[nodiscard]] std::vector<double> row_norms2(gpusim::Launcher& launcher,
+                                             const Matrix& a);
+
+/// Kernel: ||col_j||_2 for every column of `a` (one block per column).
+[[nodiscard]] std::vector<double> col_norms2(gpusim::Launcher& launcher,
+                                             const Matrix& a);
+
+}  // namespace aabft::linalg

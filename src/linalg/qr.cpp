@@ -1,0 +1,88 @@
+#include "linalg/qr.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "core/require.hpp"
+
+namespace aabft::linalg {
+
+QrResult householder_qr(const Matrix& a) {
+  AABFT_REQUIRE(a.rows() >= a.cols(), "householder_qr requires rows >= cols");
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+
+  Matrix r = a;
+  Matrix q(m, m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) q(i, i) = 1.0;
+
+  std::vector<double> v(m);
+  for (std::size_t k = 0; k < n; ++k) {
+    // Build the Householder vector for column k of R below the diagonal.
+    double norm_sq = 0.0;
+    for (std::size_t i = k; i < m; ++i) norm_sq += r(i, k) * r(i, k);
+    const double norm = std::sqrt(norm_sq);
+    if (norm == 0.0) continue;  // column already zero below the diagonal
+
+    const double x0 = r(k, k);
+    const double alpha = x0 >= 0.0 ? -norm : norm;
+    v[k] = x0 - alpha;
+    for (std::size_t i = k + 1; i < m; ++i) v[i] = r(i, k);
+    const double v_norm_sq = v[k] * v[k] + (norm_sq - x0 * x0);
+    if (v_norm_sq == 0.0) continue;
+    const double beta = 2.0 / v_norm_sq;
+
+    // R <- H R  (only columns k..n-1 are affected)
+    for (std::size_t j = k; j < n; ++j) {
+      double dot = 0.0;
+      for (std::size_t i = k; i < m; ++i) dot += v[i] * r(i, j);
+      const double scale = beta * dot;
+      for (std::size_t i = k; i < m; ++i) r(i, j) -= scale * v[i];
+    }
+    // Q <- Q H  (accumulate the product of reflections)
+    for (std::size_t i = 0; i < m; ++i) {
+      double dot = 0.0;
+      for (std::size_t j = k; j < m; ++j) dot += q(i, j) * v[j];
+      const double scale = beta * dot;
+      for (std::size_t j = k; j < m; ++j) q(i, j) -= scale * v[j];
+    }
+    // Zero the eliminated entries exactly.
+    r(k, k) = alpha;
+    for (std::size_t i = k + 1; i < m; ++i) r(i, k) = 0.0;
+  }
+
+  return {std::move(q), std::move(r)};
+}
+
+Matrix random_orthogonal(std::size_t n, Rng& rng) {
+  AABFT_REQUIRE(n > 0, "random_orthogonal requires n > 0");
+  Matrix g(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) g(i, j) = rng.normal();
+  QrResult qr = householder_qr(g);
+  // Sign fix: multiplying column j of Q by sign(R_jj) makes the distribution
+  // exactly Haar (Mezzadri, "How to generate random matrices from the
+  // classical compact groups", 2007).
+  for (std::size_t j = 0; j < n; ++j) {
+    if (qr.r(j, j) < 0.0)
+      for (std::size_t i = 0; i < n; ++i) qr.q(i, j) = -qr.q(i, j);
+  }
+  return std::move(qr.q);
+}
+
+double orthogonality_defect(const Matrix& q) {
+  const std::size_t n = q.rows();
+  AABFT_REQUIRE(n == q.cols(), "orthogonality_defect requires a square matrix");
+  double defect = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double dot = 0.0;
+      for (std::size_t k = 0; k < n; ++k) dot += q(k, i) * q(k, j);
+      const double expect = i == j ? 1.0 : 0.0;
+      defect = std::max(defect, std::fabs(dot - expect));
+    }
+  }
+  return defect;
+}
+
+}  // namespace aabft::linalg

@@ -1,0 +1,33 @@
+// Householder QR factorisation and Haar-distributed random orthogonal
+// matrices.
+//
+// The high-dynamic-range workloads of Tables IV and the fault-injection
+// experiments are built as A = 10^alpha * U * D_kappa * V^T (Turmon et al.),
+// which requires random orthogonal factors. QR of a Gaussian matrix with the
+// R-diagonal sign fix yields exactly Haar measure.
+#pragma once
+
+#include <cstddef>
+
+#include "core/rng.hpp"
+#include "linalg/matrix.hpp"
+
+namespace aabft::linalg {
+
+struct QrResult {
+  Matrix q;  ///< m x m orthogonal
+  Matrix r;  ///< m x n upper triangular
+};
+
+/// Householder QR: a == q * r, q orthogonal, r upper triangular.
+/// Requires rows >= cols.
+[[nodiscard]] QrResult householder_qr(const Matrix& a);
+
+/// Haar-distributed random orthogonal n x n matrix (QR of a Gaussian matrix
+/// with sign correction).
+[[nodiscard]] Matrix random_orthogonal(std::size_t n, Rng& rng);
+
+/// max |(q^T q - I)_ij| — orthogonality defect, used by tests.
+[[nodiscard]] double orthogonality_defect(const Matrix& q);
+
+}  // namespace aabft::linalg

@@ -1,0 +1,155 @@
+#include "linalg/workload.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "core/require.hpp"
+#include "linalg/qr.hpp"
+
+namespace aabft::linalg {
+
+Matrix uniform_matrix(std::size_t rows, std::size_t cols, double lo, double hi,
+                      Rng& rng) {
+  AABFT_REQUIRE(lo < hi, "uniform_matrix requires lo < hi");
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j) m(i, j) = rng.uniform(lo, hi);
+  return m;
+}
+
+namespace {
+
+/// Log-spaced singular values from 1 down to 1/kappa, scaled by 10^alpha.
+std::vector<double> singular_values(std::size_t n, double alpha, double kappa) {
+  std::vector<double> d(n);
+  const double scale = std::pow(10.0, alpha);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double frac = n > 1 ? static_cast<double>(i) / static_cast<double>(n - 1)
+                              : 0.0;
+    d[i] = scale * std::pow(kappa, -frac);
+  }
+  return d;
+}
+
+/// Apply a random Householder reflection H = I - 2 v v^T from the left
+/// (side == 'L', M <- H M) or from the right (side == 'R', M <- M H).
+void apply_random_reflection(Matrix& m, char side, Rng& rng) {
+  const std::size_t dim = side == 'L' ? m.rows() : m.cols();
+  std::vector<double> v(dim);
+  double norm_sq = 0.0;
+  for (auto& x : v) {
+    x = rng.normal();
+    norm_sq += x * x;
+  }
+  AABFT_ASSERT(norm_sq > 0.0, "degenerate reflection vector");
+  const double inv_norm = 1.0 / std::sqrt(norm_sq);
+  for (auto& x : v) x *= inv_norm;
+
+  if (side == 'L') {
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < dim; ++i) dot += v[i] * m(i, j);
+      const double scale = 2.0 * dot;
+      for (std::size_t i = 0; i < dim; ++i) m(i, j) -= scale * v[i];
+    }
+  } else {
+    for (std::size_t i = 0; i < m.rows(); ++i) {
+      double dot = 0.0;
+      for (std::size_t j = 0; j < dim; ++j) dot += m(i, j) * v[j];
+      const double scale = 2.0 * dot;
+      for (std::size_t j = 0; j < dim; ++j) m(i, j) -= scale * v[j];
+    }
+  }
+}
+
+}  // namespace
+
+namespace {
+
+/// Cache-friendly host matmul (i-k-j order) for workload construction only.
+Matrix host_matmul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      for (std::size_t j = 0; j < b.cols(); ++j) c(i, j) += aik * b(k, j);
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+Matrix dynamic_range_matrix(std::size_t n, const DynamicRangeParams& params,
+                            Rng& rng) {
+  AABFT_REQUIRE(n > 0, "dynamic_range_matrix requires n > 0");
+  AABFT_REQUIRE(params.kappa >= 1.0, "kappa must be >= 1");
+  const std::vector<double> d = singular_values(n, params.alpha, params.kappa);
+
+  if (!params.orthogonal) {
+    // The paper's (apparent) instantiation: plain random Gaussian factors
+    // (the un-orthogonalised inputs of the QR construction). Compute
+    // A = U * (D * V^T).
+    Matrix u(n, n);
+    Matrix dvt(n, n);  // D * V^T
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) {
+        u(i, j) = rng.normal();
+        dvt(i, j) = d[i] * rng.normal();
+      }
+    return host_matmul(u, dvt);
+  }
+
+  if (params.reflectors == 0) {
+    // Exact construction: A = U * D * V^T with Haar U, V.
+    const Matrix u = random_orthogonal(n, rng);
+    const Matrix v = random_orthogonal(n, rng);
+    Matrix a(n, n, 0.0);
+    // a = u * diag(d) * v^T computed directly: a_ij = sum_k u_ik d_k v_jk.
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) {
+        double s = 0.0;
+        for (std::size_t k = 0; k < n; ++k) s += u(i, k) * d[k] * v(j, k);
+        a(i, j) = s;
+      }
+    return a;
+  }
+
+  // Implicit construction: start from diag(d) and mix with random
+  // reflections on both sides. Singular values are preserved exactly.
+  Matrix a(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) = d[i];
+  for (std::size_t r = 0; r < params.reflectors; ++r) {
+    apply_random_reflection(a, 'L', rng);
+    apply_random_reflection(a, 'R', rng);
+  }
+  return a;
+}
+
+std::string to_string(InputClass c) {
+  switch (c) {
+    case InputClass::kUnit: return "U(-1,1)";
+    case InputClass::kHundred: return "U(-100,100)";
+    case InputClass::kDynamic: return "dynamic";
+  }
+  return "?";
+}
+
+Matrix make_input(InputClass c, std::size_t n, double kappa, Rng& rng) {
+  switch (c) {
+    case InputClass::kUnit: return uniform_matrix(n, n, -1.0, 1.0, rng);
+    case InputClass::kHundred: return uniform_matrix(n, n, -100.0, 100.0, rng);
+    case InputClass::kDynamic: {
+      // The evaluation's instantiation (Tables IV / Figure 4): random
+      // (non-orthogonal) factors — see DynamicRangeParams::orthogonal.
+      DynamicRangeParams params;
+      params.kappa = kappa;
+      params.orthogonal = false;
+      return dynamic_range_matrix(n, params, rng);
+    }
+  }
+  AABFT_ASSERT(false, "unreachable input class");
+  return {};
+}
+
+}  // namespace aabft::linalg

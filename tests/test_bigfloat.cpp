@@ -1,0 +1,152 @@
+// Exact dyadic arithmetic (BigFloat) tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/rng.hpp"
+#include "fp/bigfloat.hpp"
+
+namespace {
+
+using aabft::Rng;
+using aabft::fp::BigFloat;
+
+TEST(BigFloat, ZeroBehaviour) {
+  BigFloat z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.sign(), 0);
+  EXPECT_EQ(z.to_double(), 0.0);
+  EXPECT_TRUE((z + z).is_zero());
+  EXPECT_TRUE((z * BigFloat::from_double(5.0)).is_zero());
+}
+
+TEST(BigFloat, FromToDoubleRoundTrips) {
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const double v =
+        rng.uniform(-1.0, 1.0) * std::pow(10.0, rng.between(-300, 300));
+    EXPECT_EQ(BigFloat::from_double(v).to_double(), v);
+  }
+  EXPECT_EQ(BigFloat::from_double(5e-324).to_double(), 5e-324);  // denorm_min
+  EXPECT_EQ(
+      BigFloat::from_double(std::numeric_limits<double>::max()).to_double(),
+      std::numeric_limits<double>::max());
+}
+
+TEST(BigFloat, AdditionCommutesAndAssociatesExactly) {
+  Rng rng(2);
+  for (int i = 0; i < 300; ++i) {
+    const BigFloat a = BigFloat::from_double(rng.uniform(-1e10, 1e10));
+    const BigFloat b = BigFloat::from_double(rng.uniform(-1e-10, 1e-10));
+    const BigFloat c = BigFloat::from_double(rng.uniform(-1.0, 1.0));
+    EXPECT_EQ((a + b).compare(b + a), 0);
+    EXPECT_EQ(((a + b) + c).compare(a + (b + c)), 0);
+  }
+}
+
+TEST(BigFloat, SubtractionCancelsExactly) {
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const BigFloat a = BigFloat::from_double(rng.uniform(-1e10, 1e10));
+    EXPECT_TRUE((a - a).is_zero());
+  }
+}
+
+TEST(BigFloat, MultiplicationDistributes) {
+  Rng rng(4);
+  for (int i = 0; i < 300; ++i) {
+    const BigFloat a = BigFloat::from_double(rng.uniform(-100.0, 100.0));
+    const BigFloat b = BigFloat::from_double(rng.uniform(-100.0, 100.0));
+    const BigFloat c = BigFloat::from_double(rng.uniform(-100.0, 100.0));
+    EXPECT_EQ((a * (b + c)).compare(a * b + a * c), 0);
+  }
+}
+
+TEST(BigFloat, ComparisonTotalOrder) {
+  const BigFloat small = BigFloat::from_double(-2.0);
+  const BigFloat mid = BigFloat::from_double(1e-30);
+  const BigFloat big = BigFloat::from_double(3e20);
+  EXPECT_LT(small.compare(mid), 0);
+  EXPECT_LT(mid.compare(big), 0);
+  EXPECT_LT(small.compare(big), 0);
+  EXPECT_GT(big.compare(mid), 0);
+  EXPECT_EQ(mid.compare(mid), 0);
+}
+
+TEST(BigFloat, ComparisonWithDifferentExponents) {
+  // 2^64 vs 2^64 + 1 constructed with different limb layouts.
+  const BigFloat a = BigFloat::from_double(std::ldexp(1.0, 64));
+  const BigFloat b = a + BigFloat::from_double(1.0);
+  EXPECT_LT(a.compare(b), 0);
+  EXPECT_GT(b.compare(a), 0);
+}
+
+TEST(BigFloat, ToDoubleRoundsToNearestEven) {
+  // 1 + 2^-53 is exactly halfway between 1 and 1+2^-52: ties-to-even -> 1.
+  const BigFloat half_ulp =
+      BigFloat::from_double(1.0) +
+      BigFloat::from_double(std::ldexp(1.0, -53));
+  EXPECT_EQ(half_ulp.to_double(), 1.0);
+  // 1 + 2^-53 + 2^-80 is above the midpoint -> rounds up.
+  const BigFloat above =
+      half_ulp + BigFloat::from_double(std::ldexp(1.0, -80));
+  EXPECT_EQ(above.to_double(), 1.0 + std::ldexp(1.0, -52));
+  // 1 + 3*2^-53: midpoint again, but even neighbour is now above.
+  const BigFloat three_halves =
+      BigFloat::from_double(1.0) +
+      BigFloat::from_double(3.0 * std::ldexp(1.0, -53));
+  EXPECT_EQ(three_halves.to_double(), 1.0 + std::ldexp(1.0, -51));
+}
+
+TEST(BigFloat, ToDoubleSaturatesToInfinity) {
+  const BigFloat huge = BigFloat::from_double(std::ldexp(1.0, 1000)) *
+                        BigFloat::from_double(std::ldexp(1.0, 1000));
+  EXPECT_EQ(huge.to_double(), std::numeric_limits<double>::infinity());
+  EXPECT_EQ((-huge).to_double(), -std::numeric_limits<double>::infinity());
+}
+
+TEST(BigFloat, ToDoubleUnderflowsToZeroOrDenormal) {
+  const BigFloat tiny = BigFloat::from_double(std::ldexp(1.0, -1000)) *
+                        BigFloat::from_double(std::ldexp(1.0, -1000));
+  EXPECT_EQ(tiny.to_double(), 0.0);  // 2^-2000 is below half denorm_min
+  const BigFloat denorm = BigFloat::from_double(std::ldexp(1.0, -500)) *
+                          BigFloat::from_double(std::ldexp(1.0, -560));
+  EXPECT_EQ(denorm.to_double(), std::ldexp(1.0, -1060));
+}
+
+TEST(BigFloat, AbsAndNegation) {
+  const BigFloat v = BigFloat::from_double(-3.5);
+  EXPECT_EQ(v.abs().to_double(), 3.5);
+  EXPECT_EQ((-v).to_double(), 3.5);
+  EXPECT_EQ((-(-v)).to_double(), -3.5);
+}
+
+TEST(BigFloat, MultiplicationMatchesDoubleWhenExact) {
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    // Products of small integers are exact in double.
+    const double a = static_cast<double>(rng.between(-1000, 1000));
+    const double b = static_cast<double>(rng.between(-1000, 1000));
+    const BigFloat prod = BigFloat::from_double(a) * BigFloat::from_double(b);
+    EXPECT_EQ(prod.to_double(), a * b);
+  }
+}
+
+TEST(BigFloat, LongAccumulationStressAgainstKahan) {
+  // Sum many values of wildly different magnitude; BigFloat is exact, so the
+  // final rounded result must be at least as accurate as a compensated sum.
+  Rng rng(6);
+  BigFloat acc;
+  long double ld = 0.0L;
+  for (int i = 0; i < 5000; ++i) {
+    const double v =
+        rng.uniform(-1.0, 1.0) * std::pow(10.0, rng.between(-25, 25));
+    acc += BigFloat::from_double(v);
+    ld += static_cast<long double>(v);
+  }
+  EXPECT_NEAR(acc.to_double(), static_cast<double>(ld),
+              std::fabs(static_cast<double>(ld)) * 1e-12 + 1e-12);
+}
+
+}  // namespace

@@ -1,0 +1,114 @@
+// Unit tests for IEEE-754 bit utilities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/rng.hpp"
+#include "fp/bits.hpp"
+
+namespace {
+
+using namespace aabft::fp;
+
+TEST(Bits, RoundTrip) {
+  for (const double v : {0.0, -0.0, 1.0, -1.0, 3.25e17, -5e-320}) {
+    EXPECT_EQ(from_bits(to_bits(v)), v);
+  }
+}
+
+TEST(Bits, SignBit) {
+  EXPECT_FALSE(sign_bit(1.0));
+  EXPECT_TRUE(sign_bit(-1.0));
+  EXPECT_FALSE(sign_bit(0.0));
+  EXPECT_TRUE(sign_bit(-0.0));
+}
+
+TEST(Bits, BiasedExponent) {
+  EXPECT_EQ(biased_exponent(1.0), 1023);
+  EXPECT_EQ(biased_exponent(2.0), 1024);
+  EXPECT_EQ(biased_exponent(0.5), 1022);
+  EXPECT_EQ(biased_exponent(0.0), 0);
+  EXPECT_EQ(biased_exponent(std::numeric_limits<double>::denorm_min()), 0);
+  EXPECT_EQ(biased_exponent(std::numeric_limits<double>::infinity()), 2047);
+}
+
+TEST(Bits, DecomposeReconstructsValue) {
+  aabft::Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v =
+        rng.uniform(-1.0, 1.0) * std::pow(10.0, rng.between(-300, 300));
+    const Decomposed d = decompose(v);
+    const double rebuilt =
+        (d.negative ? -1.0 : 1.0) *
+        std::ldexp(static_cast<double>(d.significand), d.exponent);
+    EXPECT_EQ(rebuilt, v);
+  }
+}
+
+TEST(Bits, DecomposeSubnormal) {
+  const double denorm = std::numeric_limits<double>::denorm_min();
+  const Decomposed d = decompose(denorm);
+  EXPECT_EQ(d.significand, 1u);
+  EXPECT_EQ(d.exponent, -1074);
+}
+
+TEST(Bits, DecomposeRejectsNonFinite) {
+  EXPECT_THROW((void)decompose(std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  EXPECT_THROW((void)decompose(std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+}
+
+TEST(Bits, CeilLog2PowersOfTwo) {
+  EXPECT_EQ(ceil_log2_abs(1.0), 0);
+  EXPECT_EQ(ceil_log2_abs(2.0), 1);
+  EXPECT_EQ(ceil_log2_abs(0.5), -1);
+  EXPECT_EQ(ceil_log2_abs(-8.0), 3);
+}
+
+TEST(Bits, CeilLog2GeneralValues) {
+  EXPECT_EQ(ceil_log2_abs(3.0), 2);    // 2 < 3 <= 4
+  EXPECT_EQ(ceil_log2_abs(1.5), 1);
+  EXPECT_EQ(ceil_log2_abs(0.3), -1);   // 0.25 < 0.3 <= 0.5
+  EXPECT_EQ(ceil_log2_abs(-100.0), 7); // 64 < 100 <= 128
+}
+
+TEST(Bits, CeilLog2MatchesLibm) {
+  aabft::Rng rng(17);
+  for (int i = 0; i < 2000; ++i) {
+    const double v =
+        rng.uniform(0.1, 10.0) * std::pow(2.0, rng.between(-500, 500));
+    const double logv = std::log2(v);
+    // Guard against libm rounding at exact powers of two.
+    if (std::fabs(logv - std::round(logv)) < 1e-9) continue;
+    EXPECT_EQ(ceil_log2_abs(v), static_cast<int>(std::ceil(logv))) << v;
+  }
+}
+
+TEST(Bits, CeilLog2RejectsZero) {
+  EXPECT_THROW((void)ceil_log2_abs(0.0), std::invalid_argument);
+}
+
+TEST(Bits, UlpOfOne) {
+  EXPECT_EQ(ulp(1.0), std::numeric_limits<double>::epsilon());
+  EXPECT_EQ(ulp(-1.0), std::numeric_limits<double>::epsilon());
+}
+
+TEST(Bits, UlpScales) {
+  EXPECT_EQ(ulp(2.0), 2.0 * std::numeric_limits<double>::epsilon());
+  EXPECT_EQ(ulp(0.0), std::numeric_limits<double>::denorm_min());
+}
+
+TEST(Bits, XorBitsFlipsExactBit) {
+  const double v = 1.0;
+  const double flipped = xor_bits(v, 1ULL << 51);  // top mantissa bit
+  EXPECT_EQ(flipped, 1.5);
+  EXPECT_EQ(xor_bits(flipped, 1ULL << 51), v);  // involution
+}
+
+TEST(Bits, XorBitsSign) {
+  EXPECT_EQ(xor_bits(3.5, kSignMask), -3.5);
+}
+
+}  // namespace

@@ -1,0 +1,109 @@
+// BLAS-style protected_gemm tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "abft/blas.hpp"
+#include "core/rng.hpp"
+#include "gpusim/kernel.hpp"
+#include "linalg/matmul.hpp"
+#include "linalg/workload.hpp"
+
+namespace {
+
+using aabft::Rng;
+using namespace aabft::abft;
+using aabft::gpusim::FaultConfig;
+using aabft::gpusim::FaultController;
+using aabft::gpusim::FaultSite;
+using aabft::gpusim::Launcher;
+using aabft::linalg::Matrix;
+using aabft::linalg::naive_matmul;
+using aabft::linalg::uniform_matrix;
+
+AabftConfig cfg() {
+  AabftConfig config;
+  config.bs = 16;
+  return config;
+}
+
+TEST(ProtectedGemm, PlainProduct) {
+  Rng rng(1);
+  const Matrix a = uniform_matrix(24, 40, -1.0, 1.0, rng);
+  const Matrix b = uniform_matrix(40, 18, -1.0, 1.0, rng);
+  Matrix c(24, 18, 0.0);
+  Launcher launcher;
+  const auto result = protected_gemm(launcher, 1.0, a, b, 0.0, c, cfg());
+  EXPECT_TRUE(result.ok);
+  // alpha = 1, beta = 0: the epilogue multiplies by 1 and adds 0 * old.
+  const Matrix ref = naive_matmul(a, b, false);
+  EXPECT_LT(c.max_abs_diff(ref), 1e-14);
+}
+
+TEST(ProtectedGemm, AlphaBetaAccumulation) {
+  Rng rng(2);
+  const std::size_t n = 32;
+  const Matrix a = uniform_matrix(n, n, -1.0, 1.0, rng);
+  const Matrix b = uniform_matrix(n, n, -1.0, 1.0, rng);
+  const Matrix c0 = uniform_matrix(n, n, -1.0, 1.0, rng);
+  Matrix c = c0;
+  Launcher launcher;
+  (void)protected_gemm(launcher, 2.5, a, b, -0.5, c, cfg());
+  const Matrix ab = naive_matmul(a, b, false);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      worst = std::max(worst,
+                       std::fabs(c(i, j) - (2.5 * ab(i, j) - 0.5 * c0(i, j))));
+  EXPECT_LT(worst, 1e-13);
+}
+
+TEST(ProtectedGemm, AlphaZeroSkipsTheProduct) {
+  Rng rng(3);
+  const Matrix a = uniform_matrix(16, 16, -1.0, 1.0, rng);
+  const Matrix b = uniform_matrix(16, 16, -1.0, 1.0, rng);
+  Matrix c(16, 16, 4.0);
+  Launcher launcher;
+  const auto result = protected_gemm(launcher, 0.0, a, b, 0.25, c, cfg());
+  EXPECT_TRUE(result.ok);
+  EXPECT_TRUE(launcher.launch_log().empty());  // no kernels ran
+  for (std::size_t i = 0; i < 16; ++i)
+    for (std::size_t j = 0; j < 16; ++j) EXPECT_EQ(c(i, j), 1.0);
+}
+
+TEST(ProtectedGemm, SurvivesInjectedFault) {
+  Rng rng(4);
+  const std::size_t n = 48;
+  const Matrix a = uniform_matrix(n, n, -1.0, 1.0, rng);
+  const Matrix b = uniform_matrix(n, n, -1.0, 1.0, rng);
+  Matrix c(n, n, 0.0);
+  Launcher launcher;
+  FaultController controller;
+  launcher.set_fault_controller(&controller);
+  FaultConfig fault;
+  fault.site = FaultSite::kInnerAdd;
+  fault.k_injection = 7;
+  fault.error_vec = 1ULL << 61;
+  controller.arm(fault);
+  const auto result = protected_gemm(launcher, 1.0, a, b, 0.0, c, cfg());
+  launcher.set_fault_controller(nullptr);
+  ASSERT_TRUE(controller.fired());
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.faults_detected, 1u);
+  EXPECT_LT(c.max_abs_diff(naive_matmul(a, b, false)), 1e-9);
+}
+
+TEST(ProtectedGemm, ShapeValidation) {
+  Matrix a(4, 5);
+  Matrix b(5, 6);
+  Matrix c_bad(4, 5);
+  Launcher launcher;
+  EXPECT_THROW((void)protected_gemm(launcher, 1.0, a, b, 0.0, c_bad, cfg()),
+               std::invalid_argument);
+  Matrix b_bad(4, 6);
+  Matrix c(4, 6);
+  EXPECT_THROW((void)protected_gemm(launcher, 1.0, a, b_bad, 0.0, c, cfg()),
+               std::invalid_argument);
+}
+
+}  // namespace

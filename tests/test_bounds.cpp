@@ -1,0 +1,153 @@
+// Probabilistic bound model tests: the formulas of Section IV, hand-checked
+// values, FMA behaviour, policy composition, monotonicity properties.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "abft/bounds.hpp"
+
+namespace {
+
+using namespace aabft::abft;
+
+constexpr int kT = 52;
+const double kU = std::ldexp(1.0, -kT);  // 2^-52
+
+TEST(Bounds, MantissaErrorMoments) {
+  // Eqs. (21), (34), (35).
+  EXPECT_DOUBLE_EQ(var_beta_add(kT), 0.125 * kU * kU);
+  EXPECT_DOUBLE_EQ(ev_beta_mul(kT), kU * kU / 3.0);
+  EXPECT_DOUBLE_EQ(var_beta_mul(kT), kU * kU / 12.0);
+}
+
+TEST(Bounds, SigmaSumKnownValue) {
+  // Eq. (28) at n = 4, y = 1: sqrt(4*5*9/48) * 2^-t = sqrt(3.75) * 2^-t.
+  EXPECT_DOUBLE_EQ(sigma_sum(4, 1.0, kT), std::sqrt(3.75) * kU);
+}
+
+TEST(Bounds, SigmaSumEdgeCases) {
+  EXPECT_EQ(sigma_sum(0, 1.0, kT), 0.0);
+  EXPECT_EQ(sigma_sum(1, 1.0, kT), 0.0);  // one addend: nothing to round
+  EXPECT_GT(sigma_sum(2, 1.0, kT), 0.0);
+}
+
+TEST(Bounds, SigmaInnerProductKnownValue) {
+  // Eq. (46) at n = 4, y = 2: sqrt((4*5*4.5 + 8)/24) * 2^-t * 2.
+  const double expected = std::sqrt((4.0 * 5.0 * 4.5 + 8.0) / 24.0) * kU * 2.0;
+  EXPECT_DOUBLE_EQ(sigma_inner_product(4, 2.0, kT), expected);
+}
+
+TEST(Bounds, Eq46EqualsComposedVariances) {
+  // Eq. (46) must equal sqrt(Var_sum + Var_prod) (Eqs. 28 + 41).
+  for (const std::size_t n : {2u, 16u, 333u, 5000u}) {
+    const double y = 3.7;
+    const double var_sum = sigma_sum(n, y, kT) * sigma_sum(n, y, kT);
+    const double var_prod =
+        static_cast<double>(n) / 12.0 * kU * kU * y * y;  // Eq. (41)
+    EXPECT_NEAR(sigma_inner_product(n, y, kT),
+                std::sqrt(var_sum + var_prod),
+                1e-14 * sigma_inner_product(n, y, kT))
+        << "n=" << n;
+  }
+}
+
+TEST(Bounds, EvInnerProductKnownValue) {
+  // Eq. (43): n/3 * 2^-2t * y.
+  EXPECT_DOUBLE_EQ(ev_inner_product(300, 2.0, kT),
+                   100.0 * kU * kU * 2.0);
+}
+
+TEST(Bounds, FmaDropsProductVariance) {
+  const std::size_t n = 1000;
+  const double y = 1.0;
+  EXPECT_EQ(sigma_inner_product_fma(n, y, kT), sigma_sum(n, y, kT));
+  EXPECT_LT(sigma_inner_product_fma(n, y, kT), sigma_inner_product(n, y, kT));
+}
+
+TEST(Bounds, StatsRespectFmaFlag) {
+  BoundParams mul_add;
+  BoundParams fma;
+  fma.fma = true;
+  const auto s1 = inner_product_stats(500, 2.0, mul_add);
+  const auto s2 = inner_product_stats(500, 2.0, fma);
+  EXPECT_GT(s1.mean, 0.0);
+  EXPECT_EQ(s2.mean, 0.0);
+  EXPECT_LT(s2.sigma, s1.sigma);
+}
+
+TEST(Bounds, SigmaScalesLinearlyInY) {
+  const double s1 = sigma_inner_product(100, 1.0, kT);
+  const double s5 = sigma_inner_product(100, 5.0, kT);
+  EXPECT_DOUBLE_EQ(s5, 5.0 * s1);
+}
+
+TEST(Bounds, SigmaGrowsWithN) {
+  double prev = 0.0;
+  for (const std::size_t n : {2u, 8u, 64u, 512u, 4096u}) {
+    const double s = sigma_inner_product(n, 1.0, kT);
+    EXPECT_GT(s, prev);
+    prev = s;
+  }
+}
+
+TEST(Bounds, SigmaGrowsAsNPow1_5) {
+  // Eq. (46) ~ sqrt(n^3/24): doubling n scales sigma by ~2^1.5.
+  const double s1 = sigma_inner_product(1024, 1.0, kT);
+  const double s2 = sigma_inner_product(2048, 1.0, kT);
+  EXPECT_NEAR(s2 / s1, std::pow(2.0, 1.5), 0.01);
+}
+
+TEST(Bounds, EpsilonPaperDirectMatchesClosedForm) {
+  BoundParams params;  // omega = 3, PaperDirect
+  const std::size_t n = 256;
+  const double y = 4.0;
+  const auto stats = inner_product_stats(n, y, params);
+  EXPECT_DOUBLE_EQ(checksum_epsilon(n, 32, y, 1.0, params),
+                   stats.mean + 3.0 * stats.sigma);
+}
+
+TEST(Bounds, CompositionalIsLooserButSameOrder) {
+  BoundParams direct;
+  BoundParams comp;
+  comp.policy = BoundPolicy::kCompositional;
+  const double e1 = checksum_epsilon(512, 32, 8.0, 1.0, direct);
+  const double e2 = checksum_epsilon(512, 32, 8.0, 1.0, comp);
+  EXPECT_GT(e2, e1);
+  EXPECT_LT(e2, 10.0 * e1);  // within one order of magnitude
+}
+
+TEST(Bounds, OmegaScalesTheInterval) {
+  BoundParams w1;
+  w1.omega = 1.0;
+  BoundParams w3;
+  w3.omega = 3.0;
+  const double e1 = checksum_epsilon(128, 16, 1.0, 1.0, w1);
+  const double e3 = checksum_epsilon(128, 16, 1.0, 1.0, w3);
+  // mean is negligible next to sigma here, so the ratio is ~3.
+  EXPECT_NEAR(e3 / e1, 3.0, 1e-6);
+}
+
+TEST(Bounds, LowerPrecisionWidensBounds) {
+  // t = 23 (binary32-like) must give vastly larger bounds than t = 52.
+  BoundParams single;
+  single.t = 23;
+  BoundParams dbl;
+  const double e_single = checksum_epsilon(128, 16, 1.0, 1.0, single);
+  const double e_double = checksum_epsilon(128, 16, 1.0, 1.0, dbl);
+  EXPECT_GT(e_single / e_double, 1e8);
+}
+
+TEST(Bounds, InvalidParametersRejected) {
+  BoundParams params;
+  EXPECT_THROW((void)inner_product_stats(10, -1.0, params),
+               std::invalid_argument);
+  params.t = 0;
+  EXPECT_THROW((void)inner_product_stats(10, 1.0, params),
+               std::invalid_argument);
+  BoundParams bad_omega;
+  bad_omega.omega = 0.0;
+  EXPECT_THROW((void)checksum_epsilon(10, 4, 1.0, 1.0, bad_omega),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,168 @@
+// Fault-injection campaign integration tests.
+#include <gtest/gtest.h>
+
+#include "gpusim/kernel.hpp"
+#include "inject/campaign.hpp"
+
+namespace {
+
+using namespace aabft;
+using inject::CampaignConfig;
+using inject::CampaignResult;
+
+CampaignConfig small_campaign() {
+  CampaignConfig config;
+  config.n = 64;
+  config.bs = 16;
+  config.trials = 12;
+  config.seed = 99;
+  return config;
+}
+
+TEST(Campaign, RunsAndAccountsEveryTrial) {
+  gpusim::Launcher launcher;
+  const CampaignResult result = inject::run_campaign(launcher, small_campaign());
+  EXPECT_EQ(result.trials, 12u);
+  EXPECT_GT(result.fired, 0u);
+  EXPECT_LE(result.fired, result.trials);
+  const std::size_t classified = result.aabft.critical + result.aabft.tolerable +
+                                 result.aabft.rounding_noise;
+  EXPECT_EQ(classified + result.masked, result.fired);
+  // Both schemes classify the same ground truth.
+  EXPECT_EQ(result.aabft.critical, result.sea.critical);
+  EXPECT_EQ(result.aabft.tolerable, result.sea.tolerable);
+}
+
+TEST(Campaign, NoFalsePositivesOnCleanReference) {
+  gpusim::Launcher launcher;
+  const CampaignResult result = inject::run_campaign(launcher, small_campaign());
+  EXPECT_EQ(result.aabft_false_positive_runs, 0u);
+  EXPECT_EQ(result.sea_false_positive_runs, 0u);
+}
+
+TEST(Campaign, DeterministicForSameSeed) {
+  gpusim::Launcher l1;
+  gpusim::Launcher l2;
+  const CampaignResult r1 = inject::run_campaign(l1, small_campaign());
+  const CampaignResult r2 = inject::run_campaign(l2, small_campaign());
+  EXPECT_EQ(r1.fired, r2.fired);
+  EXPECT_EQ(r1.masked, r2.masked);
+  EXPECT_EQ(r1.aabft.critical, r2.aabft.critical);
+  EXPECT_EQ(r1.aabft.detected_critical, r2.aabft.detected_critical);
+  EXPECT_EQ(r1.sea.detected_critical, r2.sea.detected_critical);
+}
+
+TEST(Campaign, ExponentFlipsAlwaysDetected) {
+  // Paper, Section VI-C: "A-ABFT, as well as SEA-ABFT detected all faults
+  // that have been injected into the sign bit or the exponent."
+  CampaignConfig config = small_campaign();
+  config.field = fp::BitField::kExponent;
+  config.trials = 16;
+  gpusim::Launcher launcher;
+  const CampaignResult result = inject::run_campaign(launcher, config);
+  ASSERT_GT(result.aabft.critical, 0u);
+  EXPECT_EQ(result.aabft.detected_critical, result.aabft.critical);
+  EXPECT_EQ(result.sea.detected_critical, result.sea.critical);
+}
+
+TEST(Campaign, SignFlipsAlwaysDetectedWhenCritical) {
+  CampaignConfig config = small_campaign();
+  config.field = fp::BitField::kSign;
+  config.trials = 16;
+  gpusim::Launcher launcher;
+  const CampaignResult result = inject::run_campaign(launcher, config);
+  EXPECT_EQ(result.aabft.detected_critical, result.aabft.critical);
+}
+
+TEST(Campaign, AabftDetectsAtLeastAsManyAsSea) {
+  // The headline comparison of Figure 4, as an invariant: the A-ABFT bound
+  // is tighter, so on the same faulty products it can only flag more.
+  for (const auto site :
+       {gpusim::FaultSite::kInnerMul, gpusim::FaultSite::kInnerAdd,
+        gpusim::FaultSite::kFinalAdd}) {
+    CampaignConfig config = small_campaign();
+    config.site = site;
+    config.trials = 20;
+    config.seed = 1234 + static_cast<std::uint64_t>(site);
+    gpusim::Launcher launcher;
+    const CampaignResult result = inject::run_campaign(launcher, config);
+    EXPECT_GE(result.aabft.detected_critical, result.sea.detected_critical)
+        << gpusim::to_string(site);
+  }
+}
+
+TEST(Campaign, MultiBitFlipsSupported) {
+  CampaignConfig config = small_campaign();
+  config.num_bits = 3;
+  gpusim::Launcher launcher;
+  const CampaignResult r3 = inject::run_campaign(launcher, config);
+  EXPECT_GT(r3.fired, 0u);
+  config.num_bits = 5;
+  const CampaignResult r5 = inject::run_campaign(launcher, config);
+  EXPECT_GT(r5.fired, 0u);
+}
+
+TEST(Campaign, DynamicInputClassWorks) {
+  CampaignConfig config = small_campaign();
+  config.input = linalg::InputClass::kDynamic;
+  config.kappa = 65536.0;
+  config.trials = 8;
+  gpusim::Launcher launcher;
+  const CampaignResult result = inject::run_campaign(launcher, config);
+  EXPECT_GT(result.fired, 0u);
+}
+
+TEST(Campaign, FinalAddSiteUsesKZero) {
+  CampaignConfig config = small_campaign();
+  config.site = gpusim::FaultSite::kFinalAdd;
+  config.trials = 10;
+  gpusim::Launcher launcher;
+  const CampaignResult result = inject::run_campaign(launcher, config);
+  EXPECT_GT(result.fired, 0u);
+}
+
+TEST(Campaign, InvalidConfigRejected) {
+  gpusim::Launcher launcher;
+  CampaignConfig config = small_campaign();
+  config.n = 60;  // not a multiple of bs = 16
+  EXPECT_THROW((void)inject::run_campaign(launcher, config),
+               std::invalid_argument);
+  config = small_campaign();
+  config.trials = 0;
+  EXPECT_THROW((void)inject::run_campaign(launcher, config),
+               std::invalid_argument);
+}
+
+TEST(Campaign, MultiFaultTrialsSupported) {
+  CampaignConfig config = small_campaign();
+  config.faults_per_trial = 3;
+  config.trials = 8;
+  gpusim::Launcher launcher;
+  const CampaignResult result = inject::run_campaign(launcher, config);
+  EXPECT_GT(result.fired, 0u);
+  const std::size_t classified = result.aabft.critical +
+                                 result.aabft.tolerable +
+                                 result.aabft.rounding_noise;
+  EXPECT_EQ(classified + result.masked, result.fired);
+}
+
+TEST(Campaign, FaultsPerTrialValidated) {
+  CampaignConfig config = small_campaign();
+  config.faults_per_trial = 0;
+  gpusim::Launcher launcher;
+  EXPECT_THROW((void)inject::run_campaign(launcher, config),
+               std::invalid_argument);
+  config.faults_per_trial = gpusim::FaultController::kMaxFaults + 1;
+  EXPECT_THROW((void)inject::run_campaign(launcher, config),
+               std::invalid_argument);
+}
+
+TEST(Campaign, DetectionRateRequiresCriticalErrors) {
+  inject::SchemeDetectionStats empty;
+  EXPECT_FALSE(empty.has_critical());
+  EXPECT_THROW((void)empty.detection_rate(), std::invalid_argument);
+  empty.record(abft::ErrorClass::kCritical, true);
+  EXPECT_EQ(empty.detection_rate(), 100.0);
+}
+
+}  // namespace

@@ -1,0 +1,84 @@
+// Seed-sweep property tests over fault-injection campaigns: invariants that
+// must hold for every random stream, locking in the Figure-4 qualitative
+// results statistically rather than at a single seed.
+#include <gtest/gtest.h>
+
+#include "gpusim/kernel.hpp"
+#include "inject/campaign.hpp"
+
+namespace {
+
+using namespace aabft;
+using inject::CampaignConfig;
+using inject::CampaignResult;
+
+class CampaignSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CampaignSeeds, InvariantsHoldForEveryStream) {
+  CampaignConfig config;
+  config.n = 64;
+  config.bs = 16;
+  config.trials = 10;
+  config.seed = GetParam();
+  gpusim::Launcher launcher;
+  const CampaignResult result = inject::run_campaign(launcher, config);
+
+  // Accounting closes.
+  EXPECT_LE(result.fired, result.trials);
+  const std::size_t classified = result.aabft.critical +
+                                 result.aabft.tolerable +
+                                 result.aabft.rounding_noise;
+  EXPECT_EQ(classified + result.masked, result.fired);
+
+  // Paired evaluation: identical ground truth for both schemes.
+  EXPECT_EQ(result.aabft.critical, result.sea.critical);
+  EXPECT_EQ(result.aabft.tolerable, result.sea.tolerable);
+  EXPECT_EQ(result.aabft.rounding_noise, result.sea.rounding_noise);
+
+  // The tighter bound can only detect at least as much.
+  EXPECT_GE(result.aabft.detected_critical, result.sea.detected_critical);
+  EXPECT_GE(result.aabft.detected_tolerable, result.sea.detected_tolerable);
+
+  // Autonomous bounds never mis-fire on the clean reference.
+  EXPECT_EQ(result.aabft_false_positive_runs, 0u);
+  EXPECT_EQ(result.sea_false_positive_runs, 0u);
+
+  // Detections are bounded by occurrences.
+  EXPECT_LE(result.aabft.detected_critical, result.aabft.critical);
+  EXPECT_LE(result.sea.detected_critical, result.sea.critical);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CampaignSeeds,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+TEST(CampaignProperties, AggregateDetectionAboveNinetyPercent) {
+  // Across several seeds and sites, A-ABFT's aggregate critical-error
+  // detection must clear the paper's "well over 90 %" line.
+  std::size_t critical = 0;
+  std::size_t detected = 0;
+  std::uint64_t seed = 7000;
+  for (const auto site :
+       {gpusim::FaultSite::kInnerMul, gpusim::FaultSite::kInnerAdd,
+        gpusim::FaultSite::kFinalAdd}) {
+    for (int rep = 0; rep < 2; ++rep) {
+      CampaignConfig config;
+      config.n = 64;
+      config.bs = 16;
+      config.trials = 12;
+      config.site = site;
+      config.seed = seed++;
+      gpusim::Launcher launcher;
+      const CampaignResult result = inject::run_campaign(launcher, config);
+      critical += result.aabft.critical;
+      detected += result.aabft.detected_critical;
+    }
+  }
+  ASSERT_GT(critical, 30u);
+  EXPECT_GE(static_cast<double>(detected) / static_cast<double>(critical),
+            0.90);
+}
+
+}  // namespace

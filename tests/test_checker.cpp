@@ -1,0 +1,168 @@
+// Check kernel tests (Algorithm 2): clean products pass, corrupted elements
+// are flagged at the correct block/line, epsilons are traced, NaN/Inf
+// corruption cannot slip through.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "abft/checker.hpp"
+#include "abft/encoder.hpp"
+#include "core/rng.hpp"
+#include "gpusim/kernel.hpp"
+#include "linalg/matmul.hpp"
+#include "linalg/workload.hpp"
+
+namespace {
+
+using aabft::Rng;
+using namespace aabft::abft;
+using aabft::linalg::Matrix;
+using aabft::linalg::uniform_matrix;
+
+struct Fixture {
+  PartitionedCodec codec{8};
+  aabft::gpusim::Launcher launcher;
+  EncodedMatrix a_cc;
+  EncodedMatrix b_rc;
+  Matrix c_fc;
+  std::size_t n = 0;
+
+  explicit Fixture(std::size_t n_in, std::uint64_t seed = 3) : n(n_in) {
+    Rng rng(seed);
+    const Matrix a = uniform_matrix(n, n, -1.0, 1.0, rng);
+    const Matrix b = uniform_matrix(n, n, -1.0, 1.0, rng);
+    a_cc = encode_columns(launcher, a, codec, 2);
+    b_rc = encode_rows(launcher, b, codec, 2);
+    c_fc = aabft::linalg::blocked_matmul(launcher, a_cc.data, b_rc.data,
+                                         aabft::linalg::GemmConfig{});
+  }
+
+  CheckReport check(EpsilonTrace* trace = nullptr) {
+    BoundParams params;
+    return check_product(launcher, c_fc, codec, a_cc.pmax, b_rc.pmax, n,
+                         params, trace);
+  }
+};
+
+TEST(Checker, CleanProductPasses) {
+  Fixture f(32);
+  EXPECT_TRUE(f.check().clean());
+}
+
+TEST(Checker, TraceCoversEveryChecksumComparison) {
+  Fixture f(32);
+  EpsilonTrace trace;
+  (void)f.check(&trace);
+  // 4x5 grid of blocks... n=32, bs=8: 4x4 blocks of (bs+1)=9: 36x36 c_fc.
+  // Per block: bs+1 column checks and bs+1 row checks.
+  const std::size_t blocks = 16;
+  EXPECT_EQ(trace.column_epsilons.size(), blocks * 9);
+  EXPECT_EQ(trace.row_epsilons.size(), blocks * 9);
+  for (const double eps : trace.column_epsilons) EXPECT_GT(eps, 0.0);
+  EXPECT_GT(trace.average(), 0.0);
+}
+
+TEST(Checker, DataCorruptionFlagsRowAndColumn) {
+  Fixture f(32);
+  // Corrupt the data element at encoded (10, 20): block (1, 2), local (1, 2).
+  f.c_fc(10, 20) += 1.0;
+  const CheckReport report = f.check();
+  ASSERT_EQ(report.mismatches.size(), 2u);
+  EXPECT_EQ(report.count(CheckKind::kColumn), 1u);
+  EXPECT_EQ(report.count(CheckKind::kRow), 1u);
+  for (const auto& m : report.mismatches) {
+    EXPECT_EQ(m.block_row, 1u);
+    EXPECT_EQ(m.block_col, 2u);
+    EXPECT_EQ(m.local, m.kind == CheckKind::kColumn ? 2u : 1u);
+    EXPECT_GT(m.difference(), m.epsilon);
+  }
+}
+
+TEST(Checker, ChecksumElementCorruptionLocalisedToChecksumLine) {
+  Fixture f(32);
+  // Corrupt the column-checksum element of block (0,0), column 3: encoded
+  // position (8, 3) since bs = 8.
+  f.c_fc(8, 3) += 0.5;
+  const CheckReport report = f.check();
+  ASSERT_EQ(report.mismatches.size(), 2u);
+  for (const auto& m : report.mismatches) {
+    EXPECT_EQ(m.block_row, 0u);
+    EXPECT_EQ(m.block_col, 0u);
+    if (m.kind == CheckKind::kColumn) {
+      EXPECT_EQ(m.local, 3u);
+    } else {
+      EXPECT_EQ(m.local, 8u);  // checksum row
+    }
+  }
+}
+
+TEST(Checker, ErrorBelowEpsilonPassesUnnoticed) {
+  // A deviation far below the bound is (correctly) treated as rounding noise.
+  Fixture f(32);
+  f.c_fc(5, 5) += 1e-15;
+  EXPECT_TRUE(f.check().clean());
+}
+
+TEST(Checker, NanCorruptionIsAlwaysDetected) {
+  Fixture f(32);
+  f.c_fc(3, 7) = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(f.check().clean());
+}
+
+TEST(Checker, InfCorruptionIsAlwaysDetected) {
+  Fixture f(32);
+  f.c_fc(3, 7) = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(f.check().clean());
+}
+
+TEST(Checker, MultipleBlockErrorsAllReported) {
+  Fixture f(32);
+  f.c_fc(0, 0) += 2.0;    // block (0,0)
+  f.c_fc(20, 30) += 2.0;  // block (2,3)
+  const CheckReport report = f.check();
+  EXPECT_EQ(report.mismatches.size(), 4u);  // 2 per corrupted block
+}
+
+TEST(Checker, CountsItsWork) {
+  Fixture f(32);
+  f.launcher.clear_launch_log();
+  (void)f.check();
+  ASSERT_EQ(f.launcher.launch_log().size(), 1u);
+  const auto& stats = f.launcher.launch_log().front();
+  EXPECT_EQ(stats.kernel_name, "check");
+  // Reference sums: 16 blocks * 2 * 9 lines * 8 adds each = 2304 adds, plus
+  // the counted epsilon flops.
+  EXPECT_GT(stats.counters.adds, 2304u);
+  EXPECT_GT(stats.counters.bytes_loaded, 0u);
+}
+
+TEST(Checker, ValidatesShapes) {
+  Fixture f(32);
+  BoundParams params;
+  Matrix bad(35, 36);  // rows not a multiple of bs+1
+  EXPECT_THROW((void)check_product(f.launcher, bad, f.codec, f.a_cc.pmax,
+                                   f.b_rc.pmax, f.n, params, nullptr),
+               std::invalid_argument);
+  PMaxTable short_table(3, PMaxList(2));
+  EXPECT_THROW((void)check_product(f.launcher, f.c_fc, f.codec, short_table,
+                                   f.b_rc.pmax, f.n, params, nullptr),
+               std::invalid_argument);
+}
+
+TEST(Checker, EmptyTraceAverageRejected) {
+  EpsilonTrace trace;
+  EXPECT_THROW((void)trace.average(), std::invalid_argument);
+}
+
+TEST(Checker, MismatchToStringAndDifference) {
+  Mismatch m;
+  m.kind = CheckKind::kColumn;
+  m.reference = 2.0;
+  m.stored = -1.0;
+  EXPECT_EQ(m.difference(), 3.0);
+  EXPECT_EQ(to_string(CheckKind::kColumn), "column");
+  EXPECT_EQ(to_string(CheckKind::kRow), "row");
+}
+
+}  // namespace

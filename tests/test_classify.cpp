@@ -1,0 +1,62 @@
+// Error-classification tests (paper Section VI-C three-class scheme).
+#include <gtest/gtest.h>
+
+#include "abft/classify.hpp"
+
+namespace {
+
+using namespace aabft::abft;
+
+RoundingStats stats(double mean, double sigma) { return {mean, sigma}; }
+
+TEST(Classify, WithinSigmaIsRoundingNoise) {
+  EXPECT_EQ(classify_error(0.0, stats(0.0, 1e-12), 3.0),
+            ErrorClass::kRoundingNoise);
+  EXPECT_EQ(classify_error(9e-13, stats(0.0, 1e-12), 3.0),
+            ErrorClass::kRoundingNoise);
+  EXPECT_EQ(classify_error(1e-12, stats(0.0, 1e-12), 3.0),
+            ErrorClass::kRoundingNoise);  // boundary inclusive
+}
+
+TEST(Classify, BetweenSigmaAndOmegaSigmaIsTolerable) {
+  EXPECT_EQ(classify_error(2e-12, stats(0.0, 1e-12), 3.0),
+            ErrorClass::kTolerable);
+  EXPECT_EQ(classify_error(3e-12, stats(0.0, 1e-12), 3.0),
+            ErrorClass::kTolerable);  // boundary inclusive
+}
+
+TEST(Classify, BeyondOmegaSigmaIsCritical) {
+  EXPECT_EQ(classify_error(3.1e-12, stats(0.0, 1e-12), 3.0),
+            ErrorClass::kCritical);
+  EXPECT_EQ(classify_error(1.0, stats(0.0, 1e-12), 3.0),
+            ErrorClass::kCritical);
+}
+
+TEST(Classify, MeanShiftsTheThresholds) {
+  // |mean| participates in both thresholds.
+  const RoundingStats s = stats(1e-12, 1e-12);
+  EXPECT_EQ(classify_error(2e-12, s, 3.0), ErrorClass::kRoundingNoise);
+  EXPECT_EQ(classify_error(3e-12, s, 3.0), ErrorClass::kTolerable);
+  EXPECT_EQ(classify_error(4.1e-12, s, 3.0), ErrorClass::kCritical);
+}
+
+TEST(Classify, OmegaWidensTheTolerableBand) {
+  const RoundingStats s = stats(0.0, 1e-12);
+  EXPECT_EQ(classify_error(2.5e-12, s, 2.0), ErrorClass::kCritical);
+  EXPECT_EQ(classify_error(2.5e-12, s, 3.0), ErrorClass::kTolerable);
+}
+
+TEST(Classify, InvalidInputsRejected) {
+  EXPECT_THROW((void)classify_error(-1.0, stats(0.0, 1.0), 3.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)classify_error(1.0, stats(0.0, 1.0), 0.5),
+               std::invalid_argument);
+}
+
+TEST(Classify, Names) {
+  EXPECT_EQ(to_string(ErrorClass::kRoundingNoise), "rounding-noise");
+  EXPECT_EQ(to_string(ErrorClass::kTolerable), "tolerable");
+  EXPECT_EQ(to_string(ErrorClass::kCritical), "critical");
+}
+
+}  // namespace

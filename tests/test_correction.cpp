@@ -1,0 +1,154 @@
+// Localisation and correction tests: every element class (data, column
+// checksum, row checksum, corner), multiple blocks, non-localisable
+// patterns, and end-to-end value restoration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "abft/checker.hpp"
+#include "abft/correction.hpp"
+#include "abft/encoder.hpp"
+#include "core/rng.hpp"
+#include "gpusim/kernel.hpp"
+#include "linalg/matmul.hpp"
+#include "linalg/workload.hpp"
+
+namespace {
+
+using aabft::Rng;
+using namespace aabft::abft;
+using aabft::linalg::Matrix;
+using aabft::linalg::uniform_matrix;
+
+/// A clean full-checksum product plus everything needed to check it.
+struct Product {
+  PartitionedCodec codec{8};
+  aabft::gpusim::Launcher launcher;
+  EncodedMatrix a_cc;
+  EncodedMatrix b_rc;
+  Matrix c_fc;
+  std::size_t n = 32;
+
+  Product() {
+    Rng rng(5);
+    const Matrix a = uniform_matrix(n, n, -1.0, 1.0, rng);
+    const Matrix b = uniform_matrix(n, n, -1.0, 1.0, rng);
+    a_cc = encode_columns(launcher, a, codec, 2);
+    b_rc = encode_rows(launcher, b, codec, 2);
+    c_fc = aabft::linalg::blocked_matmul(launcher, a_cc.data, b_rc.data,
+                                         aabft::linalg::GemmConfig{});
+  }
+
+  CheckReport check() {
+    BoundParams params;
+    return check_product(launcher, c_fc, codec, a_cc.pmax, b_rc.pmax, n,
+                         params, nullptr);
+  }
+};
+
+/// Corrupt one element, run the check + correction, and verify the patch
+/// restores the original value to within BS-sum rounding.
+void corrupt_and_verify(Product& p, std::size_t row, std::size_t col) {
+  const double original = p.c_fc(row, col);
+  p.c_fc(row, col) = original + 7.5;
+
+  const CheckReport report = p.check();
+  ASSERT_FALSE(report.clean());
+  const CorrectionOutcome outcome =
+      locate_and_correct(p.c_fc, report, p.codec);
+  EXPECT_FALSE(outcome.uncorrectable);
+  ASSERT_EQ(outcome.corrections.size(), 1u);
+
+  const auto& corr = outcome.corrections.front();
+  EXPECT_EQ(corr.block_row * 9 + corr.local_row, row);
+  EXPECT_EQ(corr.block_col * 9 + corr.local_col, col);
+  EXPECT_EQ(corr.old_value, original + 7.5);
+  EXPECT_NEAR(p.c_fc(row, col), original, 1e-12);
+
+  // The patched matrix passes a clean re-check.
+  EXPECT_TRUE(p.check().clean());
+}
+
+TEST(Correction, DataElement) {
+  Product p;
+  corrupt_and_verify(p, 2, 4);  // block (0,0), data
+}
+
+TEST(Correction, DataElementInInnerBlock) {
+  Product p;
+  corrupt_and_verify(p, 12, 21);  // block (1,2), locals (3,3)
+}
+
+TEST(Correction, ColumnChecksumElement) {
+  Product p;
+  corrupt_and_verify(p, 8, 4);  // checksum row of block row 0
+}
+
+TEST(Correction, RowChecksumElement) {
+  Product p;
+  corrupt_and_verify(p, 4, 17);  // checksum column of block col 1
+}
+
+TEST(Correction, CornerElement) {
+  Product p;
+  corrupt_and_verify(p, 17, 26);  // corner of block (1,2)
+}
+
+TEST(Correction, TwoErrorsInDifferentBlocksBothCorrected) {
+  Product p;
+  const double v1 = p.c_fc(1, 1);
+  const double v2 = p.c_fc(30, 33);
+  p.c_fc(1, 1) = v1 + 3.0;
+  p.c_fc(30, 33) = v2 - 4.0;
+
+  const CheckReport report = p.check();
+  const CorrectionOutcome outcome = locate_and_correct(p.c_fc, report, p.codec);
+  EXPECT_FALSE(outcome.uncorrectable);
+  ASSERT_EQ(outcome.corrections.size(), 2u);
+  EXPECT_NEAR(p.c_fc(1, 1), v1, 1e-12);
+  EXPECT_NEAR(p.c_fc(30, 33), v2, 1e-12);
+  EXPECT_TRUE(p.check().clean());
+}
+
+TEST(Correction, TwoErrorsInOneBlockAreUncorrectable) {
+  Product p;
+  p.c_fc(1, 1) += 3.0;
+  p.c_fc(2, 3) += 3.0;  // same block (0,0)
+  const CheckReport report = p.check();
+  const CorrectionOutcome outcome = locate_and_correct(p.c_fc, report, p.codec);
+  EXPECT_TRUE(outcome.uncorrectable);
+}
+
+TEST(Correction, SameRowPairInOneBlockUncorrectable) {
+  Product p;
+  // Two errors in the same row of one block: one row mismatch, two column
+  // mismatches -> cannot localise.
+  p.c_fc(1, 1) += 3.0;
+  p.c_fc(1, 5) += 3.0;
+  const CheckReport report = p.check();
+  EXPECT_EQ(report.count(CheckKind::kColumn), 2u);
+  const CorrectionOutcome outcome = locate_and_correct(p.c_fc, report, p.codec);
+  EXPECT_TRUE(outcome.uncorrectable);
+  EXPECT_TRUE(outcome.corrections.empty());
+}
+
+TEST(Correction, CleanReportDoesNothing) {
+  Product p;
+  const Matrix before = p.c_fc;
+  const CheckReport report = p.check();
+  ASSERT_TRUE(report.clean());
+  const CorrectionOutcome outcome = locate_and_correct(p.c_fc, report, p.codec);
+  EXPECT_FALSE(outcome.uncorrectable);
+  EXPECT_TRUE(outcome.corrections.empty());
+  EXPECT_EQ(p.c_fc, before);
+}
+
+TEST(Correction, ShapeValidated) {
+  Product p;
+  Matrix bad(10, 9);
+  CheckReport report;
+  EXPECT_THROW((void)locate_and_correct(bad, report, p.codec),
+               std::invalid_argument);
+}
+
+}  // namespace

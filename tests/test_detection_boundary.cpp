@@ -1,0 +1,117 @@
+// Detection-boundary property tests: a deviation just beyond the computed
+// epsilon must be flagged, one comfortably below must not — across block
+// positions, sizes and input classes. This pins the comparison logic (and
+// its NaN-awareness) to the bound values the model produces.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "abft/checker.hpp"
+#include "abft/encoder.hpp"
+#include "core/rng.hpp"
+#include "gpusim/kernel.hpp"
+#include "linalg/matmul.hpp"
+#include "linalg/workload.hpp"
+
+namespace {
+
+using aabft::Rng;
+using namespace aabft::abft;
+using aabft::linalg::InputClass;
+using aabft::linalg::Matrix;
+
+struct BoundaryCase {
+  std::size_t n;
+  std::size_t bs;
+  InputClass input;
+};
+
+class DetectionBoundary : public ::testing::TestWithParam<BoundaryCase> {};
+
+TEST_P(DetectionBoundary, FlagsJustAboveEpsilonNotBelow) {
+  const auto& param = GetParam();
+  Rng rng(param.n * 31 + param.bs);
+  const PartitionedCodec codec(param.bs);
+  aabft::gpusim::Launcher launcher;
+  const Matrix a = aabft::linalg::make_input(param.input, param.n, 2.0, rng);
+  const Matrix b = aabft::linalg::make_input(param.input, param.n, 2.0, rng);
+  const auto a_cc = encode_columns(launcher, a, codec, 2);
+  const auto b_rc = encode_rows(launcher, b, codec, 2);
+  Matrix c_fc = aabft::linalg::blocked_matmul(launcher, a_cc.data, b_rc.data,
+                                              aabft::linalg::GemmConfig{});
+  BoundParams params;
+
+  // Learn the epsilon of a specific column check from the trace.
+  EpsilonTrace trace;
+  const auto clean = check_product(launcher, c_fc, codec, a_cc.pmax,
+                                   b_rc.pmax, param.n, params, &trace);
+  ASSERT_TRUE(clean.clean());
+  // Column checks are traced block-major, bs+1 per block; entry 0 is block
+  // (0, 0), local column 0.
+  const double eps = trace.column_epsilons.front();
+  ASSERT_GT(eps, 0.0);
+
+  // Deviate the data element (0, 0): the column-check difference changes by
+  // exactly the deviation (up to the reference sum's rounding, orders below
+  // eps). Slightly above epsilon -> flagged.
+  const double original = c_fc(0, 0);
+  c_fc(0, 0) = original + 3.0 * eps;
+  const auto above = check_product(launcher, c_fc, codec, a_cc.pmax,
+                                   b_rc.pmax, param.n, params, nullptr);
+  EXPECT_FALSE(above.clean());
+  bool found = false;
+  for (const auto& m : above.mismatches)
+    if (m.kind == CheckKind::kColumn && m.block_row == 0 && m.block_col == 0 &&
+        m.local == 0)
+      found = true;
+  EXPECT_TRUE(found);
+
+  // Comfortably below epsilon -> treated as rounding noise.
+  c_fc(0, 0) = original + 0.25 * eps;
+  const auto below = check_product(launcher, c_fc, codec, a_cc.pmax,
+                                   b_rc.pmax, param.n, params, nullptr);
+  EXPECT_TRUE(below.clean());
+  c_fc(0, 0) = original;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DetectionBoundary,
+    ::testing::Values(BoundaryCase{32, 16, InputClass::kUnit},
+                      BoundaryCase{64, 16, InputClass::kUnit},
+                      BoundaryCase{64, 32, InputClass::kHundred},
+                      BoundaryCase{96, 32, InputClass::kUnit},
+                      BoundaryCase{64, 16, InputClass::kDynamic}));
+
+TEST(DetectionBoundary, EpsilonScalesWithOmega) {
+  // The same deviation is flagged at omega = 1 but absorbed at omega = 3
+  // when sized between the two bounds.
+  Rng rng(5);
+  const std::size_t n = 64;
+  const PartitionedCodec codec(16);
+  aabft::gpusim::Launcher launcher;
+  const Matrix a = aabft::linalg::uniform_matrix(n, n, -1.0, 1.0, rng);
+  const Matrix b = aabft::linalg::uniform_matrix(n, n, -1.0, 1.0, rng);
+  const auto a_cc = encode_columns(launcher, a, codec, 2);
+  const auto b_rc = encode_rows(launcher, b, codec, 2);
+  Matrix c_fc = aabft::linalg::blocked_matmul(launcher, a_cc.data, b_rc.data,
+                                              aabft::linalg::GemmConfig{});
+
+  BoundParams w1;
+  w1.omega = 1.0;
+  BoundParams w3;
+  w3.omega = 3.0;
+  EpsilonTrace trace1;
+  (void)check_product(launcher, c_fc, codec, a_cc.pmax, b_rc.pmax, n, w1,
+                      &trace1);
+  const double eps1 = trace1.column_epsilons.front();
+
+  c_fc(0, 0) += 2.0 * eps1;  // between 1-sigma and 3-sigma bound
+  EXPECT_FALSE(check_product(launcher, c_fc, codec, a_cc.pmax, b_rc.pmax, n,
+                             w1, nullptr)
+                   .clean());
+  EXPECT_TRUE(check_product(launcher, c_fc, codec, a_cc.pmax, b_rc.pmax, n,
+                            w3, nullptr)
+                  .clean());
+}
+
+}  // namespace

@@ -1,0 +1,129 @@
+// Pairwise-accumulation GEMM and diverse-kernel TMR tests (the paper's
+// "three different kernels need rounding bounds" remark, implemented).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/diverse_tmr.hpp"
+#include "core/rng.hpp"
+#include "gpusim/kernel.hpp"
+#include "linalg/matmul.hpp"
+#include "linalg/workload.hpp"
+
+namespace {
+
+using aabft::Rng;
+using namespace aabft::baselines;
+using aabft::gpusim::FaultConfig;
+using aabft::gpusim::FaultController;
+using aabft::gpusim::FaultSite;
+using aabft::gpusim::Launcher;
+using aabft::linalg::blocked_matmul;
+using aabft::linalg::Matrix;
+using aabft::linalg::naive_matmul;
+using aabft::linalg::pairwise_matmul;
+using aabft::linalg::uniform_matrix;
+
+TEST(PairwiseMatmul, CorrectToWithinRounding) {
+  Rng rng(1);
+  const Matrix a = uniform_matrix(40, 56, -1.0, 1.0, rng);
+  const Matrix b = uniform_matrix(56, 24, -1.0, 1.0, rng);
+  Launcher launcher;
+  const Matrix c = pairwise_matmul(launcher, a, b);
+  const Matrix ref = naive_matmul(a, b, false);
+  EXPECT_LT(c.max_abs_diff(ref), 1e-12);
+}
+
+TEST(PairwiseMatmul, ActuallyDiversifiesRounding) {
+  // The point of the kernel: same math, different bits.
+  Rng rng(2);
+  const std::size_t n = 64;
+  const Matrix a = uniform_matrix(n, n, -1.0, 1.0, rng);
+  const Matrix b = uniform_matrix(n, n, -1.0, 1.0, rng);
+  Launcher launcher;
+  const Matrix sequential = blocked_matmul(launcher, a, b);
+  const Matrix pairwise = pairwise_matmul(launcher, a, b);
+  EXPECT_FALSE(sequential == pairwise);        // bitwise different...
+  EXPECT_LT(sequential.max_abs_diff(pairwise), 1e-12);  // ...same values
+}
+
+TEST(PairwiseMatmul, ExactForPowerOfTwoData) {
+  // With exactly representable sums, every accumulation order agrees.
+  Matrix a(4, 4, 0.25);
+  Matrix b(4, 4, 0.5);
+  Launcher launcher;
+  const Matrix c = pairwise_matmul(launcher, a, b);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j) EXPECT_EQ(c(i, j), 0.5);
+}
+
+TEST(PairwiseMatmul, OddInnerDimension) {
+  Rng rng(3);
+  const Matrix a = uniform_matrix(8, 13, -1.0, 1.0, rng);
+  const Matrix b = uniform_matrix(13, 8, -1.0, 1.0, rng);
+  Launcher launcher;
+  const Matrix c = pairwise_matmul(launcher, a, b);
+  EXPECT_LT(c.max_abs_diff(naive_matmul(a, b, false)), 1e-13);
+}
+
+TEST(DiverseTmr, CleanRunHasNoDisagreements) {
+  // The probabilistic agreement bounds must absorb the genuine rounding
+  // differences between the three kernels — the exact situation the paper
+  // says makes "direct comparison impossible".
+  Rng rng(4);
+  const std::size_t n = 96;
+  const Matrix a = uniform_matrix(n, n, -1.0, 1.0, rng);
+  const Matrix b = uniform_matrix(n, n, -1.0, 1.0, rng);
+  Launcher launcher;
+  DiverseTmrMultiplier mult(launcher, DiverseTmrConfig{});
+  const auto result = mult.multiply(a, b);
+  EXPECT_EQ(result.disagreeing_elements, 0u);
+  EXPECT_EQ(result.unresolved_elements, 0u);
+  EXPECT_LT(result.c.max_abs_diff(naive_matmul(a, b, false)), 1e-12);
+}
+
+TEST(DiverseTmr, CleanRunWideValueRange) {
+  Rng rng(5);
+  const std::size_t n = 64;
+  const Matrix a = uniform_matrix(n, n, -100.0, 100.0, rng);
+  const Matrix b = uniform_matrix(n, n, -100.0, 100.0, rng);
+  Launcher launcher;
+  DiverseTmrMultiplier mult(launcher, DiverseTmrConfig{});
+  const auto result = mult.multiply(a, b);
+  EXPECT_EQ(result.disagreeing_elements, 0u);
+}
+
+TEST(DiverseTmr, DetectsAndOutvotesInjectedFault) {
+  Rng rng(6);
+  const std::size_t n = 64;
+  const Matrix a = uniform_matrix(n, n, -1.0, 1.0, rng);
+  const Matrix b = uniform_matrix(n, n, -1.0, 1.0, rng);
+  Launcher launcher;
+  FaultController controller;
+  launcher.set_fault_controller(&controller);
+  FaultConfig fault;
+  fault.site = FaultSite::kInnerAdd;  // hits replica 1 (first blocked run)
+  fault.error_vec = 1ULL << 61;
+  fault.k_injection = 7;
+  controller.arm(fault);
+
+  DiverseTmrMultiplier mult(launcher, DiverseTmrConfig{});
+  const auto result = mult.multiply(a, b);
+  launcher.set_fault_controller(nullptr);
+
+  ASSERT_TRUE(controller.fired());
+  EXPECT_TRUE(result.error_detected());
+  EXPECT_EQ(result.disagreeing_elements, 1u);
+  EXPECT_EQ(result.unresolved_elements, 0u);
+  // Replicas 2 and 3 outvote the corrupted element.
+  EXPECT_LT(result.c.max_abs_diff(naive_matmul(a, b, false)), 1e-12);
+}
+
+TEST(DiverseTmr, InvalidConfigRejected) {
+  Launcher launcher;
+  DiverseTmrConfig config;
+  config.omega = 0.0;
+  EXPECT_THROW(DiverseTmrMultiplier(launcher, config), std::invalid_argument);
+}
+
+}  // namespace

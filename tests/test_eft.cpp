@@ -1,0 +1,123 @@
+// Error-free transformation tests: the EFTs must be *exact*, verified
+// against the independent BigFloat oracle.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+#include "fp/bigfloat.hpp"
+#include "fp/eft.hpp"
+
+namespace {
+
+using aabft::Rng;
+using namespace aabft::fp;
+
+void expect_exact_sum(double a, double b, const Eft& e) {
+  const BigFloat lhs = BigFloat::from_double(a) + BigFloat::from_double(b);
+  const BigFloat rhs =
+      BigFloat::from_double(e.value) + BigFloat::from_double(e.error);
+  EXPECT_EQ(lhs.compare(rhs), 0) << a << " + " << b;
+  EXPECT_EQ(e.value, a + b);  // value is the rounded result
+}
+
+void expect_exact_product(double a, double b, const Eft& e) {
+  const BigFloat lhs = BigFloat::from_double(a) * BigFloat::from_double(b);
+  const BigFloat rhs =
+      BigFloat::from_double(e.value) + BigFloat::from_double(e.error);
+  EXPECT_EQ(lhs.compare(rhs), 0) << a << " * " << b;
+  EXPECT_EQ(e.value, a * b);
+}
+
+TEST(Eft, TwoSumKnownCase) {
+  // 1e16 + 1: the 1 is lost in rounding and must reappear in the error term.
+  const Eft e = two_sum(1e16, 1.0);
+  EXPECT_EQ(e.value, 1e16);
+  EXPECT_EQ(e.error, 1.0);
+}
+
+TEST(Eft, TwoSumRandom) {
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const double a = rng.uniform(-1.0, 1.0) * std::pow(10.0, rng.between(-10, 10));
+    const double b = rng.uniform(-1.0, 1.0) * std::pow(10.0, rng.between(-10, 10));
+    expect_exact_sum(a, b, two_sum(a, b));
+  }
+}
+
+TEST(Eft, FastTwoSumRequiresOrdering) {
+  Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    double a = rng.uniform(-100.0, 100.0);
+    double b = rng.uniform(-100.0, 100.0);
+    if (std::fabs(a) < std::fabs(b)) std::swap(a, b);
+    expect_exact_sum(a, b, fast_two_sum(a, b));
+  }
+}
+
+TEST(Eft, FastTwoSumAgreesWithTwoSumWhenOrdered) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    double a = rng.uniform(-1e8, 1e8);
+    double b = rng.uniform(-1.0, 1.0);
+    const Eft fast = fast_two_sum(a, b);
+    const Eft full = two_sum(a, b);
+    EXPECT_EQ(fast.value, full.value);
+    EXPECT_EQ(fast.error, full.error);
+  }
+}
+
+TEST(Eft, SplitIsExactAndNarrow) {
+  Rng rng(4);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.uniform(-1e10, 1e10);
+    const Split s = split(x);
+    EXPECT_EQ(s.hi + s.lo, x);
+    // Each part carries at most 26 significant bits: the product of two
+    // halves is then exact; check via the defining identity hi*hi exactness.
+    const BigFloat exact = BigFloat::from_double(s.hi) + BigFloat::from_double(s.lo);
+    EXPECT_EQ(exact.compare(BigFloat::from_double(x)), 0);
+  }
+}
+
+TEST(Eft, TwoProdFmaKnownCase) {
+  // (1 + 2^-30)^2 = 1 + 2^-29 + 2^-60; the 2^-60 term rounds away.
+  const double x = 1.0 + std::ldexp(1.0, -30);
+  const Eft e = two_prod_fma(x, x);
+  EXPECT_EQ(e.error, std::ldexp(1.0, -60));
+}
+
+TEST(Eft, TwoProdFmaRandom) {
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const double a = rng.uniform(-1.0, 1.0) * std::pow(10.0, rng.between(-50, 50));
+    const double b = rng.uniform(-1.0, 1.0) * std::pow(10.0, rng.between(-50, 50));
+    expect_exact_product(a, b, two_prod_fma(a, b));
+  }
+}
+
+TEST(Eft, TwoProdDekkerMatchesFmaVariant) {
+  Rng rng(6);
+  for (int i = 0; i < 2000; ++i) {
+    const double a = rng.uniform(-1e5, 1e5);
+    const double b = rng.uniform(-1e5, 1e5);
+    const Eft dekker = two_prod(a, b);
+    const Eft fma = two_prod_fma(a, b);
+    EXPECT_EQ(dekker.value, fma.value);
+    EXPECT_EQ(dekker.error, fma.error) << a << " * " << b;
+  }
+}
+
+TEST(Eft, ZeroOperands) {
+  EXPECT_EQ(two_sum(0.0, 0.0).error, 0.0);
+  EXPECT_EQ(two_prod_fma(0.0, 5.0).error, 0.0);
+  EXPECT_EQ(two_prod(5.0, 0.0).error, 0.0);
+}
+
+TEST(Eft, ExactOperationsHaveZeroError) {
+  EXPECT_EQ(two_sum(1.0, 2.0).error, 0.0);
+  EXPECT_EQ(two_prod_fma(3.0, 4.0).error, 0.0);
+  EXPECT_EQ(two_sum(0.5, 0.25).error, 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,150 @@
+// Encode kernel tests (Algorithm 1): kernel checksums equal the host codec's,
+// and the fused p-max collection equals a brute-force top-p per vector —
+// including the checksum vectors' own lists.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "abft/encoder.hpp"
+#include "core/rng.hpp"
+#include "gpusim/kernel.hpp"
+#include "linalg/workload.hpp"
+
+namespace {
+
+using aabft::Rng;
+using namespace aabft::abft;
+using aabft::linalg::Matrix;
+using aabft::linalg::uniform_matrix;
+
+/// Brute-force descending top-p |values| of a vector.
+std::vector<std::pair<double, std::size_t>> brute_top_p(
+    const std::vector<double>& v, std::size_t p) {
+  std::vector<std::pair<double, std::size_t>> entries;
+  for (std::size_t i = 0; i < v.size(); ++i)
+    entries.emplace_back(std::fabs(v[i]), i);
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
+  entries.resize(std::min(p, entries.size()));
+  return entries;
+}
+
+TEST(Encoder, ColumnsMatchHostCodec) {
+  Rng rng(1);
+  const PartitionedCodec codec(8);
+  const Matrix a = uniform_matrix(24, 16, -1.0, 1.0, rng);
+  aabft::gpusim::Launcher launcher;
+  const EncodedMatrix enc = encode_columns(launcher, a, codec, 2);
+  EXPECT_EQ(enc.data, codec.encode_columns_host(a));  // bitwise: same order
+}
+
+TEST(Encoder, RowsMatchHostCodec) {
+  Rng rng(2);
+  const PartitionedCodec codec(8);
+  const Matrix b = uniform_matrix(16, 24, -1.0, 1.0, rng);
+  aabft::gpusim::Launcher launcher;
+  const EncodedMatrix enc = encode_rows(launcher, b, codec, 2);
+  EXPECT_EQ(enc.data, codec.encode_rows_host(b));
+}
+
+class EncoderPMaxSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t,
+                                                 std::size_t, std::size_t>> {};
+
+TEST_P(EncoderPMaxSweep, ColumnEncodePMaxEqualsBruteForce) {
+  const auto [m, n, bs, p] = GetParam();
+  Rng rng(m * 7 + n * 3 + p);
+  const PartitionedCodec codec(bs);
+  const Matrix a = uniform_matrix(m, n, -5.0, 5.0, rng);
+  aabft::gpusim::Launcher launcher;
+  const EncodedMatrix enc = encode_columns(launcher, a, codec, p);
+
+  ASSERT_EQ(enc.pmax.size(), codec.encoded_dim(m));
+  for (std::size_t er = 0; er < enc.pmax.size(); ++er) {
+    std::vector<double> row(enc.data.row(er).begin(), enc.data.row(er).end());
+    const auto expected = brute_top_p(row, p);
+    const PMaxList& got = enc.pmax[er];
+    ASSERT_EQ(got.size(), expected.size()) << "row " << er;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(got[i].value, expected[i].first) << "row " << er << " i " << i;
+      EXPECT_EQ(std::fabs(row[got[i].index]), got[i].value);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, EncoderPMaxSweep,
+    ::testing::Values(std::make_tuple(16, 16, 8, 2),
+                      std::make_tuple(16, 16, 8, 1),
+                      std::make_tuple(32, 24, 8, 4),
+                      std::make_tuple(8, 40, 4, 3),
+                      std::make_tuple(64, 10, 16, 2),  // ragged column chunk
+                      std::make_tuple(24, 7, 8, 2)));  // chunk smaller than bs
+
+TEST(Encoder, RowEncodePMaxEqualsBruteForce) {
+  Rng rng(9);
+  const PartitionedCodec codec(8);
+  const std::size_t p = 2;
+  const Matrix b = uniform_matrix(20, 24, -5.0, 5.0, rng);  // ragged row chunk
+  aabft::gpusim::Launcher launcher;
+  const EncodedMatrix enc = encode_rows(launcher, b, codec, p);
+
+  ASSERT_EQ(enc.pmax.size(), codec.encoded_dim(24));
+  for (std::size_t ec = 0; ec < enc.pmax.size(); ++ec) {
+    const auto col = enc.data.col(ec);
+    const auto expected = brute_top_p(col, p);
+    const PMaxList& got = enc.pmax[ec];
+    ASSERT_EQ(got.size(), expected.size()) << "col " << ec;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(got[i].value, expected[i].first) << "col " << ec << " i " << i;
+      EXPECT_EQ(std::fabs(col[got[i].index]), got[i].value);
+    }
+  }
+}
+
+TEST(Encoder, ChecksumRowsHaveOwnPMax) {
+  // The localSums / maxSum path of Algorithm 1: the checksum vector's p-max
+  // must reflect the checksum values, not the data.
+  Rng rng(10);
+  const PartitionedCodec codec(4);
+  Matrix a(4, 8, 1.0);   // every column checksum is exactly 4.0
+  a(2, 5) = 100.0;       // data row 2 has a dominant value
+  aabft::gpusim::Launcher launcher;
+  const EncodedMatrix enc = encode_columns(launcher, a, codec, 1);
+  const PMaxList& cs = enc.pmax[codec.checksum_index(0)];
+  ASSERT_EQ(cs.size(), 1u);
+  EXPECT_EQ(cs[0].value, 103.0);  // checksum of column 5: 3*1 + 100
+  EXPECT_EQ(cs[0].index, 5u);
+  const PMaxList& row2 = enc.pmax[codec.enc_index(2)];
+  EXPECT_EQ(row2[0].value, 100.0);
+  EXPECT_EQ(row2[0].index, 5u);
+}
+
+TEST(Encoder, LaunchesEncodeAndReduceKernels) {
+  Rng rng(11);
+  const PartitionedCodec codec(8);
+  const Matrix a = uniform_matrix(16, 16, -1.0, 1.0, rng);
+  aabft::gpusim::Launcher launcher;
+  (void)encode_columns(launcher, a, codec, 2);
+  ASSERT_EQ(launcher.launch_log().size(), 2u);
+  EXPECT_EQ(launcher.launch_log()[0].kernel_name, "encode_a");
+  EXPECT_EQ(launcher.launch_log()[1].kernel_name, "reduce_pmax_a");
+  // Checksum adds: one add per element of A.
+  EXPECT_EQ(launcher.launch_log()[0].counters.adds, 16u * 16u);
+  EXPECT_GT(launcher.launch_log()[0].counters.compares, 0u);
+}
+
+TEST(Encoder, RejectsIndivisibleDimensions) {
+  const PartitionedCodec codec(8);
+  aabft::gpusim::Launcher launcher;
+  Matrix a(12, 16);
+  EXPECT_THROW((void)encode_columns(launcher, a, codec, 2),
+               std::invalid_argument);
+  Matrix b(16, 12);
+  EXPECT_THROW((void)encode_rows(launcher, b, codec, 2),
+               std::invalid_argument);
+}
+
+}  // namespace

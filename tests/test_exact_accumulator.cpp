@@ -1,0 +1,205 @@
+// Unit tests for the Kulisch superaccumulator (the GMP substitute).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "fp/bigfloat.hpp"
+#include "fp/exact_accumulator.hpp"
+#include "fp/exact_dot.hpp"
+
+namespace {
+
+using aabft::Rng;
+using aabft::fp::BigFloat;
+using aabft::fp::ExactAccumulator;
+
+TEST(ExactAccumulator, StartsAtZero) {
+  ExactAccumulator acc;
+  EXPECT_TRUE(acc.is_zero());
+  EXPECT_EQ(acc.sign(), 0);
+  EXPECT_EQ(acc.round_to_double(), 0.0);
+}
+
+TEST(ExactAccumulator, SingleValueRoundTrips) {
+  for (const double v : {1.0, -1.0, 0.5, 1e-300, -1e300, 3.141592653589793,
+                         5e-324, std::numeric_limits<double>::max(),
+                         -std::numeric_limits<double>::denorm_min()}) {
+    ExactAccumulator acc;
+    acc.add(v);
+    EXPECT_EQ(acc.round_to_double(), v) << "value " << v;
+  }
+}
+
+TEST(ExactAccumulator, AddThenSubCancelsExactly) {
+  Rng rng(7);
+  ExactAccumulator acc;
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-1e10, 1e10);
+    values.push_back(v);
+    acc.add(v);
+  }
+  for (const double v : values) acc.sub(v);
+  EXPECT_TRUE(acc.is_zero());
+}
+
+TEST(ExactAccumulator, CatastrophicCancellationIsExact) {
+  // 1e16 + 1 - 1e16 == 1 exactly in the accumulator (but not in doubles).
+  ExactAccumulator acc;
+  acc.add(1e16);
+  acc.add(1.0);
+  acc.sub(1e16);
+  EXPECT_EQ(acc.round_to_double(), 1.0);
+}
+
+TEST(ExactAccumulator, ProductsAreExact) {
+  // (1 + 2^-40)^2 = 1 + 2^-39 + 2^-80: not representable in one double.
+  const double x = 1.0 + std::ldexp(1.0, -40);
+  ExactAccumulator acc;
+  acc.add_product(x, x);
+  acc.sub(1.0);
+  acc.sub(std::ldexp(1.0, -39));
+  EXPECT_EQ(acc.round_to_double(), std::ldexp(1.0, -80));
+}
+
+TEST(ExactAccumulator, SubProductInvertsAddProduct) {
+  Rng rng(11);
+  ExactAccumulator acc;
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.uniform(-1e5, 1e5);
+    const double b = rng.uniform(-1e5, 1e5);
+    acc.add_product(a, b);
+    acc.sub_product(a, b);
+  }
+  EXPECT_TRUE(acc.is_zero());
+}
+
+TEST(ExactAccumulator, MatchesBigFloatOnRandomSums) {
+  Rng rng(42);
+  for (int rep = 0; rep < 20; ++rep) {
+    ExactAccumulator acc;
+    BigFloat ref;
+    for (int i = 0; i < 100; ++i) {
+      const double v = rng.uniform(-1.0, 1.0) * std::pow(10.0, rng.between(-20, 20));
+      acc.add(v);
+      ref += BigFloat::from_double(v);
+    }
+    EXPECT_EQ(acc.round_to_double(), ref.to_double());
+  }
+}
+
+TEST(ExactAccumulator, MatchesBigFloatOnRandomDotProducts) {
+  Rng rng(43);
+  for (int rep = 0; rep < 10; ++rep) {
+    ExactAccumulator acc;
+    BigFloat ref;
+    for (int i = 0; i < 50; ++i) {
+      const double a = rng.uniform(-100.0, 100.0);
+      const double b = rng.uniform(-100.0, 100.0);
+      acc.add_product(a, b);
+      ref += BigFloat::from_double(a) * BigFloat::from_double(b);
+    }
+    EXPECT_EQ(acc.round_to_double(), ref.to_double());
+  }
+}
+
+TEST(ExactAccumulator, CompareOrdersValues) {
+  ExactAccumulator small;
+  ExactAccumulator large;
+  small.add(1.0);
+  large.add(2.0);
+  EXPECT_LT(small.compare(large), 0);
+  EXPECT_GT(large.compare(small), 0);
+  EXPECT_EQ(small.compare(small), 0);
+
+  ExactAccumulator negative;
+  negative.add(-5.0);
+  EXPECT_LT(negative.compare(small), 0);
+  EXPECT_EQ(negative.sign(), -1);
+}
+
+TEST(ExactAccumulator, NegateFlipsSign) {
+  ExactAccumulator acc;
+  acc.add(3.5);
+  acc.negate();
+  EXPECT_EQ(acc.round_to_double(), -3.5);
+  acc.negate();
+  EXPECT_EQ(acc.round_to_double(), 3.5);
+}
+
+TEST(ExactAccumulator, AccumulatorAdditionMatchesElementwise) {
+  Rng rng(77);
+  ExactAccumulator a;
+  ExactAccumulator b;
+  ExactAccumulator both;
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.uniform(-1e8, 1e8);
+    const double y = rng.uniform(-1e8, 1e8);
+    a.add(x);
+    b.add(y);
+    both.add(x);
+    both.add(y);
+  }
+  a += b;
+  EXPECT_EQ(a.compare(both), 0);
+}
+
+TEST(ExactAccumulator, RoundMinusGivesExactRoundingError) {
+  // Sum 0.1 ten times: the double result differs from 1.0 by a known tiny
+  // amount; round_minus must expose exactly that residual.
+  ExactAccumulator acc;
+  double fp_sum = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    acc.add(0.1);
+    fp_sum += 0.1;
+  }
+  const double residual = acc.round_minus(fp_sum);
+  EXPECT_NE(residual, 0.0);
+  EXPECT_LT(std::fabs(residual), 1e-15);
+  // Cross-check against BigFloat.
+  BigFloat ref;
+  for (int i = 0; i < 10; ++i) ref += BigFloat::from_double(0.1);
+  ref -= BigFloat::from_double(fp_sum);
+  EXPECT_EQ(residual, ref.to_double());
+}
+
+TEST(ExactAccumulator, RejectsNonFinite) {
+  ExactAccumulator acc;
+  EXPECT_THROW(acc.add(std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  EXPECT_THROW(acc.add(std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+}
+
+TEST(ExactDot, MatchesBigFloatAndDetectsRoundingError) {
+  Rng rng(4242);
+  std::vector<double> a(300);
+  std::vector<double> b(300);
+  for (auto& x : a) x = rng.uniform(-1.0, 1.0);
+  for (auto& x : b) x = rng.uniform(-1.0, 1.0);
+
+  const double naive = aabft::fp::fp_dot(a, b, /*use_fma=*/false);
+  const double exact = aabft::fp::exact_dot_rounded(a, b);
+
+  BigFloat ref;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    ref += BigFloat::from_double(a[i]) * BigFloat::from_double(b[i]);
+  EXPECT_EQ(exact, ref.to_double());
+
+  const double err = aabft::fp::rounding_error_of_dot(a, b, naive);
+  EXPECT_GE(err, 0.0);
+  EXPECT_LT(err, 1e-12);  // tiny but almost surely non-zero for n=300
+}
+
+TEST(ExactDot, ErrorOfExactResultIsZero) {
+  std::vector<double> a{1.0, 2.0, 4.0, 8.0};
+  std::vector<double> b{0.5, 0.25, 0.125, 0.0625};
+  // All products and the sum are exactly representable.
+  const double dot = aabft::fp::fp_dot(a, b, false);
+  EXPECT_EQ(aabft::fp::rounding_error_of_dot(a, b, dot), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,108 @@
+// Error-vector construction tests (paper Section VI-C fault model).
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "core/rng.hpp"
+#include "fp/bits.hpp"
+#include "fp/fault_vector.hpp"
+
+namespace {
+
+using aabft::Rng;
+using namespace aabft::fp;
+
+TEST(FaultVector, FieldGeometry) {
+  EXPECT_EQ(field_width(BitField::kSign), 1);
+  EXPECT_EQ(field_width(BitField::kExponent), 11);
+  EXPECT_EQ(field_width(BitField::kMantissa), 52);
+  EXPECT_EQ(field_offset(BitField::kSign), 63);
+  EXPECT_EQ(field_offset(BitField::kExponent), 52);
+  EXPECT_EQ(field_offset(BitField::kMantissa), 0);
+}
+
+TEST(FaultVector, SingleBitSign) {
+  Rng rng(1);
+  const auto vec = make_error_vec(BitField::kSign, 1, rng);
+  EXPECT_EQ(vec, kSignMask);
+}
+
+class FaultVectorSweep
+    : public ::testing::TestWithParam<std::tuple<BitField, int>> {};
+
+TEST_P(FaultVectorSweep, ExactPopcountInsideField) {
+  const auto [field, bits] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(bits) * 31 + 7);
+  for (int rep = 0; rep < 500; ++rep) {
+    const auto vec = make_error_vec(field, bits, rng);
+    EXPECT_EQ(std::popcount(vec), bits);
+    EXPECT_EQ(popcount_in_field(vec, field), bits)
+        << "bits escaped the " << to_string(field) << " field";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FieldsAndCounts, FaultVectorSweep,
+    ::testing::Values(std::make_tuple(BitField::kMantissa, 1),
+                      std::make_tuple(BitField::kMantissa, 3),
+                      std::make_tuple(BitField::kMantissa, 5),
+                      std::make_tuple(BitField::kMantissa, 52),
+                      std::make_tuple(BitField::kExponent, 1),
+                      std::make_tuple(BitField::kExponent, 3),
+                      std::make_tuple(BitField::kExponent, 11),
+                      std::make_tuple(BitField::kSign, 1)),
+    [](const auto& info) {
+      return to_string(std::get<0>(info.param)) +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(FaultVector, MultiBitStaysWithinNeighbourhood) {
+  // The construction puts two endpoint bits and the rest strictly between
+  // them: the span containing all flips is contiguous within the field.
+  Rng rng(9);
+  for (int rep = 0; rep < 500; ++rep) {
+    const auto vec = make_error_vec(BitField::kMantissa, 5, rng);
+    const int lowest = std::countr_zero(vec);
+    const int highest = 63 - std::countl_zero(vec);
+    EXPECT_GE(highest - lowest, 4);  // 5 distinct bits need span >= 4
+    EXPECT_LT(highest, 52);
+  }
+}
+
+TEST(FaultVector, SingleBitPositionsCoverField) {
+  Rng rng(10);
+  std::uint64_t seen = 0;
+  for (int rep = 0; rep < 3000; ++rep)
+    seen |= make_error_vec(BitField::kExponent, 1, rng);
+  // All 11 exponent positions should appear within 3000 draws.
+  EXPECT_EQ(popcount_in_field(seen, BitField::kExponent), 11);
+}
+
+TEST(FaultVector, DeterministicGivenSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(make_error_vec(BitField::kMantissa, 3, a),
+              make_error_vec(BitField::kMantissa, 3, b));
+}
+
+TEST(FaultVector, RejectsInvalidCounts) {
+  Rng rng(11);
+  EXPECT_THROW((void)make_error_vec(BitField::kSign, 2, rng), std::invalid_argument);
+  EXPECT_THROW((void)make_error_vec(BitField::kMantissa, 0, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_error_vec(BitField::kExponent, 12, rng),
+               std::invalid_argument);
+}
+
+TEST(FaultVector, XorApplicationMatchesPaperExample) {
+  // dataVec ^ errorVec flips exactly the masked bits (paper Section VI-C).
+  const double data = 1.75;
+  const std::uint64_t error_vec = (1ULL << 3) | (1ULL << 40);
+  const double faulty = xor_bits(data, error_vec);
+  EXPECT_NE(faulty, data);
+  EXPECT_EQ(xor_bits(faulty, error_vec), data);
+  EXPECT_EQ(std::popcount(to_bits(faulty) ^ to_bits(data)), 2);
+}
+
+}  // namespace

@@ -1,0 +1,113 @@
+// Differential fuzzing of the exact reference arithmetic: long random
+// sequences of add / sub / add_product operations evaluated simultaneously
+// in the Kulisch superaccumulator and in BigFloat must agree bit-for-bit —
+// two independent implementations standing in for GMP.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+#include "fp/bigfloat.hpp"
+#include "fp/exact_accumulator.hpp"
+
+namespace {
+
+using aabft::Rng;
+using aabft::fp::BigFloat;
+using aabft::fp::ExactAccumulator;
+
+double random_value(Rng& rng, int max_decades) {
+  return rng.uniform(-1.0, 1.0) *
+         std::pow(10.0, static_cast<double>(rng.between(-max_decades,
+                                                        max_decades)));
+}
+
+class FpFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FpFuzz, AccumulatorAgreesWithBigFloat) {
+  Rng rng(GetParam());
+  ExactAccumulator acc;
+  BigFloat ref;
+  for (int step = 0; step < 400; ++step) {
+    switch (rng.below(4)) {
+      case 0: {
+        const double v = random_value(rng, 30);
+        acc.add(v);
+        ref += BigFloat::from_double(v);
+        break;
+      }
+      case 1: {
+        const double v = random_value(rng, 30);
+        acc.sub(v);
+        ref -= BigFloat::from_double(v);
+        break;
+      }
+      case 2: {
+        const double a = random_value(rng, 15);
+        const double b = random_value(rng, 15);
+        acc.add_product(a, b);
+        ref += BigFloat::from_double(a) * BigFloat::from_double(b);
+        break;
+      }
+      case 3: {
+        const double a = random_value(rng, 15);
+        const double b = random_value(rng, 15);
+        acc.sub_product(a, b);
+        ref -= BigFloat::from_double(a) * BigFloat::from_double(b);
+        break;
+      }
+    }
+    if (step % 50 == 0) {
+      ASSERT_EQ(acc.round_to_double(), ref.to_double()) << "step " << step;
+      ASSERT_EQ(acc.sign(), ref.sign()) << "step " << step;
+    }
+  }
+  EXPECT_EQ(acc.round_to_double(), ref.to_double());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FpFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+TEST(FpFuzz, TinyAndHugeMixtures) {
+  // Adversarial magnitudes: denormals against near-max doubles.
+  ExactAccumulator acc;
+  BigFloat ref;
+  const double tiny = 5e-324;
+  const double huge = 1e300;
+  for (int i = 0; i < 10; ++i) {
+    acc.add(tiny);
+    acc.add(huge);
+    acc.sub(huge);
+    ref += BigFloat::from_double(tiny);
+    ref += BigFloat::from_double(huge);
+    ref -= BigFloat::from_double(huge);
+  }
+  EXPECT_EQ(acc.round_to_double(), 10 * tiny);
+  EXPECT_EQ(ref.to_double(), 10 * tiny);
+}
+
+TEST(FpFuzz, AlternatingCancellation) {
+  Rng rng(99);
+  ExactAccumulator acc;
+  BigFloat ref;
+  double last = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = random_value(rng, 100);
+    acc.add(v);
+    acc.sub(last);
+    ref += BigFloat::from_double(v);
+    ref -= BigFloat::from_double(last);
+    last = v;
+  }
+  EXPECT_EQ(acc.round_to_double(), ref.to_double());
+  // After removing everything but the final value, exactly `last` remains.
+  acc.sub(last);
+  ref -= BigFloat::from_double(last);
+  EXPECT_TRUE(acc.is_zero());
+  EXPECT_TRUE(ref.is_zero());
+}
+
+}  // namespace

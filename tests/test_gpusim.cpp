@@ -1,0 +1,229 @@
+// SIMT execution model tests: launch coverage, SM assignment, counters,
+// fault controller semantics, timing model sanity.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "gpusim/dim.hpp"
+#include "gpusim/fault_site.hpp"
+#include "gpusim/kernel.hpp"
+#include "gpusim/math_ctx.hpp"
+#include "gpusim/perf_model.hpp"
+
+namespace {
+
+using namespace aabft::gpusim;
+
+TEST(Dim3, CountAndCoords) {
+  const Dim3 grid{4, 3, 2};
+  EXPECT_EQ(grid.count(), 24u);
+  const BlockCoord c0 = block_coord(grid, 0);
+  EXPECT_EQ(c0.x, 0u);
+  EXPECT_EQ(c0.y, 0u);
+  EXPECT_EQ(c0.z, 0u);
+  const BlockCoord c5 = block_coord(grid, 5);
+  EXPECT_EQ(c5.x, 1u);
+  EXPECT_EQ(c5.y, 1u);
+  EXPECT_EQ(c5.z, 0u);
+  const BlockCoord c23 = block_coord(grid, 23);
+  EXPECT_EQ(c23.x, 3u);
+  EXPECT_EQ(c23.y, 2u);
+  EXPECT_EQ(c23.z, 1u);
+}
+
+TEST(Launcher, VisitsEveryBlockExactlyOnce) {
+  Launcher launcher;
+  const Dim3 grid{5, 7, 2};
+  std::vector<int> visits(grid.count(), 0);
+  launcher.launch("cover", grid,
+                  [&](BlockCtx& blk) { ++visits[blk.block.linear]; });
+  for (const int v : visits) EXPECT_EQ(v, 1);
+}
+
+TEST(Launcher, SmAssignmentIsRoundRobin) {
+  Launcher launcher(k20c());
+  std::vector<int> sm_of_block(30, -1);
+  launcher.launch("sm", Dim3{30, 1, 1}, [&](BlockCtx& blk) {
+    sm_of_block[blk.block.linear] = blk.math.sm_id();
+  });
+  for (std::size_t i = 0; i < sm_of_block.size(); ++i)
+    EXPECT_EQ(sm_of_block[i], static_cast<int>(i % 13));
+}
+
+TEST(Launcher, AggregatesCountersAcrossBlocks) {
+  Launcher launcher;
+  const auto stats = launcher.launch("count", Dim3{10, 1, 1}, [](BlockCtx& blk) {
+    double x = 1.0;
+    for (int i = 0; i < 5; ++i) x = blk.math.add(x, 1.0);
+    (void)blk.math.mul(x, 2.0);
+    blk.math.load_doubles(3);
+    blk.math.store_doubles(1);
+  });
+  EXPECT_EQ(stats.counters.adds, 50u);
+  EXPECT_EQ(stats.counters.muls, 10u);
+  EXPECT_EQ(stats.counters.bytes_loaded, 240u);
+  EXPECT_EQ(stats.counters.bytes_stored, 80u);
+  EXPECT_EQ(stats.blocks, 10u);
+}
+
+TEST(Launcher, LaunchLogAccumulates) {
+  Launcher launcher;
+  launcher.launch("first", Dim3{1, 1, 1}, [](BlockCtx&) {});
+  launcher.launch("second", Dim3{2, 1, 1}, [](BlockCtx&) {});
+  ASSERT_EQ(launcher.launch_log().size(), 2u);
+  EXPECT_EQ(launcher.launch_log()[0].kernel_name, "first");
+  EXPECT_EQ(launcher.launch_log()[1].kernel_name, "second");
+  launcher.clear_launch_log();
+  EXPECT_TRUE(launcher.launch_log().empty());
+}
+
+TEST(Launcher, EmptyGridRejected) {
+  Launcher launcher;
+  EXPECT_THROW(launcher.launch("bad", Dim3{0, 1, 1}, [](BlockCtx&) {}),
+               std::invalid_argument);
+}
+
+TEST(FaultController, FiresOnlyOnExactCoordinates) {
+  FaultController controller;
+  FaultConfig config;
+  config.site = FaultSite::kInnerMul;
+  config.sm_id = 3;
+  config.module_id = 2;
+  config.k_injection = 7;
+  config.error_vec = 1ULL << 50;
+  controller.arm(config);
+
+  // Mismatching site / sm / module / k: untouched.
+  EXPECT_EQ(controller.maybe_inject(FaultSite::kInnerAdd, 3, 2, 7, 1.0), 1.0);
+  EXPECT_EQ(controller.maybe_inject(FaultSite::kInnerMul, 4, 2, 7, 1.0), 1.0);
+  EXPECT_EQ(controller.maybe_inject(FaultSite::kInnerMul, 3, 1, 7, 1.0), 1.0);
+  EXPECT_EQ(controller.maybe_inject(FaultSite::kInnerMul, 3, 2, 8, 1.0), 1.0);
+  EXPECT_FALSE(controller.fired());
+
+  // Exact match: corrupted.
+  const double hit = controller.maybe_inject(FaultSite::kInnerMul, 3, 2, 7, 1.0);
+  EXPECT_NE(hit, 1.0);
+  EXPECT_TRUE(controller.fired());
+  EXPECT_EQ(controller.original_value(), 1.0);
+  EXPECT_EQ(controller.faulty_value(), hit);
+
+  // One-shot: a second exact match passes through.
+  EXPECT_EQ(controller.maybe_inject(FaultSite::kInnerMul, 3, 2, 7, 2.0), 2.0);
+}
+
+TEST(FaultController, DisarmedPassesThrough) {
+  FaultController controller;
+  EXPECT_EQ(controller.maybe_inject(FaultSite::kInnerMul, 0, 0, 0, 5.0), 5.0);
+  EXPECT_FALSE(controller.armed());
+}
+
+TEST(FaultController, RearmResetsFiredFlag) {
+  FaultController controller;
+  FaultConfig config;
+  config.error_vec = 1;
+  controller.arm(config);
+  (void)controller.maybe_inject(config.site, 0, 0, 0, 1.0);
+  EXPECT_TRUE(controller.fired());
+  controller.arm(config);
+  EXPECT_FALSE(controller.fired());
+}
+
+TEST(MathCtx, FaultyOpsComputeCorrectlyWithoutController) {
+  MathCtx math(0, nullptr);
+  EXPECT_EQ(math.faulty_mul(3.0, 4.0, FaultSite::kInnerMul, 0, 0), 12.0);
+  EXPECT_EQ(math.faulty_add(3.0, 4.0, FaultSite::kInnerAdd, 0, 0), 7.0);
+  EXPECT_EQ(math.faulty_fma(2.0, 3.0, 1.0, FaultSite::kInnerAdd, 0, 0), 7.0);
+  EXPECT_EQ(math.counters().muls, 1u);
+  EXPECT_EQ(math.counters().adds, 1u);
+  EXPECT_EQ(math.counters().fmas, 1u);
+}
+
+TEST(PerfCounters, FlopAccounting) {
+  PerfCounters c;
+  c.adds = 10;
+  c.muls = 5;
+  c.fmas = 3;
+  EXPECT_EQ(c.flops(), 21u);  // fma counts twice
+  PerfCounters d;
+  d.adds = 1;
+  c += d;
+  EXPECT_EQ(c.adds, 11u);
+}
+
+TEST(PerfModel, MoreWorkTakesLonger) {
+  const DeviceSpec device = k20c();
+  PerfCounters small;
+  small.muls = 1'000'000;
+  PerfCounters large;
+  large.muls = 100'000'000;
+  const auto profile = gemm_profile();
+  EXPECT_LT(kernel_seconds(device, small, profile),
+            kernel_seconds(device, large, profile));
+}
+
+TEST(PerfModel, GemmEfficiencyCalibration) {
+  // The calibrated curve must hit the paper's anchor: ~1048 GFLOPS
+  // unprotected at n = 8192, and far less at n = 512.
+  const DeviceSpec device = k20c();
+  auto gemm_gflops = [&](std::size_t n) {
+    PerfCounters c;
+    c.muls = n * n * n;
+    c.adds = n * n * n;
+    c.bytes_loaded = 16 * n * n;
+    const double t = kernel_seconds(device, c, gemm_profile());
+    return gflops(2 * n * n * n, t);
+  };
+  EXPECT_NEAR(gemm_gflops(8192), 1048.0, 60.0);
+  EXPECT_LT(gemm_gflops(512), 600.0);
+  EXPECT_GT(gemm_gflops(512), 300.0);
+  EXPECT_LT(gemm_gflops(512), gemm_gflops(1024));
+  EXPECT_LT(gemm_gflops(1024), gemm_gflops(4096));
+}
+
+TEST(PerfModel, MemoryBoundKernelIsBandwidthLimited) {
+  const DeviceSpec device = k20c();
+  PerfCounters c;
+  c.adds = 1000;                    // negligible compute
+  c.bytes_loaded = 1'000'000'000;   // 1 GB
+  const double t = kernel_seconds(device, c, streaming_profile());
+  // 1 GB at 208 GB/s * 0.5 efficiency ~= 9.6 ms.
+  EXPECT_NEAR(t, 1e9 / (208e9 * 0.5), 1e-3);
+}
+
+TEST(MathCtx, SharedMemoryBudgetEnforced) {
+  MathCtx math(0, nullptr);
+  math.set_shared_limit(48 * 1024);
+  math.use_shared_doubles(1024);  // 8 KB — fine
+  EXPECT_EQ(math.shared_bytes(), 8192u);
+  EXPECT_THROW(math.use_shared_doubles(6 * 1024), std::invalid_argument);
+}
+
+TEST(MathCtx, SharedMemoryUncheckedWithoutLimit) {
+  MathCtx math(0, nullptr);
+  EXPECT_NO_THROW(math.use_shared_doubles(1 << 20));
+}
+
+TEST(Launcher, OversizedKernelSharedMemoryRejected) {
+  // A GEMM blocking whose tiles exceed the K20C's 48 KB per-block shared
+  // memory must refuse to "launch" — like the real device.
+  Launcher launcher;
+  EXPECT_THROW(
+      launcher.launch("fat", Dim3{1, 1, 1},
+                      [](BlockCtx& blk) {
+                        blk.math.use_shared_doubles(64 * 64 * 2);  // 64 KB
+                      }),
+      std::invalid_argument);
+}
+
+TEST(PerfModel, RejectsNonPositiveProfiles) {
+  PerfCounters c;
+  EfficiencyProfile bad;
+  bad.compute_fraction = 0.0;
+  EXPECT_THROW((void)kernel_seconds(k20c(), c, bad), std::invalid_argument);
+  EXPECT_THROW((void)gflops(100, 0.0), std::invalid_argument);
+}
+
+}  // namespace

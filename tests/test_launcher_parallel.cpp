@@ -1,0 +1,105 @@
+// Multi-worker launcher tests: results, counters and fault semantics must be
+// independent of the number of host worker threads (on this CI host
+// hardware_concurrency may be 1, so the worker count is forced explicitly).
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "abft/aabft.hpp"
+#include "core/rng.hpp"
+#include "gpusim/kernel.hpp"
+#include "linalg/matmul.hpp"
+#include "linalg/workload.hpp"
+
+namespace {
+
+using aabft::Rng;
+using namespace aabft::gpusim;
+using aabft::linalg::blocked_matmul;
+using aabft::linalg::Matrix;
+using aabft::linalg::uniform_matrix;
+
+TEST(ParallelLauncher, VisitsEveryBlockOnce) {
+  Launcher launcher(k20c(), /*workers=*/4);
+  const Dim3 grid{9, 5, 3};
+  std::vector<std::atomic<int>> visits(grid.count());
+  launcher.launch("cover", grid, [&](BlockCtx& blk) {
+    visits[blk.block.linear].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelLauncher, ResultsAreBitwiseIdenticalToSerial) {
+  Rng rng(1);
+  const Matrix a = uniform_matrix(70, 90, -1.0, 1.0, rng);
+  const Matrix b = uniform_matrix(90, 50, -1.0, 1.0, rng);
+  Launcher serial(k20c(), 1);
+  Launcher parallel(k20c(), 4);
+  EXPECT_EQ(blocked_matmul(serial, a, b), blocked_matmul(parallel, a, b));
+}
+
+TEST(ParallelLauncher, CountersMatchSerial) {
+  Rng rng(2);
+  const Matrix a = uniform_matrix(64, 64, -1.0, 1.0, rng);
+  const Matrix b = uniform_matrix(64, 64, -1.0, 1.0, rng);
+  Launcher serial(k20c(), 1);
+  Launcher parallel(k20c(), 4);
+  (void)blocked_matmul(serial, a, b);
+  (void)blocked_matmul(parallel, a, b);
+  const auto& s = serial.launch_log().front().counters;
+  const auto& p = parallel.launch_log().front().counters;
+  EXPECT_EQ(s.adds, p.adds);
+  EXPECT_EQ(s.muls, p.muls);
+  EXPECT_EQ(s.bytes_loaded, p.bytes_loaded);
+  EXPECT_EQ(s.bytes_stored, p.bytes_stored);
+}
+
+TEST(ParallelLauncher, SmAssignmentIndependentOfWorkers) {
+  Launcher parallel(k20c(), 4);
+  std::vector<std::atomic<int>> sm_of_block(26);
+  parallel.launch("sm", Dim3{26, 1, 1}, [&](BlockCtx& blk) {
+    sm_of_block[blk.block.linear].store(blk.math.sm_id());
+  });
+  for (std::size_t i = 0; i < 26; ++i)
+    EXPECT_EQ(sm_of_block[i].load(), static_cast<int>(i % 13));
+}
+
+TEST(ParallelLauncher, FaultFiresExactlyOnceUnderContention) {
+  // Every block matches the fault coordinates; the one-shot CAS must admit
+  // exactly one injection even with racing workers.
+  Launcher launcher(k20c(), 4);
+  FaultController controller;
+  launcher.set_fault_controller(&controller);
+  FaultConfig fault;
+  fault.site = FaultSite::kInnerMul;
+  fault.sm_id = 0;
+  fault.module_id = 0;
+  fault.k_injection = 0;
+  fault.error_vec = 1ULL << 30;
+  controller.arm(fault);
+
+  std::atomic<int> corrupted{0};
+  launcher.launch("race", Dim3{52, 1, 1}, [&](BlockCtx& blk) {
+    // Only SM 0 blocks match (52 blocks -> 4 of them on SM 0).
+    const double r =
+        blk.math.faulty_mul(1.0, 1.0, FaultSite::kInnerMul, 0, 0);
+    if (r != 1.0) corrupted.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(corrupted.load(), 1);
+  EXPECT_EQ(controller.fired_count(), 1u);
+}
+
+TEST(ParallelLauncher, ProtectedMultiplyWorksParallel) {
+  Rng rng(3);
+  const Matrix a = uniform_matrix(64, 64, -1.0, 1.0, rng);
+  const Matrix b = uniform_matrix(64, 64, -1.0, 1.0, rng);
+  Launcher launcher(k20c(), 4);
+  aabft::abft::AabftConfig config;
+  config.bs = 16;
+  aabft::abft::AabftMultiplier mult(launcher, config);
+  const auto result = mult.multiply(a, b);
+  EXPECT_FALSE(result.error_detected());
+  EXPECT_EQ(result.c, aabft::linalg::naive_matmul(a, b, false));
+}
+
+}  // namespace

@@ -1,0 +1,121 @@
+// Dense matrix container tests.
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.hpp"
+
+namespace {
+
+using aabft::linalg::Matrix;
+
+TEST(Matrix, ConstructionAndFill) {
+  Matrix m(3, 4, 1.5);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.size(), 12u);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 4; ++j) EXPECT_EQ(m(i, j), 1.5);
+}
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+}
+
+TEST(Matrix, RejectsZeroDimensions) {
+  EXPECT_THROW(Matrix(0, 3), std::invalid_argument);
+  EXPECT_THROW(Matrix(3, 0), std::invalid_argument);
+}
+
+TEST(Matrix, RowMajorLayout) {
+  Matrix m(2, 3);
+  m(0, 0) = 1; m(0, 1) = 2; m(0, 2) = 3;
+  m(1, 0) = 4; m(1, 1) = 5; m(1, 2) = 6;
+  EXPECT_EQ(m.data()[0], 1);
+  EXPECT_EQ(m.data()[2], 3);
+  EXPECT_EQ(m.data()[3], 4);
+  EXPECT_EQ(m.data()[5], 6);
+}
+
+TEST(Matrix, RowViewAndColCopy) {
+  Matrix m(2, 3);
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 3; ++j) m(i, j) = static_cast<double>(10 * i + j);
+  const auto row1 = m.row(1);
+  EXPECT_EQ(row1.size(), 3u);
+  EXPECT_EQ(row1[2], 12.0);
+  const auto col2 = m.col(2);
+  EXPECT_EQ(col2.size(), 2u);
+  EXPECT_EQ(col2[0], 2.0);
+  EXPECT_EQ(col2[1], 12.0);
+}
+
+TEST(Matrix, AtBoundsChecked) {
+  Matrix m(2, 2);
+  EXPECT_THROW((void)m.at(2, 0), std::invalid_argument);
+  EXPECT_THROW((void)m.at(0, 2), std::invalid_argument);
+  EXPECT_NO_THROW((void)m.at(1, 1));
+}
+
+TEST(Matrix, RowAndColBoundsChecked) {
+  Matrix m(2, 2);
+  EXPECT_THROW((void)m.row(5), std::invalid_argument);
+  EXPECT_THROW((void)m.col(5), std::invalid_argument);
+}
+
+TEST(Matrix, TransposedTwiceIsIdentity) {
+  Matrix m(3, 5);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 5; ++j) m(i, j) = static_cast<double>(i * 5 + j);
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 5u);
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_EQ(t(4, 2), m(2, 4));
+  EXPECT_EQ(t.transposed(), m);
+}
+
+TEST(Matrix, EqualityIsBitwise) {
+  Matrix a(2, 2, 0.0);
+  Matrix b(2, 2, 0.0);
+  EXPECT_EQ(a, b);
+  b(1, 1) = -0.0;  // -0.0 != +0.0 bitwise... but operator== uses double ==
+  EXPECT_EQ(a, b);  // value comparison: -0.0 == 0.0
+  b(1, 1) = 1e-300;
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Matrix, MaxAbsDiff) {
+  Matrix a(2, 2, 1.0);
+  Matrix b(2, 2, 1.0);
+  b(0, 1) = 3.5;
+  EXPECT_EQ(a.max_abs_diff(b), 2.5);
+  Matrix c(3, 2);
+  EXPECT_THROW((void)a.max_abs_diff(c), std::invalid_argument);
+}
+
+TEST(Matrix, MaxAbs) {
+  Matrix a(2, 2, 0.0);
+  a(1, 0) = -7.0;
+  a(0, 1) = 3.0;
+  EXPECT_EQ(a.max_abs(), 7.0);
+}
+
+TEST(Matrix, PasteCopiesRectangle) {
+  Matrix src(4, 4);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j) src(i, j) = static_cast<double>(i * 4 + j);
+  Matrix dst(5, 5, -1.0);
+  dst.paste(src, 1, 1, 2, 3, 0, 2);
+  EXPECT_EQ(dst(0, 2), src(1, 1));
+  EXPECT_EQ(dst(1, 4), src(2, 3));
+  EXPECT_EQ(dst(0, 0), -1.0);  // untouched
+}
+
+TEST(Matrix, PasteBoundsChecked) {
+  Matrix src(2, 2);
+  Matrix dst(3, 3);
+  EXPECT_THROW(dst.paste(src, 1, 1, 2, 2, 0, 0), std::invalid_argument);
+  EXPECT_THROW(dst.paste(src, 0, 0, 2, 2, 2, 2), std::invalid_argument);
+}
+
+}  // namespace

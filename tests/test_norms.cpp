@@ -1,0 +1,64 @@
+// Norm kernel tests (the SEA-ABFT substrate).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+#include "gpusim/kernel.hpp"
+#include "linalg/norms.hpp"
+#include "linalg/workload.hpp"
+
+namespace {
+
+using aabft::Rng;
+using namespace aabft::linalg;
+
+TEST(Norms, HostNorm2KnownValue) {
+  const std::vector<double> v{3.0, 4.0};
+  EXPECT_EQ(norm2(v), 5.0);
+  EXPECT_EQ(norm2(std::vector<double>{}), 0.0);
+}
+
+TEST(Norms, RowNormsMatchHost) {
+  Rng rng(1);
+  const Matrix a = uniform_matrix(13, 29, -2.0, 2.0, rng);
+  aabft::gpusim::Launcher launcher;
+  const auto norms = row_norms2(launcher, a);
+  ASSERT_EQ(norms.size(), 13u);
+  for (std::size_t i = 0; i < 13; ++i)
+    EXPECT_EQ(norms[i], norm2(a.row(i))) << "row " << i;
+}
+
+TEST(Norms, ColNormsMatchHost) {
+  Rng rng(2);
+  const Matrix a = uniform_matrix(17, 11, -2.0, 2.0, rng);
+  aabft::gpusim::Launcher launcher;
+  const auto norms = col_norms2(launcher, a);
+  ASSERT_EQ(norms.size(), 11u);
+  for (std::size_t j = 0; j < 11; ++j) {
+    const auto col = a.col(j);
+    EXPECT_EQ(norms[j], norm2(col)) << "col " << j;
+  }
+}
+
+TEST(Norms, KernelsCountWork) {
+  Rng rng(3);
+  const Matrix a = uniform_matrix(8, 16, -1.0, 1.0, rng);
+  aabft::gpusim::Launcher launcher;
+  (void)row_norms2(launcher, a);
+  ASSERT_EQ(launcher.launch_log().size(), 1u);
+  const auto& stats = launcher.launch_log().front();
+  EXPECT_EQ(stats.kernel_name, "row_norms");
+  EXPECT_EQ(stats.counters.muls, 8u * 16u);
+  EXPECT_EQ(stats.counters.adds, 8u * 16u);
+  EXPECT_EQ(stats.counters.bytes_loaded, 8u * 16u * 8u);
+}
+
+TEST(Norms, ZeroMatrixGivesZeroNorms) {
+  const Matrix a(4, 4, 0.0);
+  aabft::gpusim::Launcher launcher;
+  for (const double n : row_norms2(launcher, a)) EXPECT_EQ(n, 0.0);
+  for (const double n : col_norms2(launcher, a)) EXPECT_EQ(n, 0.0);
+}
+
+}  // namespace

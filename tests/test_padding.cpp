@@ -1,0 +1,98 @@
+// Padding helpers and the padded protected-multiply convenience path.
+#include <gtest/gtest.h>
+
+#include "abft/aabft.hpp"
+#include "abft/padding.hpp"
+#include "core/rng.hpp"
+#include "gpusim/kernel.hpp"
+#include "linalg/matmul.hpp"
+#include "linalg/workload.hpp"
+
+namespace {
+
+using aabft::Rng;
+using namespace aabft::abft;
+using aabft::linalg::Matrix;
+using aabft::linalg::naive_matmul;
+using aabft::linalg::uniform_matrix;
+
+TEST(Padding, PaddedDim) {
+  EXPECT_EQ(padded_dim(32, 32), 32u);
+  EXPECT_EQ(padded_dim(33, 32), 64u);
+  EXPECT_EQ(padded_dim(1, 32), 32u);
+  EXPECT_EQ(padded_dim(0, 32), 0u);
+}
+
+TEST(Padding, PadAndUnpadRoundTrip) {
+  Rng rng(1);
+  const Matrix m = uniform_matrix(5, 7, -1.0, 1.0, rng);
+  const Matrix padded = pad_to(m, 8, 8);
+  EXPECT_EQ(padded.rows(), 8u);
+  EXPECT_EQ(padded.cols(), 8u);
+  EXPECT_EQ(padded(7, 7), 0.0);
+  EXPECT_EQ(padded(0, 6), m(0, 6));
+  EXPECT_EQ(unpad_to(padded, 5, 7), m);
+}
+
+TEST(Padding, PadNoOpWhenAlreadySized) {
+  Rng rng(2);
+  const Matrix m = uniform_matrix(4, 4, -1.0, 1.0, rng);
+  EXPECT_EQ(pad_to(m, 4, 4), m);
+  EXPECT_EQ(unpad_to(m, 4, 4), m);
+}
+
+TEST(Padding, InvalidTargetsRejected) {
+  Matrix m(4, 4);
+  EXPECT_THROW((void)pad_to(m, 3, 4), std::invalid_argument);
+  EXPECT_THROW((void)unpad_to(m, 5, 4), std::invalid_argument);
+}
+
+TEST(Padding, ZeroPaddingIsChecksumNeutral) {
+  // Padded rows contribute zero to every checksum: the encoded padded matrix
+  // has the same checksums as padding the encoded matrix would.
+  Rng rng(3);
+  const PartitionedCodec codec(8);
+  const Matrix a = uniform_matrix(8, 8, -1.0, 1.0, rng);
+  const Matrix padded = pad_to(a, 16, 8);
+  const Matrix enc = codec.encode_columns_host(padded);
+  // Block 1 is all padding: its checksum row is zero.
+  for (std::size_t j = 0; j < 8; ++j)
+    EXPECT_EQ(enc(codec.checksum_index(1), j), 0.0);
+}
+
+TEST(Padding, MultiplyPaddedMatchesNaiveOnOddShapes) {
+  Rng rng(4);
+  const Matrix a = uniform_matrix(19, 23, -1.0, 1.0, rng);
+  const Matrix b = uniform_matrix(23, 29, -1.0, 1.0, rng);
+  aabft::gpusim::Launcher launcher;
+  AabftConfig config;
+  config.bs = 16;
+  AabftMultiplier mult(launcher, config);
+  const auto result = mult.multiply_padded(a, b);
+  EXPECT_FALSE(result.error_detected());
+  EXPECT_EQ(result.c.rows(), 19u);
+  EXPECT_EQ(result.c.cols(), 29u);
+  EXPECT_EQ(result.c, naive_matmul(a, b, false));
+}
+
+TEST(Padding, MultiplyPaddedStillDetectsFaults) {
+  Rng rng(5);
+  const Matrix a = uniform_matrix(20, 20, -1.0, 1.0, rng);
+  const Matrix b = uniform_matrix(20, 20, -1.0, 1.0, rng);
+  aabft::gpusim::Launcher launcher;
+  aabft::gpusim::FaultController controller;
+  launcher.set_fault_controller(&controller);
+  aabft::gpusim::FaultConfig fault;
+  fault.site = aabft::gpusim::FaultSite::kInnerMul;
+  fault.error_vec = 1ULL << 61;
+  fault.k_injection = 2;
+  controller.arm(fault);
+  AabftConfig config;
+  config.bs = 16;
+  AabftMultiplier mult(launcher, config);
+  const auto result = mult.multiply_padded(a, b);
+  ASSERT_TRUE(controller.fired());
+  EXPECT_TRUE(result.error_detected());
+}
+
+}  // namespace

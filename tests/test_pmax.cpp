@@ -1,0 +1,117 @@
+// PMaxList tests: ordering, saturation, merging, index tracking.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "abft/pmax.hpp"
+#include "core/rng.hpp"
+
+namespace {
+
+using aabft::Rng;
+using aabft::abft::PMaxList;
+
+TEST(PMax, KeepsLargestInDescendingOrder) {
+  PMaxList list(3);
+  list.offer(1.0, 10);
+  list.offer(5.0, 11);
+  list.offer(3.0, 12);
+  list.offer(4.0, 13);
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0].value, 5.0);
+  EXPECT_EQ(list[1].value, 4.0);
+  EXPECT_EQ(list[2].value, 3.0);
+  EXPECT_EQ(list.max_value(), 5.0);
+  EXPECT_EQ(list.min_value(), 3.0);
+  EXPECT_TRUE(list.saturated());
+}
+
+TEST(PMax, TracksIndices) {
+  PMaxList list(2);
+  list.offer(2.0, 7);
+  list.offer(9.0, 3);
+  EXPECT_TRUE(list.contains(7));
+  EXPECT_TRUE(list.contains(3));
+  EXPECT_FALSE(list.contains(5));
+  EXPECT_EQ(list.value_at(3), 9.0);
+  EXPECT_THROW((void)list.value_at(99), std::invalid_argument);
+}
+
+TEST(PMax, UnsaturatedBehaviour) {
+  PMaxList list(4);
+  list.offer(1.0, 0);
+  EXPECT_FALSE(list.saturated());
+  EXPECT_EQ(list.max_value(), 1.0);
+  EXPECT_EQ(list.min_value(), 1.0);
+  EXPECT_EQ(PMaxList(2).max_value(), 0.0);  // empty
+}
+
+TEST(PMax, RejectsNegativeAndBadCapacity) {
+  PMaxList list(2);
+  EXPECT_THROW(list.offer(-1.0, 0), std::invalid_argument);
+  EXPECT_THROW(PMaxList(0), std::invalid_argument);
+  EXPECT_THROW((void)list[5], std::invalid_argument);
+}
+
+TEST(PMax, MatchesBruteForceTopP) {
+  Rng rng(1);
+  for (int rep = 0; rep < 100; ++rep) {
+    const std::size_t p = 1 + rng.below(6);
+    PMaxList list(p);
+    std::vector<double> values(50);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      values[i] = rng.uniform(0.0, 100.0);
+      list.offer(values[i], i);
+    }
+    std::vector<double> sorted = values;
+    std::sort(sorted.rbegin(), sorted.rend());
+    ASSERT_EQ(list.size(), p);
+    for (std::size_t i = 0; i < p; ++i) {
+      EXPECT_EQ(list[i].value, sorted[i]);
+      EXPECT_EQ(values[list[i].index], list[i].value);
+    }
+  }
+}
+
+TEST(PMax, MergeEqualsOfferingAll) {
+  Rng rng(2);
+  for (int rep = 0; rep < 50; ++rep) {
+    PMaxList a(3);
+    PMaxList b(3);
+    PMaxList all(3);
+    for (std::size_t i = 0; i < 30; ++i) {
+      const double v = rng.uniform(0.0, 10.0);
+      (i % 2 == 0 ? a : b).offer(v, i);
+      all.offer(v, i);
+    }
+    a.merge(b);
+    ASSERT_EQ(a.size(), all.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].value, all[i].value);
+      EXPECT_EQ(a[i].index, all[i].index);
+    }
+  }
+}
+
+TEST(PMax, DuplicateValuesAllKept) {
+  PMaxList list(3);
+  list.offer(2.0, 0);
+  list.offer(2.0, 1);
+  list.offer(2.0, 2);
+  list.offer(2.0, 3);  // ties at the boundary are dropped (<=)
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_TRUE(list.contains(0));
+  EXPECT_TRUE(list.contains(1));
+  EXPECT_TRUE(list.contains(2));
+}
+
+TEST(PMax, OfferReportsComparisons) {
+  PMaxList list(2);
+  EXPECT_GE(list.offer(1.0, 0), 1u);
+  EXPECT_GE(list.offer(2.0, 1), 1u);
+  // Saturated, below min: exactly one comparison.
+  EXPECT_EQ(list.offer(0.5, 2), 1u);
+}
+
+}  // namespace

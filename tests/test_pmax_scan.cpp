@@ -1,0 +1,117 @@
+// Standalone p-max scan kernel tests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "abft/encoder.hpp"
+#include "abft/pmax_scan.hpp"
+#include "core/rng.hpp"
+#include "gpusim/kernel.hpp"
+#include "linalg/workload.hpp"
+
+namespace {
+
+using aabft::Rng;
+using namespace aabft::abft;
+using aabft::linalg::Matrix;
+using aabft::linalg::uniform_matrix;
+
+std::vector<double> brute_top_values(const std::vector<double>& v,
+                                     std::size_t p) {
+  std::vector<double> sorted;
+  for (const double x : v) sorted.push_back(std::fabs(x));
+  std::sort(sorted.rbegin(), sorted.rend());
+  sorted.resize(std::min(p, sorted.size()));
+  return sorted;
+}
+
+class PMaxScanSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t,
+                                                 std::size_t, std::size_t>> {};
+
+TEST_P(PMaxScanSweep, RowsMatchBruteForce) {
+  const auto [rows, cols, p, chunk] = GetParam();
+  Rng rng(rows * 13 + cols + p);
+  const Matrix m = uniform_matrix(rows, cols, -9.0, 9.0, rng);
+  aabft::gpusim::Launcher launcher;
+  const PMaxTable table = collect_row_pmax(launcher, m, p, chunk);
+  ASSERT_EQ(table.size(), rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<double> row(m.row(r).begin(), m.row(r).end());
+    const auto expected = brute_top_values(row, p);
+    ASSERT_EQ(table[r].size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(table[r][i].value, expected[i]);
+      EXPECT_EQ(std::fabs(row[table[r][i].index]), table[r][i].value);
+    }
+  }
+}
+
+TEST_P(PMaxScanSweep, ColsMatchBruteForce) {
+  const auto [rows, cols, p, chunk] = GetParam();
+  Rng rng(rows + cols * 17 + p);
+  const Matrix m = uniform_matrix(rows, cols, -9.0, 9.0, rng);
+  aabft::gpusim::Launcher launcher;
+  const PMaxTable table = collect_col_pmax(launcher, m, p, chunk);
+  ASSERT_EQ(table.size(), cols);
+  for (std::size_t c = 0; c < cols; ++c) {
+    const auto col = m.col(c);
+    const auto expected = brute_top_values(col, p);
+    ASSERT_EQ(table[c].size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(table[c][i].value, expected[i]);
+      EXPECT_EQ(std::fabs(col[table[c][i].index]), table[c][i].value);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PMaxScanSweep,
+    ::testing::Values(std::make_tuple(16, 16, 2, 32),
+                      std::make_tuple(10, 70, 3, 32),   // ragged chunks
+                      std::make_tuple(70, 10, 1, 16),
+                      std::make_tuple(5, 5, 4, 2),      // chunk smaller than dim
+                      std::make_tuple(33, 47, 2, 8)));
+
+TEST(PMaxScan, AgreesWithEncoderForDataRows) {
+  // The standalone scan must agree with the fused encode kernel's lists on
+  // the data rows (the encoder additionally tracks checksum vectors).
+  Rng rng(3);
+  const PartitionedCodec codec(8);
+  const Matrix a = uniform_matrix(16, 16, -2.0, 2.0, rng);
+  aabft::gpusim::Launcher launcher;
+  const auto standalone = collect_row_pmax(launcher, a, 2, 8);
+  const auto fused = encode_columns(launcher, a, codec, 2);
+  for (std::size_t i = 0; i < 16; ++i) {
+    const PMaxList& lhs = standalone[i];
+    const PMaxList& rhs = fused.pmax[codec.enc_index(i)];
+    ASSERT_EQ(lhs.size(), rhs.size());
+    for (std::size_t k = 0; k < lhs.size(); ++k) {
+      EXPECT_EQ(lhs[k].value, rhs[k].value) << "row " << i;
+      EXPECT_EQ(lhs[k].index, rhs[k].index) << "row " << i;
+    }
+  }
+}
+
+TEST(PMaxScan, CountsWork) {
+  Rng rng(4);
+  const Matrix m = uniform_matrix(8, 8, -1.0, 1.0, rng);
+  aabft::gpusim::Launcher launcher;
+  (void)collect_row_pmax(launcher, m, 2, 8);
+  ASSERT_EQ(launcher.launch_log().size(), 2u);
+  EXPECT_EQ(launcher.launch_log()[0].kernel_name, "pmax_rows");
+  EXPECT_EQ(launcher.launch_log()[1].kernel_name, "reduce_pmax_rows");
+  EXPECT_GT(launcher.launch_log()[0].counters.compares, 0u);
+}
+
+TEST(PMaxScan, RejectsInvalidParams) {
+  Matrix m(4, 4);
+  aabft::gpusim::Launcher launcher;
+  EXPECT_THROW((void)collect_row_pmax(launcher, m, 0), std::invalid_argument);
+  EXPECT_THROW((void)collect_col_pmax(launcher, m, 2, 0),
+               std::invalid_argument);
+}
+
+}  // namespace

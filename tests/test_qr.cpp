@@ -1,0 +1,96 @@
+// Householder QR and random orthogonal matrix tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+#include "linalg/matmul.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/workload.hpp"
+
+namespace {
+
+using aabft::Rng;
+using namespace aabft::linalg;
+
+TEST(Qr, ReconstructsInput) {
+  Rng rng(1);
+  const Matrix a = uniform_matrix(20, 20, -2.0, 2.0, rng);
+  const QrResult qr = householder_qr(a);
+  // a == q * r
+  const Matrix rebuilt = naive_matmul(qr.q, qr.r, false);
+  EXPECT_LT(a.max_abs_diff(rebuilt), 1e-12);
+}
+
+TEST(Qr, RIsUpperTriangular) {
+  Rng rng(2);
+  const Matrix a = uniform_matrix(15, 10, -1.0, 1.0, rng);
+  const QrResult qr = householder_qr(a);
+  for (std::size_t i = 0; i < qr.r.rows(); ++i)
+    for (std::size_t j = 0; j < std::min(i, qr.r.cols()); ++j)
+      EXPECT_EQ(qr.r(i, j), 0.0);
+}
+
+TEST(Qr, QIsOrthogonal) {
+  Rng rng(3);
+  const Matrix a = uniform_matrix(24, 24, -1.0, 1.0, rng);
+  const QrResult qr = householder_qr(a);
+  EXPECT_LT(orthogonality_defect(qr.q), 1e-13);
+}
+
+TEST(Qr, TallMatrixSupported) {
+  Rng rng(4);
+  const Matrix a = uniform_matrix(30, 12, -1.0, 1.0, rng);
+  const QrResult qr = householder_qr(a);
+  EXPECT_EQ(qr.q.rows(), 30u);
+  EXPECT_EQ(qr.q.cols(), 30u);
+  EXPECT_EQ(qr.r.rows(), 30u);
+  EXPECT_EQ(qr.r.cols(), 12u);
+  EXPECT_LT(a.max_abs_diff(naive_matmul(qr.q, qr.r, false)), 1e-12);
+}
+
+TEST(Qr, WideMatrixRejected) {
+  Matrix a(3, 5);
+  EXPECT_THROW((void)householder_qr(a), std::invalid_argument);
+}
+
+TEST(Qr, RankDeficientColumnHandled) {
+  // A zero column must not crash (norm == 0 path).
+  Rng rng(5);
+  Matrix a = uniform_matrix(8, 8, -1.0, 1.0, rng);
+  for (std::size_t i = 0; i < 8; ++i) a(i, 3) = 0.0;
+  const QrResult qr = householder_qr(a);
+  EXPECT_LT(a.max_abs_diff(naive_matmul(qr.q, qr.r, false)), 1e-13);
+}
+
+TEST(RandomOrthogonal, IsOrthogonal) {
+  Rng rng(6);
+  for (const std::size_t n : {2u, 5u, 16u, 33u}) {
+    const Matrix q = random_orthogonal(n, rng);
+    EXPECT_LT(orthogonality_defect(q), 1e-12) << "n=" << n;
+  }
+}
+
+TEST(RandomOrthogonal, DifferentDraws) {
+  Rng rng(7);
+  const Matrix q1 = random_orthogonal(8, rng);
+  const Matrix q2 = random_orthogonal(8, rng);
+  EXPECT_GT(q1.max_abs_diff(q2), 0.1);
+}
+
+TEST(RandomOrthogonal, PreservesNorms) {
+  Rng rng(8);
+  const std::size_t n = 16;
+  const Matrix q = random_orthogonal(n, rng);
+  const Matrix x = uniform_matrix(n, 1, -1.0, 1.0, rng);
+  const Matrix qx = naive_matmul(q, x, false);
+  double nx = 0.0;
+  double nqx = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    nx += x(i, 0) * x(i, 0);
+    nqx += qx(i, 0) * qx(i, 0);
+  }
+  EXPECT_NEAR(std::sqrt(nx), std::sqrt(nqx), 1e-12);
+}
+
+}  // namespace

@@ -1,0 +1,109 @@
+// Per-element rounding-analysis (by-product API) tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "abft/pmax_scan.hpp"
+#include "abft/rounding_report.hpp"
+#include "abft/upper_bound.hpp"
+#include "core/rng.hpp"
+#include "fp/exact_dot.hpp"
+#include "gpusim/kernel.hpp"
+#include "linalg/matmul.hpp"
+#include "linalg/workload.hpp"
+
+namespace {
+
+using aabft::Rng;
+using namespace aabft::abft;
+using aabft::linalg::Matrix;
+using aabft::linalg::uniform_matrix;
+
+TEST(RoundingReport, MatchesClosedFormPerElement) {
+  Rng rng(1);
+  const std::size_t n = 24;
+  const Matrix a = uniform_matrix(n, n, -1.0, 1.0, rng);
+  const Matrix b = uniform_matrix(n, n, -1.0, 1.0, rng);
+  aabft::gpusim::Launcher launcher;
+  const PMaxTable a_rows = collect_row_pmax(launcher, a, 2);
+  const PMaxTable b_cols = collect_col_pmax(launcher, b, 2);
+  BoundParams params;
+  const RoundingAnalysis analysis =
+      analyze_rounding(launcher, a_rows, b_cols, n, params);
+
+  ASSERT_EQ(analysis.sigma.rows(), n);
+  ASSERT_EQ(analysis.sigma.cols(), n);
+  for (std::size_t i = 0; i < n; i += 5) {
+    for (std::size_t j = 0; j < n; j += 7) {
+      const double y = determine_upper_bound(a_rows[i], b_cols[j]);
+      const RoundingStats stats = inner_product_stats(n, y, params);
+      EXPECT_EQ(analysis.sigma(i, j), stats.sigma);
+      EXPECT_EQ(analysis.mean(i, j), stats.mean);
+    }
+  }
+  EXPECT_GT(analysis.max_sigma, 0.0);
+  EXPECT_GT(analysis.avg_sigma, 0.0);
+  EXPECT_LE(analysis.avg_sigma, analysis.max_sigma);
+}
+
+TEST(RoundingReport, IntervalCombinesMeanAndSigma) {
+  RoundingAnalysis analysis;
+  analysis.mean = Matrix(1, 1, 2.0);
+  analysis.sigma = Matrix(1, 1, 0.5);
+  EXPECT_EQ(analysis.interval(0, 0, 3.0), 3.5);
+}
+
+TEST(RoundingReport, ThreeSigmaCoversActualRoundingErrors) {
+  // The statistical claim behind A-ABFT, on data elements: the actual
+  // rounding error of (almost) every element lies within mean + 3 sigma.
+  Rng rng(2);
+  const std::size_t n = 64;
+  const Matrix a = uniform_matrix(n, n, -1.0, 1.0, rng);
+  const Matrix b = uniform_matrix(n, n, -1.0, 1.0, rng);
+  aabft::gpusim::Launcher launcher;
+  const Matrix c = aabft::linalg::blocked_matmul(launcher, a, b);
+  const PMaxTable a_rows = collect_row_pmax(launcher, a, 2);
+  const PMaxTable b_cols = collect_col_pmax(launcher, b, 2);
+  BoundParams params;
+  const RoundingAnalysis analysis =
+      analyze_rounding(launcher, a_rows, b_cols, n, params);
+
+  std::size_t violations = 0;
+  for (std::size_t i = 0; i < n; i += 3) {
+    for (std::size_t j = 0; j < n; j += 3) {
+      const auto col = b.col(j);
+      const double err = std::fabs(
+          aabft::fp::exact_dot(a.row(i), col).round_minus(c(i, j)));
+      if (err > analysis.interval(i, j, 3.0)) ++violations;
+    }
+  }
+  EXPECT_EQ(violations, 0u);
+}
+
+TEST(RoundingReport, FmaShrinksSigmas) {
+  Rng rng(3);
+  const std::size_t n = 16;
+  const Matrix a = uniform_matrix(n, n, -1.0, 1.0, rng);
+  const Matrix b = uniform_matrix(n, n, -1.0, 1.0, rng);
+  aabft::gpusim::Launcher launcher;
+  const PMaxTable a_rows = collect_row_pmax(launcher, a, 2);
+  const PMaxTable b_cols = collect_col_pmax(launcher, b, 2);
+  BoundParams mul_add;
+  BoundParams fma;
+  fma.fma = true;
+  const auto s1 = analyze_rounding(launcher, a_rows, b_cols, n, mul_add);
+  const auto s2 = analyze_rounding(launcher, a_rows, b_cols, n, fma);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      EXPECT_LT(s2.sigma(i, j), s1.sigma(i, j));
+}
+
+TEST(RoundingReport, EmptyTablesRejected) {
+  aabft::gpusim::Launcher launcher;
+  BoundParams params;
+  EXPECT_THROW(
+      (void)analyze_rounding(launcher, PMaxTable{}, PMaxTable{}, 4, params),
+      std::invalid_argument);
+}
+
+}  // namespace

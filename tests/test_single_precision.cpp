@@ -1,0 +1,198 @@
+// Single-precision pipeline tests: the simulator's binary32 mode must
+// reproduce float arithmetic bit-for-bit, and A-ABFT must operate with
+// t = 23 bounds — no false positives, faults detected — exactly as in the
+// double pipeline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "abft/aabft.hpp"
+#include "abft/bounds.hpp"
+#include "core/rng.hpp"
+#include "fp/fault_vector.hpp"
+#include "gpusim/kernel.hpp"
+#include "linalg/matmul.hpp"
+#include "linalg/workload.hpp"
+
+namespace {
+
+using aabft::Rng;
+using namespace aabft::gpusim;
+using aabft::linalg::blocked_matmul;
+using aabft::linalg::Matrix;
+using aabft::linalg::uniform_matrix;
+
+Matrix single_matrix(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix m = uniform_matrix(n, n, -1.0, 1.0, rng);
+  m.round_to_single();
+  return m;
+}
+
+/// Reference float GEMM, k-ascending, computed entirely in float.
+Matrix float_reference(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      float acc = 0.0f;
+      for (std::size_t k = 0; k < a.cols(); ++k) {
+        const float prod =
+            static_cast<float>(a(i, k)) * static_cast<float>(b(k, j));
+        acc += prod;
+      }
+      c(i, j) = static_cast<double>(0.0f + acc);
+    }
+  }
+  return c;
+}
+
+TEST(SinglePrecision, GemmMatchesFloatReferenceBitwise) {
+  const Matrix a = single_matrix(48, 1);
+  const Matrix b = single_matrix(48, 2);
+  Launcher launcher;
+  launcher.set_precision(Precision::kSingle);
+  const Matrix c = blocked_matmul(launcher, a, b);
+  EXPECT_EQ(c, float_reference(a, b));
+}
+
+TEST(SinglePrecision, RoundingIsCoarserThanDouble) {
+  const Matrix a = single_matrix(64, 3);
+  const Matrix b = single_matrix(64, 4);
+  Launcher single;
+  single.set_precision(Precision::kSingle);
+  Launcher dbl;
+  const Matrix c_single = blocked_matmul(single, a, b);
+  const Matrix c_double = blocked_matmul(dbl, a, b);
+  const double diff = c_single.max_abs_diff(c_double);
+  EXPECT_GT(diff, 0.0);
+  EXPECT_LT(diff, 1e-3);
+}
+
+TEST(SinglePrecision, FmaModeUsesFusedFloat) {
+  const Matrix a = single_matrix(32, 5);
+  const Matrix b = single_matrix(32, 6);
+  Launcher launcher;
+  launcher.set_precision(Precision::kSingle);
+  aabft::linalg::GemmConfig config;
+  config.use_fma = true;
+  const Matrix c = blocked_matmul(launcher, a, b, config);
+  // Reference with fmaf.
+  Matrix ref(32, 32, 0.0);
+  for (std::size_t i = 0; i < 32; ++i)
+    for (std::size_t j = 0; j < 32; ++j) {
+      float acc = 0.0f;
+      for (std::size_t k = 0; k < 32; ++k)
+        acc = std::fmaf(static_cast<float>(a(i, k)),
+                        static_cast<float>(b(k, j)), acc);
+      ref(i, j) = static_cast<double>(0.0f + acc);
+    }
+  EXPECT_EQ(c, ref);
+}
+
+TEST(SinglePrecision, AabftCleanRunWithT23) {
+  const Matrix a = single_matrix(64, 7);
+  const Matrix b = single_matrix(64, 8);
+  Launcher launcher;
+  launcher.set_precision(Precision::kSingle);
+  aabft::abft::AabftConfig config;
+  config.bs = 16;
+  config.bounds.t = 23;
+  aabft::abft::AabftMultiplier mult(launcher, config);
+  const auto result = mult.multiply(a, b);
+  EXPECT_FALSE(result.error_detected());
+}
+
+TEST(SinglePrecision, T23BoundsAreOrdersWiderThanT52) {
+  aabft::abft::BoundParams t23;
+  t23.t = 23;
+  aabft::abft::BoundParams t52;
+  const double e23 = aabft::abft::checksum_epsilon(64, 16, 1.0, 1.0, t23);
+  const double e52 = aabft::abft::checksum_epsilon(64, 16, 1.0, 1.0, t52);
+  EXPECT_GT(e23 / e52, 1e8);
+}
+
+TEST(SinglePrecision, MismatchedTRejected) {
+  Launcher launcher;
+  launcher.set_precision(Precision::kSingle);
+  aabft::abft::AabftConfig config;  // t = 52 by default
+  EXPECT_THROW(aabft::abft::AabftMultiplier(launcher, config),
+               std::invalid_argument);
+  Launcher dbl;
+  config.bounds.t = 23;  // single-precision bounds on a double pipeline
+  EXPECT_THROW(aabft::abft::AabftMultiplier(dbl, config),
+               std::invalid_argument);
+}
+
+TEST(SinglePrecision, FaultInjectionTargetsFloatBits) {
+  const Matrix a = single_matrix(32, 9);
+  const Matrix b = single_matrix(32, 10);
+  Launcher launcher;
+  launcher.set_precision(Precision::kSingle);
+  const Matrix clean = blocked_matmul(launcher, a, b);
+
+  FaultController controller;
+  launcher.set_fault_controller(&controller);
+  Rng rng(11);
+  FaultConfig fault;
+  fault.site = FaultSite::kInnerAdd;
+  fault.k_injection = 3;
+  fault.error_vec = aabft::fp::make_error_vec32(aabft::fp::BitField::kExponent,
+                                                1, rng);
+  controller.arm(fault);
+  const Matrix faulty = blocked_matmul(launcher, a, b);
+  launcher.set_fault_controller(nullptr);
+
+  ASSERT_TRUE(controller.fired());
+  std::size_t diffs = 0;
+  for (std::size_t i = 0; i < 32; ++i)
+    for (std::size_t j = 0; j < 32; ++j)
+      if (clean(i, j) != faulty(i, j)) ++diffs;
+  EXPECT_EQ(diffs, 1u);
+  // The faulty value is still float-representable (bits flipped in the
+  // binary32 pattern).
+  const double fv = controller.faulty_value();
+  EXPECT_EQ(static_cast<double>(static_cast<float>(fv)), fv);
+}
+
+TEST(SinglePrecision, AabftDetectsInjectedFaultWithT23) {
+  const Matrix a = single_matrix(64, 12);
+  const Matrix b = single_matrix(64, 13);
+  Launcher launcher;
+  launcher.set_precision(Precision::kSingle);
+  FaultController controller;
+  launcher.set_fault_controller(&controller);
+  Rng rng(14);
+  FaultConfig fault;
+  fault.site = FaultSite::kInnerMul;
+  fault.sm_id = 1;
+  fault.module_id = 2;
+  fault.k_injection = 9;
+  fault.error_vec = aabft::fp::make_error_vec32(aabft::fp::BitField::kExponent,
+                                                2, rng);
+  controller.arm(fault);
+
+  aabft::abft::AabftConfig config;
+  config.bs = 16;
+  config.bounds.t = 23;
+  aabft::abft::AabftMultiplier mult(launcher, config);
+  const auto result = mult.multiply(a, b);
+  launcher.set_fault_controller(nullptr);
+
+  ASSERT_TRUE(controller.fired());
+  EXPECT_TRUE(result.error_detected());
+}
+
+TEST(SinglePrecision, ErrorVec32Geometry) {
+  using namespace aabft::fp;
+  EXPECT_EQ(field_width32(BitField::kMantissa), 23);
+  EXPECT_EQ(field_width32(BitField::kExponent), 8);
+  EXPECT_EQ(field_offset32(BitField::kSign), 31);
+  Rng rng(15);
+  for (int i = 0; i < 200; ++i) {
+    const auto vec = make_error_vec32(BitField::kMantissa, 3, rng);
+    EXPECT_EQ(vec >> 23, 0u);  // stays inside the float mantissa
+    EXPECT_EQ(std::popcount(vec), 3);
+  }
+}
+
+}  // namespace

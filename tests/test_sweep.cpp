@@ -1,0 +1,72 @@
+// Campaign grid-sweep tests (the programmatic Figure-4 experiment).
+#include <gtest/gtest.h>
+
+#include "inject/sweep.hpp"
+
+namespace {
+
+using namespace aabft;
+using inject::run_sweep;
+using inject::SweepConfig;
+using inject::SweepResult;
+
+SweepConfig tiny_sweep() {
+  SweepConfig config;
+  config.sizes = {32, 64};
+  config.sites = {gpusim::FaultSite::kInnerMul};
+  config.inputs = {{linalg::InputClass::kUnit, 2.0}};
+  config.trials = 6;
+  config.bs = 16;
+  config.seed = 4321;
+  return config;
+}
+
+TEST(Sweep, ProducesOneCellPerGridPoint) {
+  const SweepResult result = run_sweep(tiny_sweep());
+  ASSERT_EQ(result.cells.size(), 2u);
+  EXPECT_EQ(result.cells[0].n, 32u);
+  EXPECT_EQ(result.cells[1].n, 64u);
+  for (const auto& cell : result.cells) {
+    EXPECT_EQ(cell.site, gpusim::FaultSite::kInnerMul);
+    EXPECT_EQ(cell.input, linalg::InputClass::kUnit);
+    EXPECT_EQ(cell.result.trials, 6u);
+  }
+}
+
+TEST(Sweep, FullGridCoversEveryCombination) {
+  SweepConfig config = tiny_sweep();
+  config.sites = {gpusim::FaultSite::kInnerMul, gpusim::FaultSite::kFinalAdd};
+  config.inputs = {{linalg::InputClass::kUnit, 2.0},
+                   {linalg::InputClass::kHundred, 2.0}};
+  const SweepResult result = run_sweep(config);
+  EXPECT_EQ(result.cells.size(), 2u * 2u * 2u);
+}
+
+TEST(Sweep, AggregateRatesAndFalsePositives) {
+  const SweepResult result = run_sweep(tiny_sweep());
+  EXPECT_EQ(result.false_positive_runs(), 0u);
+  const double aabft = result.aggregate_rate_aabft();
+  const double sea = result.aggregate_rate_sea();
+  EXPECT_GE(aabft, sea);
+  EXPECT_GT(aabft, 50.0);
+  EXPECT_LE(aabft, 100.0);
+}
+
+TEST(Sweep, DeterministicForSeed) {
+  const SweepResult r1 = run_sweep(tiny_sweep());
+  const SweepResult r2 = run_sweep(tiny_sweep());
+  ASSERT_EQ(r1.cells.size(), r2.cells.size());
+  for (std::size_t i = 0; i < r1.cells.size(); ++i) {
+    EXPECT_EQ(r1.cells[i].result.fired, r2.cells[i].result.fired);
+    EXPECT_EQ(r1.cells[i].result.aabft.detected_critical,
+              r2.cells[i].result.aabft.detected_critical);
+  }
+}
+
+TEST(Sweep, EmptyGridRejected) {
+  SweepConfig config = tiny_sweep();
+  config.sizes.clear();
+  EXPECT_THROW((void)run_sweep(config), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,56 @@
+// TablePrinter / env helper tests.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+#include "core/table.hpp"
+
+namespace {
+
+using aabft::env_size_or;
+using aabft::TablePrinter;
+
+TEST(Table, FormatsAlignedColumns) {
+  TablePrinter table({"A", "LONG-HEADER"});
+  table.add_row({"1", "2"});
+  table.add_row({"333", "4"});
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("LONG-HEADER"), std::string::npos);
+  EXPECT_NE(out.find("333"), std::string::npos);
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Table, RejectsMismatchedRowWidth) {
+  TablePrinter table({"A", "B"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(TablePrinter({}), std::invalid_argument);
+}
+
+TEST(Table, ScientificFormatting) {
+  EXPECT_EQ(TablePrinter::sci(1.675e-11), "1.68e-11");
+  EXPECT_EQ(TablePrinter::sci(0.0), "0.00e+00");
+  EXPECT_EQ(TablePrinter::sci(-2.5e3, 1), "-2.5e+03");
+}
+
+TEST(Table, FixedFormatting) {
+  EXPECT_EQ(TablePrinter::fixed(942.613), "942.61");
+  EXPECT_EQ(TablePrinter::fixed(1.0, 0), "1");
+}
+
+TEST(EnvSize, ParsesAndFallsBack) {
+  ::unsetenv("AABFT_TEST_ENV");
+  EXPECT_EQ(env_size_or("AABFT_TEST_ENV", 42), 42u);
+  ::setenv("AABFT_TEST_ENV", "128", 1);
+  EXPECT_EQ(env_size_or("AABFT_TEST_ENV", 42), 128u);
+  ::setenv("AABFT_TEST_ENV", "garbage", 1);
+  EXPECT_EQ(env_size_or("AABFT_TEST_ENV", 42), 42u);
+  ::setenv("AABFT_TEST_ENV", "-5", 1);
+  EXPECT_EQ(env_size_or("AABFT_TEST_ENV", 42), 42u);
+  ::unsetenv("AABFT_TEST_ENV");
+}
+
+}  // namespace

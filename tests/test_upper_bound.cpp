@@ -1,0 +1,116 @@
+// Three-case upper-bound determination tests (paper Section IV-E), including
+// the soundness property: the determined y always dominates the true maximum
+// product when both lists are saturated.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "abft/pmax.hpp"
+#include "abft/upper_bound.hpp"
+#include "core/rng.hpp"
+
+namespace {
+
+using aabft::Rng;
+using aabft::abft::determine_upper_bound;
+using aabft::abft::PMaxList;
+
+PMaxList top_p(const std::vector<double>& values, std::size_t p) {
+  PMaxList list(p);
+  for (std::size_t i = 0; i < values.size(); ++i)
+    list.offer(std::fabs(values[i]), i);
+  return list;
+}
+
+TEST(UpperBound, Case1AlignedIndices) {
+  // The largest values share index 4: y is their exact product.
+  PMaxList a(2);
+  a.offer(10.0, 4);
+  a.offer(3.0, 1);
+  PMaxList b(2);
+  b.offer(7.0, 4);
+  b.offer(6.0, 2);
+  // Case 1 gives 70; cases 2/3 give max(10*6, 7*3) = 60.
+  EXPECT_EQ(determine_upper_bound(a, b), 70.0);
+}
+
+TEST(UpperBound, Case2MaxATimesMinB) {
+  PMaxList a(2);
+  a.offer(10.0, 0);
+  a.offer(9.0, 1);
+  PMaxList b(2);
+  b.offer(8.0, 2);
+  b.offer(5.0, 3);
+  // Disjoint indices: y = max(10*5, 8*9) = 72.
+  EXPECT_EQ(determine_upper_bound(a, b), 72.0);
+}
+
+TEST(UpperBound, Case3MaxBTimesMinA) {
+  PMaxList a(2);
+  a.offer(4.0, 0);
+  a.offer(2.0, 1);
+  PMaxList b(2);
+  b.offer(100.0, 2);
+  b.offer(1.0, 3);
+  // y = max(4*1, 100*2) = 200.
+  EXPECT_EQ(determine_upper_bound(a, b), 200.0);
+}
+
+TEST(UpperBound, EmptyListsRejected) {
+  PMaxList a(2);
+  PMaxList b(2);
+  b.offer(1.0, 0);
+  EXPECT_THROW((void)determine_upper_bound(a, b), std::invalid_argument);
+  EXPECT_THROW((void)determine_upper_bound(b, a), std::invalid_argument);
+}
+
+// Soundness sweep: for random vectors, y from the p-max lists always bounds
+// the true maximum product max_k |a_k b_k| — the property Eq. (46) needs.
+class UpperBoundSoundness : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(UpperBoundSoundness, DominatesTrueMaxProduct) {
+  const std::size_t p = GetParam();
+  Rng rng(p * 101 + 5);
+  for (int rep = 0; rep < 300; ++rep) {
+    const std::size_t n = 4 + rng.below(60);
+    std::vector<double> a(n);
+    std::vector<double> b(n);
+    for (auto& x : a) x = rng.uniform(-10.0, 10.0);
+    for (auto& x : b) x = rng.uniform(-10.0, 10.0);
+    double true_max = 0.0;
+    for (std::size_t k = 0; k < n; ++k)
+      true_max = std::max(true_max, std::fabs(a[k] * b[k]));
+    const double y = determine_upper_bound(top_p(a, p), top_p(b, p));
+    EXPECT_GE(y, true_max) << "n=" << n << " p=" << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PSweep, UpperBoundSoundness,
+                         ::testing::Values(1, 2, 3, 4, 8),
+                         [](const auto& info) {
+                           return "p" + std::to_string(info.param);
+                         });
+
+TEST(UpperBound, LargerPNeverLoosensTheBound) {
+  // Increasing p refines the information, so y(p=4) <= y(p=1) on the same
+  // vectors (the paper: "quality ... improved by increasing p").
+  Rng rng(77);
+  for (int rep = 0; rep < 200; ++rep) {
+    std::vector<double> a(40);
+    std::vector<double> b(40);
+    for (auto& x : a) x = rng.uniform(-5.0, 5.0);
+    for (auto& x : b) x = rng.uniform(-5.0, 5.0);
+    const double y1 = determine_upper_bound(top_p(a, 1), top_p(b, 1));
+    const double y4 = determine_upper_bound(top_p(a, 4), top_p(b, 4));
+    EXPECT_LE(y4, y1 + 1e-30);
+  }
+}
+
+TEST(UpperBound, ZeroVectorsGiveZero) {
+  std::vector<double> zero(8, 0.0);
+  std::vector<double> other{1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_EQ(determine_upper_bound(top_p(zero, 2), top_p(other, 2)), 0.0);
+}
+
+}  // namespace

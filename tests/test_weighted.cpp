@@ -1,0 +1,313 @@
+// Weighted-checksum ABFT tests (Jou/Abraham extension): codec invariants,
+// encode kernels, ratio-based localisation, correction, clean-run behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "abft/weighted.hpp"
+#include "core/rng.hpp"
+#include "gpusim/kernel.hpp"
+#include "linalg/matmul.hpp"
+#include "linalg/workload.hpp"
+
+namespace {
+
+using aabft::Rng;
+using namespace aabft::abft;
+using aabft::gpusim::FaultConfig;
+using aabft::gpusim::FaultController;
+using aabft::gpusim::FaultSite;
+using aabft::gpusim::Launcher;
+using aabft::linalg::Matrix;
+using aabft::linalg::naive_matmul;
+using aabft::linalg::uniform_matrix;
+
+TEST(WeightedCodec, IndexArithmetic) {
+  const WeightedCodec codec(4);
+  EXPECT_EQ(codec.encoded_dim(8), 12u);
+  // Layout per block: d d d d s w.
+  EXPECT_EQ(codec.enc_index(0), 0u);
+  EXPECT_EQ(codec.enc_index(3), 3u);
+  EXPECT_EQ(codec.sum_index(0), 4u);
+  EXPECT_EQ(codec.weighted_index(0), 5u);
+  EXPECT_EQ(codec.enc_index(4), 6u);
+  EXPECT_EQ(codec.sum_index(1), 10u);
+  EXPECT_EQ(codec.weighted_index(1), 11u);
+  EXPECT_TRUE(codec.is_checksum_index(4));
+  EXPECT_TRUE(codec.is_checksum_index(5));
+  EXPECT_FALSE(codec.is_checksum_index(6));
+  EXPECT_EQ(codec.block_of(11), 1u);
+  EXPECT_EQ(codec.weight(0), 1.0);
+  EXPECT_EQ(codec.weight(3), 4.0);
+}
+
+TEST(WeightedCodec, HostEncodeInvariants) {
+  Rng rng(1);
+  const WeightedCodec codec(4);
+  const Matrix a = uniform_matrix(8, 5, -1.0, 1.0, rng);
+  const Matrix enc = codec.encode_columns_host(a);
+  ASSERT_EQ(enc.rows(), 12u);
+  for (std::size_t blk = 0; blk < 2; ++blk) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      double sum = 0.0;
+      double wsum = 0.0;
+      for (std::size_t i = 0; i < 4; ++i) {
+        sum += a(blk * 4 + i, j);
+        wsum += static_cast<double>(i + 1) * a(blk * 4 + i, j);
+      }
+      EXPECT_EQ(enc(codec.sum_index(blk), j), sum);
+      EXPECT_EQ(enc(codec.weighted_index(blk), j), wsum);
+    }
+  }
+}
+
+TEST(WeightedCodec, KernelEncodeMatchesHost) {
+  Rng rng(2);
+  const WeightedCodec codec(8);
+  const Matrix a = uniform_matrix(16, 20, -1.0, 1.0, rng);
+  const Matrix b = uniform_matrix(20, 16, -1.0, 1.0, rng);
+  Launcher launcher;
+  EXPECT_EQ(weighted_encode_columns(launcher, a, codec, 2).data,
+            codec.encode_columns_host(a));
+  EXPECT_EQ(weighted_encode_rows(launcher, b, codec, 2).data,
+            codec.encode_rows_host(b));
+}
+
+TEST(WeightedCodec, StripRecoversData) {
+  Rng rng(3);
+  const WeightedCodec codec(4);
+  const Matrix a = uniform_matrix(8, 8, -1.0, 1.0, rng);
+  const Matrix full = codec.encode_rows_host(codec.encode_columns_host(a));
+  EXPECT_EQ(codec.strip(full), a);
+}
+
+TEST(Weighted, CleanRunPassesAndMatchesPlainResult) {
+  Rng rng(4);
+  const std::size_t n = 64;
+  const Matrix a = uniform_matrix(n, n, -1.0, 1.0, rng);
+  const Matrix b = uniform_matrix(n, n, -1.0, 1.0, rng);
+  Launcher launcher;
+  WeightedAabftConfig config;
+  config.bs = 16;
+  WeightedAabftMultiplier mult(launcher, config);
+  const auto result = mult.multiply(a, b);
+  EXPECT_FALSE(result.error_detected());
+  EXPECT_EQ(result.c, naive_matmul(a, b, false));
+}
+
+TEST(Weighted, CleanRunWideRangeAndDynamic) {
+  Rng rng(5);
+  Launcher launcher;
+  WeightedAabftConfig config;
+  config.bs = 16;
+  WeightedAabftMultiplier mult(launcher, config);
+  for (const auto input : {aabft::linalg::InputClass::kHundred,
+                           aabft::linalg::InputClass::kDynamic}) {
+    const Matrix a = aabft::linalg::make_input(input, 64, 16.0, rng);
+    const Matrix b = aabft::linalg::make_input(input, 64, 16.0, rng);
+    const auto result = mult.multiply(a, b);
+    EXPECT_FALSE(result.error_detected())
+        << aabft::linalg::to_string(input);
+  }
+}
+
+// Ratio localisation across every data row of a block: corrupt element
+// (row r, col 2) directly in the product and expect local_row == r.
+class WeightedLocalisation : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(WeightedLocalisation, FindsTheRow) {
+  const std::size_t target_row = GetParam();
+  Rng rng(6);
+  const std::size_t n = 32;
+  const WeightedCodec codec(16);
+  Launcher launcher;
+  const auto a_cc = weighted_encode_columns(
+      launcher, uniform_matrix(n, n, -1.0, 1.0, rng), codec, 2);
+  const auto b_rc = weighted_encode_rows(
+      launcher, uniform_matrix(n, n, -1.0, 1.0, rng), codec, 2);
+  Matrix c_fc = aabft::linalg::blocked_matmul(launcher, a_cc.data, b_rc.data,
+                                              aabft::linalg::GemmConfig{});
+
+  c_fc(target_row, 2) += 5.0;  // block (0, 0), local row = target_row
+  BoundParams params;
+  const auto report = weighted_check_product(launcher, c_fc, codec, a_cc.pmax,
+                                             b_rc.pmax, n, params);
+  ASSERT_EQ(report.mismatches.size(), 1u);
+  const auto& m = report.mismatches.front();
+  EXPECT_EQ(m.block_row, 0u);
+  EXPECT_EQ(m.local_col, 2u);
+  ASSERT_TRUE(m.local_row.has_value());
+  EXPECT_EQ(*m.local_row, target_row);
+  EXPECT_NEAR(m.delta_sum, 5.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rows, WeightedLocalisation,
+                         ::testing::Values(0, 1, 7, 14, 15),
+                         [](const auto& info) {
+                           return "row" + std::to_string(info.param);
+                         });
+
+TEST(Weighted, LocalisesChecksumElementCorruption) {
+  Rng rng(7);
+  const std::size_t n = 32;
+  const WeightedCodec codec(16);
+  Launcher launcher;
+  const auto a_cc = weighted_encode_columns(
+      launcher, uniform_matrix(n, n, -1.0, 1.0, rng), codec, 2);
+  const auto b_rc = weighted_encode_rows(
+      launcher, uniform_matrix(n, n, -1.0, 1.0, rng), codec, 2);
+  Matrix c_fc = aabft::linalg::blocked_matmul(launcher, a_cc.data, b_rc.data,
+                                              aabft::linalg::GemmConfig{});
+  BoundParams params;
+
+  // Corrupt the plain checksum element: only the sum comparison fails.
+  c_fc(codec.sum_index(0), 3) += 1.0;
+  auto report = weighted_check_product(launcher, c_fc, codec, a_cc.pmax,
+                                       b_rc.pmax, n, params);
+  ASSERT_EQ(report.mismatches.size(), 1u);
+  ASSERT_TRUE(report.mismatches.front().local_row.has_value());
+  EXPECT_EQ(*report.mismatches.front().local_row, 16u);
+  c_fc(codec.sum_index(0), 3) -= 1.0;
+
+  // Corrupt the weighted checksum element: only the weighted check fails.
+  c_fc(codec.weighted_index(1), 5) += 1.0;
+  report = weighted_check_product(launcher, c_fc, codec, a_cc.pmax, b_rc.pmax,
+                                  n, params);
+  ASSERT_EQ(report.mismatches.size(), 1u);
+  ASSERT_TRUE(report.mismatches.front().local_row.has_value());
+  EXPECT_EQ(*report.mismatches.front().local_row, 17u);
+}
+
+TEST(Weighted, EndToEndDetectCorrectInjectedFault) {
+  Rng rng(8);
+  const std::size_t n = 64;
+  const Matrix a = uniform_matrix(n, n, -1.0, 1.0, rng);
+  const Matrix b = uniform_matrix(n, n, -1.0, 1.0, rng);
+  Launcher launcher;
+  FaultController controller;
+  launcher.set_fault_controller(&controller);
+  FaultConfig fault;
+  fault.site = FaultSite::kInnerAdd;
+  fault.sm_id = 1;
+  fault.module_id = 4;
+  fault.k_injection = 11;
+  fault.error_vec = 1ULL << 61;
+  controller.arm(fault);
+
+  WeightedAabftConfig config;
+  config.bs = 16;
+  WeightedAabftMultiplier mult(launcher, config);
+  const auto result = mult.multiply(a, b);
+  launcher.set_fault_controller(nullptr);
+
+  ASSERT_TRUE(controller.fired());
+  EXPECT_TRUE(result.error_detected());
+  EXPECT_FALSE(result.uncorrectable);
+  EXPECT_GE(result.corrected, 1u);
+  EXPECT_TRUE(result.recheck_clean);
+  EXPECT_LT(result.c.max_abs_diff(naive_matmul(a, b, false)), 1e-9);
+}
+
+TEST(Weighted, ChecksumPmaxListsTrackChecksumVectors) {
+  const WeightedCodec codec(4);
+  Matrix a(4, 8, 1.0);
+  a(2, 6) = 50.0;  // weight of row 2 is 3
+  Launcher launcher;
+  const auto enc = weighted_encode_columns(launcher, a, codec, 1);
+  // Weighted checksum of column 6: 1*1 + 2*1 + 3*50 + 4*1 = 157.
+  const PMaxList& wcs = enc.pmax[codec.weighted_index(0)];
+  ASSERT_EQ(wcs.size(), 1u);
+  EXPECT_EQ(wcs[0].value, 157.0);
+  EXPECT_EQ(wcs[0].index, 6u);
+}
+
+// Clean-run sweep across sizes, block sizes, p, input classes and FMA —
+// the weighted bounds must absorb rounding noise everywhere, like the plain
+// A-ABFT bounds do.
+struct WeightedCleanCase {
+  std::size_t n;
+  std::size_t bs;
+  std::size_t p;
+  aabft::linalg::InputClass input;
+  bool fma;
+};
+
+class WeightedCleanSweep
+    : public ::testing::TestWithParam<WeightedCleanCase> {};
+
+TEST_P(WeightedCleanSweep, NoFalsePositives) {
+  const auto& param = GetParam();
+  Rng rng(500 + param.n + param.bs * 3 + param.p);
+  const Matrix a = aabft::linalg::make_input(param.input, param.n, 2.0, rng);
+  const Matrix b = aabft::linalg::make_input(param.input, param.n, 2.0, rng);
+  Launcher launcher;
+  WeightedAabftConfig config;
+  config.bs = param.bs;
+  config.p = param.p;
+  config.bounds.fma = param.fma;
+  config.gemm.use_fma = param.fma;
+  WeightedAabftMultiplier mult(launcher, config);
+  const auto result = mult.multiply(a, b);
+  EXPECT_FALSE(result.error_detected());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WeightedCleanSweep,
+    ::testing::Values(
+        WeightedCleanCase{32, 16, 2, aabft::linalg::InputClass::kUnit, false},
+        WeightedCleanCase{64, 16, 2, aabft::linalg::InputClass::kUnit, true},
+        WeightedCleanCase{64, 32, 2, aabft::linalg::InputClass::kHundred, false},
+        WeightedCleanCase{96, 32, 1, aabft::linalg::InputClass::kUnit, false},
+        WeightedCleanCase{64, 16, 4, aabft::linalg::InputClass::kDynamic, false},
+        WeightedCleanCase{128, 32, 2, aabft::linalg::InputClass::kDynamic, true}));
+
+// Localisation property: random corruption magnitudes well above epsilon are
+// localised to the exact element, block-wide.
+TEST(Weighted, LocalisationSweepAcrossBlocksAndMagnitudes) {
+  Rng rng(77);
+  const std::size_t n = 64;
+  const WeightedCodec codec(16);
+  Launcher launcher;
+  const auto a_cc = weighted_encode_columns(
+      launcher, uniform_matrix(n, n, -1.0, 1.0, rng), codec, 2);
+  const auto b_rc = weighted_encode_rows(
+      launcher, uniform_matrix(n, n, -1.0, 1.0, rng), codec, 2);
+  const Matrix clean = aabft::linalg::blocked_matmul(
+      launcher, a_cc.data, b_rc.data, aabft::linalg::GemmConfig{});
+  BoundParams params;
+
+  for (int rep = 0; rep < 30; ++rep) {
+    Matrix c_fc = clean;
+    const std::size_t gbr = rng.below(4);
+    const std::size_t gbc = rng.below(4);
+    const std::size_t li = rng.below(16);
+    const std::size_t lj = rng.below(18);  // may hit checksum columns too
+    const std::size_t row = gbr * 18 + li;
+    const std::size_t col = gbc * 18 + lj;
+    const double magnitude =
+        (rng.next_bool() ? 1.0 : -1.0) *
+        std::pow(10.0, static_cast<double>(rng.between(-3, 3)));
+    c_fc(row, col) += magnitude;
+
+    const auto report = weighted_check_product(launcher, c_fc, codec,
+                                               a_cc.pmax, b_rc.pmax, n, params);
+    ASSERT_EQ(report.mismatches.size(), 1u) << "rep " << rep;
+    const auto& m = report.mismatches.front();
+    EXPECT_EQ(m.block_row, gbr);
+    EXPECT_EQ(m.block_col, gbc);
+    EXPECT_EQ(m.local_col, lj);
+    ASSERT_TRUE(m.local_row.has_value()) << "rep " << rep;
+    EXPECT_EQ(*m.local_row, li) << "rep " << rep;
+  }
+}
+
+TEST(Weighted, InvalidConfigRejected) {
+  Launcher launcher;
+  WeightedAabftConfig config;
+  config.bounds.fma = true;  // gemm not fma
+  EXPECT_THROW(WeightedAabftMultiplier(launcher, config),
+               std::invalid_argument);
+  EXPECT_THROW(WeightedCodec(1), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,147 @@
+// Workload generator tests: value ranges, the Turmon dynamic-range
+// construction, and the input-class dispatch used by benches and campaigns.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+#include "linalg/norms.hpp"
+#include "linalg/workload.hpp"
+
+namespace {
+
+using aabft::Rng;
+using namespace aabft::linalg;
+
+double frobenius(const Matrix& m) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < m.rows(); ++i)
+    for (std::size_t j = 0; j < m.cols(); ++j) s += m(i, j) * m(i, j);
+  return std::sqrt(s);
+}
+
+TEST(Workload, UniformStaysInRange) {
+  Rng rng(1);
+  const Matrix m = uniform_matrix(40, 40, -3.0, 5.0, rng);
+  for (std::size_t i = 0; i < 40; ++i)
+    for (std::size_t j = 0; j < 40; ++j) {
+      EXPECT_GE(m(i, j), -3.0);
+      EXPECT_LT(m(i, j), 5.0);
+    }
+}
+
+TEST(Workload, UniformMeanRoughlyCentred) {
+  Rng rng(2);
+  const Matrix m = uniform_matrix(100, 100, -1.0, 1.0, rng);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < m.size(); ++i) sum += m.data()[i];
+  EXPECT_NEAR(sum / static_cast<double>(m.size()), 0.0, 0.02);
+}
+
+TEST(Workload, UniformRejectsEmptyRange) {
+  Rng rng(3);
+  EXPECT_THROW((void)uniform_matrix(4, 4, 1.0, 1.0, rng),
+               std::invalid_argument);
+}
+
+TEST(Workload, DynamicRangeExactConstructionPreservesFrobenius) {
+  // ||U D V^T||_F == ||D||_F by orthogonal invariance.
+  Rng rng(4);
+  const std::size_t n = 24;
+  DynamicRangeParams params;
+  params.alpha = 0.0;
+  params.kappa = 100.0;
+  params.reflectors = 0;  // exact Haar via QR
+  const Matrix a = dynamic_range_matrix(n, params, rng);
+  double d_norm_sq = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double frac = static_cast<double>(i) / static_cast<double>(n - 1);
+    const double d = std::pow(100.0, -frac);
+    d_norm_sq += d * d;
+  }
+  EXPECT_NEAR(frobenius(a), std::sqrt(d_norm_sq), 1e-10);
+}
+
+TEST(Workload, DynamicRangeReflectorConstructionPreservesFrobenius) {
+  Rng rng(5);
+  const std::size_t n = 64;
+  DynamicRangeParams params;
+  params.kappa = 65536.0;
+  params.reflectors = 16;
+  const Matrix a = dynamic_range_matrix(n, params, rng);
+  double d_norm_sq = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double frac = static_cast<double>(i) / static_cast<double>(n - 1);
+    const double d = std::pow(65536.0, -frac);
+    d_norm_sq += d * d;
+  }
+  EXPECT_NEAR(frobenius(a), std::sqrt(d_norm_sq),
+              std::sqrt(d_norm_sq) * 1e-10);
+}
+
+TEST(Workload, AlphaScalesValues) {
+  Rng rng(6);
+  DynamicRangeParams base;
+  base.alpha = 0.0;
+  base.reflectors = 8;
+  DynamicRangeParams scaled = base;
+  scaled.alpha = 3.0;
+  Rng rng_a(6);
+  Rng rng_b(6);
+  const Matrix a = dynamic_range_matrix(16, base, rng_a);
+  const Matrix b = dynamic_range_matrix(16, scaled, rng_b);
+  // Same random stream, so b == 1000 * a exactly up to rounding.
+  EXPECT_NEAR(b.max_abs() / a.max_abs(), 1000.0, 1e-6);
+}
+
+TEST(Workload, KappaCreatesDynamicRange) {
+  // Larger kappa -> wider spread between largest and smallest row norms of
+  // the (diagonal-seeded) matrix.
+  Rng rng(7);
+  DynamicRangeParams mild;
+  mild.kappa = 2.0;
+  mild.reflectors = 0;
+  DynamicRangeParams wild = mild;
+  wild.kappa = 65536.0;
+  const Matrix a = dynamic_range_matrix(32, mild, rng);
+  const Matrix b = dynamic_range_matrix(32, wild, rng);
+  // Crude singular-value probe: Frobenius vs spectral-ish max row norm.
+  const double spread_a = frobenius(a) / a.max_abs();
+  const double spread_b = frobenius(b) / b.max_abs();
+  EXPECT_GT(spread_a, spread_b);  // flat spectrum has relatively larger mass
+}
+
+TEST(Workload, KappaBelowOneRejected) {
+  Rng rng(8);
+  DynamicRangeParams params;
+  params.kappa = 0.5;
+  EXPECT_THROW((void)dynamic_range_matrix(8, params, rng),
+               std::invalid_argument);
+}
+
+TEST(Workload, MakeInputDispatch) {
+  Rng rng(9);
+  const Matrix unit = make_input(InputClass::kUnit, 16, 2.0, rng);
+  EXPECT_LE(unit.max_abs(), 1.0);
+  const Matrix hundred = make_input(InputClass::kHundred, 16, 2.0, rng);
+  EXPECT_GT(hundred.max_abs(), 10.0);
+  EXPECT_LE(hundred.max_abs(), 100.0);
+  const Matrix dynamic = make_input(InputClass::kDynamic, 16, 4.0, rng);
+  EXPECT_EQ(dynamic.rows(), 16u);
+}
+
+TEST(Workload, InputClassNames) {
+  EXPECT_EQ(to_string(InputClass::kUnit), "U(-1,1)");
+  EXPECT_EQ(to_string(InputClass::kHundred), "U(-100,100)");
+  EXPECT_EQ(to_string(InputClass::kDynamic), "dynamic");
+}
+
+TEST(Workload, DeterministicAcrossRuns) {
+  Rng a(10);
+  Rng b(10);
+  const Matrix ma = make_input(InputClass::kDynamic, 20, 16.0, a);
+  const Matrix mb = make_input(InputClass::kDynamic, 20, 16.0, b);
+  EXPECT_EQ(ma, mb);
+}
+
+}  // namespace
