@@ -204,12 +204,12 @@ int main() {
       abft::AabftConfig config;
       config.bs = bs;
       abft::AabftMultiplier mult(launcher, config);
-      const auto clean = mult.multiply(a, b);
+      const auto clean = mult.multiply(a, b).value();
       const std::uint64_t ops = encode_ops(launcher);
       gpusim::FaultController controller;
       launcher.set_fault_controller(&controller);
       controller.arm(fault);
-      const auto faulty = mult.multiply(a, b);
+      const auto faulty = mult.multiply(a, b).value();
       launcher.set_fault_controller(nullptr);
       table.add_row({"plain (row+col)", std::to_string(ops),
                      clean.error_detected() ? "yes" : "no",

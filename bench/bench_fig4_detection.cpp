@@ -64,12 +64,12 @@ int main() {
   for (const auto& cell : sweep.cells) {
     const auto& r = cell.result;
     table.add_row({gpusim::to_string(cell.site), linalg::to_string(cell.input),
-                   std::to_string(cell.n), rate_or_dash(r.aabft),
-                   rate_or_dash(r.sea), std::to_string(r.aabft.critical),
-                   std::to_string(r.aabft.detected_tolerable) + "/" +
-                       std::to_string(r.aabft.tolerable),
-                   std::to_string(r.sea.detected_tolerable) + "/" +
-                       std::to_string(r.sea.tolerable),
+                   std::to_string(cell.n), rate_or_dash(r.aabft()),
+                   rate_or_dash(r.sea()), std::to_string(r.aabft().critical),
+                   std::to_string(r.aabft().detected_tolerable) + "/" +
+                       std::to_string(r.aabft().tolerable),
+                   std::to_string(r.sea().detected_tolerable) + "/" +
+                       std::to_string(r.sea().tolerable),
                    std::to_string(r.masked)});
   }
   table.print();

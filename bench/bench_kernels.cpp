@@ -156,7 +156,7 @@ void BM_ProtectedMultiplyEndToEnd(benchmark::State& state) {
   abft::AabftMultiplier mult(launcher, config);
   for (auto _ : state) {
     auto result = mult.multiply(a, b);
-    benchmark::DoNotOptimize(result.c.data());
+    benchmark::DoNotOptimize(result->c.data());
   }
 }
 BENCHMARK(BM_ProtectedMultiplyEndToEnd)->Arg(128)->Arg(256);

@@ -44,18 +44,18 @@ int main() {
       previous_ratio = result.aabft_over_abft();
     }
     table.add_row({std::to_string(n) + (projected ? "*" : ""),
-                   TablePrinter::fixed(result.unprotected.model_gflops),
-                   TablePrinter::fixed(result.fixed_abft.model_gflops),
+                   TablePrinter::fixed(result.unprotected().model_gflops),
+                   TablePrinter::fixed(result.fixed_abft().model_gflops),
                    bench::paper_cell(bench::paper_table1_abft(), n, true),
-                   TablePrinter::fixed(result.aabft.model_gflops),
+                   TablePrinter::fixed(result.aabft().model_gflops),
                    bench::paper_cell(bench::paper_table1_aabft(), n, true),
-                   TablePrinter::fixed(result.sea_abft.model_gflops),
+                   TablePrinter::fixed(result.sea_abft().model_gflops),
                    bench::paper_cell(bench::paper_table1_sea(), n, true),
-                   TablePrinter::fixed(result.tmr.model_gflops),
+                   TablePrinter::fixed(result.tmr().model_gflops),
                    bench::paper_cell(bench::paper_table1_tmr(), n, true),
                    projected
                        ? std::string("-")
-                       : TablePrinter::fixed(result.unprotected.host_seconds,
+                       : TablePrinter::fixed(result.unprotected().host_seconds,
                                              3)});
   };
 
@@ -64,8 +64,8 @@ int main() {
     add_row(result, /*projected=*/false);
     largest_measured = result;
 
-    if (result.fixed_abft.false_positive || result.aabft.false_positive ||
-        result.sea_abft.false_positive || result.tmr.false_positive)
+    if (result.fixed_abft().false_positive || result.aabft().false_positive ||
+        result.sea_abft().false_positive || result.tmr().false_positive)
       std::cout << "WARNING: a scheme mis-detected on the fault-free run at n="
                 << n << "\n";
   }

@@ -85,9 +85,12 @@ int main(int argc, char** argv) {
 
   std::printf("fired %zu/%zu, masked %zu\n", result.fired, result.trials,
               result.masked);
-  print_scheme("A-ABFT", result.aabft);
-  print_scheme("SEA-ABFT", result.sea);
-  if (result.aabft_false_positive_runs + result.sea_false_positive_runs > 0)
+  std::size_t false_positives = 0;
+  for (const auto& scheme : result.schemes) {
+    print_scheme(scheme.scheme.c_str(), scheme.stats);
+    false_positives += scheme.false_positive_runs;
+  }
+  if (false_positives > 0)
     std::printf("WARNING: false positives on the clean reference run\n");
   return 0;
 }

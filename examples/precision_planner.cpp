@@ -68,7 +68,7 @@ int main(int argc, char** argv) {
   config.bs = 32;
   config.bounds.t = use_single ? 23 : 52;
   abft::AabftMultiplier mult(launcher, config);
-  const auto result = mult.multiply(a, b);
+  const auto result = mult.multiply(a, b).value();
   std::printf("protected multiply: detected=%s (autonomous bounds at t=%d)\n",
               result.error_detected() ? "yes" : "no", config.bounds.t);
 

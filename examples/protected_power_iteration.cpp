@@ -98,7 +98,7 @@ int main(int argc, char** argv) {
       controller.arm(fault);
     }
 
-    const auto result = mult.multiply(s, x);
+    const auto result = mult.multiply(s, x).value();
     controller.disarm();
     if (inject && controller.fired()) ++faults_injected;
 

@@ -7,6 +7,8 @@
 // instruction of the GEMM kernel and shows the autonomous detection,
 // localisation and correction — no calibration, no user-provided bounds.
 #include <cstdio>
+#include <utility>
+#include <vector>
 
 #include "abft/aabft.hpp"
 #include "core/rng.hpp"
@@ -31,7 +33,7 @@ int main() {
   abft::AabftMultiplier mult(launcher, config);
 
   // 1. Fault-free multiply: the autonomous bounds absorb the rounding noise.
-  const auto clean = mult.multiply(a, b);
+  const auto clean = mult.multiply(a, b).value();
   std::printf("fault-free run : detected=%s (expected: no false positive)\n",
               clean.error_detected() ? "yes" : "no");
 
@@ -47,7 +49,7 @@ int main() {
   fault.error_vec = fp::make_error_vec(fp::BitField::kMantissa, 3, rng);
   controller.arm(fault);
 
-  const auto faulty = mult.multiply(a, b);
+  const auto faulty = mult.multiply(a, b).value();
   launcher.set_fault_controller(nullptr);
 
   std::printf("faulty run     : injected=%s detected=%s corrections=%zu "
@@ -68,5 +70,22 @@ int main() {
   // 3. The corrected result matches the fault-free one.
   std::printf("max |corrected - clean| = %.3g\n",
               faulty.c.max_abs_diff(clean.c));
+
+  // 4. Recoverable misuse is an error value, not an exception: a shape
+  //    mismatch comes back through the Result<> channel.
+  const auto bad = mult.multiply(a, linalg::Matrix(100, 100));
+  std::printf("shape mismatch : ok=%s (%s)\n", bad.ok() ? "yes" : "no",
+              bad.ok() ? "-" : bad.error().message.c_str());
+
+  // 5. Independent multiplies pipeline across streams of the launcher's
+  //    persistent worker pool; results are bit-identical to sequential calls.
+  const std::vector<std::pair<linalg::Matrix, linalg::Matrix>> problems = {
+      {a, b}, {b, a}};
+  const auto batch = mult.multiply_batch(problems);
+  std::printf("batch          : %zu problems, all clean=%s\n", batch.size(),
+              (batch[0].ok() && batch[1].ok() &&
+               !batch[0]->error_detected() && !batch[1]->error_detected())
+                  ? "yes"
+                  : "no");
   return 0;
 }

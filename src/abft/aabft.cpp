@@ -1,5 +1,9 @@
 #include "abft/aabft.hpp"
 
+#include <algorithm>
+#include <exception>
+#include <string>
+
 #include "core/require.hpp"
 
 namespace aabft::abft {
@@ -19,8 +23,71 @@ AabftMultiplier::AabftMultiplier(gpusim::Launcher& launcher, AabftConfig config)
                 "(52 for double, 23 for single)");
 }
 
-AabftResult AabftMultiplier::multiply(const Matrix& a, const Matrix& b) {
+std::optional<Error> AabftMultiplier::validate(const Matrix& a,
+                                               const Matrix& b) const {
+  if (a.cols() != b.rows())
+    return shape_error("inner dimensions must agree: A is " +
+                       std::to_string(a.rows()) + "x" +
+                       std::to_string(a.cols()) + ", B is " +
+                       std::to_string(b.rows()) + "x" +
+                       std::to_string(b.cols()));
+  if (!codec_.divides(a.rows()))
+    return shape_error("rows of A (" + std::to_string(a.rows()) +
+                       ") must be a multiple of the checksum block size " +
+                       std::to_string(config_.bs));
+  if (!codec_.divides(b.cols()))
+    return shape_error("columns of B (" + std::to_string(b.cols()) +
+                       ") must be a multiple of the checksum block size " +
+                       std::to_string(config_.bs));
+  return std::nullopt;
+}
+
+Result<AabftResult> AabftMultiplier::multiply(const Matrix& a,
+                                              const Matrix& b) {
+  if (auto err = validate(a, b)) return *err;
   return run(a, b, nullptr);
+}
+
+std::vector<Result<AabftResult>> AabftMultiplier::multiply_batch(
+    std::span<const std::pair<Matrix, Matrix>> problems, std::size_t streams) {
+  std::vector<Result<AabftResult>> results;
+  results.reserve(problems.size());
+  for (std::size_t i = 0; i < problems.size(); ++i)
+    results.emplace_back(
+        Error{ErrorCode::kExecutionFailed, "batch entry did not execute"});
+  if (problems.empty()) return results;
+
+  const std::size_t lanes_wanted =
+      streams != 0 ? streams : std::max<std::size_t>(1, launcher_.workers());
+  const std::size_t num_lanes = std::min(problems.size(), lanes_wanted);
+
+  std::vector<gpusim::Stream> lanes;
+  lanes.reserve(num_lanes);
+  for (std::size_t s = 0; s < num_lanes; ++s)
+    lanes.push_back(launcher_.create_stream());
+
+  // Each problem's whole pipeline runs as one host task on its lane: within
+  // a lane problems execute in order, across lanes the encode of one problem
+  // overlaps the product/check of another. The nested launch() calls inside
+  // run() are drained by the worker executing the host task (caller-help),
+  // so this cannot deadlock even with a single worker.
+  for (std::size_t i = 0; i < problems.size(); ++i) {
+    const auto& [a, b] = problems[i];
+    if (auto err = validate(a, b)) {
+      results[i] = *err;
+      continue;
+    }
+    launcher_.launch_host_async(
+        lanes[i % num_lanes], "aabft_batch", [this, &a, &b, &results, i] {
+          try {
+            results[i] = run(a, b, nullptr);
+          } catch (const std::exception& e) {
+            results[i] = Error{ErrorCode::kExecutionFailed, e.what()};
+          }
+        });
+  }
+  for (auto& lane : lanes) lane.synchronize();
+  return results;
 }
 
 AabftResult AabftMultiplier::multiply_traced(const Matrix& a, const Matrix& b,

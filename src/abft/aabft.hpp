@@ -15,6 +15,9 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "abft/bounds.hpp"
@@ -23,6 +26,7 @@
 #include "abft/correction.hpp"
 #include "abft/encoder.hpp"
 #include "abft/padding.hpp"
+#include "core/result.hpp"
 #include "gpusim/kernel.hpp"
 #include "linalg/matmul.hpp"
 #include "linalg/matrix.hpp"
@@ -70,10 +74,23 @@ class AabftMultiplier {
   AabftMultiplier(gpusim::Launcher& launcher, AabftConfig config);
 
   /// Protected multiply: C = A * B with autonomous error detection (and, if
-  /// configured, correction). Requires a.rows() % bs == 0 and
-  /// b.cols() % bs == 0 (pad beforehand otherwise; the paper pads too).
-  [[nodiscard]] AabftResult multiply(const linalg::Matrix& a,
-                                     const linalg::Matrix& b);
+  /// configured, correction). Shape misuse — mismatched inner dimensions, or
+  /// a.rows() / b.cols() not multiples of bs (pad beforehand, or use
+  /// multiply_padded; the paper pads too) — is returned as an error, not
+  /// thrown (DESIGN.md §4.7).
+  [[nodiscard]] Result<AabftResult> multiply(const linalg::Matrix& a,
+                                             const linalg::Matrix& b);
+
+  /// Protected multiply of independent problems, pipelined across streams:
+  /// the encode of problem i+1 overlaps the product/check of problem i, and
+  /// whole problems run concurrently when workers allow. Results are
+  /// bit-identical to sequential multiply() calls and indexed like
+  /// `problems`. `streams` == 0 derives the lane count from the launcher's
+  /// worker count. Problems with invalid shapes yield errors in their slot;
+  /// the rest still run.
+  [[nodiscard]] std::vector<Result<AabftResult>> multiply_batch(
+      std::span<const std::pair<linalg::Matrix, linalg::Matrix>> problems,
+      std::size_t streams = 0);
 
   /// Epsilon-trace variant for the bound-quality experiments (Tables II-IV):
   /// identical to multiply() but records every epsilon the check computed.
@@ -94,6 +111,9 @@ class AabftMultiplier {
  private:
   AabftResult run(const linalg::Matrix& a, const linalg::Matrix& b,
                   EpsilonTrace* trace);
+  /// Recoverable-misuse check shared by multiply and multiply_batch.
+  [[nodiscard]] std::optional<Error> validate(const linalg::Matrix& a,
+                                              const linalg::Matrix& b) const;
 
   gpusim::Launcher& launcher_;
   AabftConfig config_;

@@ -1,17 +1,26 @@
 #include "abft/blas.hpp"
 
-#include "core/require.hpp"
+#include <string>
 
 namespace aabft::abft {
 
 using linalg::Matrix;
 
-GemmCallResult protected_gemm(gpusim::Launcher& launcher, double alpha,
-                              const Matrix& a, const Matrix& b, double beta,
-                              Matrix& c, const AabftConfig& config) {
-  AABFT_REQUIRE(a.cols() == b.rows(), "inner dimensions must agree");
-  AABFT_REQUIRE(c.rows() == a.rows() && c.cols() == b.cols(),
-                "C must be m x n");
+Result<GemmCallResult> protected_gemm(gpusim::Launcher& launcher, double alpha,
+                                      const Matrix& a, const Matrix& b,
+                                      double beta, Matrix& c,
+                                      const AabftConfig& config) {
+  if (a.cols() != b.rows())
+    return shape_error("inner dimensions must agree: A is " +
+                       std::to_string(a.rows()) + "x" +
+                       std::to_string(a.cols()) + ", B is " +
+                       std::to_string(b.rows()) + "x" +
+                       std::to_string(b.cols()));
+  if (c.rows() != a.rows() || c.cols() != b.cols())
+    return shape_error("C must be " + std::to_string(a.rows()) + "x" +
+                       std::to_string(b.cols()) + ", got " +
+                       std::to_string(c.rows()) + "x" +
+                       std::to_string(c.cols()));
 
   GemmCallResult result;
 

@@ -9,6 +9,7 @@
 #pragma once
 
 #include "abft/aabft.hpp"
+#include "core/result.hpp"
 #include "gpusim/kernel.hpp"
 #include "linalg/matrix.hpp"
 
@@ -23,12 +24,12 @@ struct GemmCallResult {
 
 /// C <- alpha * A * B + beta * C, with the product protected by A-ABFT.
 /// Shapes: A is m x k, B is k x n, C is m x n (C must be pre-sized).
-/// Dimensions may be arbitrary (padding is applied internally).
-[[nodiscard]] GemmCallResult protected_gemm(gpusim::Launcher& launcher,
-                                            double alpha,
-                                            const linalg::Matrix& a,
-                                            const linalg::Matrix& b,
-                                            double beta, linalg::Matrix& c,
-                                            const AabftConfig& config = {});
+/// Dimensions may be arbitrary (padding is applied internally); shape
+/// mismatches between the operands are returned as errors, not thrown
+/// (DESIGN.md §4.7), and leave C untouched.
+[[nodiscard]] Result<GemmCallResult> protected_gemm(
+    gpusim::Launcher& launcher, double alpha, const linalg::Matrix& a,
+    const linalg::Matrix& b, double beta, linalg::Matrix& c,
+    const AabftConfig& config = {});
 
 }  // namespace aabft::abft

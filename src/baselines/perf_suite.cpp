@@ -1,13 +1,12 @@
 #include "baselines/perf_suite.hpp"
 
 #include <chrono>
+#include <stdexcept>
+#include <utility>
 
-#include "abft/aabft.hpp"
-#include "baselines/fixed_abft.hpp"
 #include "baselines/scheme_timing.hpp"
-#include "baselines/sea_abft.hpp"
-#include "baselines/tmr.hpp"
-#include "baselines/unprotected.hpp"
+#include "baselines/schemes.hpp"
+#include "core/require.hpp"
 #include "core/rng.hpp"
 #include "gpusim/perf_model.hpp"
 #include "linalg/workload.hpp"
@@ -16,35 +15,39 @@ namespace aabft::baselines {
 
 namespace {
 
-template <typename Pipeline>
-SchemePerf run_one(gpusim::Launcher& launcher, std::size_t n,
-                   Pipeline&& pipeline) {
-  launcher.clear_launch_log();
-  const auto t0 = std::chrono::steady_clock::now();
-  SchemePerf perf;
-  perf.false_positive = pipeline();
-  perf.host_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
-  perf.log = launcher.launch_log();
-  const SchemeTiming timing = price_launch_log(launcher.device(), perf.log);
-  perf.model_seconds = timing.total_seconds();
-  const auto payload = static_cast<std::uint64_t>(2) * n * n * n;
-  perf.model_gflops = gpusim::gflops(payload, perf.model_seconds);
-  return perf;
-}
-
-SchemePerf project_one(const SchemePerf& base, std::size_t n0, std::size_t n) {
-  SchemePerf perf;
-  perf.log = project_log(base.log, n0, n);
+void price(SchemePerf& perf, std::size_t n) {
   const SchemeTiming timing = price_launch_log(gpusim::k20c(), perf.log);
   perf.model_seconds = timing.total_seconds();
   const auto payload = static_cast<std::uint64_t>(2) * n * n * n;
   perf.model_gflops = gpusim::gflops(payload, perf.model_seconds);
+}
+
+SchemePerf run_one(gpusim::Launcher& launcher, std::size_t n,
+                   ProtectedMultiplier& scheme, const linalg::Matrix& a,
+                   const linalg::Matrix& b) {
+  launcher.clear_launch_log();
+  const auto t0 = std::chrono::steady_clock::now();
+  SchemePerf perf;
+  perf.scheme = std::string(scheme.name());
+  const auto result = scheme.multiply(a, b);
+  AABFT_ASSERT(result.ok(), "perf-suite multiply refused valid shapes");
+  perf.false_positive = result->detected;
+  perf.host_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  perf.log = launcher.launch_log();
+  price(perf, n);
   return perf;
 }
 
 }  // namespace
+
+const SchemePerf& PerfSuiteResult::scheme(std::string_view name) const {
+  for (const auto& perf : schemes)
+    if (perf.scheme == name) return perf;
+  throw std::logic_error("perf suite has no scheme named '" +
+                         std::string(name) + "'");
+}
 
 std::vector<gpusim::LaunchStats> project_log(
     const std::vector<gpusim::LaunchStats>& log, std::size_t n0,
@@ -78,11 +81,14 @@ PerfSuiteResult project_perf_suite(const PerfSuiteResult& base, std::size_t n0,
                                    std::size_t n) {
   PerfSuiteResult result;
   result.n = n;
-  result.unprotected = project_one(base.unprotected, n0, n);
-  result.fixed_abft = project_one(base.fixed_abft, n0, n);
-  result.aabft = project_one(base.aabft, n0, n);
-  result.sea_abft = project_one(base.sea_abft, n0, n);
-  result.tmr = project_one(base.tmr, n0, n);
+  result.schemes.reserve(base.schemes.size());
+  for (const auto& perf : base.schemes) {
+    SchemePerf projected;
+    projected.scheme = perf.scheme;
+    projected.log = project_log(perf.log, n0, n);
+    price(projected, n);
+    result.schemes.push_back(std::move(projected));
+  }
   return result;
 }
 
@@ -95,35 +101,13 @@ PerfSuiteResult run_perf_suite(std::size_t n, const PerfSuiteConfig& config) {
   PerfSuiteResult result;
   result.n = n;
 
-  UnprotectedMultiplier unprot(launcher, linalg::GemmConfig{});
-  result.unprotected = run_one(launcher, n, [&] {
-    (void)unprot.multiply(a, b);
-    return false;
-  });
-
-  FixedAbftConfig fixed_config;
-  fixed_config.bs = config.bs;
-  fixed_config.epsilon = config.fixed_epsilon;
-  FixedAbftMultiplier fixed(launcher, fixed_config);
-  result.fixed_abft = run_one(
-      launcher, n, [&] { return fixed.multiply(a, b).error_detected(); });
-
-  abft::AabftConfig aabft_config;
-  aabft_config.bs = config.bs;
-  aabft_config.p = config.p;
-  abft::AabftMultiplier aabft(launcher, aabft_config);
-  result.aabft = run_one(
-      launcher, n, [&] { return aabft.multiply(a, b).error_detected(); });
-
-  SeaAbftConfig sea_config;
-  sea_config.bs = config.bs;
-  SeaAbftMultiplier sea(launcher, sea_config);
-  result.sea_abft = run_one(
-      launcher, n, [&] { return sea.multiply(a, b).error_detected(); });
-
-  TmrMultiplier tmr(launcher, TmrConfig{});
-  result.tmr = run_one(
-      launcher, n, [&] { return tmr.multiply(a, b).error_detected(); });
+  SchemeSuiteConfig suite;
+  suite.bs = config.bs;
+  suite.p = config.p;
+  suite.fixed_epsilon = config.fixed_epsilon;
+  suite.include_diverse_tmr = config.include_diverse_tmr;
+  for (const auto& scheme : make_schemes(launcher, suite))
+    result.schemes.push_back(run_one(launcher, n, *scheme, a, b));
 
   return result;
 }

@@ -3,10 +3,17 @@
 // with the analytic K20C model. Used by bench_table1_performance and by the
 // integration tests that lock in the paper's performance *shape* (ordering
 // and gap trends).
+//
+// The suite iterates the schemes through the shared ProtectedMultiplier
+// interface (baselines/scheme.hpp) — adding a contender means adding it to
+// make_schemes, not touching this driver.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "gpusim/kernel.hpp"
 #include "linalg/matrix.hpp"
@@ -14,6 +21,7 @@
 namespace aabft::baselines {
 
 struct SchemePerf {
+  std::string scheme;          ///< ProtectedMultiplier::name() key
   double model_gflops = 0.0;   ///< 2 n^3 / modelled K20C seconds
   double model_seconds = 0.0;
   double host_seconds = 0.0;   ///< wall clock of the simulation itself
@@ -24,22 +32,28 @@ struct SchemePerf {
 
 struct PerfSuiteResult {
   std::size_t n = 0;
-  SchemePerf unprotected;
-  SchemePerf fixed_abft;   ///< manual-bound ABFT
-  SchemePerf aabft;
-  SchemePerf sea_abft;
-  SchemePerf tmr;
+  /// One entry per scheme, in make_schemes order.
+  std::vector<SchemePerf> schemes;
+
+  /// Lookup by scheme name; throws std::logic_error when absent.
+  [[nodiscard]] const SchemePerf& scheme(std::string_view name) const;
+
+  [[nodiscard]] const SchemePerf& unprotected() const { return scheme("unprotected"); }
+  [[nodiscard]] const SchemePerf& fixed_abft() const { return scheme("fixed-abft"); }
+  [[nodiscard]] const SchemePerf& aabft() const { return scheme("a-abft"); }
+  [[nodiscard]] const SchemePerf& sea_abft() const { return scheme("sea-abft"); }
+  [[nodiscard]] const SchemePerf& tmr() const { return scheme("tmr"); }
 
   /// The paper's headline ordering at every size.
-  [[nodiscard]] bool ordering_holds() const noexcept {
-    return fixed_abft.model_gflops > aabft.model_gflops &&
-           aabft.model_gflops > sea_abft.model_gflops &&
-           sea_abft.model_gflops > tmr.model_gflops;
+  [[nodiscard]] bool ordering_holds() const {
+    return fixed_abft().model_gflops > aabft().model_gflops &&
+           aabft().model_gflops > sea_abft().model_gflops &&
+           sea_abft().model_gflops > tmr().model_gflops;
   }
 
   /// A-ABFT's fraction of the manual-bound ABFT performance (rises with n).
-  [[nodiscard]] double aabft_over_abft() const noexcept {
-    return aabft.model_gflops / fixed_abft.model_gflops;
+  [[nodiscard]] double aabft_over_abft() const {
+    return aabft().model_gflops / fixed_abft().model_gflops;
   }
 };
 
@@ -48,9 +62,11 @@ struct PerfSuiteConfig {
   std::size_t p = 2;
   double fixed_epsilon = 1e-8;
   std::uint64_t seed = 2014;
+  /// Include the diverse-kernel TMR contender (~3 extra GEMMs per run).
+  bool include_diverse_tmr = false;
 };
 
-/// Run all five pipelines on fresh uniform inputs of size n x n.
+/// Run all scheme pipelines on fresh uniform inputs of size n x n.
 [[nodiscard]] PerfSuiteResult run_perf_suite(std::size_t n,
                                              const PerfSuiteConfig& config = {});
 

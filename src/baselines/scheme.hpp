@@ -1,0 +1,107 @@
+// The unified protection-scheme interface.
+//
+// Every contender of the paper's experiments — unprotected GEMM, manually
+// bounded ABFT, A-ABFT, SEA-ABFT and the TMR variants — implements the same
+// small surface, so the experiment drivers (perf_suite, inject/campaign,
+// inject/sweep) iterate over a scheme list instead of special-casing five
+// incompatible result types.
+//
+// Two facets:
+//   - ProtectedMultiplier: run the scheme's *full* pipeline on raw operands
+//     and report what happened through the shared SchemeResult core.
+//   - ProductChecker (optional, via make_checker): check an *externally
+//     computed* full-checksum product. Fault-injection campaigns need this —
+//     both ABFT contenders must judge the same faulty product so the
+//     comparison is paired. Schemes whose detection is inseparable from
+//     their execution (TMR replicas, unprotected) return nullptr and are
+//     skipped by campaigns, with no branching in the driver.
+//
+// Recoverable misuse (shape mismatches) is reported through Result<> per the
+// DESIGN.md §4.7 error-handling contract; exceptions remain reserved for
+// genuine precondition bugs.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "abft/checksum.hpp"
+#include "abft/encoder.hpp"
+#include "core/result.hpp"
+#include "gpusim/kernel.hpp"
+#include "linalg/matrix.hpp"
+
+namespace aabft::baselines {
+
+/// What every scheme can report about one protected multiply. Scheme-specific
+/// detail (check reports, correction lists, replica votes) stays on the
+/// concrete multiplier APIs; this core is what the generic drivers consume.
+struct SchemeResult {
+  linalg::Matrix c;            ///< the (stripped) product
+  bool detected = false;       ///< the scheme flagged an error
+  bool corrected = false;      ///< ... and repaired it in place
+  std::size_t recomputed = 0;  ///< full re-executions performed
+  /// The scheme believes the returned product is fault-free (always true for
+  /// schemes without detection; false when detection fired and neither
+  /// correction nor recomputation resolved it).
+  bool clean = true;
+};
+
+/// Checks an externally computed full-checksum product (see header comment).
+/// A checker may hold references into the ProductCheckContext it was created
+/// from; the context's operands must outlive the checker.
+class ProductChecker {
+ public:
+  virtual ~ProductChecker() = default;
+  /// True when the scheme's bound comparison flags `c_fc` as erroneous.
+  [[nodiscard]] virtual bool flags_error(const linalg::Matrix& c_fc) = 0;
+};
+
+/// Shared state a campaign prepares once: the encoded operands both ABFT
+/// contenders check against. `inner_dim` is the inner-product length of the
+/// unencoded problem.
+struct ProductCheckContext {
+  gpusim::Launcher& launcher;
+  const abft::PartitionedCodec& codec;
+  const abft::EncodedMatrix& a_cc;
+  const abft::EncodedMatrix& b_rc;
+  std::size_t inner_dim;
+};
+
+class ProtectedMultiplier {
+ public:
+  virtual ~ProtectedMultiplier() = default;
+
+  /// Stable scheme identifier ("unprotected", "fixed-abft", "a-abft",
+  /// "sea-abft", "tmr", "diverse-tmr") — the key the drivers report under.
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Run the full pipeline: C = A * B with this scheme's protection.
+  /// Shape mismatches are returned as errors, not thrown.
+  [[nodiscard]] virtual Result<SchemeResult> multiply(
+      const linalg::Matrix& a, const linalg::Matrix& b) = 0;
+
+  /// Multiply independent problems. The default runs them sequentially;
+  /// schemes with a pipelined implementation (A-ABFT) override it to overlap
+  /// problems across streams. Result i always corresponds to problem i and
+  /// is bit-identical to a sequential multiply(problems[i]).
+  [[nodiscard]] virtual std::vector<Result<SchemeResult>> multiply_batch(
+      std::span<const std::pair<linalg::Matrix, linalg::Matrix>> problems) {
+    std::vector<Result<SchemeResult>> out;
+    out.reserve(problems.size());
+    for (const auto& [a, b] : problems) out.push_back(multiply(a, b));
+    return out;
+  }
+
+  /// Checker over an already-encoded operand pair, or nullptr when the
+  /// scheme cannot judge an external product (TMR family, unprotected).
+  [[nodiscard]] virtual std::unique_ptr<ProductChecker> make_checker(
+      const ProductCheckContext& /*ctx*/) {
+    return nullptr;
+  }
+};
+
+}  // namespace aabft::baselines

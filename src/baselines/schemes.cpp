@@ -1,0 +1,250 @@
+#include "baselines/schemes.hpp"
+
+#include <optional>
+#include <string>
+
+#include "abft/checker.hpp"
+
+namespace aabft::baselines {
+
+using linalg::Matrix;
+
+namespace {
+
+/// Shared recoverable-misuse validation. `bs` == 0 for schemes without a
+/// checksum blocking requirement.
+std::optional<Error> validate_shapes(const Matrix& a, const Matrix& b,
+                                     std::size_t bs) {
+  if (a.cols() != b.rows())
+    return shape_error("inner dimensions must agree: A is " +
+                       std::to_string(a.rows()) + "x" +
+                       std::to_string(a.cols()) + ", B is " +
+                       std::to_string(b.rows()) + "x" +
+                       std::to_string(b.cols()));
+  if (bs != 0 && (a.rows() % bs != 0 || b.cols() % bs != 0))
+    return shape_error("A's rows and B's columns must be multiples of the "
+                       "checksum block size " +
+                       std::to_string(bs));
+  return std::nullopt;
+}
+
+class FixedAbftChecker final : public ProductChecker {
+ public:
+  FixedAbftChecker(gpusim::Launcher& launcher,
+                   const abft::PartitionedCodec& codec, double epsilon)
+      : launcher_(launcher), codec_(codec), epsilon_(epsilon) {}
+
+  bool flags_error(const Matrix& c_fc) override {
+    return !fixed_check_product(launcher_, c_fc, codec_, epsilon_).clean();
+  }
+
+ private:
+  gpusim::Launcher& launcher_;
+  const abft::PartitionedCodec& codec_;
+  double epsilon_;
+};
+
+class AabftChecker final : public ProductChecker {
+ public:
+  AabftChecker(const ProductCheckContext& ctx, abft::BoundParams bounds)
+      : ctx_(ctx), bounds_(bounds) {}
+
+  bool flags_error(const Matrix& c_fc) override {
+    return !abft::check_product(ctx_.launcher, c_fc, ctx_.codec,
+                                ctx_.a_cc.pmax, ctx_.b_rc.pmax, ctx_.inner_dim,
+                                bounds_, nullptr)
+                .clean();
+  }
+
+ private:
+  ProductCheckContext ctx_;
+  abft::BoundParams bounds_;
+};
+
+class SeaAbftChecker final : public ProductChecker {
+ public:
+  /// Runs the SEA norm kernels once at construction; every check reuses the
+  /// precomputed bounds (matching how a real deployment amortises them).
+  explicit SeaAbftChecker(const ProductCheckContext& ctx)
+      : ctx_(ctx),
+        bounds_(compute_sea_bounds(ctx.launcher, ctx.a_cc.data, ctx.b_rc.data,
+                                   ctx.codec)) {}
+
+  bool flags_error(const Matrix& c_fc) override {
+    return !sea_check_product(ctx_.launcher, c_fc, ctx_.codec, bounds_,
+                              ctx_.inner_dim, nullptr)
+                .clean();
+  }
+
+ private:
+  ProductCheckContext ctx_;
+  SeaBounds bounds_;
+};
+
+}  // namespace
+
+UnprotectedScheme::UnprotectedScheme(gpusim::Launcher& launcher,
+                                     linalg::GemmConfig gemm)
+    : mult_(launcher, gemm) {}
+
+Result<SchemeResult> UnprotectedScheme::multiply(const Matrix& a,
+                                                 const Matrix& b) {
+  if (auto err = validate_shapes(a, b, 0)) return *err;
+  SchemeResult result;
+  result.c = mult_.multiply(a, b);
+  return result;
+}
+
+FixedAbftScheme::FixedAbftScheme(gpusim::Launcher& launcher,
+                                 FixedAbftConfig config)
+    : mult_(launcher, config), bs_(config.bs), epsilon_(config.epsilon) {}
+
+Result<SchemeResult> FixedAbftScheme::multiply(const Matrix& a,
+                                               const Matrix& b) {
+  if (auto err = validate_shapes(a, b, bs_)) return *err;
+  FixedAbftResult raw = mult_.multiply(a, b);
+  SchemeResult result;
+  result.c = std::move(raw.c);
+  result.detected = raw.error_detected();
+  result.clean = !result.detected;  // detection-only scheme
+  return result;
+}
+
+std::unique_ptr<ProductChecker> FixedAbftScheme::make_checker(
+    const ProductCheckContext& ctx) {
+  return std::make_unique<FixedAbftChecker>(ctx.launcher, ctx.codec, epsilon_);
+}
+
+AabftScheme::AabftScheme(gpusim::Launcher& launcher, abft::AabftConfig config)
+    : mult_(launcher, config) {}
+
+namespace {
+
+SchemeResult to_scheme_result(abft::AabftResult raw) {
+  SchemeResult result;
+  result.c = std::move(raw.c);
+  result.detected = raw.error_detected();
+  result.corrected = !raw.corrections.empty() && raw.recheck_clean;
+  result.recomputed = raw.recomputations;
+  result.clean = !raw.uncorrectable && raw.recheck_clean;
+  return result;
+}
+
+}  // namespace
+
+Result<SchemeResult> AabftScheme::multiply(const Matrix& a, const Matrix& b) {
+  Result<abft::AabftResult> raw = mult_.multiply(a, b);
+  if (!raw.ok()) return raw.error();
+  return to_scheme_result(std::move(raw).value());
+}
+
+std::vector<Result<SchemeResult>> AabftScheme::multiply_batch(
+    std::span<const std::pair<Matrix, Matrix>> problems) {
+  std::vector<Result<abft::AabftResult>> raw = mult_.multiply_batch(problems);
+  std::vector<Result<SchemeResult>> out;
+  out.reserve(raw.size());
+  for (auto& r : raw) {
+    if (r.ok())
+      out.push_back(to_scheme_result(std::move(r).value()));
+    else
+      out.push_back(r.error());
+  }
+  return out;
+}
+
+std::unique_ptr<ProductChecker> AabftScheme::make_checker(
+    const ProductCheckContext& ctx) {
+  return std::make_unique<AabftChecker>(ctx, mult_.config().bounds);
+}
+
+SeaAbftScheme::SeaAbftScheme(gpusim::Launcher& launcher, SeaAbftConfig config)
+    : mult_(launcher, config), bs_(config.bs) {}
+
+Result<SchemeResult> SeaAbftScheme::multiply(const Matrix& a, const Matrix& b) {
+  if (auto err = validate_shapes(a, b, bs_)) return *err;
+  SeaAbftResult raw = mult_.multiply(a, b);
+  SchemeResult result;
+  result.c = std::move(raw.c);
+  result.detected = raw.error_detected();
+  result.clean = !result.detected;  // detection-only scheme
+  return result;
+}
+
+std::unique_ptr<ProductChecker> SeaAbftScheme::make_checker(
+    const ProductCheckContext& ctx) {
+  return std::make_unique<SeaAbftChecker>(ctx);
+}
+
+TmrScheme::TmrScheme(gpusim::Launcher& launcher, TmrConfig config)
+    : mult_(launcher, config) {}
+
+Result<SchemeResult> TmrScheme::multiply(const Matrix& a, const Matrix& b) {
+  if (auto err = validate_shapes(a, b, 0)) return *err;
+  TmrResult raw = mult_.multiply(a, b);
+  SchemeResult result;
+  result.c = std::move(raw.c);
+  result.detected = raw.error_detected();
+  // Majority voting repairs any element where two replicas still agree.
+  result.corrected =
+      raw.mismatched_elements > 0 && raw.unresolved_elements == 0;
+  result.clean = raw.unresolved_elements == 0;
+  return result;
+}
+
+DiverseTmrScheme::DiverseTmrScheme(gpusim::Launcher& launcher,
+                                   DiverseTmrConfig config)
+    : mult_(launcher, config) {}
+
+Result<SchemeResult> DiverseTmrScheme::multiply(const Matrix& a,
+                                                const Matrix& b) {
+  if (auto err = validate_shapes(a, b, 0)) return *err;
+  DiverseTmrResult raw = mult_.multiply(a, b);
+  SchemeResult result;
+  result.c = std::move(raw.c);
+  result.detected = raw.error_detected();
+  result.corrected =
+      raw.disagreeing_elements > 0 && raw.unresolved_elements == 0;
+  result.clean = raw.unresolved_elements == 0;
+  return result;
+}
+
+std::vector<std::unique_ptr<ProtectedMultiplier>> make_schemes(
+    gpusim::Launcher& launcher, const SchemeSuiteConfig& config) {
+  std::vector<std::unique_ptr<ProtectedMultiplier>> schemes;
+
+  schemes.push_back(
+      std::make_unique<UnprotectedScheme>(launcher, config.gemm));
+
+  FixedAbftConfig fixed;
+  fixed.bs = config.bs;
+  fixed.epsilon = config.fixed_epsilon;
+  fixed.gemm = config.gemm;
+  schemes.push_back(std::make_unique<FixedAbftScheme>(launcher, fixed));
+
+  abft::AabftConfig aabft;
+  aabft.bs = config.bs;
+  aabft.p = config.p;
+  aabft.bounds = config.bounds;
+  aabft.gemm = config.gemm;
+  schemes.push_back(std::make_unique<AabftScheme>(launcher, aabft));
+
+  SeaAbftConfig sea;
+  sea.bs = config.bs;
+  sea.gemm = config.gemm;
+  schemes.push_back(std::make_unique<SeaAbftScheme>(launcher, sea));
+
+  TmrConfig tmr;
+  tmr.gemm = config.gemm;
+  schemes.push_back(std::make_unique<TmrScheme>(launcher, tmr));
+
+  if (config.include_diverse_tmr) {
+    DiverseTmrConfig diverse;
+    diverse.p = config.p;
+    diverse.gemm = config.gemm;
+    schemes.push_back(std::make_unique<DiverseTmrScheme>(launcher, diverse));
+  }
+
+  return schemes;
+}
+
+}  // namespace aabft::baselines

@@ -1,0 +1,131 @@
+// Adapters binding every concrete multiplier to the ProtectedMultiplier
+// interface, plus the factory that assembles the standard contender list.
+//
+// The adapters own their multiplier and translate its scheme-specific result
+// type into the shared SchemeResult core; the rich APIs (AabftResult with
+// check reports and corrections, TMR vote counts, ...) remain available on
+// the concrete classes for code that needs the detail.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "abft/aabft.hpp"
+#include "abft/bounds.hpp"
+#include "baselines/diverse_tmr.hpp"
+#include "baselines/fixed_abft.hpp"
+#include "baselines/scheme.hpp"
+#include "baselines/sea_abft.hpp"
+#include "baselines/tmr.hpp"
+#include "baselines/unprotected.hpp"
+
+namespace aabft::baselines {
+
+/// One configuration for the whole contender list (Table I / Figure 4 use
+/// the same blocking and bound parameters across schemes).
+struct SchemeSuiteConfig {
+  std::size_t bs = 32;           ///< checksum block size (partitioned schemes)
+  std::size_t p = 2;             ///< p-max parameter (A-ABFT, diverse TMR)
+  double fixed_epsilon = 1e-8;   ///< the manual bound of fixed ABFT
+  abft::BoundParams bounds;      ///< omega / policy / fma for A-ABFT
+  linalg::GemmConfig gemm;
+  /// Diverse-kernel TMR costs ~3 diverse GEMMs; off by default so the quick
+  /// suites stay quick.
+  bool include_diverse_tmr = false;
+};
+
+class UnprotectedScheme final : public ProtectedMultiplier {
+ public:
+  UnprotectedScheme(gpusim::Launcher& launcher, linalg::GemmConfig gemm = {});
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "unprotected";
+  }
+  [[nodiscard]] Result<SchemeResult> multiply(const linalg::Matrix& a,
+                                              const linalg::Matrix& b) override;
+
+ private:
+  UnprotectedMultiplier mult_;
+};
+
+class FixedAbftScheme final : public ProtectedMultiplier {
+ public:
+  FixedAbftScheme(gpusim::Launcher& launcher, FixedAbftConfig config = {});
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "fixed-abft";
+  }
+  [[nodiscard]] Result<SchemeResult> multiply(const linalg::Matrix& a,
+                                              const linalg::Matrix& b) override;
+  [[nodiscard]] std::unique_ptr<ProductChecker> make_checker(
+      const ProductCheckContext& ctx) override;
+
+ private:
+  FixedAbftMultiplier mult_;
+  std::size_t bs_;
+  double epsilon_;
+};
+
+class AabftScheme final : public ProtectedMultiplier {
+ public:
+  AabftScheme(gpusim::Launcher& launcher, abft::AabftConfig config = {});
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "a-abft";
+  }
+  [[nodiscard]] Result<SchemeResult> multiply(const linalg::Matrix& a,
+                                              const linalg::Matrix& b) override;
+  /// Pipelined across streams — see AabftMultiplier::multiply_batch.
+  [[nodiscard]] std::vector<Result<SchemeResult>> multiply_batch(
+      std::span<const std::pair<linalg::Matrix, linalg::Matrix>> problems)
+      override;
+  [[nodiscard]] std::unique_ptr<ProductChecker> make_checker(
+      const ProductCheckContext& ctx) override;
+
+ private:
+  abft::AabftMultiplier mult_;
+};
+
+class SeaAbftScheme final : public ProtectedMultiplier {
+ public:
+  SeaAbftScheme(gpusim::Launcher& launcher, SeaAbftConfig config = {});
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "sea-abft";
+  }
+  [[nodiscard]] Result<SchemeResult> multiply(const linalg::Matrix& a,
+                                              const linalg::Matrix& b) override;
+  [[nodiscard]] std::unique_ptr<ProductChecker> make_checker(
+      const ProductCheckContext& ctx) override;
+
+ private:
+  SeaAbftMultiplier mult_;
+  std::size_t bs_;
+};
+
+class TmrScheme final : public ProtectedMultiplier {
+ public:
+  TmrScheme(gpusim::Launcher& launcher, TmrConfig config = {});
+  [[nodiscard]] std::string_view name() const noexcept override { return "tmr"; }
+  [[nodiscard]] Result<SchemeResult> multiply(const linalg::Matrix& a,
+                                              const linalg::Matrix& b) override;
+
+ private:
+  TmrMultiplier mult_;
+};
+
+class DiverseTmrScheme final : public ProtectedMultiplier {
+ public:
+  DiverseTmrScheme(gpusim::Launcher& launcher, DiverseTmrConfig config = {});
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "diverse-tmr";
+  }
+  [[nodiscard]] Result<SchemeResult> multiply(const linalg::Matrix& a,
+                                              const linalg::Matrix& b) override;
+
+ private:
+  DiverseTmrMultiplier mult_;
+};
+
+/// The standard contender list in Table-I order: unprotected, fixed-abft,
+/// a-abft, sea-abft, tmr (and diverse-tmr when enabled).
+[[nodiscard]] std::vector<std::unique_ptr<ProtectedMultiplier>> make_schemes(
+    gpusim::Launcher& launcher, const SchemeSuiteConfig& config = {});
+
+}  // namespace aabft::baselines

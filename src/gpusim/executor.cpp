@@ -1,0 +1,212 @@
+#include "gpusim/executor.hpp"
+
+#include "core/require.hpp"
+
+namespace aabft::gpusim {
+
+Executor::Executor(unsigned workers) : workers_(std::max(1u, workers)) {
+  threads_.reserve(workers_);
+  for (unsigned w = 0; w < workers_; ++w)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+Executor::~Executor() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+Executor::TaskPtr Executor::submit_kernel(std::string name, Env env,
+                                          KernelBody body,
+                                          Completion on_complete) {
+  AABFT_REQUIRE(env.grid.count() > 0, "empty grid");
+  auto task = std::make_shared<Task>();
+  task->name_ = std::move(name);
+  task->env_ = env;
+  task->body_ = std::move(body);
+  task->total_ = env.grid.count();
+  task->remaining_.store(task->total_, std::memory_order_relaxed);
+  task->on_complete_ = std::move(on_complete);
+  return submit(std::move(task));
+}
+
+Executor::TaskPtr Executor::submit_host(std::string name,
+                                        std::function<void()> fn,
+                                        Completion on_complete) {
+  auto task = std::make_shared<Task>();
+  task->name_ = std::move(name);
+  task->host_ = std::move(fn);
+  task->total_ = 1;
+  task->remaining_.store(1, std::memory_order_relaxed);
+  task->on_complete_ = std::move(on_complete);
+  return submit(std::move(task));
+}
+
+Executor::TaskPtr Executor::submit(TaskPtr task) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ready_.push_back(task);
+  }
+  // Wake the whole pool: a single launch with many blocks wants every
+  // worker claiming from it.
+  cv_.notify_all();
+  return task;
+}
+
+void Executor::wait(const TaskPtr& task, bool help) {
+  if (help) execute(task);
+  if (task->finished()) return;
+  std::unique_lock<std::mutex> lk(task->mu_);
+  task->done_cv_.wait(lk, [&] { return task->finished(); });
+}
+
+Executor::TaskPtr Executor::pick_task_locked() {
+  // Drop exhausted tasks from the front of the queue as we scan; their last
+  // blocks are finishing on other workers and finalize() runs there.
+  while (!ready_.empty()) {
+    TaskPtr& front = ready_.front();
+    if (front->next_.load(std::memory_order_relaxed) < front->total_)
+      return front;
+    ready_.pop_front();
+  }
+  return nullptr;
+}
+
+void Executor::worker_loop() {
+  for (;;) {
+    TaskPtr task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [&] { return stop_ || pick_task_locked() != nullptr; });
+      task = pick_task_locked();
+      if (task == nullptr && stop_) return;  // drained
+    }
+    if (task) execute(task);
+  }
+}
+
+void Executor::execute(const TaskPtr& task) {
+  PerfCounters local;
+  std::size_t ran = 0;
+  const std::size_t total = task->total_;
+  const Env& env = task->env_;
+  for (std::size_t i = task->next_.fetch_add(1, std::memory_order_relaxed);
+       i < total;
+       i = task->next_.fetch_add(1, std::memory_order_relaxed)) {
+    if (task->body_) {
+      BlockCtx ctx(block_coord(env.grid, i), env.grid,
+                   static_cast<int>(i % static_cast<std::size_t>(env.num_sms)),
+                   env.faults, env.precision, env.shared_limit);
+      task->body_(ctx);
+      local += ctx.math.counters();
+    } else {
+      task->host_();
+    }
+    ++ran;
+  }
+  if (ran == 0) return;
+  {
+    std::lock_guard<std::mutex> lk(task->mu_);
+    task->counters_ += local;
+  }
+  if (task->remaining_.fetch_sub(ran, std::memory_order_acq_rel) == ran)
+    finalize(task);
+}
+
+void Executor::finalize(const TaskPtr& task) {
+  {
+    std::lock_guard<std::mutex> lk(task->mu_);
+    task->result_.kernel_name = task->name_;
+    task->result_.blocks = task->total_;
+    task->result_.counters = task->counters_;
+  }
+  // Release kernel/host closures eagerly: async bodies own captured operand
+  // copies that should not outlive the launch.
+  task->body_ = nullptr;
+  task->host_ = nullptr;
+  if (task->on_complete_) {
+    task->on_complete_(task->result_);
+    task->on_complete_ = nullptr;
+  }
+  {
+    std::lock_guard<std::mutex> lk(task->mu_);
+    task->done_.store(true, std::memory_order_release);
+  }
+  task->done_cv_.notify_all();
+}
+
+namespace detail {
+
+namespace {
+
+void submit_op(const std::shared_ptr<StreamState>& state, Executor& executor,
+               StreamState::Op op);
+
+/// Completion hook of every stream op: run the launcher-side hook, then
+/// submit the next pending op (or mark the stream idle).
+void on_op_done(const std::shared_ptr<StreamState>& state, Executor& executor,
+                const Executor::Completion& user_hook,
+                const LaunchStats& stats) {
+  if (user_hook) user_hook(stats);
+  StreamState::Op next;
+  bool have_next = false;
+  {
+    std::lock_guard<std::mutex> lk(state->mu);
+    if (state->pending.empty()) {
+      state->in_flight = false;
+    } else {
+      next = std::move(state->pending.front());
+      state->pending.pop_front();
+      have_next = true;  // in_flight stays true
+    }
+  }
+  if (have_next) {
+    submit_op(state, executor, std::move(next));
+  } else {
+    state->idle_cv.notify_all();
+  }
+}
+
+void submit_op(const std::shared_ptr<StreamState>& state, Executor& executor,
+               StreamState::Op op) {
+  auto hook = std::move(op.on_complete);
+  auto completion = [state, &executor, hook = std::move(hook)](
+                        const LaunchStats& stats) {
+    on_op_done(state, executor, hook, stats);
+  };
+  if (op.is_kernel) {
+    executor.submit_kernel(std::move(op.name), op.env, std::move(op.body),
+                           std::move(completion));
+  } else {
+    executor.submit_host(std::move(op.name), std::move(op.host),
+                         std::move(completion));
+  }
+}
+
+}  // namespace
+
+void stream_enqueue(const std::shared_ptr<StreamState>& state,
+                    Executor& executor, StreamState::Op op) {
+  {
+    std::lock_guard<std::mutex> lk(state->mu);
+    if (state->in_flight) {
+      state->pending.push_back(std::move(op));
+      return;
+    }
+    state->in_flight = true;
+  }
+  submit_op(state, executor, std::move(op));
+}
+
+void stream_synchronize(const std::shared_ptr<StreamState>& state) {
+  std::unique_lock<std::mutex> lk(state->mu);
+  state->idle_cv.wait(
+      lk, [&] { return !state->in_flight && state->pending.empty(); });
+}
+
+}  // namespace detail
+
+}  // namespace aabft::gpusim

@@ -1,0 +1,204 @@
+// Persistent host execution engine for the SIMT model.
+//
+// The Executor owns a fixed pool of worker threads (created once, condition-
+// variable driven) that execute kernel *tasks*: a task is one kernel launch
+// over a grid of blocks, and workers claim blocks through the task's atomic
+// counter exactly as the per-launch thread pool used to. Keeping the threads
+// alive across launches removes the thread-spawn/join cost from every kernel
+// launch — the O(n^2) checksum kernels of a protected multiply must stay
+// cheap relative to the O(n^3) product, and five-plus spawns per multiply
+// broke that.
+//
+// Tasks come in two flavours:
+//   - kernel tasks: run `body(BlockCtx&)` once per block, aggregate
+//     PerfCounters across blocks (uint64 sums, so the aggregate is
+//     bit-identical for any worker count or schedule);
+//   - host tasks: run one ordinary host function (used by streams to chain
+//     host-side pipeline stages between kernel launches).
+//
+// Deadlock freedom: a thread that waits on a task first *helps* execute it
+// (claims blocks itself). Host tasks running on pool workers may therefore
+// perform nested synchronous launches — the nested launch is drained by its
+// own caller even when every other worker is busy.
+//
+// Streams (CUDA semantics): work enqueued on one stream executes in FIFO
+// order; work on different streams executes concurrently. A stream submits
+// only its head operation to the executor; the completion hook submits the
+// next. `Stream::synchronize()` blocks until the stream is idle.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gpusim/dim.hpp"
+#include "gpusim/fault_site.hpp"
+#include "gpusim/math_ctx.hpp"
+#include "gpusim/perf_counters.hpp"
+
+namespace aabft::gpusim {
+
+/// Everything a kernel body can see about the block it runs as.
+struct BlockCtx {
+  BlockCoord block;      ///< coordinates within the grid
+  Dim3 grid;             ///< grid dimensions
+  MathCtx math;          ///< counted / injectable arithmetic
+
+  BlockCtx(BlockCoord b, Dim3 g, int sm_id, FaultController* faults,
+           Precision precision, std::uint64_t shared_limit) noexcept
+      : block(b), grid(g), math(sm_id, faults, precision) {
+    math.set_shared_limit(shared_limit);
+  }
+};
+
+/// Aggregated result of one kernel launch.
+struct LaunchStats {
+  std::string kernel_name;
+  std::size_t blocks = 0;
+  PerfCounters counters;
+};
+
+class Executor {
+ public:
+  using KernelBody = std::function<void(BlockCtx&)>;
+  using Completion = std::function<void(const LaunchStats&)>;
+
+  /// Launch environment, snapshotted when the task is created (async work
+  /// keeps the fault controller / precision that were current at enqueue
+  /// time, regardless of later changes on the launcher).
+  struct Env {
+    Dim3 grid;
+    int num_sms = 1;
+    std::uint64_t shared_limit = 0;
+    FaultController* faults = nullptr;
+    Precision precision = Precision::kDouble;
+  };
+
+  /// One unit of schedulable work. Refcounted: the executor, streams and
+  /// waiting callers all hold shares.
+  class Task {
+   public:
+    [[nodiscard]] bool finished() const noexcept {
+      return done_.load(std::memory_order_acquire);
+    }
+    /// Aggregated launch statistics; valid once finished().
+    [[nodiscard]] const LaunchStats& stats() const noexcept { return result_; }
+
+   private:
+    friend class Executor;
+    std::string name_;
+    Env env_;
+    KernelBody body_;              // kernel flavour
+    std::function<void()> host_;   // host flavour (body_ empty)
+    std::size_t total_ = 0;        // blocks (1 for host tasks)
+    std::atomic<std::size_t> next_{0};
+    std::atomic<std::size_t> remaining_{0};
+    std::mutex mu_;                // guards counter merge + done_cv_
+    std::condition_variable done_cv_;
+    PerfCounters counters_;
+    LaunchStats result_;
+    std::atomic<bool> done_{false};
+    Completion on_complete_;
+  };
+  using TaskPtr = std::shared_ptr<Task>;
+
+  /// Spawns `workers` persistent threads (>= 1).
+  explicit Executor(unsigned workers);
+  ~Executor();  // drains remaining tasks, then joins the pool
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  [[nodiscard]] unsigned workers() const noexcept { return workers_; }
+
+  /// Enqueue a kernel launch. `on_complete` runs exactly once, on the worker
+  /// that finishes the last block, before waiters are released.
+  TaskPtr submit_kernel(std::string name, Env env, KernelBody body,
+                        Completion on_complete = {});
+
+  /// Enqueue one host function as a task (streams use this to interleave
+  /// host pipeline stages with kernel launches).
+  TaskPtr submit_host(std::string name, std::function<void()> fn,
+                      Completion on_complete = {});
+
+  /// Block until `task` finished. With `help` the calling thread claims and
+  /// executes blocks of the task first — required for nested waits from pool
+  /// workers (see deadlock note above), and what makes small synchronous
+  /// launches fast (the caller usually drains them without a context switch).
+  void wait(const TaskPtr& task, bool help);
+
+ private:
+  void worker_loop();
+  void execute(const TaskPtr& task);
+  TaskPtr pick_task_locked();
+  TaskPtr submit(TaskPtr task);
+  void finalize(const TaskPtr& task);
+
+  unsigned workers_;
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<TaskPtr> ready_;
+  bool stop_ = false;
+};
+
+namespace detail {
+
+/// Shared state of one stream: the FIFO of not-yet-submitted operations and
+/// the in-flight flag. Kept alive by completion callbacks, so dropping the
+/// Stream handle while work is pending is safe.
+struct StreamState {
+  struct Op {
+    bool is_kernel = false;
+    std::string name;
+    Executor::Env env;
+    Executor::KernelBody body;
+    std::function<void()> host;
+    Executor::Completion on_complete;  // launcher-side hook (log append)
+  };
+
+  std::mutex mu;
+  std::deque<Op> pending;
+  bool in_flight = false;
+  std::condition_variable idle_cv;
+};
+
+/// Enqueue `op` respecting stream FIFO order.
+void stream_enqueue(const std::shared_ptr<StreamState>& state,
+                    Executor& executor, StreamState::Op op);
+
+/// Block until the stream has no pending or in-flight work.
+void stream_synchronize(const std::shared_ptr<StreamState>& state);
+
+}  // namespace detail
+
+/// Handle to an in-order execution queue. Obtain from Launcher::create_stream.
+/// Copyable (copies refer to the same queue); destroying the last handle does
+/// not cancel pending work.
+class Stream {
+ public:
+  Stream() = default;
+
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+
+  /// Wait until every operation enqueued so far has completed.
+  void synchronize() {
+    if (state_) detail::stream_synchronize(state_);
+  }
+
+ private:
+  friend class Launcher;
+  explicit Stream(std::shared_ptr<detail::StreamState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<detail::StreamState> state_;
+};
+
+}  // namespace aabft::gpusim

@@ -11,57 +11,73 @@
 // values and rounding behaviour the CUDA kernels produce; barriers are
 // implicit between loop nests, exactly where the CUDA code has __syncthreads.
 //
-// Blocks are distributed over a host worker pool and deterministically
-// assigned to virtual streaming multiprocessors (sm = linear_block_index mod
-// num_sms), which the fault-injection machinery uses for SM targeting. All
-// floating-point work inside a block goes through BlockCtx::math.
+// Blocks are distributed over a *persistent* host worker pool (see
+// gpusim/executor.hpp) and deterministically assigned to virtual streaming
+// multiprocessors (sm = linear_block_index mod num_sms), which the
+// fault-injection machinery uses for SM targeting. All floating-point work
+// inside a block goes through BlockCtx::math.
+//
+// Execution modes:
+//   - launch():       synchronous, returns the launch's aggregated counters.
+//   - launch_async(): enqueues onto a Stream; kernels execute in FIFO order
+//                     within a stream and concurrently across streams
+//                     (CUDA stream semantics). The launch environment
+//                     (fault controller, precision, device) is snapshotted
+//                     at enqueue time.
+//   - launch_host_async(): enqueues a host function onto a stream, for
+//                     host-side pipeline stages between kernels.
+//
+// Thread-safety contract:
+//   - launch() may be called concurrently from multiple host threads
+//     (including from host functions enqueued on streams).
+//   - The launch log is internally synchronized: entries are appended under
+//     a mutex when each launch completes, and launch_log() returns a
+//     *snapshot copy*. Within one stream, log order equals enqueue order;
+//     across concurrently executing streams the interleaving is the
+//     completion order and is not deterministic. Call synchronize() first
+//     for a complete log.
+//   - set_fault_controller() / set_precision() are not synchronized against
+//     concurrent launches; set them while no work is in flight. Async
+//     launches capture both at enqueue time.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/require.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/dim.hpp"
+#include "gpusim/executor.hpp"
 #include "gpusim/fault_site.hpp"
 #include "gpusim/math_ctx.hpp"
 #include "gpusim/perf_counters.hpp"
 
 namespace aabft::gpusim {
 
-/// Everything a kernel body can see about the block it runs as.
-struct BlockCtx {
-  BlockCoord block;      ///< coordinates within the grid
-  Dim3 grid;             ///< grid dimensions
-  MathCtx math;          ///< counted / injectable arithmetic
-
-  BlockCtx(BlockCoord b, Dim3 g, int sm_id, FaultController* faults,
-           Precision precision, std::uint64_t shared_limit) noexcept
-      : block(b), grid(g), math(sm_id, faults, precision) {
-    math.set_shared_limit(shared_limit);
-  }
-};
-
-/// Aggregated result of one kernel launch.
-struct LaunchStats {
-  std::string kernel_name;
-  std::size_t blocks = 0;
-  PerfCounters counters;
-};
-
 /// Executes kernels over a grid of blocks.
 class Launcher {
  public:
-  /// workers == 0 selects std::thread::hardware_concurrency().
+  /// workers == 0 selects std::thread::hardware_concurrency(). The worker
+  /// pool is created lazily on the first parallel or asynchronous launch and
+  /// persists for the lifetime of the Launcher.
   explicit Launcher(DeviceSpec spec = k20c(), unsigned workers = 0)
       : spec_(std::move(spec)),
         workers_(workers != 0 ? workers
                               : std::max(1u, std::thread::hardware_concurrency())) {}
 
+  ~Launcher() { synchronize(); }
+
+  Launcher(const Launcher&) = delete;
+  Launcher& operator=(const Launcher&) = delete;
+
   [[nodiscard]] const DeviceSpec& device() const noexcept { return spec_; }
+  [[nodiscard]] unsigned workers() const noexcept { return workers_; }
 
   /// Attach (or detach, with nullptr) the fault controller consulted by all
   /// subsequently launched kernels.
@@ -73,64 +89,138 @@ class Launcher {
   void set_precision(Precision precision) noexcept { precision_ = precision; }
   [[nodiscard]] Precision precision() const noexcept { return precision_; }
 
-  /// Run `body(BlockCtx&)` for every block of the grid. Returns op counts
-  /// aggregated across blocks and records them in the launch log.
+  /// Run `body(BlockCtx&)` for every block of the grid and wait. Returns op
+  /// counts aggregated across blocks and records them in the launch log.
+  /// The calling thread participates in executing blocks, so this is safe
+  /// (and fast) to call from host functions running on the pool itself.
   template <typename Body>
   LaunchStats launch(const std::string& name, Dim3 grid, Body&& body) {
     AABFT_REQUIRE(grid.count() > 0, "empty grid");
     const std::size_t total = grid.count();
-    LaunchStats stats;
-    stats.kernel_name = name;
-    stats.blocks = total;
 
     if (workers_ <= 1 || total == 1) {
+      LaunchStats stats;
+      stats.kernel_name = name;
+      stats.blocks = total;
       for (std::size_t i = 0; i < total; ++i) {
-        BlockCtx ctx(block_coord(grid, i),
-                     grid,
+        BlockCtx ctx(block_coord(grid, i), grid,
                      static_cast<int>(i % static_cast<std::size_t>(spec_.num_sms)),
                      faults_, precision_, spec_.shared_mem_per_block);
         body(ctx);
         stats.counters += ctx.math.counters();
       }
-    } else {
-      std::atomic<std::size_t> next{0};
-      std::vector<PerfCounters> partial(workers_);
-      std::vector<std::thread> pool;
-      pool.reserve(workers_);
-      for (unsigned w = 0; w < workers_; ++w) {
-        pool.emplace_back([&, w] {
-          PerfCounters local;
-          for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-               i < total; i = next.fetch_add(1, std::memory_order_relaxed)) {
-            BlockCtx ctx(block_coord(grid, i), grid,
-                         static_cast<int>(i % static_cast<std::size_t>(spec_.num_sms)),
-                         faults_, precision_, spec_.shared_mem_per_block);
-            body(ctx);
-            local += ctx.math.counters();
-          }
-          partial[w] = local;
-        });
-      }
-      for (auto& t : pool) t.join();
-      for (const auto& p : partial) stats.counters += p;
+      append_log(stats);
+      return stats;
     }
 
-    log_.push_back(stats);
-    return stats;
+    Executor& pool = this->pool();
+    // The body outlives the wait below, so capture it by reference — no copy
+    // of the (potentially large) closure per launch.
+    auto task = pool.submit_kernel(
+        name, make_env(grid), [&body](BlockCtx& ctx) { body(ctx); });
+    pool.wait(task, /*help=*/true);
+    append_log(task->stats());
+    return task->stats();
   }
 
-  /// Launch log: one entry per kernel launch since the last clear, in launch
-  /// order. The Table I harness reads this to cost every kernel a scheme ran.
-  [[nodiscard]] const std::vector<LaunchStats>& launch_log() const noexcept {
+  /// Create a new stream. Streams created from the same launcher share the
+  /// worker pool; see the header comment for ordering semantics.
+  [[nodiscard]] Stream create_stream() {
+    (void)pool();  // streams always need the pool, even with one worker
+    auto state = std::make_shared<detail::StreamState>();
+    {
+      std::lock_guard<std::mutex> lk(streams_mu_);
+      streams_.push_back(state);
+    }
+    return Stream(std::move(state));
+  }
+
+  /// Enqueue a kernel launch on `stream` and return immediately. The body is
+  /// copied (it must own or outlive everything it captures). Counters are
+  /// appended to the launch log when the kernel completes.
+  template <typename Body>
+  void launch_async(Stream& stream, const std::string& name, Dim3 grid,
+                    Body&& body) {
+    AABFT_REQUIRE(stream.valid(), "stream is not attached to a launcher");
+    AABFT_REQUIRE(grid.count() > 0, "empty grid");
+    detail::StreamState::Op op;
+    op.is_kernel = true;
+    op.name = name;
+    op.env = make_env(grid);
+    op.body = Executor::KernelBody(std::forward<Body>(body));
+    op.on_complete = [this](const LaunchStats& stats) { append_log(stats); };
+    detail::stream_enqueue(stream.state_, pool(), std::move(op));
+  }
+
+  /// Enqueue a host function on `stream` (not logged as a kernel). Host
+  /// functions may perform nested synchronous launch() calls.
+  void launch_host_async(Stream& stream, std::string name,
+                         std::function<void()> fn) {
+    AABFT_REQUIRE(stream.valid(), "stream is not attached to a launcher");
+    detail::StreamState::Op op;
+    op.is_kernel = false;
+    op.name = std::move(name);
+    op.host = std::move(fn);
+    detail::stream_enqueue(stream.state_, pool(), std::move(op));
+  }
+
+  /// Wait until every stream created from this launcher is idle.
+  void synchronize() {
+    std::vector<std::weak_ptr<detail::StreamState>> streams;
+    {
+      std::lock_guard<std::mutex> lk(streams_mu_);
+      streams = streams_;
+    }
+    for (auto& weak : streams)
+      if (auto state = weak.lock()) detail::stream_synchronize(state);
+  }
+
+  /// Launch log: one entry per completed kernel launch since the last clear.
+  /// Returns a snapshot copy (see the thread-safety contract above).
+  [[nodiscard]] std::vector<LaunchStats> launch_log() const {
+    std::lock_guard<std::mutex> lk(log_mu_);
     return log_;
   }
-  void clear_launch_log() noexcept { log_.clear(); }
+  void clear_launch_log() {
+    std::lock_guard<std::mutex> lk(log_mu_);
+    log_.clear();
+  }
 
  private:
+  [[nodiscard]] Executor::Env make_env(Dim3 grid) const noexcept {
+    Executor::Env env;
+    env.grid = grid;
+    env.num_sms = spec_.num_sms;
+    env.shared_limit = spec_.shared_mem_per_block;
+    env.faults = faults_;
+    env.precision = precision_;
+    return env;
+  }
+
+  Executor& pool() {
+    std::call_once(pool_once_, [this] {
+      pool_ = std::make_unique<Executor>(workers_);
+    });
+    return *pool_;
+  }
+
+  void append_log(const LaunchStats& stats) {
+    std::lock_guard<std::mutex> lk(log_mu_);
+    log_.push_back(stats);
+  }
+
   DeviceSpec spec_;
   unsigned workers_;
   FaultController* faults_ = nullptr;
   Precision precision_ = Precision::kDouble;
+
+  std::once_flag pool_once_;
+  std::unique_ptr<Executor> pool_;
+
+  std::mutex streams_mu_;
+  std::vector<std::weak_ptr<detail::StreamState>> streams_;
+
+  mutable std::mutex log_mu_;
   std::vector<LaunchStats> log_;
 };
 

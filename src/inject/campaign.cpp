@@ -2,13 +2,15 @@
 
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
-#include "abft/checker.hpp"
 #include "abft/encoder.hpp"
 #include "abft/upper_bound.hpp"
-#include "baselines/sea_abft.hpp"
+#include "baselines/scheme.hpp"
+#include "baselines/schemes.hpp"
 #include "core/require.hpp"
 #include "core/rng.hpp"
 
@@ -80,8 +82,6 @@ CampaignResult run_campaign(gpusim::Launcher& launcher,
       abft::encode_columns(launcher, a, codec, config.p);
   const abft::EncodedMatrix b_rc =
       abft::encode_rows(launcher, b, codec, config.p);
-  const baselines::SeaBounds sea_bounds =
-      baselines::compute_sea_bounds(launcher, a_cc.data, b_rc.data, codec);
 
   const Matrix reference =
       linalg::blocked_matmul(launcher, a_cc.data, b_rc.data, config.gemm);
@@ -89,17 +89,32 @@ CampaignResult run_campaign(gpusim::Launcher& launcher,
   CampaignResult result;
   result.trials = config.trials;
 
-  // Sanity: both schemes must be clean on the fault-free product; a false
-  // positive here would poison every detection number below.
-  {
-    const auto aabft_clean =
-        abft::check_product(launcher, reference, codec, a_cc.pmax, b_rc.pmax,
-                            config.n, config.bounds, nullptr);
-    if (!aabft_clean.clean()) ++result.aabft_false_positive_runs;
-    const auto sea_clean = baselines::sea_check_product(
-        launcher, reference, codec, sea_bounds, config.n, nullptr);
-    if (!sea_clean.clean()) ++result.sea_false_positive_runs;
+  // Every scheme that can judge an external product takes part; the rest
+  // (TMR family, unprotected) return no checker and are skipped — no
+  // per-scheme branching here.
+  baselines::SchemeSuiteConfig suite;
+  suite.bs = config.bs;
+  suite.p = config.p;
+  suite.fixed_epsilon = config.fixed_epsilon;
+  suite.bounds = config.bounds;
+  suite.gemm = config.gemm;
+  const auto schemes = baselines::make_schemes(launcher, suite);
+  const baselines::ProductCheckContext ctx{launcher, codec, a_cc, b_rc,
+                                           config.n};
+  std::vector<std::unique_ptr<baselines::ProductChecker>> checkers;
+  for (const auto& scheme : schemes) {
+    if (auto checker = scheme->make_checker(ctx)) {
+      checkers.push_back(std::move(checker));
+      result.schemes.push_back(SchemeDetection{std::string(scheme->name()),
+                                               SchemeDetectionStats{}, 0});
+    }
   }
+
+  // Sanity: every checker must be clean on the fault-free product; a false
+  // positive here would poison every detection number below.
+  for (std::size_t s = 0; s < checkers.size(); ++s)
+    if (checkers[s]->flags_error(reference))
+      ++result.schemes[s].false_positive_runs;
 
   FaultController controller;
   launcher.set_fault_controller(&controller);
@@ -145,18 +160,10 @@ CampaignResult run_campaign(gpusim::Launcher& launcher,
     const abft::ErrorClass cls =
         abft::classify_error(corrupted->abs_error, stats, config.bounds.omega);
 
-    // Both schemes check the same faulty product.
-    const bool aabft_detected =
-        !abft::check_product(launcher, faulty, codec, a_cc.pmax, b_rc.pmax,
-                             config.n, config.bounds, nullptr)
-             .clean();
-    const bool sea_detected =
-        !baselines::sea_check_product(launcher, faulty, codec, sea_bounds,
-                                      config.n, nullptr)
-             .clean();
-
-    result.aabft.record(cls, aabft_detected);
-    result.sea.record(cls, sea_detected);
+    // Every scheme checks the same faulty product, so the per-trial
+    // comparison is paired and unbiased.
+    for (std::size_t s = 0; s < checkers.size(); ++s)
+      result.schemes[s].stats.record(cls, checkers[s]->flags_error(faulty));
   }
 
   launcher.set_fault_controller(nullptr);

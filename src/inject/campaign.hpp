@@ -7,10 +7,12 @@
 // vector targeting the sign, exponent or mantissa field with 1..k flipped
 // bits.
 //
-// Both contenders (A-ABFT and SEA-ABFT) check the *same* faulty product:
-// they share encode and multiply and differ only in the bound computation,
-// so a per-trial comparison is paired and unbiased (and costs one GEMM
-// instead of two).
+// Every contender that can check an externally computed product (the ABFT
+// family: fixed-abft, a-abft, sea-abft — discovered generically through
+// ProtectedMultiplier::make_checker) judges the *same* faulty product: the
+// schemes share encode and multiply and differ only in the bound
+// computation, so per-trial comparisons are paired and unbiased (and cost
+// one GEMM for all schemes instead of one each).
 //
 // Ground truth per trial: the faulty product is diffed against a fault-free
 // reference product of the same inputs; the affected element's deviation is
@@ -49,6 +51,7 @@ struct CampaignConfig {
   std::size_t faults_per_trial = 1;
   std::uint64_t seed = 0x5eed;
   abft::BoundParams bounds;   ///< omega = 3, policy, fma
+  double fixed_epsilon = 1e-8; ///< manual bound of the fixed-ABFT contender
   linalg::GemmConfig gemm;
 
   [[nodiscard]] bool valid() const noexcept {

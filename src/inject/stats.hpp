@@ -2,6 +2,10 @@
 #pragma once
 
 #include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "abft/classify.hpp"
 #include "core/require.hpp"
@@ -45,14 +49,41 @@ struct SchemeDetectionStats {
   [[nodiscard]] bool has_critical() const noexcept { return critical > 0; }
 };
 
+/// Detection record of one scheme across a campaign.
+struct SchemeDetection {
+  std::string scheme;  ///< ProtectedMultiplier::name() key
+  SchemeDetectionStats stats;
+  std::size_t false_positive_runs = 0;  ///< clean-run mis-detections
+};
+
 struct CampaignResult {
   std::size_t trials = 0;
   std::size_t fired = 0;    ///< injections that actually hit an instruction
   std::size_t masked = 0;   ///< fired but no result element changed
-  SchemeDetectionStats aabft;
-  SchemeDetectionStats sea;
-  std::size_t aabft_false_positive_runs = 0;  ///< clean-run mis-detections
-  std::size_t sea_false_positive_runs = 0;
+  /// One entry per scheme that can check an external product, in
+  /// make_schemes order (fixed-abft, a-abft, sea-abft by default).
+  std::vector<SchemeDetection> schemes;
+
+  /// Lookup by scheme name; throws std::logic_error when absent.
+  [[nodiscard]] const SchemeDetection& scheme(std::string_view name) const {
+    for (const auto& entry : schemes)
+      if (entry.scheme == name) return entry;
+    throw std::logic_error("campaign has no scheme named '" +
+                           std::string(name) + "'");
+  }
+
+  [[nodiscard]] const SchemeDetectionStats& aabft() const {
+    return scheme("a-abft").stats;
+  }
+  [[nodiscard]] const SchemeDetectionStats& sea() const {
+    return scheme("sea-abft").stats;
+  }
+  [[nodiscard]] std::size_t aabft_false_positive_runs() const {
+    return scheme("a-abft").false_positive_runs;
+  }
+  [[nodiscard]] std::size_t sea_false_positive_runs() const {
+    return scheme("sea-abft").false_positive_runs;
+  }
 };
 
 }  // namespace aabft::inject

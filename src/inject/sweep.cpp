@@ -1,5 +1,8 @@
 #include "inject/sweep.hpp"
 
+#include <algorithm>
+#include <thread>
+
 #include "core/require.hpp"
 
 namespace aabft::inject {
@@ -13,22 +16,13 @@ double rate(std::size_t detected, std::size_t total) {
 
 }  // namespace
 
-double SweepResult::aggregate_rate_aabft() const {
+double SweepResult::aggregate_rate(std::string_view scheme) const {
   std::size_t detected = 0;
   std::size_t total = 0;
   for (const auto& cell : cells) {
-    detected += cell.result.aabft.detected_critical;
-    total += cell.result.aabft.critical;
-  }
-  return rate(detected, total);
-}
-
-double SweepResult::aggregate_rate_sea() const {
-  std::size_t detected = 0;
-  std::size_t total = 0;
-  for (const auto& cell : cells) {
-    detected += cell.result.sea.detected_critical;
-    total += cell.result.sea.critical;
+    const SchemeDetectionStats& stats = cell.result.scheme(scheme).stats;
+    detected += stats.detected_critical;
+    total += stats.critical;
   }
   return rate(detected, total);
 }
@@ -36,8 +30,8 @@ double SweepResult::aggregate_rate_sea() const {
 std::size_t SweepResult::false_positive_runs() const {
   std::size_t n = 0;
   for (const auto& cell : cells)
-    n += cell.result.aabft_false_positive_runs +
-         cell.result.sea_false_positive_runs;
+    n += cell.result.aabft_false_positive_runs() +
+         cell.result.sea_false_positive_runs();
   return n;
 }
 
@@ -45,7 +39,12 @@ SweepResult run_sweep(const SweepConfig& config) {
   AABFT_REQUIRE(!config.sizes.empty() && !config.sites.empty() &&
                     !config.inputs.empty(),
                 "sweep grid must not be empty");
-  SweepResult result;
+
+  // Lay out the whole grid (with per-cell seeds) up front, then dispatch:
+  // results only depend on the cell's own campaign config, never on which
+  // lane or order the cells ran in.
+  std::vector<SweepCell> cells;
+  std::vector<CampaignConfig> campaigns;
   std::uint64_t seed = config.seed;
   for (const auto site : config.sites) {
     for (const auto& [input, kappa] : config.inputs) {
@@ -61,18 +60,47 @@ SweepResult run_sweep(const SweepConfig& config) {
         campaign.kappa = kappa;
         campaign.trials = config.trials;
         campaign.seed = seed++;
+        campaigns.push_back(campaign);
 
-        gpusim::Launcher launcher;
         SweepCell cell;
         cell.site = site;
         cell.input = input;
         cell.kappa = kappa;
         cell.n = n;
-        cell.result = run_campaign(launcher, campaign);
-        result.cells.push_back(std::move(cell));
+        cells.push_back(std::move(cell));
       }
     }
   }
+
+  auto run_cell = [&](std::size_t i) {
+    gpusim::Launcher launcher;
+    cells[i].result = run_campaign(launcher, campaigns[i]);
+  };
+
+  const std::size_t lanes_wanted =
+      config.concurrency != 0
+          ? config.concurrency
+          : std::max(1u, std::thread::hardware_concurrency());
+  const std::size_t num_lanes = std::min(cells.size(), lanes_wanted);
+
+  if (num_lanes <= 1) {
+    for (std::size_t i = 0; i < cells.size(); ++i) run_cell(i);
+  } else {
+    // Dispatch cells round-robin onto streams of a coordinating launcher;
+    // each cell still drives its own private launcher inside the host task.
+    gpusim::Launcher coordinator;
+    std::vector<gpusim::Stream> lanes;
+    lanes.reserve(num_lanes);
+    for (std::size_t s = 0; s < num_lanes; ++s)
+      lanes.push_back(coordinator.create_stream());
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      coordinator.launch_host_async(lanes[i % num_lanes], "sweep_cell",
+                                    [&run_cell, i] { run_cell(i); });
+    for (auto& lane : lanes) lane.synchronize();
+  }
+
+  SweepResult result;
+  result.cells = std::move(cells);
   return result;
 }
 

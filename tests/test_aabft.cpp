@@ -13,6 +13,7 @@
 namespace {
 
 using aabft::Rng;
+using aabft::ErrorCode;
 using aabft::abft::AabftConfig;
 using aabft::abft::AabftMultiplier;
 using aabft::abft::BoundPolicy;
@@ -40,7 +41,7 @@ TEST(Aabft, CleanRunProducesCorrectResultAndNoMismatch) {
   const Matrix b = uniform_matrix(n, n, -1.0, 1.0, rng);
   Launcher launcher;
   AabftMultiplier mult(launcher, small_config());
-  const auto result = mult.multiply(a, b);
+  const auto result = mult.multiply(a, b).value();
 
   EXPECT_FALSE(result.error_detected());
   EXPECT_TRUE(result.corrections.empty());
@@ -80,7 +81,7 @@ TEST_P(AabftCleanSweep, NoFalsePositives) {
   config.bounds.policy = param.policy;
   config.set_fma(param.fma);
   AabftMultiplier mult(launcher, config);
-  const auto result = mult.multiply(a, b);
+  const auto result = mult.multiply(a, b).value();
   EXPECT_FALSE(result.error_detected())
       << "false positive: " << result.report.mismatches.size()
       << " mismatches, first eps=" << result.report.mismatches.front().epsilon
@@ -122,7 +123,7 @@ TEST(Aabft, DetectsAndCorrectsLargeInjectedFault) {
   controller.arm(fault);
 
   AabftMultiplier mult(launcher, small_config());
-  const auto result = mult.multiply(a, b);
+  const auto result = mult.multiply(a, b).value();
   launcher.set_fault_controller(nullptr);
 
   ASSERT_TRUE(controller.fired());
@@ -157,7 +158,7 @@ TEST(Aabft, CorrectionRestoresExactValueFromChecksum) {
   controller.arm(fault);
 
   AabftMultiplier mult(launcher, small_config());
-  const auto result = mult.multiply(a, b);
+  const auto result = mult.multiply(a, b).value();
   launcher.set_fault_controller(nullptr);
 
   ASSERT_TRUE(controller.fired());
@@ -186,7 +187,7 @@ TEST(Aabft, DetectionOnlyModeReportsUncorrectable) {
   AabftConfig config = small_config();
   config.correct_errors = false;
   AabftMultiplier mult(launcher, config);
-  const auto result = mult.multiply(a, b);
+  const auto result = mult.multiply(a, b).value();
   launcher.set_fault_controller(nullptr);
 
   ASSERT_TRUE(controller.fired());
@@ -200,7 +201,22 @@ TEST(Aabft, RejectsIndivisibleDimensions) {
   AabftMultiplier mult(launcher, small_config(16));
   Matrix a(20, 16);  // 20 % 16 != 0
   Matrix b(16, 32);
-  EXPECT_THROW((void)mult.multiply(a, b), std::invalid_argument);
+  // Recoverable misuse is an error value (DESIGN.md §4.7), not an exception;
+  // unchecked access still throws with the diagnostic.
+  const auto result = mult.multiply(a, b);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kShapeMismatch);
+  EXPECT_THROW((void)mult.multiply(a, b).value(), std::invalid_argument);
+}
+
+TEST(Aabft, RejectsMismatchedInnerDimensions) {
+  Launcher launcher;
+  AabftMultiplier mult(launcher, small_config(16));
+  Matrix a(16, 24);
+  Matrix b(16, 32);  // a.cols() != b.rows()
+  const auto result = mult.multiply(a, b);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kShapeMismatch);
 }
 
 TEST(Aabft, RejectsInconsistentFmaFlags) {
@@ -216,7 +232,7 @@ TEST(Aabft, NonSquareShapesWork) {
   const Matrix b = uniform_matrix(48, 64, -1.0, 1.0, rng);
   Launcher launcher;
   AabftMultiplier mult(launcher, small_config());
-  const auto result = mult.multiply(a, b);
+  const auto result = mult.multiply(a, b).value();
   EXPECT_FALSE(result.error_detected());
   EXPECT_EQ(result.c.rows(), 32u);
   EXPECT_EQ(result.c.cols(), 64u);

@@ -34,7 +34,8 @@ TEST(ProtectedGemm, PlainProduct) {
   Matrix c(24, 18, 0.0);
   Launcher launcher;
   const auto result = protected_gemm(launcher, 1.0, a, b, 0.0, c, cfg());
-  EXPECT_TRUE(result.ok);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->ok);
   // alpha = 1, beta = 0: the epilogue multiplies by 1 and adds 0 * old.
   const Matrix ref = naive_matmul(a, b, false);
   EXPECT_LT(c.max_abs_diff(ref), 1e-14);
@@ -65,7 +66,8 @@ TEST(ProtectedGemm, AlphaZeroSkipsTheProduct) {
   Matrix c(16, 16, 4.0);
   Launcher launcher;
   const auto result = protected_gemm(launcher, 0.0, a, b, 0.25, c, cfg());
-  EXPECT_TRUE(result.ok);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->ok);
   EXPECT_TRUE(launcher.launch_log().empty());  // no kernels ran
   for (std::size_t i = 0; i < 16; ++i)
     for (std::size_t j = 0; j < 16; ++j) EXPECT_EQ(c(i, j), 1.0);
@@ -88,8 +90,9 @@ TEST(ProtectedGemm, SurvivesInjectedFault) {
   const auto result = protected_gemm(launcher, 1.0, a, b, 0.0, c, cfg());
   launcher.set_fault_controller(nullptr);
   ASSERT_TRUE(controller.fired());
-  EXPECT_TRUE(result.ok);
-  EXPECT_EQ(result.faults_detected, 1u);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->ok);
+  EXPECT_EQ(result->faults_detected, 1u);
   EXPECT_LT(c.max_abs_diff(naive_matmul(a, b, false)), 1e-9);
 }
 
@@ -98,11 +101,19 @@ TEST(ProtectedGemm, ShapeValidation) {
   Matrix b(5, 6);
   Matrix c_bad(4, 5);
   Launcher launcher;
-  EXPECT_THROW((void)protected_gemm(launcher, 1.0, a, b, 0.0, c_bad, cfg()),
-               std::invalid_argument);
+  // Shape misuse is recoverable: reported through the Result channel
+  // (DESIGN.md §4.7), with C left untouched; unchecked value() access still
+  // throws the old diagnostic.
+  const auto bad_c = protected_gemm(launcher, 1.0, a, b, 0.0, c_bad, cfg());
+  ASSERT_FALSE(bad_c.ok());
+  EXPECT_EQ(bad_c.error().code, aabft::ErrorCode::kShapeMismatch);
   Matrix b_bad(4, 6);
   Matrix c(4, 6);
-  EXPECT_THROW((void)protected_gemm(launcher, 1.0, a, b_bad, 0.0, c, cfg()),
+  const auto bad_b = protected_gemm(launcher, 1.0, a, b_bad, 0.0, c, cfg());
+  ASSERT_FALSE(bad_b.ok());
+  EXPECT_EQ(bad_b.error().code, aabft::ErrorCode::kShapeMismatch);
+  EXPECT_THROW((void)protected_gemm(launcher, 1.0, a, b_bad, 0.0, c, cfg())
+                   .value(),
                std::invalid_argument);
 }
 

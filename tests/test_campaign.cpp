@@ -25,19 +25,19 @@ TEST(Campaign, RunsAndAccountsEveryTrial) {
   EXPECT_EQ(result.trials, 12u);
   EXPECT_GT(result.fired, 0u);
   EXPECT_LE(result.fired, result.trials);
-  const std::size_t classified = result.aabft.critical + result.aabft.tolerable +
-                                 result.aabft.rounding_noise;
+  const std::size_t classified = result.aabft().critical + result.aabft().tolerable +
+                                 result.aabft().rounding_noise;
   EXPECT_EQ(classified + result.masked, result.fired);
   // Both schemes classify the same ground truth.
-  EXPECT_EQ(result.aabft.critical, result.sea.critical);
-  EXPECT_EQ(result.aabft.tolerable, result.sea.tolerable);
+  EXPECT_EQ(result.aabft().critical, result.sea().critical);
+  EXPECT_EQ(result.aabft().tolerable, result.sea().tolerable);
 }
 
 TEST(Campaign, NoFalsePositivesOnCleanReference) {
   gpusim::Launcher launcher;
   const CampaignResult result = inject::run_campaign(launcher, small_campaign());
-  EXPECT_EQ(result.aabft_false_positive_runs, 0u);
-  EXPECT_EQ(result.sea_false_positive_runs, 0u);
+  EXPECT_EQ(result.aabft_false_positive_runs(), 0u);
+  EXPECT_EQ(result.sea_false_positive_runs(), 0u);
 }
 
 TEST(Campaign, DeterministicForSameSeed) {
@@ -47,9 +47,9 @@ TEST(Campaign, DeterministicForSameSeed) {
   const CampaignResult r2 = inject::run_campaign(l2, small_campaign());
   EXPECT_EQ(r1.fired, r2.fired);
   EXPECT_EQ(r1.masked, r2.masked);
-  EXPECT_EQ(r1.aabft.critical, r2.aabft.critical);
-  EXPECT_EQ(r1.aabft.detected_critical, r2.aabft.detected_critical);
-  EXPECT_EQ(r1.sea.detected_critical, r2.sea.detected_critical);
+  EXPECT_EQ(r1.aabft().critical, r2.aabft().critical);
+  EXPECT_EQ(r1.aabft().detected_critical, r2.aabft().detected_critical);
+  EXPECT_EQ(r1.sea().detected_critical, r2.sea().detected_critical);
 }
 
 TEST(Campaign, ExponentFlipsAlwaysDetected) {
@@ -60,9 +60,9 @@ TEST(Campaign, ExponentFlipsAlwaysDetected) {
   config.trials = 16;
   gpusim::Launcher launcher;
   const CampaignResult result = inject::run_campaign(launcher, config);
-  ASSERT_GT(result.aabft.critical, 0u);
-  EXPECT_EQ(result.aabft.detected_critical, result.aabft.critical);
-  EXPECT_EQ(result.sea.detected_critical, result.sea.critical);
+  ASSERT_GT(result.aabft().critical, 0u);
+  EXPECT_EQ(result.aabft().detected_critical, result.aabft().critical);
+  EXPECT_EQ(result.sea().detected_critical, result.sea().critical);
 }
 
 TEST(Campaign, SignFlipsAlwaysDetectedWhenCritical) {
@@ -71,7 +71,7 @@ TEST(Campaign, SignFlipsAlwaysDetectedWhenCritical) {
   config.trials = 16;
   gpusim::Launcher launcher;
   const CampaignResult result = inject::run_campaign(launcher, config);
-  EXPECT_EQ(result.aabft.detected_critical, result.aabft.critical);
+  EXPECT_EQ(result.aabft().detected_critical, result.aabft().critical);
 }
 
 TEST(Campaign, AabftDetectsAtLeastAsManyAsSea) {
@@ -86,7 +86,7 @@ TEST(Campaign, AabftDetectsAtLeastAsManyAsSea) {
     config.seed = 1234 + static_cast<std::uint64_t>(site);
     gpusim::Launcher launcher;
     const CampaignResult result = inject::run_campaign(launcher, config);
-    EXPECT_GE(result.aabft.detected_critical, result.sea.detected_critical)
+    EXPECT_GE(result.aabft().detected_critical, result.sea().detected_critical)
         << gpusim::to_string(site);
   }
 }
@@ -140,9 +140,9 @@ TEST(Campaign, MultiFaultTrialsSupported) {
   gpusim::Launcher launcher;
   const CampaignResult result = inject::run_campaign(launcher, config);
   EXPECT_GT(result.fired, 0u);
-  const std::size_t classified = result.aabft.critical +
-                                 result.aabft.tolerable +
-                                 result.aabft.rounding_noise;
+  const std::size_t classified = result.aabft().critical +
+                                 result.aabft().tolerable +
+                                 result.aabft().rounding_noise;
   EXPECT_EQ(classified + result.masked, result.fired);
 }
 

@@ -25,27 +25,27 @@ TEST_P(CampaignSeeds, InvariantsHoldForEveryStream) {
 
   // Accounting closes.
   EXPECT_LE(result.fired, result.trials);
-  const std::size_t classified = result.aabft.critical +
-                                 result.aabft.tolerable +
-                                 result.aabft.rounding_noise;
+  const std::size_t classified = result.aabft().critical +
+                                 result.aabft().tolerable +
+                                 result.aabft().rounding_noise;
   EXPECT_EQ(classified + result.masked, result.fired);
 
   // Paired evaluation: identical ground truth for both schemes.
-  EXPECT_EQ(result.aabft.critical, result.sea.critical);
-  EXPECT_EQ(result.aabft.tolerable, result.sea.tolerable);
-  EXPECT_EQ(result.aabft.rounding_noise, result.sea.rounding_noise);
+  EXPECT_EQ(result.aabft().critical, result.sea().critical);
+  EXPECT_EQ(result.aabft().tolerable, result.sea().tolerable);
+  EXPECT_EQ(result.aabft().rounding_noise, result.sea().rounding_noise);
 
   // The tighter bound can only detect at least as much.
-  EXPECT_GE(result.aabft.detected_critical, result.sea.detected_critical);
-  EXPECT_GE(result.aabft.detected_tolerable, result.sea.detected_tolerable);
+  EXPECT_GE(result.aabft().detected_critical, result.sea().detected_critical);
+  EXPECT_GE(result.aabft().detected_tolerable, result.sea().detected_tolerable);
 
   // Autonomous bounds never mis-fire on the clean reference.
-  EXPECT_EQ(result.aabft_false_positive_runs, 0u);
-  EXPECT_EQ(result.sea_false_positive_runs, 0u);
+  EXPECT_EQ(result.aabft_false_positive_runs(), 0u);
+  EXPECT_EQ(result.sea_false_positive_runs(), 0u);
 
   // Detections are bounded by occurrences.
-  EXPECT_LE(result.aabft.detected_critical, result.aabft.critical);
-  EXPECT_LE(result.sea.detected_critical, result.sea.critical);
+  EXPECT_LE(result.aabft().detected_critical, result.aabft().critical);
+  EXPECT_LE(result.sea().detected_critical, result.sea().critical);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CampaignSeeds,
@@ -72,8 +72,8 @@ TEST(CampaignProperties, AggregateDetectionAboveNinetyPercent) {
       config.seed = seed++;
       gpusim::Launcher launcher;
       const CampaignResult result = inject::run_campaign(launcher, config);
-      critical += result.aabft.critical;
-      detected += result.aabft.detected_critical;
+      critical += result.aabft().critical;
+      detected += result.aabft().detected_critical;
     }
   }
   ASSERT_GT(critical, 30u);

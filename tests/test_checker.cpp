@@ -129,7 +129,7 @@ TEST(Checker, CountsItsWork) {
   f.launcher.clear_launch_log();
   (void)f.check();
   ASSERT_EQ(f.launcher.launch_log().size(), 1u);
-  const auto& stats = f.launcher.launch_log().front();
+  const auto stats = f.launcher.launch_log().front();
   EXPECT_EQ(stats.kernel_name, "check");
   // Reference sums: 16 blocks * 2 * 9 lines * 8 adds each = 2304 adds, plus
   // the counted epsilon flops.

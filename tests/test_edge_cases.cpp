@@ -67,7 +67,7 @@ TEST(EdgeCases, ProtectedMultiplySmallestBlockSize) {
   abft::AabftConfig config;
   config.bs = 2;  // the minimum the codec accepts
   abft::AabftMultiplier mult(launcher, config);
-  const auto result = mult.multiply(a, b);
+  const auto result = mult.multiply(a, b).value();
   EXPECT_FALSE(result.error_detected());
   EXPECT_EQ(result.c, linalg::naive_matmul(a, b, false));
 }
@@ -79,7 +79,7 @@ TEST(EdgeCases, ZeroMatrixProductIsCleanAndZero) {
   abft::AabftConfig config;
   config.bs = 16;
   abft::AabftMultiplier mult(launcher, config);
-  const auto result = mult.multiply(a, b);
+  const auto result = mult.multiply(a, b).value();
   EXPECT_FALSE(result.error_detected());
   EXPECT_EQ(result.c.max_abs(), 0.0);
 }
@@ -91,7 +91,7 @@ TEST(EdgeCases, IdentityTimesIdentityExact) {
   abft::AabftConfig config;
   config.bs = 16;
   abft::AabftMultiplier mult(launcher, config);
-  const auto result = mult.multiply(eye, eye);
+  const auto result = mult.multiply(eye, eye).value();
   EXPECT_FALSE(result.error_detected());
   EXPECT_EQ(result.c, eye);
 }
@@ -109,7 +109,7 @@ TEST(EdgeCases, TinyValuesStayCleanInNormalRange) {
   abft::AabftConfig config;
   config.bs = 16;
   abft::AabftMultiplier mult(launcher, config);
-  const auto result = mult.multiply(a, b);  // products ~1e-240: still normal
+  const auto result = mult.multiply(a, b).value();  // products ~1e-240: still normal
   EXPECT_FALSE(result.error_detected());
 }
 
@@ -134,7 +134,7 @@ TEST(EdgeCases, SubnormalProductsExceedTheModelKnownLimitation) {
   config.correct_errors = false;
   config.max_recompute_attempts = 0;
   abft::AabftMultiplier mult(launcher, config);
-  const auto result = mult.multiply(a, b);  // products ~1e-320: subnormal
+  const auto result = mult.multiply(a, b).value();  // products ~1e-320: subnormal
   EXPECT_TRUE(result.error_detected());  // known false positives
 }
 
@@ -151,7 +151,7 @@ TEST(EdgeCases, HugeValuesStayClean) {
   abft::AabftConfig config;
   config.bs = 16;
   abft::AabftMultiplier mult(launcher, config);
-  const auto result = mult.multiply(a, b);
+  const auto result = mult.multiply(a, b).value();
   EXPECT_FALSE(result.error_detected());
 }
 
@@ -170,7 +170,7 @@ TEST(EdgeCases, MixedMagnitudeColumnsStayClean) {
   abft::AabftConfig config;
   config.bs = 16;
   abft::AabftMultiplier mult(launcher, config);
-  const auto result = mult.multiply(a, b);
+  const auto result = mult.multiply(a, b).value();
   EXPECT_FALSE(result.error_detected());
 }
 

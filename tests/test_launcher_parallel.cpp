@@ -46,8 +46,8 @@ TEST(ParallelLauncher, CountersMatchSerial) {
   Launcher parallel(k20c(), 4);
   (void)blocked_matmul(serial, a, b);
   (void)blocked_matmul(parallel, a, b);
-  const auto& s = serial.launch_log().front().counters;
-  const auto& p = parallel.launch_log().front().counters;
+  const auto s = serial.launch_log().front().counters;
+  const auto p = parallel.launch_log().front().counters;
   EXPECT_EQ(s.adds, p.adds);
   EXPECT_EQ(s.muls, p.muls);
   EXPECT_EQ(s.bytes_loaded, p.bytes_loaded);
@@ -97,7 +97,7 @@ TEST(ParallelLauncher, ProtectedMultiplyWorksParallel) {
   aabft::abft::AabftConfig config;
   config.bs = 16;
   aabft::abft::AabftMultiplier mult(launcher, config);
-  const auto result = mult.multiply(a, b);
+  const auto result = mult.multiply(a, b).value();
   EXPECT_FALSE(result.error_detected());
   EXPECT_EQ(result.c, aabft::linalg::naive_matmul(a, b, false));
 }

@@ -89,7 +89,7 @@ TEST(BlockedMatmul, CountsGemmFlops) {
   Launcher launcher;
   (void)blocked_matmul(launcher, a, b);
   ASSERT_EQ(launcher.launch_log().size(), 1u);
-  const auto& stats = launcher.launch_log().front();
+  const auto stats = launcher.launch_log().front();
   // n^3 multiplies + n^3 inner adds + n^2 final merges (no padding at 32).
   EXPECT_EQ(stats.counters.muls, n * n * n);
   EXPECT_EQ(stats.counters.adds, n * n * n + n * n);
@@ -104,7 +104,7 @@ TEST(BlockedMatmul, FmaModeCountsFmas) {
   GemmConfig config;
   config.use_fma = true;
   (void)blocked_matmul(launcher, a, b, config);
-  const auto& stats = launcher.launch_log().front();
+  const auto stats = launcher.launch_log().front();
   EXPECT_EQ(stats.counters.fmas, n * n * n);
   EXPECT_EQ(stats.counters.muls, 0u);
 }

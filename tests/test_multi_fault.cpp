@@ -123,7 +123,7 @@ TEST(MultiFault, AabftCorrectsOneErrorPerBlock) {
   AabftConfig config;
   config.bs = 16;
   AabftMultiplier mult(launcher, config);
-  const auto result = mult.multiply(a, b);
+  const auto result = mult.multiply(a, b).value();
   launcher.set_fault_controller(nullptr);
 
   ASSERT_EQ(controller.fired_count(), 2u);

@@ -47,7 +47,7 @@ TEST(Norms, KernelsCountWork) {
   aabft::gpusim::Launcher launcher;
   (void)row_norms2(launcher, a);
   ASSERT_EQ(launcher.launch_log().size(), 1u);
-  const auto& stats = launcher.launch_log().front();
+  const auto stats = launcher.launch_log().front();
   EXPECT_EQ(stats.kernel_name, "row_norms");
   EXPECT_EQ(stats.counters.muls, 8u * 16u);
   EXPECT_EQ(stats.counters.adds, 8u * 16u);

@@ -19,8 +19,8 @@ TEST(PerfSuite, SchemeOrderingMatchesPaper) {
     const PerfSuiteResult result = run_perf_suite(n);
     EXPECT_TRUE(result.ordering_holds()) << "n=" << n;
     // Unprotected is the fastest of all.
-    EXPECT_GT(result.unprotected.model_gflops,
-              result.fixed_abft.model_gflops);
+    EXPECT_GT(result.unprotected().model_gflops,
+              result.fixed_abft().model_gflops);
   }
 }
 
@@ -29,41 +29,41 @@ TEST(PerfSuite, AabftGapNarrowsWithSize) {
   const PerfSuiteResult large = run_perf_suite(640);
   EXPECT_GT(large.aabft_over_abft(), small.aabft_over_abft());
   // And the protected/unprotected overhead shrinks too.
-  EXPECT_GT(large.aabft.model_gflops / large.unprotected.model_gflops,
-            small.aabft.model_gflops / small.unprotected.model_gflops);
+  EXPECT_GT(large.aabft().model_gflops / large.unprotected().model_gflops,
+            small.aabft().model_gflops / small.unprotected().model_gflops);
 }
 
 TEST(PerfSuite, TmrCostsRoughlyThreeGemms) {
   const PerfSuiteResult result = run_perf_suite(256);
   const double ratio =
-      result.unprotected.model_gflops / result.tmr.model_gflops;
+      result.unprotected().model_gflops / result.tmr().model_gflops;
   EXPECT_GT(ratio, 2.5);
   EXPECT_LT(ratio, 4.0);
 }
 
 TEST(PerfSuite, NoSchemeMisdetectsOnCleanRuns) {
   const PerfSuiteResult result = run_perf_suite(192);
-  EXPECT_FALSE(result.fixed_abft.false_positive);
-  EXPECT_FALSE(result.aabft.false_positive);
-  EXPECT_FALSE(result.sea_abft.false_positive);
-  EXPECT_FALSE(result.tmr.false_positive);
+  EXPECT_FALSE(result.fixed_abft().false_positive);
+  EXPECT_FALSE(result.aabft().false_positive);
+  EXPECT_FALSE(result.sea_abft().false_positive);
+  EXPECT_FALSE(result.tmr().false_positive);
 }
 
 TEST(PerfSuite, ModelTimesArePositiveAndConsistent) {
   const PerfSuiteResult result = run_perf_suite(128);
-  EXPECT_GT(result.unprotected.model_seconds, 0.0);
+  EXPECT_GT(result.unprotected().model_seconds, 0.0);
   // More kernels => more modelled time than the bare GEMM.
-  EXPECT_GT(result.aabft.model_seconds, result.unprotected.model_seconds);
-  EXPECT_GT(result.tmr.model_seconds, 2.5 * result.unprotected.model_seconds);
+  EXPECT_GT(result.aabft().model_seconds, result.unprotected().model_seconds);
+  EXPECT_GT(result.tmr().model_seconds, 2.5 * result.unprotected().model_seconds);
 }
 
 TEST(PerfSuite, ProjectionIsIdentityAtSameSize) {
   const PerfSuiteResult base = run_perf_suite(256);
   const PerfSuiteResult same = project_perf_suite(base, 256, 256);
-  EXPECT_NEAR(same.aabft.model_gflops, base.aabft.model_gflops,
-              1e-9 * base.aabft.model_gflops);
-  EXPECT_NEAR(same.tmr.model_gflops, base.tmr.model_gflops,
-              1e-9 * base.tmr.model_gflops);
+  EXPECT_NEAR(same.aabft().model_gflops, base.aabft().model_gflops,
+              1e-9 * base.aabft().model_gflops);
+  EXPECT_NEAR(same.tmr().model_gflops, base.tmr().model_gflops,
+              1e-9 * base.tmr().model_gflops);
 }
 
 TEST(PerfSuite, ProjectionApproximatesDirectMeasurement) {
@@ -72,13 +72,13 @@ TEST(PerfSuite, ProjectionApproximatesDirectMeasurement) {
   const PerfSuiteResult base = run_perf_suite(256);
   const PerfSuiteResult projected = project_perf_suite(base, 256, 512);
   const PerfSuiteResult direct = run_perf_suite(512);
-  EXPECT_NEAR(projected.aabft.model_gflops, direct.aabft.model_gflops,
-              0.10 * direct.aabft.model_gflops);
-  EXPECT_NEAR(projected.sea_abft.model_gflops, direct.sea_abft.model_gflops,
-              0.10 * direct.sea_abft.model_gflops);
-  EXPECT_NEAR(projected.unprotected.model_gflops,
-              direct.unprotected.model_gflops,
-              0.10 * direct.unprotected.model_gflops);
+  EXPECT_NEAR(projected.aabft().model_gflops, direct.aabft().model_gflops,
+              0.10 * direct.aabft().model_gflops);
+  EXPECT_NEAR(projected.sea_abft().model_gflops, direct.sea_abft().model_gflops,
+              0.10 * direct.sea_abft().model_gflops);
+  EXPECT_NEAR(projected.unprotected().model_gflops,
+              direct.unprotected().model_gflops,
+              0.10 * direct.unprotected().model_gflops);
 }
 
 TEST(PerfSuite, ProjectedPaperScaleMatchesPaperShape) {
@@ -87,11 +87,11 @@ TEST(PerfSuite, ProjectedPaperScaleMatchesPaperShape) {
   const PerfSuiteResult base = run_perf_suite(512);
   const PerfSuiteResult at8192 = project_perf_suite(base, 512, 8192);
   EXPECT_TRUE(at8192.ordering_holds());
-  EXPECT_NEAR(at8192.unprotected.model_gflops, 1048.0, 80.0);
+  EXPECT_NEAR(at8192.unprotected().model_gflops, 1048.0, 80.0);
   EXPECT_GT(at8192.aabft_over_abft(), 0.9);  // paper: 903/943 ~ 0.96
-  EXPECT_NEAR(at8192.aabft.model_gflops, 903.4,
+  EXPECT_NEAR(at8192.aabft().model_gflops, 903.4,
               0.10 * 903.4);  // the paper's A-ABFT cell
-  EXPECT_NEAR(at8192.tmr.model_gflops, 348.0, 40.0);
+  EXPECT_NEAR(at8192.tmr().model_gflops, 348.0, 40.0);
 }
 
 TEST(PerfSuite, ProjectLogScalesByKernelClass) {
@@ -116,8 +116,8 @@ TEST(PerfSuite, DeterministicForSeed) {
   config.seed = 77;
   const PerfSuiteResult r1 = run_perf_suite(128, config);
   const PerfSuiteResult r2 = run_perf_suite(128, config);
-  EXPECT_EQ(r1.aabft.model_gflops, r2.aabft.model_gflops);
-  EXPECT_EQ(r1.sea_abft.model_gflops, r2.sea_abft.model_gflops);
+  EXPECT_EQ(r1.aabft().model_gflops, r2.aabft().model_gflops);
+  EXPECT_EQ(r1.sea_abft().model_gflops, r2.sea_abft().model_gflops);
 }
 
 }  // namespace

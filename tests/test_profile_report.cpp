@@ -44,7 +44,7 @@ TEST(ProfileReport, EndToEndProtectedMultiplyProfile) {
   aabft::abft::AabftConfig config;
   config.bs = 16;
   aabft::abft::AabftMultiplier mult(launcher, config);
-  (void)mult.multiply(a, b);
+  (void)mult.multiply(a, b).value();
 
   const auto profiles = profile_launch_log(launcher.device(),
                                            launcher.launch_log());

@@ -47,7 +47,7 @@ TEST(Recompute, RecoversFromUnlocalisableFaults) {
   AabftConfig config;
   config.bs = 32;  // one checksum block spans the whole 64x64? no: 2x2 blocks
   AabftMultiplier mult(launcher, config);
-  const auto result = mult.multiply(a, b);
+  const auto result = mult.multiply(a, b).value();
   launcher.set_fault_controller(nullptr);
 
   ASSERT_EQ(controller.fired_count(), 2u);
@@ -80,7 +80,7 @@ TEST(Recompute, DisabledFallbackReportsUncorrectable) {
   config.bs = 32;
   config.max_recompute_attempts = 0;
   AabftMultiplier mult(launcher, config);
-  const auto result = mult.multiply(a, b);
+  const auto result = mult.multiply(a, b).value();
   launcher.set_fault_controller(nullptr);
 
   ASSERT_EQ(controller.fired_count(), 2u);
@@ -107,7 +107,7 @@ TEST(Recompute, NotTriggeredWhenCorrectionSucceeds) {
   AabftConfig config;
   config.bs = 16;
   AabftMultiplier mult(launcher, config);
-  const auto result = mult.multiply(a, b);
+  const auto result = mult.multiply(a, b).value();
   launcher.set_fault_controller(nullptr);
   ASSERT_TRUE(controller.fired());
   EXPECT_TRUE(result.recheck_clean);
@@ -123,7 +123,7 @@ TEST(Recompute, CleanRunNeverRecomputes) {
   AabftConfig config;
   config.bs = 16;
   AabftMultiplier mult(launcher, config);
-  const auto result = mult.multiply(a, b);
+  const auto result = mult.multiply(a, b).value();
   EXPECT_EQ(result.recomputations, 0u);
 }
 

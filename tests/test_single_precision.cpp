@@ -98,7 +98,7 @@ TEST(SinglePrecision, AabftCleanRunWithT23) {
   config.bs = 16;
   config.bounds.t = 23;
   aabft::abft::AabftMultiplier mult(launcher, config);
-  const auto result = mult.multiply(a, b);
+  const auto result = mult.multiply(a, b).value();
   EXPECT_FALSE(result.error_detected());
 }
 
@@ -175,7 +175,7 @@ TEST(SinglePrecision, AabftDetectsInjectedFaultWithT23) {
   config.bs = 16;
   config.bounds.t = 23;
   aabft::abft::AabftMultiplier mult(launcher, config);
-  const auto result = mult.multiply(a, b);
+  const auto result = mult.multiply(a, b).value();
   launcher.set_fault_controller(nullptr);
 
   ASSERT_TRUE(controller.fired());

@@ -58,8 +58,8 @@ TEST(Sweep, DeterministicForSeed) {
   ASSERT_EQ(r1.cells.size(), r2.cells.size());
   for (std::size_t i = 0; i < r1.cells.size(); ++i) {
     EXPECT_EQ(r1.cells[i].result.fired, r2.cells[i].result.fired);
-    EXPECT_EQ(r1.cells[i].result.aabft.detected_critical,
-              r2.cells[i].result.aabft.detected_critical);
+    EXPECT_EQ(r1.cells[i].result.aabft().detected_critical,
+              r2.cells[i].result.aabft().detected_critical);
   }
 }
 
