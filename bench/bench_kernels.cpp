@@ -44,6 +44,24 @@ void BM_BlockedMatmul(benchmark::State& state) {
 }
 BENCHMARK(BM_BlockedMatmul)->Arg(64)->Arg(128)->Arg(256);
 
+// The pre-fence reference: every op pays the per-op counter + fault check.
+// Compare against BM_BlockedMatmul at the same size for the fence's win.
+void BM_BlockedMatmulInstrumented(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_matrix(n, n, 1);
+  const auto b = random_matrix(n, n, 2);
+  gpusim::Launcher launcher;
+  gpusim::set_force_instrumented(true);
+  for (auto _ : state) {
+    auto c = linalg::blocked_matmul(launcher, a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  gpusim::set_force_instrumented(false);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          static_cast<std::int64_t>(n * n * n));
+}
+BENCHMARK(BM_BlockedMatmulInstrumented)->Arg(64)->Arg(128)->Arg(256);
+
 void BM_BlockedMatmulFma(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto a = random_matrix(n, n, 1);

@@ -1,5 +1,6 @@
 #include "abft/encoder.hpp"
 
+#include <cmath>
 #include <vector>
 
 #include "core/require.hpp"
@@ -76,16 +77,37 @@ EncodedMatrix encode_columns(gpusim::Launcher& launcher, const Matrix& a,
 
     math.load_doubles(bs * width);
     // Phase 1: each thread (one per column) accumulates its column checksum
-    // top-to-bottom and replaces the element by its absolute value.
-    for (std::size_t c = 0; c < width; ++c) {
-      double sum = 0.0;
+    // top-to-bottom and replaces the element by its absolute value. The
+    // checksum adds are not injection sites, so the fast path only needs the
+    // force-instrumented switch off; it walks the rows of A contiguously
+    // (same per-column rounding chains, bulk-counted ops).
+    if (!gpusim::force_instrumented()) {
+      // local_sums doubles as the checksum accumulator until the final abs.
       for (std::size_t r = 0; r < bs; ++r) {
-        const double v = a(row0 + r, col0 + c);
-        sum = math.add(sum, v);
-        asub[r * width + c] = math.abs(v);
+        const double* a_row = a.data() + (row0 + r) * n + col0;
+        for (std::size_t c = 0; c < width; ++c) {
+          local_sums[c] = math.canonical(local_sums[c] + a_row[c]);
+          asub[r * width + c] = std::fabs(a_row[c]);
+        }
       }
-      enc(codec.checksum_index(br), col0 + c) = sum;
-      local_sums[c] = math.abs(sum);
+      math.count_adds(bs * width);
+      math.count_compares(bs * width);  // the per-element abs
+      for (std::size_t c = 0; c < width; ++c) {
+        enc(codec.checksum_index(br), col0 + c) = local_sums[c];
+        local_sums[c] = std::fabs(local_sums[c]);
+      }
+      math.count_compares(width);  // abs of each checksum
+    } else {
+      for (std::size_t c = 0; c < width; ++c) {
+        double sum = 0.0;
+        for (std::size_t r = 0; r < bs; ++r) {
+          const double v = a(row0 + r, col0 + c);
+          sum = math.add(sum, v);
+          asub[r * width + c] = math.abs(v);
+        }
+        enc(codec.checksum_index(br), col0 + c) = sum;
+        local_sums[c] = math.abs(sum);
+      }
     }
     math.store_doubles(width);
 
@@ -97,12 +119,12 @@ EncodedMatrix encode_columns(gpusim::Launcher& launcher, const Matrix& a,
         std::size_t max_id = 0;
         for (std::size_t c = 0; c < width; ++c) {
           const double v = asub[r * width + c];
-          math.count_compares(1);
           if (v > max_val) {
             max_val = v;
             max_id = c;
           }
         }
+        math.count_compares(width);
         const std::size_t enc_row = codec.enc_index(row0 + r);
         candidates[enc_row * col_chunks + bc].offer(max_val, col0 + max_id);
         asub[r * width + max_id] = 0.0;  // exclude from the next pass
@@ -111,12 +133,12 @@ EncodedMatrix encode_columns(gpusim::Launcher& launcher, const Matrix& a,
         double max_sum = 0.0;
         std::size_t max_id = 0;
         for (std::size_t c = 0; c < width; ++c) {
-          math.count_compares(1);
           if (local_sums[c] > max_sum) {
             max_sum = local_sums[c];
             max_id = c;
           }
         }
+        math.count_compares(width);
         const std::size_t cs_row = codec.checksum_index(br);
         candidates[cs_row * col_chunks + bc].offer(max_sum, col0 + max_id);
         local_sums[max_id] = 0.0;
@@ -165,16 +187,32 @@ EncodedMatrix encode_rows(gpusim::Launcher& launcher, const Matrix& b,
 
     math.load_doubles(height * bs);
     // Phase 1: each thread (one per row) accumulates its row checksum
-    // left-to-right and replaces the element by its absolute value.
-    for (std::size_t r = 0; r < height; ++r) {
-      double sum = 0.0;
-      for (std::size_t c = 0; c < bs; ++c) {
-        const double v = b(row0 + r, col0 + c);
-        sum = math.add(sum, v);
-        bsub[r * bs + c] = math.abs(v);
+    // left-to-right and replaces the element by its absolute value. Not an
+    // injection site — raw bulk-counted loop unless force-instrumented.
+    if (!gpusim::force_instrumented()) {
+      for (std::size_t r = 0; r < height; ++r) {
+        const double* b_row = b.data() + (row0 + r) * b.cols() + col0;
+        double sum = 0.0;
+        for (std::size_t c = 0; c < bs; ++c) {
+          sum = math.canonical(sum + b_row[c]);
+          bsub[r * bs + c] = std::fabs(b_row[c]);
+        }
+        enc(row0 + r, codec.checksum_index(bc)) = sum;
+        local_sums[r] = std::fabs(sum);
       }
-      enc(row0 + r, codec.checksum_index(bc)) = sum;
-      local_sums[r] = math.abs(sum);
+      math.count_adds(height * bs);
+      math.count_compares(height * bs + height);
+    } else {
+      for (std::size_t r = 0; r < height; ++r) {
+        double sum = 0.0;
+        for (std::size_t c = 0; c < bs; ++c) {
+          const double v = b(row0 + r, col0 + c);
+          sum = math.add(sum, v);
+          bsub[r * bs + c] = math.abs(v);
+        }
+        enc(row0 + r, codec.checksum_index(bc)) = sum;
+        local_sums[r] = math.abs(sum);
+      }
     }
     math.store_doubles(height);
 
@@ -186,12 +224,12 @@ EncodedMatrix encode_rows(gpusim::Launcher& launcher, const Matrix& b,
         std::size_t max_id = 0;
         for (std::size_t r = 0; r < height; ++r) {
           const double v = bsub[r * bs + c];
-          math.count_compares(1);
           if (v > max_val) {
             max_val = v;
             max_id = r;
           }
         }
+        math.count_compares(height);
         const std::size_t enc_col = codec.enc_index(col0 + c);
         candidates[enc_col * row_chunks + br].offer(max_val, row0 + max_id);
         bsub[max_id * bs + c] = 0.0;
@@ -200,12 +238,12 @@ EncodedMatrix encode_rows(gpusim::Launcher& launcher, const Matrix& b,
         double max_sum = 0.0;
         std::size_t max_id = 0;
         for (std::size_t r = 0; r < height; ++r) {
-          math.count_compares(1);
           if (local_sums[r] > max_sum) {
             max_sum = local_sums[r];
             max_id = r;
           }
         }
+        math.count_compares(height);
         const std::size_t cs_col = codec.checksum_index(bc);
         candidates[cs_col * row_chunks + br].offer(max_sum, row0 + max_id);
         local_sums[max_id] = 0.0;

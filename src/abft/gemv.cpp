@@ -40,15 +40,28 @@ GemvResult ProtectedGemv::multiply(const std::vector<double>& x) {
       const std::size_t r = blk.block.x;
       math.load_doubles(cols_ + (r == 0 ? cols_ : 0));  // row + x (once)
       double acc = 0.0;
-      for (std::size_t k = 0; k < cols_; ++k) {
-        const auto kk = static_cast<std::int64_t>(k);
-        if (config_.gemm.use_fma) {
-          acc = math.faulty_fma(a_cc_.data(r, k), x[k], acc,
-                                FaultSite::kInnerAdd, 0, kk);
-        } else {
-          const double prod = math.faulty_mul(a_cc_.data(r, k), x[k],
-                                              FaultSite::kInnerMul, 0, kk);
-          acc = math.faulty_add(acc, prod, FaultSite::kInnerAdd, 0, kk);
+      // Fault fence over the whole row (all ops use module 0 and the k-index
+      // of the column): the fenced dot helpers are bit-identical to the
+      // per-op chain below.
+      const bool row_hot = math.needs_instrumented(
+          FaultSite::kInnerMul, FaultSite::kInnerAdd, 0, 0, 0,
+          static_cast<std::int64_t>(cols_) - 1);
+      if (!row_hot) {
+        const double* a_row = a_cc_.data.row(r).data();
+        acc = config_.gemm.use_fma
+                  ? math.dot_fma(a_row, x.data(), cols_, acc)
+                  : math.dot_mul_add(a_row, x.data(), cols_, acc);
+      } else {
+        for (std::size_t k = 0; k < cols_; ++k) {
+          const auto kk = static_cast<std::int64_t>(k);
+          if (config_.gemm.use_fma) {
+            acc = math.faulty_fma(a_cc_.data(r, k), x[k], acc,
+                                  FaultSite::kInnerAdd, 0, kk);
+          } else {
+            const double prod = math.faulty_mul(a_cc_.data(r, k), x[k],
+                                                FaultSite::kInnerMul, 0, kk);
+            acc = math.faulty_add(acc, prod, FaultSite::kInnerAdd, 0, kk);
+          }
         }
       }
       y_enc[r] = math.faulty_add(0.0, acc, FaultSite::kFinalAdd, 0, 0);

@@ -38,9 +38,10 @@ CheckReport fixed_check_product(gpusim::Launcher& launcher, const Matrix& c_fc,
 
     std::vector<Mismatch> local;
     for (std::size_t j = 0; j <= bs; ++j) {
-      double ref = 0.0;
-      for (std::size_t i = 0; i < bs; ++i)
-        ref = math.add(ref, c_fc(row0 + i, col0 + j));
+      // Bulk-counted column sum, identical rounding chain to per-op add().
+      const double ref =
+          math.sum_strided(c_fc.data() + row0 * c_fc.cols() + col0 + j, bs,
+                           c_fc.cols());
       const double stored = c_fc(row0 + bs, col0 + j);
       const double diff = math.abs(math.sub(ref, stored));
       math.count_compares(1);
@@ -48,9 +49,9 @@ CheckReport fixed_check_product(gpusim::Launcher& launcher, const Matrix& c_fc,
         local.push_back({CheckKind::kColumn, gbr, gbc, j, ref, stored, epsilon});
     }
     for (std::size_t i = 0; i <= bs; ++i) {
-      double ref = 0.0;
-      for (std::size_t j = 0; j < bs; ++j)
-        ref = math.add(ref, c_fc(row0 + i, col0 + j));
+      const double ref =
+          math.sum_strided(c_fc.data() + (row0 + i) * c_fc.cols() + col0, bs,
+                           1);
       const double stored = c_fc(row0 + i, col0 + bs);
       const double diff = math.abs(math.sub(ref, stored));
       math.count_compares(1);

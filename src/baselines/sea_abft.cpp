@@ -107,9 +107,10 @@ CheckReport sea_check_product(gpusim::Launcher& launcher, const Matrix& c_fc,
 
     for (std::size_t j = 0; j <= bs; ++j) {
       const std::size_t gc = col0 + j;
-      double ref = 0.0;
-      for (std::size_t i = 0; i < bs; ++i)
-        ref = math.add(ref, c_fc(row0 + i, gc));
+      // Bulk-counted column sum, identical rounding chain to per-op add().
+      const double ref =
+          math.sum_strided(c_fc.data() + row0 * c_fc.cols() + gc, bs,
+                           c_fc.cols());
       const double stored = c_fc(row0 + bs, gc);
       const double eps = sea_column_epsilon(bounds, codec, gbr, gc, inner_dim);
       math.count_muls(4);
@@ -122,9 +123,8 @@ CheckReport sea_check_product(gpusim::Launcher& launcher, const Matrix& c_fc,
     }
     for (std::size_t i = 0; i <= bs; ++i) {
       const std::size_t gr = row0 + i;
-      double ref = 0.0;
-      for (std::size_t j = 0; j < bs; ++j)
-        ref = math.add(ref, c_fc(gr, col0 + j));
+      const double ref =
+          math.sum_strided(c_fc.data() + gr * c_fc.cols() + col0, bs, 1);
       const double stored = c_fc(gr, col0 + bs);
       const double eps = sea_row_epsilon(bounds, codec, gr, gbc, inner_dim);
       math.count_muls(4);

@@ -52,7 +52,10 @@ struct FaultConfig {
 /// several blocks race on the same (site, sm, module, k) coordinates,
 /// exactly one injection happens per armed fault — matching the paper's
 /// single-fault-per-multiplication experiments (and extending them to
-/// multi-fault campaigns).
+/// multi-fault campaigns). `armed_`/`count_` are atomics so that worker
+/// threads may call maybe_inject()/may_fire() concurrently with a host-side
+/// disarm(); re-arming still requires that no kernel is in flight (the
+/// configs themselves are not seqlocked).
 class FaultController {
  public:
   static constexpr std::size_t kMaxFaults = 8;
@@ -66,29 +69,58 @@ class FaultController {
   void arm_many(std::span<const FaultConfig> configs) {
     AABFT_REQUIRE(configs.size() >= 1 && configs.size() <= kMaxFaults,
                   "between 1 and kMaxFaults faults can be armed");
-    count_ = configs.size();
-    for (std::size_t i = 0; i < count_; ++i) {
+    for (std::size_t i = 0; i < configs.size(); ++i) {
       configs_[i] = configs[i];
       fired_[i].store(false, std::memory_order_relaxed);
     }
-    armed_ = true;
+    count_.store(configs.size(), std::memory_order_release);
+    armed_.store(true, std::memory_order_release);
   }
 
-  void disarm() noexcept { armed_ = false; }
+  void disarm() noexcept { armed_.store(false, std::memory_order_release); }
 
-  [[nodiscard]] bool armed() const noexcept { return armed_; }
+  [[nodiscard]] bool armed() const noexcept {
+    return armed_.load(std::memory_order_acquire);
+  }
 
   /// Whether any armed fault has fired.
   [[nodiscard]] bool fired() const noexcept { return fired_count() > 0; }
 
   [[nodiscard]] std::size_t fired_count() const noexcept {
+    const std::size_t count = count_.load(std::memory_order_acquire);
     std::size_t n = 0;
-    for (std::size_t i = 0; i < count_; ++i)
+    for (std::size_t i = 0; i < count; ++i)
       if (fired_[i].load(std::memory_order_relaxed)) ++n;
     return n;
   }
 
-  [[nodiscard]] std::size_t armed_count() const noexcept { return count_; }
+  [[nodiscard]] std::size_t armed_count() const noexcept {
+    return count_.load(std::memory_order_acquire);
+  }
+
+  /// Fault fence: can any armed-and-unfired fault fire inside the region
+  /// [site_lo..site_hi] x {sm_id} x [module_lo..module_hi] x [k_lo..k_hi]?
+  /// Kernels query this once per block / K-panel / module row and take a raw
+  /// (uninstrumented, bulk-counted) fast path on a negative answer. A
+  /// negative answer is stable for the rest of the launch: every armed fault
+  /// either misses the region on static coordinates (which cannot change) or
+  /// has already fired (one-shot, can never refire).
+  [[nodiscard]] bool may_fire(FaultSite site_lo, FaultSite site_hi, int sm_id,
+                              int module_lo, int module_hi, std::int64_t k_lo,
+                              std::int64_t k_hi) const noexcept {
+    if (!armed_.load(std::memory_order_acquire)) return false;
+    const std::size_t count = count_.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < count; ++i) {
+      if (fired_[i].load(std::memory_order_acquire)) continue;
+      const FaultConfig& cfg = configs_[i];
+      if (cfg.site < site_lo || cfg.site > site_hi) continue;
+      if (cfg.sm_id != sm_id) continue;
+      if (cfg.module_id < module_lo || cfg.module_id > module_hi) continue;
+      if (cfg.k_injection < k_lo || cfg.k_injection > k_hi) continue;
+      return true;
+    }
+    return false;
+  }
 
   /// First armed fault (the paper's single-fault accessors).
   [[nodiscard]] const FaultConfig& config() const noexcept { return configs_[0]; }
@@ -110,8 +142,9 @@ class FaultController {
   [[nodiscard]] double maybe_inject(FaultSite site, int sm_id, int module_id,
                                     std::int64_t k, double value,
                                     bool single_precision = false) noexcept {
-    if (!armed_) return value;
-    for (std::size_t i = 0; i < count_; ++i) {
+    if (!armed_.load(std::memory_order_acquire)) return value;
+    const std::size_t count = count_.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < count; ++i) {
       const FaultConfig& cfg = configs_[i];
       if (site != cfg.site || sm_id != cfg.sm_id ||
           module_id != cfg.module_id || k != cfg.k_injection)
@@ -138,8 +171,8 @@ class FaultController {
 
  private:
   std::array<FaultConfig, kMaxFaults> configs_{};
-  std::size_t count_ = 0;
-  bool armed_ = false;
+  std::atomic<std::size_t> count_{0};
+  std::atomic<bool> armed_{false};
   std::array<std::atomic<bool>, kMaxFaults> fired_{};
   std::array<double, kMaxFaults> original_values_{};
   std::array<double, kMaxFaults> faulty_values_{};

@@ -7,11 +7,17 @@
 //   3. a single switch between mul+add and FMA accumulation (Section IV-D),
 //      which the rounding-error bound model must know about.
 //
-// The fast path (no armed fault) is a pointer null-check per injectable op;
-// non-injectable ops only bump local counters.
+// The fast path (no armed fault) is a pointer null-check per injectable op.
+// On top of that, kernels can use the *fault fence* (needs_instrumented) to
+// prove that a whole K-panel / module-row region cannot intersect any armed
+// fault, and then run the span helpers below: raw std::fma / mul-add loops
+// with the same operation order and rounding as the per-op path (so results
+// stay bit-identical) and counters bumped once in bulk.
 #pragma once
 
+#include <atomic>
 #include <cmath>
+#include <cstddef>
 #include <cstdint>
 
 #include "core/require.hpp"
@@ -20,6 +26,20 @@
 #include "gpusim/perf_counters.hpp"
 
 namespace aabft::gpusim {
+
+namespace detail {
+inline std::atomic<bool> g_force_instrumented{false};
+}  // namespace detail
+
+/// Test/bench switch: when set, every fault fence answers "instrumented"
+/// and kernels fall back to the per-op path everywhere — the reference side
+/// of the fast-path A/B bit-identity tests. Not for production use.
+inline void set_force_instrumented(bool on) noexcept {
+  detail::g_force_instrumented.store(on, std::memory_order_release);
+}
+[[nodiscard]] inline bool force_instrumented() noexcept {
+  return detail::g_force_instrumented.load(std::memory_order_acquire);
+}
 
 /// Arithmetic precision of a simulated kernel. Values are carried in
 /// doubles either way; kSingle rounds every operation result to binary32
@@ -100,6 +120,125 @@ class MathCtx {
       r = faults_->maybe_inject(site, sm_id_, module_id, k, r,
                                 precision_ == Precision::kSingle);
     return r;
+  }
+
+  // ---- fault fence + span-level fast path ----
+  //
+  // needs_instrumented() answers, once per block / K-panel / module row,
+  // whether the per-op injectable path must be taken for a region. On a
+  // negative answer the *_row/dot_* helpers below execute the identical
+  // operation sequence with identical rounding (so results are bit-exact)
+  // but without per-op fault checks, and bump the counters once in bulk.
+
+  /// True when the region [site_lo..site_hi] x [module_lo..module_hi] x
+  /// [k_lo..k_hi] on this block's SM must run instrumented: either the
+  /// global force-instrumented switch is set (A/B testing) or an armed,
+  /// unfired fault can intersect the region.
+  [[nodiscard]] bool needs_instrumented(FaultSite site_lo, FaultSite site_hi,
+                                        int module_lo, int module_hi,
+                                        std::int64_t k_lo,
+                                        std::int64_t k_hi) const noexcept {
+    if (force_instrumented()) return true;
+    return faults_ != nullptr &&
+           faults_->may_fire(site_lo, site_hi, sm_id_, module_lo, module_hi,
+                             k_lo, k_hi);
+  }
+
+  /// Round an exactly-computed double the way this context's ops would
+  /// (identity in double mode, binary32 rounding in single mode). For
+  /// fenced fast-path loops written in place.
+  [[nodiscard]] double canonical(double x) const noexcept {
+    return round_result(x);
+  }
+
+  /// acc[j] = fma(a, b[j], acc[j]) for j in [0, n): the fenced fast path of
+  /// one GEMM inner row with FMA accumulation. Counts n FMAs in bulk.
+  void fma_row(double a, const double* __restrict b,
+               double* __restrict acc, std::size_t n) noexcept {
+    counters_.fmas += n;
+    if (precision_ == Precision::kSingle) {
+      const auto af = static_cast<float>(a);
+      for (std::size_t j = 0; j < n; ++j)
+        acc[j] = static_cast<double>(
+            std::fmaf(af, static_cast<float>(b[j]), static_cast<float>(acc[j])));
+    } else {
+      for (std::size_t j = 0; j < n; ++j) acc[j] = std::fma(a, b[j], acc[j]);
+    }
+  }
+
+  /// acc[j] = round(acc[j] + round(a * b[j])): the fenced fast path of one
+  /// GEMM inner row with separate mul+add rounding. Counts n muls + n adds.
+  /// (Compiled with -ffp-contract=off, so the compiler cannot fuse the two
+  /// roundings into an FMA and break bit-identity with the per-op path.)
+  void mul_add_row(double a, const double* __restrict b,
+                   double* __restrict acc, std::size_t n) noexcept {
+    counters_.muls += n;
+    counters_.adds += n;
+    if (precision_ == Precision::kSingle) {
+      for (std::size_t j = 0; j < n; ++j)
+        acc[j] = round_result(acc[j] + round_result(a * b[j]));
+    } else {
+      for (std::size_t j = 0; j < n; ++j) acc[j] = acc[j] + a * b[j];
+    }
+  }
+
+  /// acc = fma(a[k], x[k], acc) over k in [0, n): fenced GEMV row with FMA
+  /// accumulation. Counts n FMAs in bulk.
+  [[nodiscard]] double dot_fma(const double* a, const double* x, std::size_t n,
+                               double acc) noexcept {
+    counters_.fmas += n;
+    if (precision_ == Precision::kSingle) {
+      for (std::size_t k = 0; k < n; ++k)
+        acc = static_cast<double>(std::fmaf(static_cast<float>(a[k]),
+                                            static_cast<float>(x[k]),
+                                            static_cast<float>(acc)));
+    } else {
+      for (std::size_t k = 0; k < n; ++k) acc = std::fma(a[k], x[k], acc);
+    }
+    return acc;
+  }
+
+  /// acc = round(acc + round(a[k] * x[k])) over k: fenced GEMV row with
+  /// separate mul+add rounding. Counts n muls + n adds.
+  [[nodiscard]] double dot_mul_add(const double* a, const double* x,
+                                   std::size_t n, double acc) noexcept {
+    counters_.muls += n;
+    counters_.adds += n;
+    if (precision_ == Precision::kSingle) {
+      for (std::size_t k = 0; k < n; ++k)
+        acc = round_result(acc + round_result(a[k] * x[k]));
+    } else {
+      for (std::size_t k = 0; k < n; ++k) acc = acc + a[k] * x[k];
+    }
+    return acc;
+  }
+
+  /// dst[j] = round(dst[j] + src[j]) for j in [0, n): the fenced final-merge
+  /// row (accumulators into the C tile). Counts n adds in bulk.
+  void add_rows(double* __restrict dst, const double* __restrict src,
+                std::size_t n) noexcept {
+    counters_.adds += n;
+    if (precision_ == Precision::kSingle) {
+      for (std::size_t j = 0; j < n; ++j) dst[j] = round_result(dst[j] + src[j]);
+    } else {
+      for (std::size_t j = 0; j < n; ++j) dst[j] = dst[j] + src[j];
+    }
+  }
+
+  /// Left-to-right sum of n elements spaced `stride` apart, starting from
+  /// 0.0 and rounding after every addition exactly like chained add() calls.
+  /// Counts n adds in bulk. Checker kernels use this for checksum
+  /// reference sums (stride 1 for rows, the row length for columns).
+  [[nodiscard]] double sum_strided(const double* v, std::size_t n,
+                                   std::size_t stride) noexcept {
+    counters_.adds += n;
+    double s = 0.0;
+    if (precision_ == Precision::kSingle) {
+      for (std::size_t i = 0; i < n; ++i) s = round_result(s + v[i * stride]);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) s = s + v[i * stride];
+    }
+    return s;
   }
 
   // ---- bulk accounting for library helpers (e.g. PMaxList::offer returns

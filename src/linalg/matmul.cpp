@@ -1,5 +1,6 @@
 #include "linalg/matmul.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -56,39 +57,79 @@ Matrix blocked_matmul(gpusim::Launcher& launcher, const Matrix& a,
     for (std::size_t j = 0; j < bn; ++j)
       module_col[j] = static_cast<int>(j % ry);
 
+    const int num_modules = static_cast<int>(rx * ry);
+    // Module rows hot under a positive panel fence (filled per panel).
+    std::vector<char> row_hot(bm, 0);
+
     const std::size_t num_panels = ceil_div(k_dim, bk);
     for (std::size_t panel = 0; panel < num_panels; ++panel) {
       const std::size_t kbase = panel * bk;
 
-      // Stage the A and B tiles through "shared memory", zero-padding the
-      // ragged edges exactly like the padded CUDA kernel.
-      for (std::size_t i = 0; i < bm; ++i) {
-        const std::size_t gr = row0 + i;
-        for (std::size_t kk = 0; kk < bk; ++kk) {
-          const std::size_t gk = kbase + kk;
-          sm_a[i * bk + kk] = (gr < m && gk < k_dim) ? a(gr, gk) : 0.0;
+      // Stage the A and B tiles through "shared memory". Full interior tiles
+      // copy whole contiguous source rows; ragged edges keep the per-element
+      // zero-padding of the padded CUDA kernel.
+      if (row0 + bm <= m && kbase + bk <= k_dim) {
+        for (std::size_t i = 0; i < bm; ++i)
+          std::copy_n(a.data() + (row0 + i) * k_dim + kbase, bk,
+                      sm_a.data() + i * bk);
+      } else {
+        for (std::size_t i = 0; i < bm; ++i) {
+          const std::size_t gr = row0 + i;
+          for (std::size_t kk = 0; kk < bk; ++kk) {
+            const std::size_t gk = kbase + kk;
+            sm_a[i * bk + kk] = (gr < m && gk < k_dim) ? a(gr, gk) : 0.0;
+          }
         }
       }
-      for (std::size_t kk = 0; kk < bk; ++kk) {
-        const std::size_t gk = kbase + kk;
-        for (std::size_t j = 0; j < bn; ++j) {
-          const std::size_t gc = col0 + j;
-          sm_b[kk * bn + j] = (gk < k_dim && gc < n) ? b(gk, gc) : 0.0;
+      if (kbase + bk <= k_dim && col0 + bn <= n) {
+        for (std::size_t kk = 0; kk < bk; ++kk)
+          std::copy_n(b.data() + (kbase + kk) * n + col0, bn,
+                      sm_b.data() + kk * bn);
+      } else {
+        for (std::size_t kk = 0; kk < bk; ++kk) {
+          const std::size_t gk = kbase + kk;
+          for (std::size_t j = 0; j < bn; ++j) {
+            const std::size_t gc = col0 + j;
+            sm_b[kk * bn + j] = (gk < k_dim && gc < n) ? b(gk, gc) : 0.0;
+          }
         }
       }
       math.load_doubles(bm * bk + bk * bn);
 
+      // Fault fence for the panel: can any armed inner-loop fault intersect
+      // this block's SM, any module, and this panel's K range? Almost always
+      // no — then every inner row runs the raw bulk-counted fast path. On a
+      // positive answer, refine to module-row granularity: only rows whose
+      // module range contains a pending fault pay the per-op path.
+      const std::size_t k_count = std::min(bk, k_dim - kbase);
+      const auto k_lo = static_cast<std::int64_t>(kbase);
+      const auto k_hi = static_cast<std::int64_t>(kbase + k_count - 1);
+      const bool panel_hot =
+          math.needs_instrumented(FaultSite::kInnerMul, FaultSite::kInnerAdd,
+                                  0, num_modules - 1, k_lo, k_hi);
+      if (panel_hot) {
+        for (std::size_t i = 0; i < bm; ++i)
+          row_hot[i] = math.needs_instrumented(
+              FaultSite::kInnerMul, FaultSite::kInnerAdd, module_row[i],
+              module_row[i] + static_cast<int>(ry) - 1, k_lo, k_hi);
+      }
+
       // K-loop: every thread multiplies its rA/rB registers and accumulates.
-      for (std::size_t kk = 0; kk < bk; ++kk) {
+      for (std::size_t kk = 0; kk < k_count; ++kk) {
         const std::size_t gk = kbase + kk;
-        if (gk >= k_dim) break;
         const auto k_global = static_cast<std::int64_t>(gk);
         for (std::size_t i = 0; i < bm; ++i) {
           const double av = sm_a[i * bk + kk];
           const int mrow = module_row[i];
           double* acc_row = accum.data() + i * bn;
           const double* b_row = sm_b.data() + kk * bn;
-          if (config.use_fma) {
+          if (!panel_hot || !row_hot[i]) {
+            // Fenced fast path: bit-identical raw loop, bulk counters.
+            if (config.use_fma)
+              math.fma_row(av, b_row, acc_row, bn);
+            else
+              math.mul_add_row(av, b_row, acc_row, bn);
+          } else if (config.use_fma) {
             for (std::size_t j = 0; j < bn; ++j) {
               acc_row[j] = math.faulty_fma(av, b_row[j], acc_row[j],
                                            FaultSite::kInnerAdd,
@@ -109,18 +150,28 @@ Matrix blocked_matmul(gpusim::Launcher& launcher, const Matrix& a,
     }
 
     // Final merge: accumulators are summed into the (zero-initialised) C
-    // tile — the paper's "Final Sum Addition" site.
+    // tile — the paper's "Final Sum Addition" site. Final-add faults fire at
+    // k = 0, so one fence covers the whole merge.
+    const bool merge_hot = math.needs_instrumented(
+        FaultSite::kFinalAdd, FaultSite::kFinalAdd, 0, num_modules - 1, 0, 0);
     std::size_t stored = 0;
-    for (std::size_t i = 0; i < bm; ++i) {
-      const std::size_t gr = row0 + i;
-      if (gr >= m) break;
-      for (std::size_t j = 0; j < bn; ++j) {
-        const std::size_t gc = col0 + j;
-        if (gc >= n) break;
-        const int module = module_row[i] + module_col[j];
-        c(gr, gc) = math.faulty_add(c(gr, gc), accum[i * bn + j],
-                                    FaultSite::kFinalAdd, module, 0);
-        ++stored;
+    const std::size_t h = row0 < m ? std::min(bm, m - row0) : 0;
+    const std::size_t w = col0 < n ? std::min(bn, n - col0) : 0;
+    if (!merge_hot) {
+      for (std::size_t i = 0; i < h; ++i)
+        math.add_rows(c.data() + (row0 + i) * n + col0, accum.data() + i * bn,
+                      w);
+      stored = h * w;
+    } else {
+      for (std::size_t i = 0; i < h; ++i) {
+        const std::size_t gr = row0 + i;
+        for (std::size_t j = 0; j < w; ++j) {
+          const std::size_t gc = col0 + j;
+          const int module = module_row[i] + module_col[j];
+          c(gr, gc) = math.faulty_add(c(gr, gc), accum[i * bn + j],
+                                      FaultSite::kFinalAdd, module, 0);
+          ++stored;
+        }
       }
     }
     math.store_doubles(stored);
@@ -147,18 +198,35 @@ Matrix pairwise_matmul(gpusim::Launcher& launcher, const Matrix& a,
     const std::size_t w = std::min(tile, n - col0);
     math.load_doubles(h * k_dim + k_dim * w);
 
+    // No injectable sites here (see the header comment), so the raw
+    // bulk-counted loop is always safe unless the force-instrumented A/B
+    // switch demands the per-op reference path.
+    const bool instrumented = gpusim::force_instrumented();
     std::vector<double> scratch(k_dim);
     for (std::size_t i = 0; i < h; ++i) {
       for (std::size_t j = 0; j < w; ++j) {
-        for (std::size_t k = 0; k < k_dim; ++k)
-          scratch[k] = math.mul(a(row0 + i, k), b(k, col0 + j));
+        if (instrumented) {
+          for (std::size_t k = 0; k < k_dim; ++k)
+            scratch[k] = math.mul(a(row0 + i, k), b(k, col0 + j));
+        } else {
+          const double* a_row = a.data() + (row0 + i) * k_dim;
+          for (std::size_t k = 0; k < k_dim; ++k)
+            scratch[k] = math.canonical(a_row[k] * b(k, col0 + j));
+          math.count_muls(k_dim);
+        }
         // Pairwise tree reduction: O(log n) error growth instead of O(n),
         // and a genuinely different rounding sequence.
         std::size_t len = k_dim;
         while (len > 1) {
           const std::size_t half = len / 2;
-          for (std::size_t k = 0; k < half; ++k)
-            scratch[k] = math.add(scratch[2 * k], scratch[2 * k + 1]);
+          if (instrumented) {
+            for (std::size_t k = 0; k < half; ++k)
+              scratch[k] = math.add(scratch[2 * k], scratch[2 * k + 1]);
+          } else {
+            for (std::size_t k = 0; k < half; ++k)
+              scratch[k] = math.canonical(scratch[2 * k] + scratch[2 * k + 1]);
+            math.count_adds(half);
+          }
           if (len % 2 != 0) {
             scratch[half] = scratch[len - 1];
             len = half + 1;

@@ -12,6 +12,12 @@
 //
 // With `use_fma` the two inner ops fuse into one FMA (Section IV-D), which
 // halves the rounding-error sources — the bound model accounts for that.
+//
+// Per-op fault/counter instrumentation is fenced: each K-panel first asks
+// FaultController::may_fire whether an armed fault can intersect it, and on a
+// negative answer runs bit-identical raw row loops with bulk counter updates
+// (DESIGN.md §4.9). gpusim::set_force_instrumented(true) restores the
+// unconditional per-op path for A/B testing.
 #pragma once
 
 #include <cstddef>
