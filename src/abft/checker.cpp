@@ -94,6 +94,7 @@ CheckReport check_product(gpusim::Launcher& launcher, const Matrix& c_fc,
       const double stored = c_fc(row0 + bs, gc);
 
       const double y_cs = determine_upper_bound(a_cs, b_pmax[gc]);
+      // aabft-lint: allow (bound estimate, bulk-counted below)
       const double y_data = a_block_max[gbr] * b_pmax[gc].max_value();
       math.count_compares(2 * a_cs.size() * b_pmax[gc].size());
       const double eps = checksum_epsilon(inner_dim, bs, y_cs, y_data, params);
@@ -117,6 +118,7 @@ CheckReport check_product(gpusim::Launcher& launcher, const Matrix& c_fc,
       const double stored = c_fc(gr, col0 + bs);
 
       const double y_cs = determine_upper_bound(a_pmax[gr], b_cs);
+      // aabft-lint: allow (bound estimate, bulk-counted below)
       const double y_data = a_pmax[gr].max_value() * b_block_max[gbc];
       math.count_compares(2 * a_pmax[gr].size() * b_cs.size());
       const double eps = checksum_epsilon(inner_dim, bs, y_cs, y_data, params);

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/require.hpp"
+#include "gpusim/hazard.hpp"
 
 namespace aabft::abft {
 
@@ -70,10 +71,12 @@ EncodedMatrix encode_columns(gpusim::Launcher& launcher, const Matrix& a,
 
     // Shared memory: the sub-matrix (replaced by absolute values during the
     // checksum pass, as in Algorithm 1 / Figure 2) and the per-thread
-    // column checksums (localSums).
-    std::vector<double> asub(bs * width);
-    std::vector<double> local_sums(width, 0.0);
-    math.use_shared_doubles(bs * width + width);
+    // column checksums (localSums). Hazard model: one logical thread per
+    // column in phase 1; phase 2 assigns row r to thread r % width and the
+    // checksum-row scan to thread 0, separated by a barrier.
+    gpusim::SharedArray<double> asub(blk, bs * width, "asub");
+    gpusim::SharedArray<double> local_sums(blk, width, "local_sums");
+    blk.hazard.set_thread_count(static_cast<int>(width));
 
     math.load_doubles(bs * width);
     // Phase 1: each thread (one per column) accumulates its column checksum
@@ -111,6 +114,22 @@ EncodedMatrix encode_columns(gpusim::Launcher& launcher, const Matrix& a,
     }
     math.store_doubles(width);
 
+    if (blk.hazard.enabled()) {
+      // Phase-1 accesses: thread c owns column c of asub and its checksum
+      // cell; then the inter-phase __syncthreads; then the phase-2 reads
+      // (row r scanned by thread r % width, checksum row by thread 0).
+      for (std::size_t r = 0; r < bs; ++r)
+        for (std::size_t c = 0; c < width; ++c)
+          asub.note_write(static_cast<int>(c), r * width + c);
+      for (std::size_t c = 0; c < width; ++c)
+        local_sums.note_write(static_cast<int>(c), c);
+      blk.hazard.sync_threads();
+      for (std::size_t r = 0; r < bs; ++r)
+        for (std::size_t c = 0; c < width; ++c)
+          asub.note_read(static_cast<int>(r % width), r * width + c);
+      for (std::size_t c = 0; c < width; ++c) local_sums.note_read(0, c);
+    }
+
     // Phase 2: numMax passes of max-scan-and-zero per row (Figure 3), plus
     // the reduction over the checksum entries (maxSum path).
     for (std::size_t pass = 0; pass < p; ++pass) {
@@ -127,6 +146,7 @@ EncodedMatrix encode_columns(gpusim::Launcher& launcher, const Matrix& a,
         math.count_compares(width);
         const std::size_t enc_row = codec.enc_index(row0 + r);
         candidates[enc_row * col_chunks + bc].offer(max_val, col0 + max_id);
+        asub.note_write(static_cast<int>(r % width), r * width + max_id);
         asub[r * width + max_id] = 0.0;  // exclude from the next pass
       }
       {
@@ -141,6 +161,7 @@ EncodedMatrix encode_columns(gpusim::Launcher& launcher, const Matrix& a,
         math.count_compares(width);
         const std::size_t cs_row = codec.checksum_index(br);
         candidates[cs_row * col_chunks + bc].offer(max_sum, col0 + max_id);
+        local_sums.note_write(0, max_id);
         local_sums[max_id] = 0.0;
       }
     }
@@ -181,9 +202,12 @@ EncodedMatrix encode_rows(gpusim::Launcher& launcher, const Matrix& b,
     const std::size_t col0 = bc * bs;
     const std::size_t height = std::min(bs, n - row0);  // ragged last chunk
 
-    std::vector<double> bsub(height * bs);
-    std::vector<double> local_sums(height, 0.0);
-    math.use_shared_doubles(height * bs + height);
+    // Hazard model mirrors encode_a: one logical thread per row in phase 1;
+    // phase 2 assigns column c to thread c % height and the checksum-column
+    // scan to thread 0, separated by a barrier.
+    gpusim::SharedArray<double> bsub(blk, height * bs, "bsub");
+    gpusim::SharedArray<double> local_sums(blk, height, "local_sums");
+    blk.hazard.set_thread_count(static_cast<int>(height));
 
     math.load_doubles(height * bs);
     // Phase 1: each thread (one per row) accumulates its row checksum
@@ -216,6 +240,19 @@ EncodedMatrix encode_rows(gpusim::Launcher& launcher, const Matrix& b,
     }
     math.store_doubles(height);
 
+    if (blk.hazard.enabled()) {
+      for (std::size_t r = 0; r < height; ++r) {
+        for (std::size_t c = 0; c < bs; ++c)
+          bsub.note_write(static_cast<int>(r), r * bs + c);
+        local_sums.note_write(static_cast<int>(r), r);
+      }
+      blk.hazard.sync_threads();
+      for (std::size_t c = 0; c < bs; ++c)
+        for (std::size_t r = 0; r < height; ++r)
+          bsub.note_read(static_cast<int>(c % height), r * bs + c);
+      for (std::size_t r = 0; r < height; ++r) local_sums.note_read(0, r);
+    }
+
     // Phase 2: p passes of max-scan-and-zero per column, plus the checksum
     // column's own maxima.
     for (std::size_t pass = 0; pass < p; ++pass) {
@@ -232,6 +269,7 @@ EncodedMatrix encode_rows(gpusim::Launcher& launcher, const Matrix& b,
         math.count_compares(height);
         const std::size_t enc_col = codec.enc_index(col0 + c);
         candidates[enc_col * row_chunks + br].offer(max_val, row0 + max_id);
+        bsub.note_write(static_cast<int>(c % height), max_id * bs + c);
         bsub[max_id * bs + c] = 0.0;
       }
       {
@@ -246,6 +284,7 @@ EncodedMatrix encode_rows(gpusim::Launcher& launcher, const Matrix& b,
         math.count_compares(height);
         const std::size_t cs_col = codec.checksum_index(bc);
         candidates[cs_col * row_chunks + br].offer(max_sum, row0 + max_id);
+        local_sums.note_write(0, max_id);
         local_sums[max_id] = 0.0;
       }
     }

@@ -97,6 +97,7 @@ GemvResult ProtectedGemv::multiply(const std::vector<double>& x) {
       double y_data = 0.0;
       for (std::size_t i = 0; i < bs; ++i)
         y_data = std::max(y_data,
+                          // aabft-lint: allow (bound estimate, bulk-counted)
                           a_cc_.pmax[row0 + i].max_value() * x_pmax.max_value());
       math.count_compares(2 * config_.p * config_.p + bs);
       const double eps = checksum_epsilon(cols_, bs, y_bound, y_data,

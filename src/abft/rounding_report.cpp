@@ -46,12 +46,13 @@ RoundingAnalysis analyze_rounding(gpusim::Launcher& launcher,
       analysis.mean(i, j) = stats.mean;
       analysis.sigma(i, j) = stats.sigma;
       local_max = std::max(local_max, stats.sigma);
-      local_sum += stats.sigma;
+      // Report-statistics aggregation, not simulated device arithmetic.
+      local_sum += stats.sigma;  // aabft-lint: allow
     }
     math.store_doubles(2 * q);
     const std::lock_guard<std::mutex> lock(stats_mutex);
     max_sigma = std::max(max_sigma, local_max);
-    sigma_sum += local_sum;
+    sigma_sum += local_sum;  // aabft-lint: allow (host-side report reduction)
   });
 
   analysis.max_sigma = max_sigma;

@@ -303,6 +303,7 @@ WeightedCheckReport weighted_check_product(
 
       const double y_s = determine_upper_bound(a_sum, b_pmax[gc]);
       const double y_w = determine_upper_bound(a_weighted, b_pmax[gc]);
+      // aabft-lint: allow (bound estimate, bulk-counted below)
       const double y_data = a_block_max[gbr] * b_pmax[gc].max_value();
       math.count_compares(2 * (a_sum.size() + a_weighted.size()) *
                           b_pmax[gc].size());
@@ -310,12 +311,14 @@ WeightedCheckReport weighted_check_product(
       // The weighted reference multiplies data by weights up to BS: its own
       // rounding contribution is bounded with the scaled data magnitude.
       const double eps_w = checksum_epsilon(
+          // aabft-lint: allow (bound scaling, bulk-counted below)
           inner_dim, bs, y_w, static_cast<double>(bs) * y_data, params);
       math.count_muls(14);
       math.count_adds(12);
 
-      const double delta_s = ref_s - stored_s;
-      const double delta_w = ref_w - stored_w;
+      // Checksum deltas, counted as the two adds below.
+      const double delta_s = ref_s - stored_s;  // aabft-lint: allow
+      const double delta_w = ref_w - stored_w;  // aabft-lint: allow
       math.count_adds(2);
       math.count_compares(2);
       const bool sum_bad = !(std::fabs(delta_s) <= eps_s);
@@ -335,12 +338,14 @@ WeightedCheckReport weighted_check_product(
         // Data element: w = delta_w / delta_s must be (close to) an integer
         // weight in [1, BS]. Demand a clear sum signal so the ratio is
         // meaningful.
+        // Locator arithmetic on already-detected deltas (report path, not an
+        // injection or accumulation site).
         if (std::isfinite(delta_s) && std::isfinite(delta_w) &&
-            std::fabs(delta_s) > 2.0 * eps_s) {
-          const double ratio = delta_w / delta_s;
+            std::fabs(delta_s) > 2.0 * eps_s) {  // aabft-lint: allow
+          const double ratio = delta_w / delta_s;  // aabft-lint: allow
           const double rounded = std::round(ratio);
           if (rounded >= 1.0 && rounded <= static_cast<double>(bs) &&
-              std::fabs(ratio - rounded) < 0.25) {
+              std::fabs(ratio - rounded) < 0.25) {  // aabft-lint: allow
             mismatch.local_row = static_cast<std::size_t>(rounded) - 1;
           }
         }

@@ -88,16 +88,18 @@ DiverseTmrResult DiverseTmrMultiplier::multiply(const Matrix& a,
         const double s3 = s1;  // sound stand-in for the pairwise replica
 
         // hypot avoids underflow of sigma^2 for tiny-magnitude elements.
-        const double eps12 = omega * std::hypot(s1, s2);
-        const double eps13 = omega * std::hypot(s1, s3);
-        const double eps23 = omega * std::hypot(s2, s3);
+        // Voting thresholds and deltas are bulk-counted below, not
+        // injection sites.
+        const double eps12 = omega * std::hypot(s1, s2);  // aabft-lint: allow
+        const double eps13 = omega * std::hypot(s1, s3);  // aabft-lint: allow
+        const double eps23 = omega * std::hypot(s2, s3);  // aabft-lint: allow
         math.count_muls(9);
         math.count_adds(3);
 
         // NaN-aware agreement: a NaN replica agrees with nothing.
-        const bool agree12 = std::fabs(v1 - v2) <= eps12;
-        const bool agree13 = std::fabs(v1 - v3) <= eps13;
-        const bool agree23 = std::fabs(v2 - v3) <= eps23;
+        const bool agree12 = std::fabs(v1 - v2) <= eps12;  // aabft-lint: allow
+        const bool agree13 = std::fabs(v1 - v3) <= eps13;  // aabft-lint: allow
+        const bool agree23 = std::fabs(v2 - v3) <= eps23;  // aabft-lint: allow
         math.count_compares(3);
 
         double voted = v1;

@@ -91,19 +91,28 @@ void Executor::worker_loop() {
 void Executor::execute(const TaskPtr& task) {
   PerfCounters local;
   std::size_t ran = 0;
+  std::exception_ptr error;
   const std::size_t total = task->total_;
   const Env& env = task->env_;
   for (std::size_t i = task->next_.fetch_add(1, std::memory_order_relaxed);
        i < total;
        i = task->next_.fetch_add(1, std::memory_order_relaxed)) {
-    if (task->body_) {
-      BlockCtx ctx(block_coord(env.grid, i), env.grid,
-                   static_cast<int>(i % static_cast<std::size_t>(env.num_sms)),
-                   env.faults, env.precision, env.shared_limit);
-      task->body_(ctx);
-      local += ctx.math.counters();
-    } else {
-      task->host_();
+    // A throwing block body (hazard abort, shared-memory overflow, ...) must
+    // not tear down a pool worker: capture the first exception per claiming
+    // thread, keep draining the task's blocks, and let finalize() publish it.
+    try {
+      if (task->body_) {
+        BlockCtx ctx(block_coord(env.grid, i), env.grid,
+                     static_cast<int>(i % static_cast<std::size_t>(env.num_sms)),
+                     env.faults, env.precision, env.shared_limit);
+        ctx.hazard.init(env.hazard_mode, env.hazard_sink, &task->name_, i);
+        task->body_(ctx);
+        local += ctx.math.counters();
+      } else {
+        task->host_();
+      }
+    } catch (...) {
+      if (!error) error = std::current_exception();
     }
     ++ran;
   }
@@ -111,6 +120,7 @@ void Executor::execute(const TaskPtr& task) {
   {
     std::lock_guard<std::mutex> lk(task->mu_);
     task->counters_ += local;
+    if (error && !task->error_) task->error_ = error;
   }
   if (task->remaining_.fetch_sub(ran, std::memory_order_acq_rel) == ran)
     finalize(task);
@@ -128,7 +138,7 @@ void Executor::finalize(const TaskPtr& task) {
   task->body_ = nullptr;
   task->host_ = nullptr;
   if (task->on_complete_) {
-    task->on_complete_(task->result_);
+    task->on_complete_(task->result_, task->error_);
     task->on_complete_ = nullptr;
   }
   {
@@ -149,8 +159,8 @@ void submit_op(const std::shared_ptr<StreamState>& state, Executor& executor,
 /// submit the next pending op (or mark the stream idle).
 void on_op_done(const std::shared_ptr<StreamState>& state, Executor& executor,
                 const Executor::Completion& user_hook,
-                const LaunchStats& stats) {
-  if (user_hook) user_hook(stats);
+                const LaunchStats& stats, std::exception_ptr error) {
+  if (user_hook) user_hook(stats, error);
   StreamState::Op next;
   bool have_next = false;
   {
@@ -174,8 +184,8 @@ void submit_op(const std::shared_ptr<StreamState>& state, Executor& executor,
                StreamState::Op op) {
   auto hook = std::move(op.on_complete);
   auto completion = [state, &executor, hook = std::move(hook)](
-                        const LaunchStats& stats) {
-    on_op_done(state, executor, hook, stats);
+                        const LaunchStats& stats, std::exception_ptr error) {
+    on_op_done(state, executor, hook, stats, error);
   };
   if (op.is_kernel) {
     executor.submit_kernel(std::move(op.name), op.env, std::move(op.body),

@@ -40,6 +40,7 @@
 
 #include "gpusim/dim.hpp"
 #include "gpusim/fault_site.hpp"
+#include "gpusim/hazard.hpp"
 #include "gpusim/math_ctx.hpp"
 #include "gpusim/perf_counters.hpp"
 
@@ -50,6 +51,7 @@ struct BlockCtx {
   BlockCoord block;      ///< coordinates within the grid
   Dim3 grid;             ///< grid dimensions
   MathCtx math;          ///< counted / injectable arithmetic
+  HazardCtx hazard;      ///< shared-memory hazard analysis (off by default)
 
   BlockCtx(BlockCoord b, Dim3 g, int sm_id, FaultController* faults,
            Precision precision, std::uint64_t shared_limit) noexcept
@@ -68,17 +70,22 @@ struct LaunchStats {
 class Executor {
  public:
   using KernelBody = std::function<void(BlockCtx&)>;
-  using Completion = std::function<void(const LaunchStats&)>;
+  /// Runs once per task, on the worker that finishes the last block. The
+  /// exception_ptr carries the first exception a block body (or host
+  /// function) threw — null for a clean run.
+  using Completion = std::function<void(const LaunchStats&, std::exception_ptr)>;
 
   /// Launch environment, snapshotted when the task is created (async work
-  /// keeps the fault controller / precision that were current at enqueue
-  /// time, regardless of later changes on the launcher).
+  /// keeps the fault controller / precision / hazard mode that were current
+  /// at enqueue time, regardless of later changes on the launcher).
   struct Env {
     Dim3 grid;
     int num_sms = 1;
     std::uint64_t shared_limit = 0;
     FaultController* faults = nullptr;
     Precision precision = Precision::kDouble;
+    HazardMode hazard_mode = HazardMode::kOff;
+    HazardSink* hazard_sink = nullptr;
   };
 
   /// One unit of schedulable work. Refcounted: the executor, streams and
@@ -90,6 +97,9 @@ class Executor {
     }
     /// Aggregated launch statistics; valid once finished().
     [[nodiscard]] const LaunchStats& stats() const noexcept { return result_; }
+    /// First exception thrown by a block body, or null; valid once
+    /// finished(). Synchronous launches rethrow it to the caller.
+    [[nodiscard]] std::exception_ptr error() const noexcept { return error_; }
 
    private:
     friend class Executor;
@@ -103,6 +113,7 @@ class Executor {
     std::mutex mu_;                // guards counter merge + done_cv_
     std::condition_variable done_cv_;
     PerfCounters counters_;
+    std::exception_ptr error_;     // first block failure, written under mu_
     LaunchStats result_;
     std::atomic<bool> done_{false};
     Completion on_complete_;

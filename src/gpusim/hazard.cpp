@@ -1,0 +1,99 @@
+#include "gpusim/hazard.hpp"
+
+#include <sstream>
+#include <utility>
+
+namespace aabft::gpusim {
+
+const char* to_string(HazardKind kind) noexcept {
+  switch (kind) {
+    case HazardKind::kRaceWriteWrite:
+      return "write/write race";
+    case HazardKind::kRaceWriteRead:
+      return "write/read race";
+    case HazardKind::kRaceReadWrite:
+      return "read/write race";
+    case HazardKind::kSyncDivergence:
+      return "barrier divergence";
+    case HazardKind::kOutOfBounds:
+      return "out-of-bounds access";
+    case HazardKind::kSharedOverflow:
+      return "shared-memory overflow";
+  }
+  return "unknown hazard";
+}
+
+std::string HazardRecord::describe() const {
+  std::ostringstream os;
+  os << kernel << " block " << block << ": " << to_string(kind);
+  switch (kind) {
+    case HazardKind::kRaceWriteWrite:
+    case HazardKind::kRaceWriteRead:
+    case HazardKind::kRaceReadWrite:
+      os << " on " << array << "[" << cell << "] between threads "
+         << first_thread << " and " << second_thread << " (epoch " << epoch
+         << ")";
+      break;
+    case HazardKind::kSyncDivergence:
+      os << ": " << cell << " of " << second_thread
+         << " threads arrived (first missing: thread " << first_thread
+         << ", epoch " << epoch << ")";
+      break;
+    case HazardKind::kOutOfBounds:
+      os << ": thread " << second_thread << " touched " << array << "["
+         << cell << "]";
+      break;
+    case HazardKind::kSharedOverflow:
+      os << ": allocating " << array << " (" << cell
+         << " elements) exceeds the device's per-block shared memory";
+      break;
+  }
+  return os.str();
+}
+
+HazardError::HazardError(HazardRecord record)
+    : std::runtime_error(record.describe()), record_(std::move(record)) {}
+
+void HazardSink::report(const HazardRecord& record) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++total_;
+  if (records_.size() < kMaxRecords) records_.push_back(record);
+}
+
+std::vector<HazardRecord> HazardSink::records() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+std::size_t HazardSink::total() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+std::size_t HazardSink::dropped() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return total_ - records_.size();
+}
+
+void HazardSink::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+  total_ = 0;
+}
+
+void HazardCtx::report(HazardKind kind, const char* array, std::size_t cell,
+                       int first, int second) {
+  HazardRecord record;
+  record.kind = kind;
+  record.kernel = kernel_ != nullptr ? *kernel_ : std::string("<unnamed>");
+  record.block = block_;
+  record.array = array != nullptr ? array : "";
+  record.cell = cell;
+  record.first_thread = first;
+  record.second_thread = second;
+  record.epoch = epoch_;
+  if (sink_ != nullptr) sink_->report(record);
+  if (mode_ == HazardMode::kAbort) throw HazardError(std::move(record));
+}
+
+}  // namespace aabft::gpusim

@@ -1,0 +1,360 @@
+// Dynamic hazard analysis for simulated kernels — racecheck / synccheck /
+// memcheck for the block-synchronous SIMT model.
+//
+// Kernels in this library are written as loop nests over *logical* thread
+// ids, with barriers implicit between loop nests (kernel.hpp). That style
+// can silently encode bugs that would corrupt results on a real GPU:
+//
+//   racecheck — two distinct logical threads touch the same shared-memory
+//               cell in the same barrier epoch, at least one writing
+//               (write/write, write→read, read→write);
+//   synccheck — a barrier reached by only a subset of the block's threads
+//               (divergent __syncthreads);
+//   memcheck  — an access outside a shared array's bounds, or a block whose
+//               shared-memory footprint exceeds DeviceSpec::
+//               shared_mem_per_block.
+//
+// The analysis is opt-in per launcher (Launcher::set_hazard_mode) and
+// snapshotted per launch like the fault controller and precision, so async
+// launches keep the mode they were enqueued under. Three modes:
+//
+//   kOff    — zero tracking. SharedArray<T> degenerates to a plain buffer;
+//             every note_*/sync call is a null-check. Results are
+//             bit-identical to a build without the analyzer.
+//   kRecord — shadow cells record (writer thread, epoch) per shared cell;
+//             hazards append to the launcher's HazardSink and execution
+//             continues (cuda-memcheck --tool racecheck style).
+//   kAbort  — first hazard throws HazardError out of the launch
+//             (halt_on_error).
+//
+// Epoch model: HazardCtx::sync_threads() is the analyzer's __syncthreads.
+// Accesses carry the logical thread id that would perform them on the GPU;
+// two accesses conflict only if they land in the same epoch. Divergent
+// barriers are modelled with arrive(tid): if any thread arrives explicitly,
+// the barrier checks that *all* block threads arrived; a sync_threads()
+// with no explicit arrivals is a full-participation barrier (the implicit
+// barrier between loop nests).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/require.hpp"
+
+namespace aabft::gpusim {
+
+enum class HazardMode : std::uint8_t { kOff, kRecord, kAbort };
+
+enum class HazardKind : std::uint8_t {
+  kRaceWriteWrite,   ///< racecheck: two writers, same cell, same epoch
+  kRaceWriteRead,    ///< racecheck: read of a cell written this epoch
+  kRaceReadWrite,    ///< racecheck: write of a cell read this epoch
+  kSyncDivergence,   ///< synccheck: barrier missed by >= 1 thread
+  kOutOfBounds,      ///< memcheck: access outside a shared array
+  kSharedOverflow,   ///< memcheck: block exceeds shared_mem_per_block
+};
+
+[[nodiscard]] const char* to_string(HazardKind kind) noexcept;
+
+/// One detected hazard. Field meaning by kind:
+///   races          — array/cell; first_thread = earlier accessor,
+///                    second_thread = conflicting accessor.
+///   sync divergence— cell = number of threads that arrived,
+///                    first_thread = first missing tid,
+///                    second_thread = block thread count.
+///   out of bounds  — array; cell = offending index,
+///                    second_thread = accessing tid.
+///   shared overflow— array; cell = element count of the allocation.
+struct HazardRecord {
+  HazardKind kind = HazardKind::kRaceWriteWrite;
+  std::string kernel;
+  std::size_t block = 0;   ///< linear block index within the grid
+  std::string array;
+  std::size_t cell = 0;
+  int first_thread = -1;
+  int second_thread = -1;
+  std::uint64_t epoch = 0;
+
+  /// Human-readable one-line report ("gemm block 3: write/read race on
+  /// sm_a[17] between threads 2 and 5 (epoch 4)").
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Thrown by kAbort mode at the first hazard.
+class HazardError : public std::runtime_error {
+ public:
+  explicit HazardError(HazardRecord record);
+  [[nodiscard]] const HazardRecord& record() const noexcept { return record_; }
+
+ private:
+  HazardRecord record_;
+};
+
+/// Thread-safe hazard collector, owned by the Launcher (blocks of one launch
+/// execute concurrently on the worker pool). Bounded: pathological kernels
+/// cannot grow the sink without limit; the drop count is reported instead.
+class HazardSink {
+ public:
+  static constexpr std::size_t kMaxRecords = 4096;
+
+  void report(const HazardRecord& record);
+  [[nodiscard]] std::vector<HazardRecord> records() const;
+  [[nodiscard]] std::size_t total() const;    ///< including dropped
+  [[nodiscard]] std::size_t dropped() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<HazardRecord> records_;
+  std::size_t total_ = 0;
+};
+
+/// Per-block analysis state, embedded in BlockCtx. Default-constructed it is
+/// disabled and every member function is a cheap no-op.
+class HazardCtx {
+ public:
+  HazardCtx() = default;
+
+  /// Called by the launch machinery; kernel/sink must outlive the block.
+  void init(HazardMode mode, HazardSink* sink, const std::string* kernel,
+            std::size_t block_linear) noexcept {
+    mode_ = sink == nullptr ? HazardMode::kOff : mode;
+    sink_ = sink;
+    kernel_ = kernel;
+    block_ = block_linear;
+  }
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return mode_ != HazardMode::kOff;
+  }
+  [[nodiscard]] HazardMode mode() const noexcept { return mode_; }
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+
+  /// Declare the number of logical threads of this block (the CUDA block
+  /// size). Required for synccheck; races and memcheck work without it.
+  void set_thread_count(int threads) {
+    if (!enabled()) return;
+    AABFT_REQUIRE(threads > 0, "block thread count must be positive");
+    thread_count_ = threads;
+    arrived_.assign(static_cast<std::size_t>(threads), 0);
+    arrivals_ = 0;
+    explicit_arrivals_ = false;
+  }
+  [[nodiscard]] int thread_count() const noexcept { return thread_count_; }
+
+  /// Mark logical thread `tid` as having reached the next barrier. Used to
+  /// model *divergent* barrier participation; straight-line kernels skip it.
+  void arrive(int tid) {
+    if (!enabled()) return;
+    explicit_arrivals_ = true;
+    if (tid < 0 || tid >= thread_count_) {
+      report(HazardKind::kSyncDivergence, "", arrivals_, tid, thread_count_);
+      return;
+    }
+    if (arrived_[static_cast<std::size_t>(tid)] == 0) {
+      arrived_[static_cast<std::size_t>(tid)] = 1;
+      ++arrivals_;
+    }
+  }
+
+  /// The analyzer's __syncthreads: verifies participation (when any thread
+  /// arrived explicitly) and advances the epoch, retiring all prior
+  /// accesses from race candidacy.
+  void sync_threads() {
+    if (!enabled()) return;
+    if (explicit_arrivals_ && thread_count_ > 0 &&
+        arrivals_ != static_cast<std::size_t>(thread_count_)) {
+      int missing = -1;
+      for (std::size_t t = 0; t < arrived_.size(); ++t) {
+        if (arrived_[t] == 0) {
+          missing = static_cast<int>(t);
+          break;
+        }
+      }
+      report(HazardKind::kSyncDivergence, "", arrivals_, missing,
+             thread_count_);
+    }
+    if (!arrived_.empty()) arrived_.assign(arrived_.size(), 0);
+    arrivals_ = 0;
+    explicit_arrivals_ = false;
+    ++epoch_;
+  }
+
+  /// Build, record and (in kAbort mode) throw a hazard.
+  void report(HazardKind kind, const char* array, std::size_t cell, int first,
+              int second);
+
+ private:
+  HazardMode mode_ = HazardMode::kOff;
+  HazardSink* sink_ = nullptr;
+  const std::string* kernel_ = nullptr;
+  std::size_t block_ = 0;
+  std::uint64_t epoch_ = 1;  // 0 is reserved for "never accessed"
+  int thread_count_ = 0;
+  std::vector<char> arrived_;
+  std::size_t arrivals_ = 0;
+  bool explicit_arrivals_ = false;
+};
+
+namespace detail {
+
+/// Shadow state of one shared array: per-cell last writer/readers by epoch.
+/// Allocated only when the owning block runs with hazards enabled.
+class ShadowState {
+ public:
+  ShadowState(HazardCtx& hz, const char* label, std::size_t size)
+      : hz_(hz), label_(label), cells_(size) {}
+
+  void note_write(int tid, std::size_t index) {
+    if (index >= cells_.size()) {
+      report_oob(tid, index);
+      return;
+    }
+    Cell& c = cells_[index];
+    const std::uint64_t e = hz_.epoch();
+    if (c.write_epoch == e && c.writer != tid &&
+        (c.reported & kReportedWW) == 0) {
+      c.reported |= kReportedWW;
+      hz_.report(HazardKind::kRaceWriteWrite, label_, index, c.writer, tid);
+    }
+    if (c.read_epoch == e && (c.multi_reader || c.reader != tid) &&
+        (c.reported & kReportedRW) == 0) {
+      c.reported |= kReportedRW;
+      hz_.report(HazardKind::kRaceReadWrite, label_, index, c.reader, tid);
+    }
+    c.writer = tid;
+    c.write_epoch = e;
+  }
+
+  void note_read(int tid, std::size_t index) {
+    if (index >= cells_.size()) {
+      report_oob(tid, index);
+      return;
+    }
+    Cell& c = cells_[index];
+    const std::uint64_t e = hz_.epoch();
+    if (c.write_epoch == e && c.writer != tid &&
+        (c.reported & kReportedWR) == 0) {
+      c.reported |= kReportedWR;
+      hz_.report(HazardKind::kRaceWriteRead, label_, index, c.writer, tid);
+    }
+    if (c.read_epoch != e) {
+      c.read_epoch = e;
+      c.reader = tid;
+      c.multi_reader = false;
+    } else if (c.reader != tid) {
+      c.multi_reader = true;
+    }
+  }
+
+ private:
+  // Per-cell dedup: each (cell, conflict flavour) reports once per block, so
+  // a racing inner loop cannot flood the sink.
+  static constexpr std::uint8_t kReportedWW = 1U << 0;
+  static constexpr std::uint8_t kReportedWR = 1U << 1;
+  static constexpr std::uint8_t kReportedRW = 1U << 2;
+  static constexpr std::size_t kMaxOobReports = 16;
+
+  struct Cell {
+    int writer = -1;
+    int reader = -1;
+    std::uint64_t write_epoch = 0;  // 0 = never
+    std::uint64_t read_epoch = 0;
+    bool multi_reader = false;
+    std::uint8_t reported = 0;
+  };
+
+  void report_oob(int tid, std::size_t index) {
+    if (oob_reports_ >= kMaxOobReports) return;
+    ++oob_reports_;
+    hz_.report(HazardKind::kOutOfBounds, label_, index, -1, tid);
+  }
+
+  HazardCtx& hz_;
+  const char* label_;
+  std::vector<Cell> cells_;
+  std::size_t oob_reports_ = 0;
+};
+
+}  // namespace detail
+
+/// Shared-memory array of one simulated block. Replaces the plain
+/// std::vector tiles of the block-synchronous kernels:
+///
+///   SharedArray<double> sm_a(blk, bm * bk, "sm_a");
+///
+/// declares the footprint against the device's shared-memory budget and —
+/// only when the launch runs with hazards enabled — allocates shadow cells.
+///
+/// Access API, mirroring how the CUDA kernel would touch the tile:
+///   data()/operator[]      raw, untracked — the fenced fast paths keep
+///                          their __restrict pointer loops;
+///   note_write/note_read   attribute an access to a logical thread id
+///                          (no-ops when the analyzer is off);
+///   store/load             bounds-checked tracked element access, for
+///                          analyzer-focused kernels and seeded-bug tests.
+template <typename T>
+class SharedArray {
+ public:
+  /// `blk` is a BlockCtx (any context exposing .math and .hazard). `label`
+  /// must be a string literal (kept by pointer for hazard reports).
+  template <typename Ctx>
+  SharedArray(Ctx& blk, std::size_t size, const char* label)
+      : data_(size), label_(label) {
+    const std::uint64_t bytes = static_cast<std::uint64_t>(sizeof(T)) * size;
+    if (blk.hazard.enabled()) {
+      shadow_ = std::make_unique<detail::ShadowState>(blk.hazard, label, size);
+      // Under analysis, an oversized block is *reported* (memcheck) instead
+      // of thrown so record mode can keep executing the kernel body.
+      blk.math.use_shared_bytes_unchecked(bytes);
+      const std::uint64_t limit = blk.math.shared_limit();
+      if (limit != 0 && blk.math.shared_bytes() > limit)
+        blk.hazard.report(HazardKind::kSharedOverflow, label, size, -1, -1);
+    } else {
+      blk.math.use_shared_bytes(bytes);
+    }
+  }
+
+  SharedArray(const SharedArray&) = delete;
+  SharedArray& operator=(const SharedArray&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] T* data() noexcept { return data_.data(); }
+  [[nodiscard]] const T* data() const noexcept { return data_.data(); }
+  [[nodiscard]] T& operator[](std::size_t i) noexcept { return data_[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept {
+    return data_[i];
+  }
+
+  void note_write(int tid, std::size_t i) {
+    if (shadow_) shadow_->note_write(tid, i);
+  }
+  void note_read(int tid, std::size_t i) {
+    if (shadow_) shadow_->note_read(tid, i);
+  }
+
+  /// Tracked element write; out-of-bounds indices are reported (memcheck)
+  /// and dropped rather than corrupting the host heap.
+  void store(int tid, std::size_t i, T value) {
+    note_write(tid, i);
+    if (i < data_.size()) data_[i] = value;
+  }
+
+  /// Tracked element read; out-of-bounds indices are reported and yield T{}.
+  [[nodiscard]] T load(int tid, std::size_t i) {
+    note_read(tid, i);
+    return i < data_.size() ? data_[i] : T{};
+  }
+
+ private:
+  std::vector<T> data_;
+  const char* label_;
+  std::unique_ptr<detail::ShadowState> shadow_;
+};
+
+}  // namespace aabft::gpusim

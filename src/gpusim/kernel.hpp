@@ -36,9 +36,21 @@
 //     across concurrently executing streams the interleaving is the
 //     completion order and is not deterministic. Call synchronize() first
 //     for a complete log.
-//   - set_fault_controller() / set_precision() are not synchronized against
-//     concurrent launches; set them while no work is in flight. Async
-//     launches capture both at enqueue time.
+//   - set_fault_controller() / set_precision() / set_hazard_mode() are not
+//     synchronized against concurrent launches; set them while no
+//     *synchronous* launch is in flight (enforced: a work-in-flight counter
+//     turns misuse into an AABFT_REQUIRE failure). Async launches capture
+//     all three at enqueue time, so reconfiguring while stream work is
+//     pending is well-defined.
+//
+// Hazard analysis (racecheck / synccheck / memcheck — see gpusim/hazard.hpp):
+// set_hazard_mode(HazardMode::kRecord) makes every subsequent launch track
+// SharedArray accesses through shadow cells; detected hazards accumulate in
+// hazard_records(). kAbort throws HazardError at the first hazard — out of
+// launch() directly, or out of synchronize() for async launches. A block
+// body that throws (hazard abort, shared-memory overflow) never kills a pool
+// worker: the first exception is captured and rethrown on the waiting host
+// thread; for stream work it is stored and rethrown by synchronize().
 #pragma once
 
 #include <atomic>
@@ -71,7 +83,9 @@ class Launcher {
         workers_(workers != 0 ? workers
                               : std::max(1u, std::thread::hardware_concurrency())) {}
 
-  ~Launcher() { synchronize(); }
+  // Drain without rethrowing stored async errors (throwing from a destructor
+  // would terminate); an unobserved async failure is dropped here.
+  ~Launcher() { drain(); }
 
   Launcher(const Launcher&) = delete;
   Launcher& operator=(const Launcher&) = delete;
@@ -81,13 +95,37 @@ class Launcher {
 
   /// Attach (or detach, with nullptr) the fault controller consulted by all
   /// subsequently launched kernels.
-  void set_fault_controller(FaultController* faults) noexcept { faults_ = faults; }
+  void set_fault_controller(FaultController* faults) {
+    require_no_sync_inflight("set_fault_controller");
+    faults_ = faults;
+  }
   [[nodiscard]] FaultController* fault_controller() const noexcept { return faults_; }
 
   /// Arithmetic precision of subsequently launched kernels (default double;
   /// kSingle simulates a binary32 GPU pipeline — see MathCtx::Precision).
-  void set_precision(Precision precision) noexcept { precision_ = precision; }
+  void set_precision(Precision precision) {
+    require_no_sync_inflight("set_precision");
+    precision_ = precision;
+  }
   [[nodiscard]] Precision precision() const noexcept { return precision_; }
+
+  /// Hazard analysis of subsequently launched kernels (default kOff). Like
+  /// the fault controller and precision, async launches snapshot the mode at
+  /// enqueue time. Detected hazards accumulate in hazard_records().
+  void set_hazard_mode(HazardMode mode) {
+    require_no_sync_inflight("set_hazard_mode");
+    hazard_mode_ = mode;
+  }
+  [[nodiscard]] HazardMode hazard_mode() const noexcept { return hazard_mode_; }
+
+  /// Snapshot of the hazards recorded by launches of this launcher so far
+  /// (bounded — see HazardSink). Synchronize() first for a complete view of
+  /// async work.
+  [[nodiscard]] std::vector<HazardRecord> hazard_records() const {
+    return hazards_.records();
+  }
+  [[nodiscard]] std::size_t hazard_count() const { return hazards_.total(); }
+  void clear_hazard_records() { hazards_.clear(); }
 
   /// Run `body(BlockCtx&)` for every block of the grid and wait. Returns op
   /// counts aggregated across blocks and records them in the launch log.
@@ -97,6 +135,7 @@ class Launcher {
   LaunchStats launch(const std::string& name, Dim3 grid, Body&& body) {
     AABFT_REQUIRE(grid.count() > 0, "empty grid");
     const std::size_t total = grid.count();
+    const SyncInflightGuard inflight(sync_inflight_);
 
     if (workers_ <= 1 || total == 1) {
       LaunchStats stats;
@@ -106,6 +145,7 @@ class Launcher {
         BlockCtx ctx(block_coord(grid, i), grid,
                      static_cast<int>(i % static_cast<std::size_t>(spec_.num_sms)),
                      faults_, precision_, spec_.shared_mem_per_block);
+        ctx.hazard.init(hazard_mode_, &hazards_, &name, i);
         body(ctx);
         stats.counters += ctx.math.counters();
       }
@@ -119,6 +159,7 @@ class Launcher {
     auto task = pool.submit_kernel(
         name, make_env(grid), [&body](BlockCtx& ctx) { body(ctx); });
     pool.wait(task, /*help=*/true);
+    if (auto error = task->error()) std::rethrow_exception(error);
     append_log(task->stats());
     return task->stats();
   }
@@ -148,7 +189,12 @@ class Launcher {
     op.name = name;
     op.env = make_env(grid);
     op.body = Executor::KernelBody(std::forward<Body>(body));
-    op.on_complete = [this](const LaunchStats& stats) { append_log(stats); };
+    op.on_complete = [this](const LaunchStats& stats, std::exception_ptr error) {
+      if (error)
+        note_async_error(error);
+      else
+        append_log(stats);
+    };
     detail::stream_enqueue(stream.state_, pool(), std::move(op));
   }
 
@@ -161,18 +207,23 @@ class Launcher {
     op.is_kernel = false;
     op.name = std::move(name);
     op.host = std::move(fn);
+    op.on_complete = [this](const LaunchStats&, std::exception_ptr error) {
+      if (error) note_async_error(error);
+    };
     detail::stream_enqueue(stream.state_, pool(), std::move(op));
   }
 
-  /// Wait until every stream created from this launcher is idle.
+  /// Wait until every stream created from this launcher is idle, then rethrow
+  /// the first exception any async kernel/host task raised since the last
+  /// synchronize() (hazard aborts, shared-memory overflows, ...).
   void synchronize() {
-    std::vector<std::weak_ptr<detail::StreamState>> streams;
+    drain();
+    std::exception_ptr error;
     {
-      std::lock_guard<std::mutex> lk(streams_mu_);
-      streams = streams_;
+      std::lock_guard<std::mutex> lk(async_error_mu_);
+      error = std::exchange(async_error_, nullptr);
     }
-    for (auto& weak : streams)
-      if (auto state = weak.lock()) detail::stream_synchronize(state);
+    if (error) std::rethrow_exception(error);
   }
 
   /// Launch log: one entry per completed kernel launch since the last clear.
@@ -187,13 +238,57 @@ class Launcher {
   }
 
  private:
-  [[nodiscard]] Executor::Env make_env(Dim3 grid) const noexcept {
+  /// RAII in-flight marker for synchronous launches (the counter the
+  /// reconfiguration assertions check). Async work is exempt: it snapshots
+  /// its environment at enqueue time.
+  class SyncInflightGuard {
+   public:
+    explicit SyncInflightGuard(std::atomic<int>& count) noexcept
+        : count_(count) {
+      count_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    ~SyncInflightGuard() { count_.fetch_sub(1, std::memory_order_acq_rel); }
+    SyncInflightGuard(const SyncInflightGuard&) = delete;
+    SyncInflightGuard& operator=(const SyncInflightGuard&) = delete;
+
+   private:
+    std::atomic<int>& count_;
+  };
+
+  void require_no_sync_inflight(const char* setter) const {
+    AABFT_REQUIRE(sync_inflight_.load(std::memory_order_acquire) == 0,
+                  (std::string(setter) +
+                   "() while a synchronous launch is in flight — reconfigure "
+                   "the launcher only between launches")
+                      .c_str());
+  }
+
+  void note_async_error(std::exception_ptr error) {
+    std::lock_guard<std::mutex> lk(async_error_mu_);
+    if (!async_error_) async_error_ = error;
+  }
+
+  /// Wait until every stream created from this launcher is idle, without
+  /// rethrowing stored async errors (destructor-safe).
+  void drain() {
+    std::vector<std::weak_ptr<detail::StreamState>> streams;
+    {
+      std::lock_guard<std::mutex> lk(streams_mu_);
+      streams = streams_;
+    }
+    for (auto& weak : streams)
+      if (auto state = weak.lock()) detail::stream_synchronize(state);
+  }
+
+  [[nodiscard]] Executor::Env make_env(Dim3 grid) noexcept {
     Executor::Env env;
     env.grid = grid;
     env.num_sms = spec_.num_sms;
     env.shared_limit = spec_.shared_mem_per_block;
     env.faults = faults_;
     env.precision = precision_;
+    env.hazard_mode = hazard_mode_;
+    env.hazard_sink = &hazards_;
     return env;
   }
 
@@ -213,6 +308,12 @@ class Launcher {
   unsigned workers_;
   FaultController* faults_ = nullptr;
   Precision precision_ = Precision::kDouble;
+  HazardMode hazard_mode_ = HazardMode::kOff;
+  HazardSink hazards_;
+  std::atomic<int> sync_inflight_{0};
+
+  std::mutex async_error_mu_;
+  std::exception_ptr async_error_;
 
   std::once_flag pool_once_;
   std::unique_ptr<Executor> pool_;

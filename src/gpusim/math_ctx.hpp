@@ -267,7 +267,16 @@ class MathCtx {
     AABFT_REQUIRE(shared_limit_ == 0 || shared_bytes_ <= shared_limit_,
                   "kernel exceeds the device's per-block shared memory");
   }
+  /// Footprint accounting without the hard failure: the hazard analyzer uses
+  /// this in record mode so an oversized block is *reported* (memcheck) and
+  /// execution continues. Plain kernels keep the throwing overload above.
+  void use_shared_bytes_unchecked(std::uint64_t n) noexcept {
+    shared_bytes_ += n;
+  }
   void set_shared_limit(std::uint64_t bytes) noexcept { shared_limit_ = bytes; }
+  [[nodiscard]] std::uint64_t shared_limit() const noexcept {
+    return shared_limit_;
+  }
   [[nodiscard]] std::uint64_t shared_bytes() const noexcept {
     return shared_bytes_;
   }

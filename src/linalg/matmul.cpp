@@ -6,6 +6,7 @@
 
 #include "core/require.hpp"
 #include "gpusim/fault_site.hpp"
+#include "gpusim/hazard.hpp"
 
 namespace aabft::linalg {
 
@@ -45,9 +46,16 @@ Matrix blocked_matmul(gpusim::Launcher& launcher, const Matrix& a,
     // accumulator grid. Element (i, j) belongs to thread (i/rx, j/ry) and is
     // that thread's module (i%rx)*ry + (j%ry).
     std::vector<double> accum(bm * bn, 0.0);
-    std::vector<double> sm_a(bm * bk);  // shared memory tile of A
-    std::vector<double> sm_b(bk * bn);  // shared memory tile of B
-    math.use_shared_doubles(bm * bk + bk * bn);
+    gpusim::SharedArray<double> sm_a(blk, bm * bk, "sm_a");  // A tile
+    gpusim::SharedArray<double> sm_b(blk, bk * bn, "sm_b");  // B tile
+
+    // Hazard model: the block's logical threads are the (bm/rx) x (bn/ry)
+    // register-tile owners; thread of C element (i, j) is
+    // (i/rx)*(bn/ry) + j/ry. Tile staging is strided over all threads
+    // (element e loaded by thread e % T), as in the CUDA kernel.
+    const std::size_t thread_cols = bn / ry;
+    const int num_threads = static_cast<int>((bm / rx) * thread_cols);
+    blk.hazard.set_thread_count(num_threads);
 
     // Precomputed module ids to keep modulo arithmetic out of the hot loop.
     std::vector<int> module_row(bm);
@@ -95,6 +103,20 @@ Matrix blocked_matmul(gpusim::Launcher& launcher, const Matrix& a,
         }
       }
       math.load_doubles(bm * bk + bk * bn);
+
+      if (blk.hazard.enabled()) {
+        // Attribute the staging writes (thread e % T wrote tile element e),
+        // then the post-load __syncthreads of the CUDA kernel.
+        for (std::size_t e = 0; e < bm * bk; ++e)
+          sm_a.note_write(static_cast<int>(e % static_cast<std::size_t>(
+                              num_threads)),
+                          e);
+        for (std::size_t e = 0; e < bk * bn; ++e)
+          sm_b.note_write(static_cast<int>(e % static_cast<std::size_t>(
+                              num_threads)),
+                          e);
+        blk.hazard.sync_threads();
+      }
 
       // Fault fence for the panel: can any armed inner-loop fault intersect
       // this block's SM, any module, and this panel's K range? Almost always
@@ -146,6 +168,29 @@ Matrix blocked_matmul(gpusim::Launcher& launcher, const Matrix& a,
             }
           }
         }
+      }
+
+      if (blk.hazard.enabled()) {
+        // Attribute the compute-phase reads: C element (i, j)'s owner reads
+        // sm_a[i*bk + kk] and sm_b[kk*bn + j] for every kk — i.e. each A-tile
+        // cell is read by the bn/ry threads of its row group, each B-tile
+        // cell by the bm/rx threads of its column group. Then the pre-restage
+        // __syncthreads.
+        for (std::size_t i = 0; i < bm; ++i) {
+          const int trow = static_cast<int>((i / rx) * thread_cols);
+          for (std::size_t kk = 0; kk < k_count; ++kk)
+            for (std::size_t tc = 0; tc < thread_cols; ++tc)
+              sm_a.note_read(trow + static_cast<int>(tc), i * bk + kk);
+        }
+        for (std::size_t kk = 0; kk < k_count; ++kk) {
+          for (std::size_t j = 0; j < bn; ++j) {
+            const int tcol = static_cast<int>(j / ry);
+            for (std::size_t tr = 0; tr < bm / rx; ++tr)
+              sm_b.note_read(static_cast<int>(tr * thread_cols) + tcol,
+                             kk * bn + j);
+          }
+        }
+        blk.hazard.sync_threads();
       }
     }
 

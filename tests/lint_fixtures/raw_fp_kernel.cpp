@@ -1,0 +1,24 @@
+// Seeded MathCtx-bypass fixture for scripts/lint_mathctx.py --self-test.
+// NOT part of the build (tests/CMakeLists.txt globs test_*.cpp only): this
+// kernel body deliberately does raw floating-point arithmetic that escapes
+// the MathCtx counters and the fault-injection surface, and the lint must
+// flag every site. If the lint ever passes this file, the self-test fails.
+#include <cmath>
+#include <vector>
+
+#include "gpusim/kernel.hpp"
+
+namespace aabft::fixtures {
+
+void raw_fp_kernel(gpusim::Launcher& launcher, const std::vector<double>& a,
+                   const std::vector<double>& b, std::vector<double>& c) {
+  const std::size_t n = c.size();
+  launcher.launch("raw_fp", gpusim::Dim3{n, 1, 1}, [&](gpusim::BlockCtx& blk) {
+    const std::size_t i = blk.block.x;
+    const double scaled = a[i] * 2.0;            // raw mul: must be flagged
+    const double mixed = scaled + b[i];          // raw add: must be flagged
+    c[i] = std::fma(a[i], b[i], mixed);          // raw fma: must be flagged
+  });
+}
+
+}  // namespace aabft::fixtures

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "gpusim/device.hpp"
@@ -216,6 +217,69 @@ TEST(Launcher, OversizedKernelSharedMemoryRejected) {
                         blk.math.use_shared_doubles(64 * 64 * 2);  // 64 KB
                       }),
       std::invalid_argument);
+}
+
+TEST(Launcher, OversizedSharedMemoryFailsDeterministicallyOnPool) {
+  // Multi-block launches on the worker pool must surface the budget
+  // violation as the same exception on the calling thread — never a dead
+  // worker or a terminate — every single time.
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    Launcher launcher(k20c(), 2);
+    EXPECT_THROW(
+        launcher.launch("fat", Dim3{4, 2, 1},
+                        [](BlockCtx& blk) {
+                          blk.math.use_shared_doubles(64 * 64 * 2);  // 64 KB
+                        }),
+        std::invalid_argument);
+    // The pool survives the failed launch: a follow-up launch still works.
+    std::atomic<int> blocks{0};
+    launcher.launch("ok", Dim3{4, 1, 1},
+                    [&](BlockCtx&) { blocks.fetch_add(1); });
+    EXPECT_EQ(blocks.load(), 4);
+  }
+}
+
+TEST(Launcher, OversizedSharedMemoryAsyncRethrownAtSynchronize) {
+  Launcher launcher(k20c(), 2);
+  Stream stream = launcher.create_stream();
+  launcher.launch_async(stream, "fat", Dim3{2, 1, 1}, [](BlockCtx& blk) {
+    blk.math.use_shared_doubles(64 * 64 * 2);  // 64 KB
+  });
+  EXPECT_THROW(launcher.synchronize(), std::invalid_argument);
+  // The stored error is consumed; the launcher is usable again.
+  launcher.synchronize();
+  std::atomic<int> blocks{0};
+  launcher.launch_async(stream, "ok", Dim3{3, 1, 1},
+                        [&](BlockCtx&) { blocks.fetch_add(1); });
+  launcher.synchronize();
+  EXPECT_EQ(blocks.load(), 3);
+}
+
+TEST(Launcher, ReconfiguringDuringSyncLaunchThrows) {
+  // The header contract: set_fault_controller / set_precision /
+  // set_hazard_mode while a synchronous launch is in flight is misuse, and
+  // the launcher enforces it instead of racing.
+  Launcher launcher(k20c(), 1);
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  std::thread worker([&] {
+    launcher.launch("gate", Dim3{1, 1, 1}, [&](BlockCtx&) {
+      started.store(true);
+      while (!release.load()) std::this_thread::yield();
+    });
+  });
+  while (!started.load()) std::this_thread::yield();
+  EXPECT_THROW(launcher.set_fault_controller(nullptr), std::invalid_argument);
+  EXPECT_THROW(launcher.set_precision(Precision::kDouble),
+               std::invalid_argument);
+  EXPECT_THROW(launcher.set_hazard_mode(HazardMode::kRecord),
+               std::invalid_argument);
+  release.store(true);
+  worker.join();
+  // With the launch retired the setters work again.
+  launcher.set_precision(Precision::kDouble);
+  launcher.set_hazard_mode(HazardMode::kOff);
+  launcher.set_fault_controller(nullptr);
 }
 
 TEST(PerfModel, RejectsNonPositiveProfiles) {
