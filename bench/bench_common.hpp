@@ -13,15 +13,75 @@
 //                        error reference (default 64)
 #pragma once
 
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/table.hpp"
 
 namespace aabft::bench {
+
+/// Machine-readable bench output: an array of flat row objects rendered as
+/// {"benchmarks": [{...}, ...]}. Rows hold preformatted JSON value text so
+/// each harness keeps full control of its number formatting. write() honours
+/// $AABFT_BENCH_JSON and otherwise falls back to the harness's default file
+/// name in the current directory (the convention every bench binary shares).
+class BenchJson {
+ public:
+  BenchJson& begin_row() {
+    rows_.emplace_back();
+    return *this;
+  }
+  BenchJson& str(const std::string& key, const std::string& text) {
+    return raw(key, "\"" + text + "\"");
+  }
+  BenchJson& num(const std::string& key, double value, int digits = 4) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", digits, value);
+    return raw(key, buf);
+  }
+  BenchJson& num(const std::string& key, std::size_t value) {
+    return raw(key, std::to_string(value));
+  }
+  /// `text` must already be valid JSON (number, bool, quoted string, ...).
+  BenchJson& raw(const std::string& key, std::string text) {
+    rows_.back().emplace_back(key, std::move(text));
+    return *this;
+  }
+
+  /// Write to $AABFT_BENCH_JSON or `default_path`; reports the destination
+  /// on stdout like the CSV helper does. False when the file can't be opened.
+  bool write(const char* default_path) const {
+    const char* env = std::getenv("AABFT_BENCH_JSON");
+    const std::string path =
+        (env != nullptr && *env != '\0') ? env : default_path;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "could not write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"benchmarks\": [\n");
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "    {");
+      for (std::size_t j = 0; j < rows_[i].size(); ++j)
+        std::fprintf(f, "%s\"%s\": %s", j == 0 ? "" : ", ",
+                     rows_[i][j].first.c_str(), rows_[i][j].second.c_str());
+      std::fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("(json written to %s)\n", path.c_str());
+    return true;
+  }
+
+ private:
+  using Row = std::vector<std::pair<std::string, std::string>>;
+  std::vector<Row> rows_;
+};
 
 /// If AABFT_BENCH_CSV names a directory, write the printed table there as
 /// <name>.csv (for plotting); silently skipped otherwise.

@@ -154,5 +154,26 @@ int main() {
     std::printf("  note: %u pool worker(s) — the wall-clock win criterion "
                 "applies on >= 4 workers\n",
                 launcher.workers());
+
+  bench::BenchJson json;
+  json.begin_row()
+      .str("benchmark", "launch_overhead")
+      .num("launches", launches)
+      .num("grid_blocks", grid.count())
+      .num("spawn_us_per_launch",
+           1e6 * spawn_s / static_cast<double>(launches), 2)
+      .num("pool_us_per_launch", 1e6 * pool_s / static_cast<double>(launches),
+           2)
+      .num("speedup", spawn_s / pool_s, 2);
+  json.begin_row()
+      .str("benchmark", "multiply_batch")
+      .num("batch_size", batch_size)
+      .num("n", n)
+      .num("workers", static_cast<std::size_t>(launcher.workers()))
+      .num("sequential_s", seq_s)
+      .num("batch_s", batch_s)
+      .num("speedup", seq_s / batch_s, 2)
+      .raw("bit_identical", identical ? "true" : "false");
+  json.write("BENCH_executor.json");
   return identical ? 0 : 1;
 }

@@ -79,28 +79,15 @@ Row measure(std::string scheme, std::size_t n, std::uint64_t ops, Body&& body) {
 }
 
 void write_json(const std::vector<Row>& rows) {
-  const char* env = std::getenv("AABFT_BENCH_JSON");
-  const std::string path =
-      (env != nullptr && *env != '\0') ? env : "BENCH_fastpath.json";
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "could not write %s\n", path.c_str());
-    return;
-  }
-  std::fprintf(f, "{\n  \"benchmarks\": [\n");
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const Row& row = rows[i];
-    std::fprintf(f,
-                 "    {\"scheme\": \"%s\", \"n\": %zu, "
-                 "\"ns_per_op_instrumented\": %.4f, "
-                 "\"ns_per_op_fenced\": %.4f, \"speedup\": %.2f}%s\n",
-                 row.scheme.c_str(), row.n, row.instrumented_ns_per_op,
-                 row.fenced_ns_per_op, row.speedup(),
-                 i + 1 < rows.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-  std::printf("(json written to %s)\n", path.c_str());
+  bench::BenchJson json;
+  for (const Row& row : rows)
+    json.begin_row()
+        .str("scheme", row.scheme)
+        .num("n", row.n)
+        .num("ns_per_op_instrumented", row.instrumented_ns_per_op)
+        .num("ns_per_op_fenced", row.fenced_ns_per_op)
+        .num("speedup", row.speedup(), 2);
+  json.write("BENCH_fastpath.json");
 }
 
 }  // namespace

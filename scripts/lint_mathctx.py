@@ -316,8 +316,13 @@ def try_clang_query(files) -> bool:
         return False
 
 
+def default_targets(root: Path) -> list[Path]:
+    """src/ kernel sources plus the tools/ drivers (which may launch kernels)."""
+    return sorted((root / "src").rglob("*.cpp")) + sorted((root / "tools").glob("*.cpp"))
+
+
 def run(root: Path, files=None) -> list[str]:
-    targets = files if files is not None else sorted((root / "src").rglob("*.cpp"))
+    targets = files if files is not None else default_targets(root)
     messages = []
     for path in targets:
         for line, msg in scan_file(path):
@@ -333,11 +338,11 @@ def main() -> int:
     parser.add_argument("--self-test", action="store_true",
                         help="also require the seeded fixture to fail")
     parser.add_argument("files", nargs="*", type=Path,
-                        help="specific files to scan (default: src/**/*.cpp)")
+                        help="specific files to scan (default: src/**/*.cpp + tools/*.cpp)")
     args = parser.parse_args()
     root = args.root.resolve()
 
-    if try_clang_query(args.files or sorted((root / "src").rglob("*.cpp"))):
+    if try_clang_query(args.files or default_targets(root)):
         print("lint_mathctx: clang-query cross-check ran (advisory)")
 
     messages = run(root, args.files or None)

@@ -147,6 +147,32 @@ AabftResult AabftMultiplier::run(const Matrix& a, const Matrix& b,
       result.recheck_clean = false;
     }
 
+    // Per-block recompute rung (opt-in): re-derive only the still-flagged
+    // checksum blocks from the encoded operands — bit-exact, unlike the
+    // checksum-rebuilt patches above — before resorting to a full re-run.
+    std::size_t block_rounds = config_.max_block_recomputes;
+    if (block_rounds > 0 && (result.uncorrectable || !result.recheck_clean)) {
+      // The first report still describes c_fc when nothing was patched;
+      // otherwise re-check to see what correction left behind.
+      CheckReport current =
+          result.corrections.empty()
+              ? report
+              : check_product(launcher_, c_fc, codec_, a_cc.pmax, b_rc.pmax,
+                              a.cols(), config_.bounds, nullptr);
+      while (!current.clean() && block_rounds-- > 0) {
+        const auto blocks = flagged_blocks(current);
+        recompute_blocks(launcher_, c_fc, a_cc.data, b_rc.data, blocks, codec_,
+                         config_.gemm);
+        result.block_recomputes += blocks.size();
+        current = check_product(launcher_, c_fc, codec_, a_cc.pmax, b_rc.pmax,
+                                a.cols(), config_.bounds, nullptr);
+      }
+      if (current.clean()) {
+        result.uncorrectable = false;
+        result.recheck_clean = true;
+      }
+    }
+
     // Recovery of last resort for transient faults: re-execute the product.
     std::size_t attempts = config_.max_recompute_attempts;
     while ((result.uncorrectable || !result.recheck_clean) && attempts-- > 0) {

@@ -39,6 +39,12 @@ struct AabftConfig {
   BoundParams bounds;         ///< omega, FMA mode, bound policy
   linalg::GemmConfig gemm;    ///< product-kernel blocking
   bool correct_errors = true; ///< attempt single-error correction
+  /// When correction alone does not yield a clean product, re-derive only
+  /// the still-flagged (BS+1)x(BS+1) blocks from the encoded operands (see
+  /// abft::recompute_blocks) up to this many rounds before falling back to a
+  /// full re-execution. Bit-exact repair at O(blocks * BS^2 * K) cost; 0
+  /// (the default) preserves the classic correct-then-full-recompute ladder.
+  std::size_t max_block_recomputes = 0;
   /// When localisation fails (or the post-correction re-check still flags
   /// errors), re-execute the product and check once more — the standard
   /// recovery for transient faults. 0 disables recomputation.
@@ -62,6 +68,7 @@ struct AabftResult {
   std::vector<Correction> corrections; ///< applied single-error corrections
   bool uncorrectable = false;          ///< mismatches did not localise cleanly
   bool recheck_clean = true;           ///< the post-correction check passed
+  std::size_t block_recomputes = 0;    ///< checksum blocks recomputed in place
   std::size_t recomputations = 0;      ///< full re-executions performed
 
   [[nodiscard]] bool error_detected() const noexcept {

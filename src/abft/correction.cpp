@@ -1,6 +1,8 @@
 #include "abft/correction.hpp"
 
+#include <algorithm>
 #include <map>
+#include <vector>
 
 #include "core/require.hpp"
 
@@ -75,6 +77,56 @@ CorrectionOutcome locate_and_correct(Matrix& c_fc, const CheckReport& report,
     outcome.corrections.push_back(corr);
   }
   return outcome;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> flagged_blocks(
+    const CheckReport& report) {
+  std::vector<std::pair<std::size_t, std::size_t>> blocks;
+  for (const auto& m : report.mismatches) {
+    const std::pair<std::size_t, std::size_t> coords{m.block_row, m.block_col};
+    if (std::find(blocks.begin(), blocks.end(), coords) == blocks.end())
+      blocks.push_back(coords);
+  }
+  return blocks;
+}
+
+void recompute_blocks(gpusim::Launcher& launcher, Matrix& c_fc,
+                      const Matrix& a_cc, const Matrix& b_rc,
+                      std::span<const std::pair<std::size_t, std::size_t>> blocks,
+                      const PartitionedCodec& codec,
+                      const linalg::GemmConfig& gemm) {
+  if (blocks.empty()) return;
+  const std::size_t bs = codec.bs();
+  const std::size_t k_dim = a_cc.cols();
+  AABFT_REQUIRE(k_dim == b_rc.rows(), "encoded operand inner dims must agree");
+  AABFT_REQUIRE(c_fc.rows() % (bs + 1) == 0 && c_fc.cols() % (bs + 1) == 0,
+                "C_fc dimensions must be multiples of BS+1");
+
+  const gpusim::Dim3 grid{blocks.size(), 1, 1};
+  (void)launcher.launch("recompute_blocks", grid, [&](gpusim::BlockCtx& ctx) {
+    const auto [gbr, gbc] = blocks[ctx.block.x];
+    const std::size_t row0 = gbr * (bs + 1);
+    const std::size_t col0 = gbc * (bs + 1);
+    // Stage one B column at a time (strided gather, reused across the
+    // block's BS+1 rows), then re-derive each element as an ascending-k
+    // inner product from acc = 0 — the product kernel's exact operation
+    // order and rounding, so the recomputed values are bit-identical to a
+    // fault-free blocked_matmul.
+    std::vector<double> b_col(k_dim);
+    for (std::size_t j = 0; j <= bs; ++j) {
+      for (std::size_t t = 0; t < k_dim; ++t) b_col[t] = b_rc(t, col0 + j);
+      ctx.math.load_doubles(k_dim);
+      for (std::size_t i = 0; i <= bs; ++i) {
+        const double* a_row = a_cc.row(row0 + i).data();
+        ctx.math.load_doubles(k_dim);
+        const double value =
+            gemm.use_fma ? ctx.math.dot_fma(a_row, b_col.data(), k_dim, 0.0)
+                         : ctx.math.dot_mul_add(a_row, b_col.data(), k_dim, 0.0);
+        c_fc(row0 + i, col0 + j) = value;
+        ctx.math.store_doubles(1);
+      }
+    }
+  });
 }
 
 }  // namespace aabft::abft

@@ -12,10 +12,14 @@
 // sum, i.e. within the same noise the bounds already absorb.
 #pragma once
 
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "abft/checker.hpp"
 #include "abft/checksum.hpp"
+#include "gpusim/kernel.hpp"
+#include "linalg/matmul.hpp"
 #include "linalg/matrix.hpp"
 
 namespace aabft::abft {
@@ -42,5 +46,26 @@ struct CorrectionOutcome {
 [[nodiscard]] CorrectionOutcome locate_and_correct(
     linalg::Matrix& c_fc, const CheckReport& report,
     const PartitionedCodec& codec);
+
+/// Distinct (block_row, block_col) coordinates flagged by a report, in
+/// first-mismatch order — the work list for recompute_blocks.
+[[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> flagged_blocks(
+    const CheckReport& report);
+
+/// Recompute the listed (BS+1) x (BS+1) blocks of `c_fc` from the encoded
+/// operands, one simulated thread block per checksum block. Each element is
+/// re-derived as an ascending-k inner product with the same rounding as the
+/// product kernel's accumulation, so a recomputed block is *bit-identical*
+/// to a fault-free blocked_matmul — unlike checksum-based correction, which
+/// is only exact up to a BS-term-sum rounding. The middle rung of the
+/// recovery ladder: cheaper than re-executing the whole product (O(blocks *
+/// BS^2 * K)), stronger than correction when several errors share a block.
+/// Runs through MathCtx span helpers only; armed faults cannot target this
+/// repair kernel (its output is re-checked by the caller regardless).
+void recompute_blocks(gpusim::Launcher& launcher, linalg::Matrix& c_fc,
+                      const linalg::Matrix& a_cc, const linalg::Matrix& b_rc,
+                      std::span<const std::pair<std::size_t, std::size_t>> blocks,
+                      const PartitionedCodec& codec,
+                      const linalg::GemmConfig& gemm);
 
 }  // namespace aabft::abft

@@ -43,6 +43,8 @@ struct SchemeResult {
   linalg::Matrix c;            ///< the (stripped) product
   bool detected = false;       ///< the scheme flagged an error
   bool corrected = false;      ///< ... and repaired it in place
+  std::size_t corrections = 0;      ///< localised elements patched in place
+  std::size_t block_recomputes = 0; ///< checksum blocks recomputed in place
   std::size_t recomputed = 0;  ///< full re-executions performed
   /// The scheme believes the returned product is fault-free (always true for
   /// schemes without detection; false when detection fired and neither

@@ -125,6 +125,8 @@ SchemeResult to_scheme_result(abft::AabftResult raw) {
   result.c = std::move(raw.c);
   result.detected = raw.error_detected();
   result.corrected = !raw.corrections.empty() && raw.recheck_clean;
+  result.corrections = raw.corrections.size();
+  result.block_recomputes = raw.block_recomputes;
   result.recomputed = raw.recomputations;
   result.clean = !raw.uncorrectable && raw.recheck_clean;
   return result;

@@ -23,6 +23,8 @@ enum class ErrorCode {
   kShapeMismatch,   ///< operand dimensions are incompatible
   kInvalidArgument, ///< an argument value is outside the accepted domain
   kExecutionFailed, ///< an asynchronous pipeline failed to complete
+  kOverloaded,      ///< admission refused: the request queue is full
+  kDeadlineInfeasible, ///< admission refused: the deadline cannot be met
 };
 
 struct Error {

@@ -178,4 +178,42 @@ class FaultController {
   std::array<double, kMaxFaults> faulty_values_{};
 };
 
+// ---- per-thread fault-controller override ----------------------------------
+//
+// A launcher-attached controller is global to every launch, which is wrong
+// for a *serving* workload: concurrent requests sharing one Launcher each
+// need their own fault lifecycle (arm -> protected multiply -> read fired
+// counts -> disarm) without racing on set_fault_controller(). The override
+// below is consulted by the Launcher at launch-initiation time and takes
+// precedence over the attached controller for work started by this thread:
+// synchronous launch() calls, and async enqueues (which snapshot it into
+// their launch environment, like every other launch parameter). Worker
+// threads executing blocks of such a launch see the snapshotted controller,
+// not their own thread's override.
+
+namespace detail {
+inline thread_local FaultController* t_thread_faults = nullptr;
+}  // namespace detail
+
+[[nodiscard]] inline FaultController* thread_fault_controller() noexcept {
+  return detail::t_thread_faults;
+}
+
+/// RAII scope installing `faults` as this thread's fault-controller override
+/// (with nullptr the launcher-attached controller applies again). Restores
+/// the previous override on destruction, so scopes nest.
+class ScopedFaultController {
+ public:
+  explicit ScopedFaultController(FaultController* faults) noexcept
+      : previous_(detail::t_thread_faults) {
+    detail::t_thread_faults = faults;
+  }
+  ~ScopedFaultController() { detail::t_thread_faults = previous_; }
+  ScopedFaultController(const ScopedFaultController&) = delete;
+  ScopedFaultController& operator=(const ScopedFaultController&) = delete;
+
+ private:
+  FaultController* previous_;
+};
+
 }  // namespace aabft::gpusim

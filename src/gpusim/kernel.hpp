@@ -94,7 +94,11 @@ class Launcher {
   [[nodiscard]] unsigned workers() const noexcept { return workers_; }
 
   /// Attach (or detach, with nullptr) the fault controller consulted by all
-  /// subsequently launched kernels.
+  /// subsequently launched kernels. A ScopedFaultController installed on the
+  /// launching thread takes precedence (per-request fault lifecycles in
+  /// serving loops — see fault_site.hpp); like precision and hazard mode,
+  /// whichever controller is effective at launch/enqueue time is snapshotted
+  /// for the whole launch.
   void set_fault_controller(FaultController* faults) {
     require_no_sync_inflight("set_fault_controller");
     faults_ = faults;
@@ -141,10 +145,11 @@ class Launcher {
       LaunchStats stats;
       stats.kernel_name = name;
       stats.blocks = total;
+      FaultController* const faults = effective_faults();
       for (std::size_t i = 0; i < total; ++i) {
         BlockCtx ctx(block_coord(grid, i), grid,
                      static_cast<int>(i % static_cast<std::size_t>(spec_.num_sms)),
-                     faults_, precision_, spec_.shared_mem_per_block);
+                     faults, precision_, spec_.shared_mem_per_block);
         ctx.hazard.init(hazard_mode_, &hazards_, &name, i);
         body(ctx);
         stats.counters += ctx.math.counters();
@@ -280,12 +285,20 @@ class Launcher {
       if (auto state = weak.lock()) detail::stream_synchronize(state);
   }
 
+  /// The controller for work initiated by the calling thread: its
+  /// ScopedFaultController override when one is installed, else the
+  /// launcher-attached controller.
+  [[nodiscard]] FaultController* effective_faults() const noexcept {
+    if (FaultController* scoped = thread_fault_controller()) return scoped;
+    return faults_;
+  }
+
   [[nodiscard]] Executor::Env make_env(Dim3 grid) noexcept {
     Executor::Env env;
     env.grid = grid;
     env.num_sms = spec_.num_sms;
     env.shared_limit = spec_.shared_mem_per_block;
-    env.faults = faults_;
+    env.faults = effective_faults();
     env.precision = precision_;
     env.hazard_mode = hazard_mode_;
     env.hazard_sink = &hazards_;

@@ -1,0 +1,75 @@
+#include "serve/admission.hpp"
+
+#include <string>
+#include <utility>
+
+#include "abft/padding.hpp"
+
+namespace aabft::serve {
+
+Result<std::future<GemmResponse>> AdmissionController::admit(
+    GemmRequest&& request, BoundedRequestQueue& queue, std::uint64_t now_ns) {
+  const std::size_t m = request.a.rows();
+  const std::size_t k = request.a.cols();
+  const std::size_t q = request.b.cols();
+  if (m == 0 || k == 0 || q == 0)
+    return Error{ErrorCode::kInvalidArgument, "empty operand"};
+  if (k != request.b.rows())
+    return shape_error("inner dimensions must agree: A is " +
+                       std::to_string(m) + "x" + std::to_string(k) +
+                       ", B is " + std::to_string(request.b.rows()) + "x" +
+                       std::to_string(q));
+  if (request.deadline_ms < 0.0)
+    return Error{ErrorCode::kInvalidArgument, "negative deadline"};
+  if (request.fault_plan.size() > gpusim::FaultController::kMaxFaults)
+    return Error{ErrorCode::kInvalidArgument,
+                 "fault plan exceeds FaultController::kMaxFaults"};
+
+  const std::size_t padded_m = abft::padded_dim(m, bs_);
+  const std::size_t padded_q = abft::padded_dim(q, bs_);
+  const std::uint64_t flops = flops_of(padded_m, k, padded_q);
+
+  if (request.deadline_ms > 0.0) {
+    const double backlog =
+        static_cast<double>(backlog_flops_.load(std::memory_order_relaxed));
+    const double estimate_ns = (backlog + static_cast<double>(flops)) *
+                               config_.est_ns_per_flop /
+                               static_cast<double>(workers_);
+    if (estimate_ns > request.deadline_ms * 1e6)
+      return Error{ErrorCode::kDeadlineInfeasible,
+                   "estimated service time " +
+                       std::to_string(estimate_ns / 1e6) +
+                       " ms exceeds the deadline of " +
+                       std::to_string(request.deadline_ms) + " ms"};
+  }
+
+  PendingRequest item;
+  item.orig_m = m;
+  item.orig_q = q;
+  if (request.id == 0)
+    request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  if (padded_m != m) request.a = abft::pad_to(request.a, padded_m, k);
+  if (padded_q != q) request.b = abft::pad_to(request.b, k, padded_q);
+  item.request = std::move(request);
+  item.trace.enqueue_ns = now_ns;
+  // Telemetry estimate of the depth this request lands at; concurrent
+  // admissions may skew it by their in-flight pushes, which is acceptable
+  // for a congestion signal.
+  item.trace.queue_depth_at_admission = queue.depth() + 1;
+
+  std::future<GemmResponse> future = item.promise.get_future();
+  // Count the work in the backlog before the push so a concurrent admit
+  // cannot under-estimate; roll back on refusal.
+  backlog_flops_.fetch_add(flops, std::memory_order_relaxed);
+  auto depth = queue.try_push(std::move(item));
+  if (!depth) {
+    backlog_flops_.fetch_sub(flops, std::memory_order_relaxed);
+    return Error{ErrorCode::kOverloaded,
+                 queue.closed() ? "server is stopped"
+                                : "request queue is full (capacity " +
+                                      std::to_string(queue.capacity()) + ")"};
+  }
+  return future;
+}
+
+}  // namespace aabft::serve

@@ -1,0 +1,32 @@
+#include "serve/batcher.hpp"
+
+#include <utility>
+
+namespace aabft::serve {
+
+std::vector<PendingRequest> BatchAssembler::next_batch() {
+  std::vector<PendingRequest> batch;
+  auto head = queue_.pop();
+  if (!head) return batch;  // closed and drained
+
+  const ShapeKey key = shape_of(*head);
+  batch.push_back(std::move(*head));
+
+  const auto deadline = std::chrono::steady_clock::now() + config_.linger;
+  while (batch.size() < config_.max_batch) {
+    if (auto next = queue_.try_pop_matching(key)) {
+      batch.push_back(std::move(*next));
+      continue;
+    }
+    // Work of a different shape is waiting: dispatch what we have rather
+    // than holding it up behind the linger window.
+    if (queue_.depth() > 0) break;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) break;
+    queue_.wait_nonempty_for(
+        std::chrono::duration_cast<std::chrono::microseconds>(deadline - now));
+  }
+  return batch;
+}
+
+}  // namespace aabft::serve

@@ -1,0 +1,39 @@
+// Cross-request batch assembly.
+//
+// The dispatcher thread asks the assembler for "the next batch": it blocks
+// on the queue head, then coalesces further queued requests of the same
+// padded shape (identical kernel grids, so they can share one
+// multiply_batch dispatch across executor streams). Coalescing never holds
+// up ready work of a different shape — the assembler only lingers (bounded
+// by BatchConfig::linger) while the queue is otherwise empty.
+#pragma once
+
+#include <chrono>
+#include <vector>
+
+#include "serve/queue.hpp"
+
+namespace aabft::serve {
+
+struct BatchConfig {
+  /// Max requests coalesced into one dispatch. 1 disables batching.
+  std::size_t max_batch = 8;
+  /// How long to wait for same-shape companions when the queue is empty.
+  std::chrono::microseconds linger{200};
+};
+
+class BatchAssembler {
+ public:
+  BatchAssembler(BoundedRequestQueue& queue, BatchConfig config) noexcept
+      : queue_(queue), config_(config) {}
+
+  /// Block for the next batch of shape-identical requests (>= 1 item).
+  /// Returns an empty vector once the queue is closed and drained.
+  [[nodiscard]] std::vector<PendingRequest> next_batch();
+
+ private:
+  BoundedRequestQueue& queue_;
+  BatchConfig config_;
+};
+
+}  // namespace aabft::serve

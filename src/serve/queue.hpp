@@ -1,0 +1,140 @@
+// Bounded MPMC request queue with priority classes and shape-matching pops.
+//
+// Admission pushes from any number of client threads; the dispatcher pops
+// the highest-priority head (FIFO within a class) and then drains further
+// requests of the *same padded shape* via try_pop_matching — the primitive
+// the batch assembler builds cross-request batches from. The bound is the
+// backpressure mechanism: a full queue rejects at admission instead of
+// growing without limit.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <optional>
+
+#include "core/require.hpp"
+#include "serve/request.hpp"
+
+namespace aabft::serve {
+
+/// A queued request: the (padded) operands plus everything needed to fulfil
+/// the caller's future later. Move-only (owns a promise).
+struct PendingRequest {
+  GemmRequest request;  ///< operands already padded to block multiples
+  std::size_t orig_m = 0;  ///< pre-padding result extents, for unpadding
+  std::size_t orig_q = 0;
+  std::promise<GemmResponse> promise;
+  RequestTrace trace;  ///< enqueue_ns / queue_depth filled at admission
+};
+
+/// Batch-compatibility key: padded result extents + inner dimension. Two
+/// requests with equal keys multiply through identical kernel grids and can
+/// share one multiply_batch dispatch.
+struct ShapeKey {
+  std::size_t m = 0;
+  std::size_t k = 0;
+  std::size_t q = 0;
+  [[nodiscard]] bool operator==(const ShapeKey&) const noexcept = default;
+};
+
+[[nodiscard]] inline ShapeKey shape_of(const PendingRequest& item) noexcept {
+  return {item.request.a.rows(), item.request.a.cols(), item.request.b.cols()};
+}
+
+class BoundedRequestQueue {
+ public:
+  explicit BoundedRequestQueue(std::size_t capacity) : capacity_(capacity) {
+    AABFT_REQUIRE(capacity >= 1, "queue capacity must be at least 1");
+  }
+
+  /// Admit an item. Returns the queue depth right after insertion (i.e.
+  /// including the item) or nullopt when the queue is full or closed.
+  std::optional<std::size_t> try_push(PendingRequest&& item) {
+    std::size_t depth_after = 0;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (closed_ || size_ >= capacity_) return std::nullopt;
+      buckets_[static_cast<std::size_t>(item.request.priority)].push_back(
+          std::move(item));
+      depth_after = ++size_;
+    }
+    cv_.notify_one();
+    return depth_after;
+  }
+
+  /// Block until an item is available or the queue is closed *and* drained
+  /// (nullopt). Highest priority class first, FIFO within a class.
+  std::optional<PendingRequest> pop() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return size_ > 0 || closed_; });
+    if (size_ == 0) return std::nullopt;
+    for (auto& bucket : buckets_)
+      if (!bucket.empty()) {
+        PendingRequest item = std::move(bucket.front());
+        bucket.pop_front();
+        --size_;
+        return item;
+      }
+    return std::nullopt;  // unreachable: size_ > 0
+  }
+
+  /// Non-blocking: remove and return the first queued request whose padded
+  /// shape equals `key`, scanning priority classes in order.
+  std::optional<PendingRequest> try_pop_matching(const ShapeKey& key) {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& bucket : buckets_)
+      for (auto it = bucket.begin(); it != bucket.end(); ++it)
+        if (shape_of(*it) == key) {
+          PendingRequest item = std::move(*it);
+          bucket.erase(it);
+          --size_;
+          return item;
+        }
+    return std::nullopt;
+  }
+
+  /// Block up to `timeout` for the queue to become nonempty (the batch
+  /// assembler's linger wait). True when an item is available on return.
+  bool wait_nonempty_for(std::chrono::microseconds timeout) {
+    std::unique_lock<std::mutex> lk(mu_);
+    return cv_.wait_for(lk, timeout, [&] { return size_ > 0 || closed_; }) &&
+           size_ > 0;
+  }
+
+  /// Refuse further pushes; pop() drains the remainder and then returns
+  /// nullopt forever.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t depth() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return size_;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::array<std::deque<PendingRequest>, kNumPriorities> buckets_;
+  std::size_t capacity_;
+  std::size_t size_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace aabft::serve

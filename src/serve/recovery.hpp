@@ -1,0 +1,52 @@
+// The per-response recovery ladder.
+//
+// The scheme itself already climbs the cheap rungs inside one multiply
+// (A-ABFT detect -> locate_and_correct patch -> per-block recompute ->
+// bounded full recomputes). The serving layer adds the rungs above it:
+// re-dispatch the whole multiply (bounded by a per-request retry budget —
+// one-shot faults have been consumed by then, so a retry is usually clean),
+// then escalate to the TMR scheme, and finally fail with a diagnosis
+// instead of serving a result nobody vouches for.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "baselines/scheme.hpp"
+#include "serve/request.hpp"
+
+namespace aabft::serve {
+
+struct RecoveryPolicy {
+  /// Serve-level full re-dispatches after the scheme's own ladder failed.
+  std::size_t retry_budget = 1;
+  /// Escalate to the TMR scheme when retries are exhausted.
+  bool escalate_tmr = true;
+};
+
+struct RecoveryOutcome {
+  /// The settled scheme result; nullopt only when every rung (including the
+  /// first pass) was refused as a value error.
+  std::optional<baselines::SchemeResult> result;
+  RecoveryRung rung = RecoveryRung::kNone;
+  std::size_t retries = 0;
+  bool tmr_escalated = false;
+  bool ok = false;  ///< a rung produced a clean result
+  std::string diagnosis;  ///< why the ladder was exhausted, when !ok
+};
+
+/// Map a clean in-scheme result onto the deepest rung that ran.
+[[nodiscard]] RecoveryRung rung_of(const baselines::SchemeResult& r) noexcept;
+
+/// Climb the serve-level rungs. `first` is the result of the already-run
+/// primary multiply (possibly with faults armed); retries and the TMR
+/// escalation re-run fault-free. `tmr` may be nullptr to disable escalation
+/// regardless of policy.
+[[nodiscard]] RecoveryOutcome run_ladder(
+    baselines::ProtectedMultiplier& primary,
+    baselines::ProtectedMultiplier* tmr, const linalg::Matrix& a,
+    const linalg::Matrix& b, Result<baselines::SchemeResult> first,
+    const RecoveryPolicy& policy);
+
+}  // namespace aabft::serve

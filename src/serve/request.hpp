@@ -1,0 +1,111 @@
+// Request/response types of the GEMM serving layer.
+//
+// A GemmRequest is one protected multiplication a tenant submits: operands,
+// a priority class, an optional latency deadline, and (for fault-campaign
+// traffic) a per-request fault plan armed for exactly this request's
+// protected multiply. The response carries the data result, the scheme's
+// cleanliness verdict, which rung of the recovery ladder produced the
+// answer, and a structured per-request trace (timestamps + outcome counters)
+// that the server aggregates into its telemetry.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gpusim/fault_site.hpp"
+#include "linalg/matrix.hpp"
+
+namespace aabft::serve {
+
+/// Dispatch priority classes; lower enumerator value pops first.
+enum class Priority : std::uint8_t {
+  kHigh = 0,    ///< latency-sensitive interactive traffic
+  kNormal = 1,  ///< the default class
+  kBatch = 2,   ///< throughput traffic, served when nothing else waits
+};
+inline constexpr std::size_t kNumPriorities = 3;
+
+struct GemmRequest {
+  std::uint64_t id = 0;  ///< 0 = assigned by the server at admission
+  linalg::Matrix a;
+  linalg::Matrix b;
+  Priority priority = Priority::kNormal;
+  /// End-to-end latency budget in milliseconds; 0 disables the deadline.
+  /// Admission rejects requests whose estimated service time (including the
+  /// current backlog) already exceeds the budget.
+  double deadline_ms = 0.0;
+  /// Faults armed for exactly this request's protected multiply (one-shot,
+  /// disarmed when the request's compute finishes). Empty for production
+  /// traffic; campaign drivers use it to exercise the recovery ladder.
+  std::vector<gpusim::FaultConfig> fault_plan;
+};
+
+enum class ResponseStatus : std::uint8_t {
+  kOk,      ///< the result is served and vouched for
+  kFailed,  ///< the recovery ladder was exhausted; see diagnosis
+};
+
+/// Which rung of the detect -> correct -> recompute ladder settled the
+/// response (the deepest repair that ran, for clean responses).
+enum class RecoveryRung : std::uint8_t {
+  kNone = 0,        ///< clean first pass, nothing detected
+  kCorrected,       ///< localisation + checksum patch (abft::locate_and_correct)
+  kBlockRecompute,  ///< per-block bit-exact recompute (abft::recompute_blocks)
+  kFullRecompute,   ///< full product re-execution inside the scheme
+  kRetry,           ///< serve-level re-dispatch of the whole multiply
+  kTmr,             ///< escalation to the TMR scheme
+  kFailed,          ///< ladder exhausted without a clean result
+};
+
+[[nodiscard]] std::string_view to_string(RecoveryRung rung) noexcept;
+
+/// Per-request structured telemetry. Timestamps are nanoseconds on the
+/// server's monotonic clock (0 = stage not reached); they are monotone in
+/// declaration order for completed requests.
+struct RequestTrace {
+  std::uint64_t enqueue_ns = 0;   ///< admitted into the queue
+  std::uint64_t dispatch_ns = 0;  ///< popped into a batch
+  std::uint64_t compute_ns = 0;   ///< scheme result (incl. check) available
+  std::uint64_t repair_ns = 0;    ///< recovery ladder finished
+  std::uint64_t complete_ns = 0;  ///< response handed to the caller
+  std::size_t queue_depth_at_admission = 0;  ///< including this request
+  std::size_t batch_size = 0;     ///< requests coalesced into the dispatch
+  std::size_t faults_armed = 0;
+  std::size_t faults_fired = 0;
+  bool detected = false;
+  bool corrected = false;
+  std::size_t corrections = 0;       ///< elements patched from checksums
+  std::size_t block_recomputes = 0;  ///< checksum blocks recomputed in place
+  std::size_t full_recomputes = 0;   ///< in-scheme full re-executions
+  std::size_t retries = 0;           ///< serve-level re-dispatches
+  bool tmr_escalated = false;
+};
+
+struct GemmResponse {
+  std::uint64_t id = 0;
+  ResponseStatus status = ResponseStatus::kOk;
+  linalg::Matrix c;  ///< the m x q data result (original, unpadded extents)
+  /// The serving scheme vouches for the result (detection passed clean,
+  /// possibly after repair). Always false for kFailed responses.
+  bool clean = false;
+  RecoveryRung rung = RecoveryRung::kNone;
+  std::string diagnosis;  ///< failure description when status == kFailed
+  RequestTrace trace;
+};
+
+inline std::string_view to_string(RecoveryRung rung) noexcept {
+  switch (rung) {
+    case RecoveryRung::kNone: return "none";
+    case RecoveryRung::kCorrected: return "corrected";
+    case RecoveryRung::kBlockRecompute: return "block-recompute";
+    case RecoveryRung::kFullRecompute: return "full-recompute";
+    case RecoveryRung::kRetry: return "retry";
+    case RecoveryRung::kTmr: return "tmr";
+    case RecoveryRung::kFailed: return "failed";
+  }
+  return "?";
+}
+
+}  // namespace aabft::serve

@@ -1,0 +1,248 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "abft/padding.hpp"
+#include "baselines/tmr.hpp"
+
+namespace aabft::serve {
+namespace {
+
+[[nodiscard]] baselines::TmrConfig tmr_config_of(const abft::AabftConfig& a) {
+  baselines::TmrConfig config;
+  config.gemm = a.gemm;
+  return config;
+}
+
+}  // namespace
+
+GemmServer::GemmServer(gpusim::Launcher& launcher, ServeConfig config)
+    : launcher_(launcher),
+      config_(config),
+      primary_(launcher, config.aabft),
+      tmr_(launcher, tmr_config_of(config.aabft)),
+      queue_(config.admission.queue_capacity),
+      admission_(config.admission, config.aabft.bs, launcher.workers()),
+      paused_(config.start_paused),
+      start_(std::chrono::steady_clock::now()) {
+  dispatcher_ = std::thread([this] { dispatch_loop(); });
+}
+
+GemmServer::~GemmServer() { stop(); }
+
+Result<std::future<GemmResponse>> GemmServer::submit(GemmRequest request) {
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    ++stats_.submitted;
+  }
+  auto admitted = admission_.admit(std::move(request), queue_, now_ns());
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    if (admitted.ok()) {
+      ++stats_.admitted;
+    } else {
+      switch (admitted.error().code) {
+        case ErrorCode::kOverloaded: ++stats_.rejected_queue_full; break;
+        case ErrorCode::kDeadlineInfeasible: ++stats_.rejected_deadline; break;
+        default: ++stats_.rejected_shape; break;
+      }
+    }
+  }
+  return admitted;
+}
+
+void GemmServer::pause() {
+  std::lock_guard<std::mutex> lk(pause_mu_);
+  paused_ = true;
+}
+
+void GemmServer::resume() {
+  {
+    std::lock_guard<std::mutex> lk(pause_mu_);
+    paused_ = false;
+  }
+  pause_cv_.notify_all();
+}
+
+bool GemmServer::paused() const {
+  std::lock_guard<std::mutex> lk(pause_mu_);
+  return paused_ && !stopping_;
+}
+
+void GemmServer::stop() {
+  std::lock_guard<std::mutex> stop_lk(stop_mu_);
+  {
+    std::lock_guard<std::mutex> lk(pause_mu_);
+    stopping_ = true;
+    paused_ = false;
+  }
+  pause_cv_.notify_all();
+  queue_.close();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+ServerStats GemmServer::stats() const {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  return stats_;
+}
+
+void GemmServer::ensure_lanes(std::size_t want) {
+  while (lanes_.size() < want) lanes_.push_back(launcher_.create_stream());
+}
+
+void GemmServer::dispatch_loop() {
+  BatchAssembler assembler(queue_, config_.batch);
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(pause_mu_);
+      pause_cv_.wait(lk, [&] { return !paused_ || stopping_; });
+    }
+    // Bounded wait so a pause() that lands while we sleep on an empty queue
+    // is observed before the next pop.
+    if (!queue_.wait_nonempty_for(std::chrono::microseconds(1000))) {
+      if (queue_.closed() && queue_.depth() == 0) break;
+      continue;
+    }
+    if (paused()) continue;
+    auto batch = assembler.next_batch();
+    if (batch.empty()) break;  // closed and drained
+    serve_batch(std::move(batch));
+  }
+}
+
+void GemmServer::serve_batch(std::vector<PendingRequest>&& batch) {
+  const std::size_t n = batch.size();
+  const std::uint64_t dispatch_ns = now_ns();
+  bool any_faults = false;
+  std::vector<std::pair<linalg::Matrix, linalg::Matrix>> problems;
+  problems.reserve(n);
+  for (auto& item : batch) {
+    item.trace.dispatch_ns = dispatch_ns;
+    item.trace.batch_size = n;
+    item.trace.faults_armed = item.request.fault_plan.size();
+    any_faults |= !item.request.fault_plan.empty();
+    problems.emplace_back(std::move(item.request.a),
+                          std::move(item.request.b));
+  }
+
+  // Result<> has no default constructor, hence the optional wrapper; a slot
+  // left empty means the compute task died before producing a result.
+  std::vector<std::optional<Result<baselines::SchemeResult>>> results(n);
+  if (!any_faults) {
+    auto batch_results = primary_.multiply_batch(problems);
+    const std::uint64_t compute_ns = now_ns();
+    for (std::size_t i = 0; i < n; ++i) {
+      results[i] = std::move(batch_results[i]);
+      batch[i].trace.compute_ns = compute_ns;
+    }
+  } else {
+    // Per-request fault plans need per-request controller lifecycles, so
+    // each multiply runs as its own host task: arm -> multiply under a
+    // thread-scoped controller -> read fired count -> disarm. Tasks spread
+    // round-robin over the stream lanes and overlap across pool workers.
+    ensure_lanes(std::min<std::size_t>(
+        n, std::max<std::size_t>(1, launcher_.workers())));
+    for (std::size_t i = 0; i < n; ++i) {
+      launcher_.launch_host_async(
+          lanes_[i % lanes_.size()], "serve_request",
+          [this, i, &batch, &problems, &results] {
+            PendingRequest& item = batch[i];
+            const auto& [a, b] = problems[i];
+            if (item.request.fault_plan.empty()) {
+              results[i] = primary_.multiply(a, b);
+            } else {
+              gpusim::FaultController ctl;
+              ctl.arm_many(item.request.fault_plan);
+              {
+                gpusim::ScopedFaultController guard(&ctl);
+                results[i] = primary_.multiply(a, b);
+              }
+              ctl.disarm();
+              item.trace.faults_fired = ctl.fired_count();
+            }
+            item.trace.compute_ns = now_ns();
+          });
+    }
+    for (auto& lane : lanes_) lane.synchronize();
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    PendingRequest& item = batch[i];
+    if (item.trace.compute_ns == 0) item.trace.compute_ns = now_ns();
+    Result<baselines::SchemeResult> first =
+        results[i] ? std::move(*results[i])
+                   : Result<baselines::SchemeResult>(Error{
+                         ErrorCode::kExecutionFailed,
+                         "compute task did not produce a result"});
+    RecoveryOutcome outcome = run_ladder(
+        primary_, config_.recovery.escalate_tmr ? &tmr_ : nullptr,
+        problems[i].first, problems[i].second, std::move(first),
+        config_.recovery);
+    item.trace.repair_ns = now_ns();
+
+    GemmResponse response;
+    response.id = item.request.id;
+    item.trace.retries = outcome.retries;
+    item.trace.tmr_escalated = outcome.tmr_escalated;
+    if (outcome.result) {
+      const baselines::SchemeResult& r = *outcome.result;
+      item.trace.corrected = r.corrected;
+      item.trace.corrections = r.corrections;
+      item.trace.block_recomputes = r.block_recomputes;
+      item.trace.full_recomputes = r.recomputed;
+      item.trace.detected =
+          r.detected || outcome.rung != RecoveryRung::kNone;
+      linalg::Matrix c = r.c;
+      if (c.rows() != item.orig_m || c.cols() != item.orig_q)
+        c = abft::unpad_to(c, item.orig_m, item.orig_q);
+      response.c = std::move(c);
+    } else {
+      item.trace.detected = true;
+    }
+    response.rung = outcome.rung;
+    if (outcome.ok) {
+      response.status = ResponseStatus::kOk;
+      response.clean = true;
+    } else {
+      response.status = ResponseStatus::kFailed;
+      response.clean = false;
+      response.diagnosis = outcome.diagnosis;
+    }
+    item.trace.complete_ns = now_ns();
+    response.trace = item.trace;
+
+    {
+      std::lock_guard<std::mutex> lk(stats_mu_);
+      if (outcome.ok)
+        ++stats_.completed;
+      else
+        ++stats_.failed;
+      if (item.trace.detected) ++stats_.detected;
+      if (item.trace.corrected) ++stats_.corrected;
+      stats_.corrections += item.trace.corrections;
+      stats_.block_recomputes += item.trace.block_recomputes;
+      stats_.full_recomputes += item.trace.full_recomputes;
+      stats_.retries += item.trace.retries;
+      if (item.trace.tmr_escalated) ++stats_.tmr_escalations;
+      stats_.faults_armed += item.trace.faults_armed;
+      stats_.faults_fired += item.trace.faults_fired;
+      stats_.queue_wait_ns.record(item.trace.dispatch_ns -
+                                  item.trace.enqueue_ns);
+      stats_.service_ns.record(item.trace.repair_ns - item.trace.dispatch_ns);
+      stats_.e2e_ns.record(item.trace.complete_ns - item.trace.enqueue_ns);
+    }
+    item.promise.set_value(std::move(response));
+    admission_.on_complete(AdmissionController::flops_of(
+        problems[i].first.rows(), problems[i].first.cols(),
+        problems[i].second.cols()));
+  }
+
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  ++stats_.batches;
+  if (n >= 2) stats_.batched_requests += n;
+  stats_.max_batch = std::max(stats_.max_batch, n);
+}
+
+}  // namespace aabft::serve

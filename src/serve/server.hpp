@@ -1,0 +1,117 @@
+// GemmServer: the multi-tenant fault-tolerant GEMM serving front end.
+//
+// One dispatcher thread pops priority-ordered batches of shape-compatible
+// requests from the bounded queue (BatchAssembler), runs them through the
+// A-ABFT protected multiplier — pipelined across executor streams when the
+// batch has per-request fault plans, via multiply_batch otherwise — and
+// settles every response through the recovery ladder (serve/recovery.hpp).
+// Clients talk to the server through submit(), which returns a future for
+// the response or an admission refusal as a Result error.
+//
+// Thread model: submit() is safe from any number of client threads (queue
+// and admission are synchronized); the dispatcher exclusively owns batch
+// assembly, the recovery ladder and the mutable ServerStats (guarded by a
+// mutex only so stats() can snapshot). pause()/resume() gate the dispatcher
+// between batches — test drivers use them to build up coalescible queues.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "abft/aabft.hpp"
+#include "baselines/schemes.hpp"
+#include "core/result.hpp"
+#include "serve/admission.hpp"
+#include "serve/batcher.hpp"
+#include "serve/queue.hpp"
+#include "serve/recovery.hpp"
+#include "serve/telemetry.hpp"
+
+namespace aabft::serve {
+
+struct ServeConfig {
+  AdmissionConfig admission;
+  BatchConfig batch;
+  RecoveryPolicy recovery;
+  /// Scheme configuration for the primary A-ABFT multiplier. The serving
+  /// default enables one per-block recompute round so single-block damage is
+  /// repaired bit-exactly without a full re-execution.
+  abft::AabftConfig aabft = default_aabft();
+  /// Start with the dispatcher gated; call resume() to begin serving.
+  bool start_paused = false;
+
+  [[nodiscard]] static abft::AabftConfig default_aabft() noexcept {
+    abft::AabftConfig config;
+    config.max_block_recomputes = 1;
+    return config;
+  }
+};
+
+class GemmServer {
+ public:
+  explicit GemmServer(gpusim::Launcher& launcher, ServeConfig config = {});
+  ~GemmServer();
+  GemmServer(const GemmServer&) = delete;
+  GemmServer& operator=(const GemmServer&) = delete;
+
+  /// Admit a request. On success the future resolves to the response once
+  /// the dispatcher has served it; refusals (shape, overload, deadline) come
+  /// back immediately as Result errors.
+  [[nodiscard]] Result<std::future<GemmResponse>> submit(GemmRequest request);
+
+  /// Gate / ungate the dispatcher between batches. While paused, admitted
+  /// requests accumulate in the queue (and can then coalesce into batches).
+  void pause();
+  void resume();
+
+  /// Refuse new work, drain every queued request, and join the dispatcher.
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+  [[nodiscard]] ServerStats stats() const;
+  [[nodiscard]] std::string telemetry_json() const { return to_json(stats()); }
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.depth(); }
+  [[nodiscard]] const ServeConfig& config() const noexcept { return config_; }
+
+  /// Nanoseconds on the server's monotonic clock (0 = construction time) —
+  /// the timebase of every RequestTrace timestamp.
+  [[nodiscard]] std::uint64_t now_ns() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+
+ private:
+  void dispatch_loop();
+  void serve_batch(std::vector<PendingRequest>&& batch);
+  void ensure_lanes(std::size_t want);
+  [[nodiscard]] bool paused() const;
+
+  gpusim::Launcher& launcher_;
+  ServeConfig config_;
+  baselines::AabftScheme primary_;
+  baselines::TmrScheme tmr_;
+  BoundedRequestQueue queue_;
+  AdmissionController admission_;
+
+  mutable std::mutex stats_mu_;
+  ServerStats stats_;
+
+  std::mutex stop_mu_;  ///< serializes stop() calls (idempotent join)
+  mutable std::mutex pause_mu_;
+  std::condition_variable pause_cv_;
+  bool paused_ = false;
+  bool stopping_ = false;
+
+  std::chrono::steady_clock::time_point start_;
+  std::vector<gpusim::Stream> lanes_;  // dispatcher-owned, created lazily
+  std::thread dispatcher_;
+};
+
+}  // namespace aabft::serve

@@ -1,0 +1,51 @@
+#include "serve/telemetry.hpp"
+
+#include <sstream>
+
+namespace aabft::serve {
+namespace {
+
+void append_recorder(std::ostringstream& out, const char* name,
+                     const LatencyRecorder& rec, bool last) {
+  out << "    \"" << name << "\": {\"count\": " << rec.count()
+      << ", \"mean\": " << rec.mean() << ", \"p50\": " << rec.p50()
+      << ", \"p95\": " << rec.p95() << ", \"p99\": " << rec.p99()
+      << ", \"max\": " << rec.max() << "}" << (last ? "\n" : ",\n");
+}
+
+}  // namespace
+
+std::string to_json(const ServerStats& stats) {
+  std::ostringstream out;
+  out << "{\n";
+  const auto field = [&](const char* name, std::uint64_t value) {
+    out << "  \"" << name << "\": " << value << ",\n";
+  };
+  field("submitted", stats.submitted);
+  field("admitted", stats.admitted);
+  field("rejected_queue_full", stats.rejected_queue_full);
+  field("rejected_deadline", stats.rejected_deadline);
+  field("rejected_shape", stats.rejected_shape);
+  field("completed", stats.completed);
+  field("failed", stats.failed);
+  field("detected", stats.detected);
+  field("corrected", stats.corrected);
+  field("corrections", stats.corrections);
+  field("block_recomputes", stats.block_recomputes);
+  field("full_recomputes", stats.full_recomputes);
+  field("retries", stats.retries);
+  field("tmr_escalations", stats.tmr_escalations);
+  field("faults_armed", stats.faults_armed);
+  field("faults_fired", stats.faults_fired);
+  field("batches", stats.batches);
+  field("batched_requests", stats.batched_requests);
+  field("max_batch", stats.max_batch);
+  out << "  \"latency_ns\": {\n";
+  append_recorder(out, "queue_wait", stats.queue_wait_ns, false);
+  append_recorder(out, "service", stats.service_ns, false);
+  append_recorder(out, "e2e", stats.e2e_ns, true);
+  out << "  }\n}\n";
+  return out.str();
+}
+
+}  // namespace aabft::serve

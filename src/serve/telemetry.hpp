@@ -1,0 +1,52 @@
+// Aggregated server telemetry: outcome counters plus streaming latency
+// distributions (queue wait / service / end-to-end), serialisable to JSON.
+//
+// The dispatcher thread owns the mutable ServerStats; GemmServer::stats()
+// hands out a snapshot copy, so readers never race the recorders (which are
+// not internally synchronized — see core/latency.hpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/latency.hpp"
+
+namespace aabft::serve {
+
+struct ServerStats {
+  // Admission.
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t rejected_deadline = 0;
+  std::uint64_t rejected_shape = 0;
+
+  // Completion and the recovery ladder.
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t detected = 0;
+  std::uint64_t corrected = 0;
+  std::uint64_t corrections = 0;
+  std::uint64_t block_recomputes = 0;
+  std::uint64_t full_recomputes = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t tmr_escalations = 0;
+  std::uint64_t faults_armed = 0;
+  std::uint64_t faults_fired = 0;
+
+  // Batching.
+  std::uint64_t batches = 0;
+  std::uint64_t batched_requests = 0;  ///< requests in batches of size >= 2
+  std::size_t max_batch = 0;           ///< largest batch dispatched
+
+  LatencyRecorder queue_wait_ns;  ///< enqueue -> dispatch
+  LatencyRecorder service_ns;     ///< dispatch -> ladder settled
+  LatencyRecorder e2e_ns;         ///< enqueue -> response delivered
+};
+
+/// Render the stats as a self-contained JSON object (counters + per-
+/// distribution {count, mean, p50, p95, p99, max} blocks under latency_ns).
+[[nodiscard]] std::string to_json(const ServerStats& stats);
+
+}  // namespace aabft::serve

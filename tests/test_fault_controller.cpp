@@ -1,0 +1,141 @@
+// FaultController lifecycle tests: one-shot firing, disarm()/re-arm
+// bookkeeping across back-to-back protected multiplies, and the
+// thread-scoped controller override used by the serving layer.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "abft/aabft.hpp"
+#include "core/rng.hpp"
+#include "gpusim/fault_site.hpp"
+#include "gpusim/kernel.hpp"
+#include "linalg/matmul.hpp"
+#include "linalg/workload.hpp"
+
+namespace {
+
+using namespace aabft::gpusim;
+using aabft::Rng;
+using aabft::linalg::blocked_matmul;
+using aabft::linalg::Matrix;
+using aabft::linalg::naive_matmul;
+using aabft::linalg::uniform_matrix;
+
+FaultConfig deterministic_fault(int module_id = 0) {
+  FaultConfig fault;  // block 0 always runs on SM 0; kFinalAdd fires at k = 0
+  fault.site = FaultSite::kFinalAdd;
+  fault.sm_id = 0;
+  fault.module_id = module_id;
+  fault.error_vec = 1ULL << 60;
+  return fault;
+}
+
+TEST(FaultController, OneShotFiresExactlyOnceAcrossLaunches) {
+  Rng rng(41);
+  const Matrix a = uniform_matrix(64, 64, -1.0, 1.0, rng);
+  const Matrix b = uniform_matrix(64, 64, -1.0, 1.0, rng);
+  const Matrix ref = naive_matmul(a, b, false);
+
+  Launcher launcher;
+  FaultController controller;
+  launcher.set_fault_controller(&controller);
+  controller.arm(deterministic_fault());
+
+  const Matrix faulty = blocked_matmul(launcher, a, b);
+  EXPECT_EQ(controller.fired_count(), 1u);
+  EXPECT_NE(faulty, ref);
+
+  // Still armed, but the fault is spent: the next launch is pristine and
+  // the fired bookkeeping does not move.
+  const Matrix second = blocked_matmul(launcher, a, b);
+  EXPECT_EQ(controller.fired_count(), 1u);
+  EXPECT_EQ(second, ref);
+  launcher.set_fault_controller(nullptr);
+}
+
+TEST(FaultController, DisarmAndRearmResetBookkeeping) {
+  Rng rng(43);
+  const Matrix a = uniform_matrix(64, 64, -1.0, 1.0, rng);
+  const Matrix b = uniform_matrix(64, 64, -1.0, 1.0, rng);
+  const Matrix ref = naive_matmul(a, b, false);
+
+  Launcher launcher;
+  FaultController controller;
+  launcher.set_fault_controller(&controller);
+
+  controller.arm(deterministic_fault());
+  (void)blocked_matmul(launcher, a, b);
+  ASSERT_EQ(controller.fired_count(), 1u);
+
+  // disarm() freezes the controller: no further fires, count preserved for
+  // post-run inspection (the per-request pattern in the serving layer).
+  controller.disarm();
+  EXPECT_FALSE(controller.armed());
+  EXPECT_EQ(blocked_matmul(launcher, a, b), ref);
+  EXPECT_EQ(controller.fired_count(), 1u);
+
+  // Re-arming resets the fired flags: the same coordinates fire again.
+  std::vector<FaultConfig> plan = {deterministic_fault(0),
+                                   deterministic_fault(1)};
+  controller.arm_many(plan);
+  EXPECT_TRUE(controller.armed());
+  EXPECT_EQ(controller.armed_count(), 2u);
+  EXPECT_EQ(controller.fired_count(), 0u);
+  EXPECT_NE(blocked_matmul(launcher, a, b), ref);
+  EXPECT_EQ(controller.fired_count(), 2u);
+  launcher.set_fault_controller(nullptr);
+}
+
+TEST(FaultController, ScopedOverrideTakesPrecedenceAndRestores) {
+  Rng rng(47);
+  const Matrix a = uniform_matrix(64, 64, -1.0, 1.0, rng);
+  const Matrix b = uniform_matrix(64, 64, -1.0, 1.0, rng);
+  const Matrix ref = naive_matmul(a, b, false);
+
+  Launcher launcher;  // no controller attached to the launcher at all
+  ASSERT_EQ(thread_fault_controller(), nullptr);
+
+  FaultController scoped;
+  scoped.arm(deterministic_fault());
+  {
+    ScopedFaultController guard(&scoped);
+    EXPECT_EQ(thread_fault_controller(), &scoped);
+    EXPECT_NE(blocked_matmul(launcher, a, b), ref);
+    EXPECT_EQ(scoped.fired_count(), 1u);
+  }
+  // Override gone: back to the (absent) launcher-attached controller.
+  EXPECT_EQ(thread_fault_controller(), nullptr);
+  scoped.arm(deterministic_fault());  // armed again, but out of scope now
+  EXPECT_EQ(blocked_matmul(launcher, a, b), ref);
+  EXPECT_EQ(scoped.fired_count(), 0u);
+  scoped.disarm();
+}
+
+TEST(FaultController, ScopedOverrideShadowsLauncherController) {
+  Rng rng(53);
+  const Matrix a = uniform_matrix(64, 64, -1.0, 1.0, rng);
+  const Matrix b = uniform_matrix(64, 64, -1.0, 1.0, rng);
+  const Matrix ref = naive_matmul(a, b, false);
+
+  Launcher launcher;
+  FaultController attached;
+  attached.arm(deterministic_fault());
+  launcher.set_fault_controller(&attached);
+
+  {
+    // An armed per-request controller shadows the launcher-attached one for
+    // launches from this thread.
+    FaultController scoped;
+    scoped.arm(deterministic_fault(1));
+    ScopedFaultController guard(&scoped);
+    EXPECT_NE(blocked_matmul(launcher, a, b), ref);
+    EXPECT_EQ(scoped.fired_count(), 1u);
+    EXPECT_EQ(attached.fired_count(), 0u) << "shadowed controller untouched";
+  }
+  // Scope ended: the launcher-attached controller applies again.
+  EXPECT_NE(blocked_matmul(launcher, a, b), ref);
+  EXPECT_EQ(attached.fired_count(), 1u);
+  launcher.set_fault_controller(nullptr);
+}
+
+}  // namespace

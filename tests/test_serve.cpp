@@ -1,0 +1,390 @@
+// GemmServer end-to-end tests: admission control, priority dispatch,
+// cross-request batching, per-request fault plans and the recovery ladder.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <future>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/result.hpp"
+#include "core/rng.hpp"
+#include "gpusim/kernel.hpp"
+#include "linalg/matmul.hpp"
+#include "linalg/workload.hpp"
+#include "serve/recovery.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace aabft;
+using namespace aabft::serve;
+using gpusim::FaultConfig;
+using gpusim::FaultSite;
+using gpusim::Launcher;
+using linalg::Matrix;
+using linalg::naive_matmul;
+using linalg::uniform_matrix;
+
+GemmRequest make_request(const Matrix& a, const Matrix& b,
+                         Priority priority = Priority::kNormal) {
+  GemmRequest request;
+  request.a = a;
+  request.b = b;
+  request.priority = priority;
+  return request;
+}
+
+void expect_monotone(const RequestTrace& t) {
+  EXPECT_LE(t.enqueue_ns, t.dispatch_ns);
+  EXPECT_LE(t.dispatch_ns, t.compute_ns);
+  EXPECT_LE(t.compute_ns, t.repair_ns);
+  EXPECT_LE(t.repair_ns, t.complete_ns);
+}
+
+TEST(Serve, SingleRequestIsBitIdenticalAndTraced) {
+  Launcher launcher;
+  GemmServer server(launcher);
+  Rng rng(7);
+  // Non-block-multiple extents exercise the pad -> multiply -> unpad path.
+  const Matrix a = uniform_matrix(48, 40, -1.0, 1.0, rng);
+  const Matrix b = uniform_matrix(40, 56, -1.0, 1.0, rng);
+
+  auto admitted = server.submit(make_request(a, b));
+  ASSERT_TRUE(admitted.ok()) << admitted.error().message;
+  const GemmResponse response = admitted->get();
+
+  EXPECT_EQ(response.status, ResponseStatus::kOk);
+  EXPECT_TRUE(response.clean);
+  EXPECT_EQ(response.rung, RecoveryRung::kNone);
+  EXPECT_GT(response.id, 0u);
+  EXPECT_EQ(response.c, naive_matmul(a, b, false));
+  expect_monotone(response.trace);
+  EXPECT_FALSE(response.trace.detected);
+  EXPECT_EQ(response.trace.batch_size, 1u);
+  EXPECT_GE(response.trace.queue_depth_at_admission, 1u);
+
+  server.stop();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.e2e_ns.count(), 1u);
+}
+
+TEST(Serve, AdmissionRejectsBadShapesAsValues) {
+  Launcher launcher;
+  GemmServer server(launcher);
+  Rng rng(3);
+  const Matrix a = uniform_matrix(8, 4, -1.0, 1.0, rng);
+  const Matrix b = uniform_matrix(5, 7, -1.0, 1.0, rng);
+
+  auto mismatched = server.submit(make_request(a, b));
+  ASSERT_FALSE(mismatched.ok());
+  EXPECT_EQ(mismatched.error().code, ErrorCode::kShapeMismatch);
+
+  GemmRequest empty;
+  auto rejected = server.submit(std::move(empty));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.error().code, ErrorCode::kInvalidArgument);
+
+  EXPECT_EQ(server.stats().rejected_shape, 2u);
+  EXPECT_EQ(server.stats().admitted, 0u);
+}
+
+TEST(Serve, AdmissionRejectsWhenQueueIsFull) {
+  Launcher launcher;
+  ServeConfig config;
+  config.admission.queue_capacity = 4;
+  config.start_paused = true;
+  GemmServer server(launcher, config);
+  Rng rng(11);
+  const Matrix a = uniform_matrix(32, 32, -1.0, 1.0, rng);
+  const Matrix b = uniform_matrix(32, 32, -1.0, 1.0, rng);
+
+  std::vector<std::future<GemmResponse>> pending;
+  for (int i = 0; i < 4; ++i) {
+    auto admitted = server.submit(make_request(a, b));
+    ASSERT_TRUE(admitted.ok()) << admitted.error().message;
+    pending.push_back(std::move(*admitted));
+  }
+  auto overflow = server.submit(make_request(a, b));
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.error().code, ErrorCode::kOverloaded);
+  EXPECT_EQ(server.stats().rejected_queue_full, 1u);
+
+  server.resume();
+  for (auto& f : pending) EXPECT_TRUE(f.get().clean);
+}
+
+TEST(Serve, AdmissionRejectsInfeasibleDeadlines) {
+  Launcher launcher;
+  ServeConfig config;
+  config.admission.est_ns_per_flop = 1e9;  // absurd cost model on purpose
+  GemmServer server(launcher, config);
+  Rng rng(13);
+  const Matrix a = uniform_matrix(32, 32, -1.0, 1.0, rng);
+  const Matrix b = uniform_matrix(32, 32, -1.0, 1.0, rng);
+
+  GemmRequest request = make_request(a, b);
+  request.deadline_ms = 1.0;
+  auto rejected = server.submit(std::move(request));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.error().code, ErrorCode::kDeadlineInfeasible);
+  EXPECT_EQ(server.stats().rejected_deadline, 1u);
+
+  // Without a deadline the same request sails through the same cost model.
+  auto admitted = server.submit(make_request(a, b));
+  ASSERT_TRUE(admitted.ok());
+  EXPECT_TRUE(admitted->get().clean);
+}
+
+TEST(Serve, HighPriorityDispatchesFirst) {
+  Launcher launcher;
+  ServeConfig config;
+  config.start_paused = true;
+  GemmServer server(launcher, config);
+  Rng rng(17);
+  // Distinct shapes so the batch assembler cannot coalesce them.
+  const Matrix a1 = uniform_matrix(32, 32, -1.0, 1.0, rng);
+  const Matrix b1 = uniform_matrix(32, 32, -1.0, 1.0, rng);
+  const Matrix a2 = uniform_matrix(33, 32, -1.0, 1.0, rng);
+  const Matrix b2 = uniform_matrix(32, 33, -1.0, 1.0, rng);
+  const Matrix a3 = uniform_matrix(48, 32, -1.0, 1.0, rng);
+  const Matrix b3 = uniform_matrix(32, 48, -1.0, 1.0, rng);
+
+  auto batch = server.submit(make_request(a1, b1, Priority::kBatch));
+  auto normal = server.submit(make_request(a2, b2, Priority::kNormal));
+  auto high = server.submit(make_request(a3, b3, Priority::kHigh));
+  ASSERT_TRUE(batch.ok() && normal.ok() && high.ok());
+  server.resume();
+
+  const GemmResponse r_high = high->get();
+  const GemmResponse r_normal = normal->get();
+  const GemmResponse r_batch = batch->get();
+  EXPECT_LE(r_high.trace.dispatch_ns, r_normal.trace.dispatch_ns);
+  EXPECT_LE(r_normal.trace.dispatch_ns, r_batch.trace.dispatch_ns);
+}
+
+TEST(Serve, BatchingCoalescesShapeCompatibleRequests) {
+  Launcher launcher;
+  ServeConfig config;
+  config.start_paused = true;
+  config.batch.max_batch = 8;
+  GemmServer server(launcher, config);
+  Rng rng(19);
+  const Matrix a = uniform_matrix(64, 64, -1.0, 1.0, rng);
+  const Matrix b = uniform_matrix(64, 64, -1.0, 1.0, rng);
+  const Matrix odd_a = uniform_matrix(32, 32, -1.0, 1.0, rng);
+  const Matrix odd_b = uniform_matrix(32, 32, -1.0, 1.0, rng);
+  const Matrix ref = naive_matmul(a, b, false);
+
+  std::vector<std::future<GemmResponse>> same;
+  for (int i = 0; i < 4; ++i) {
+    auto admitted = server.submit(make_request(a, b));
+    ASSERT_TRUE(admitted.ok());
+    same.push_back(std::move(*admitted));
+  }
+  auto odd = server.submit(make_request(odd_a, odd_b));
+  ASSERT_TRUE(odd.ok());
+  server.resume();
+
+  for (auto& f : same) {
+    const GemmResponse response = f.get();
+    EXPECT_TRUE(response.clean);
+    EXPECT_EQ(response.trace.batch_size, 4u) << "same-shape requests coalesce";
+    EXPECT_EQ(response.c, ref) << "batched result bit-identical";
+  }
+  EXPECT_EQ(odd->get().trace.batch_size, 1u);
+
+  server.stop();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.batches, 2u);
+  EXPECT_EQ(stats.batched_requests, 4u);
+  EXPECT_EQ(stats.max_batch, 4u);
+}
+
+TEST(Serve, FaultedRequestIsRepairedClean) {
+  Launcher launcher;
+  GemmServer server(launcher);
+  Rng rng(23);
+  const Matrix a = uniform_matrix(64, 64, -1.0, 1.0, rng);
+  const Matrix b = uniform_matrix(64, 64, -1.0, 1.0, rng);
+  const Matrix ref = naive_matmul(a, b, false);
+
+  GemmRequest request = make_request(a, b);
+  FaultConfig fault;  // deterministic: block 0 runs on SM 0, module 0, k = 0
+  fault.site = FaultSite::kFinalAdd;
+  fault.sm_id = 0;
+  fault.module_id = 0;
+  fault.error_vec = 1ULL << 60;
+  request.fault_plan = {fault};
+  auto admitted = server.submit(std::move(request));
+  ASSERT_TRUE(admitted.ok());
+  const GemmResponse response = admitted->get();
+
+  EXPECT_EQ(response.status, ResponseStatus::kOk);
+  EXPECT_TRUE(response.clean);
+  EXPECT_EQ(response.trace.faults_armed, 1u);
+  EXPECT_EQ(response.trace.faults_fired, 1u);
+  EXPECT_TRUE(response.trace.detected);
+  EXPECT_EQ(response.trace.full_recomputes, 0u)
+      << "single-fault damage must be repaired below the full-recompute rung";
+  expect_monotone(response.trace);
+  if (response.trace.corrections == 0) {
+    EXPECT_EQ(response.c, ref);
+  } else {
+    for (std::size_t i = 0; i < ref.rows(); ++i)
+      for (std::size_t j = 0; j < ref.cols(); ++j)
+        EXPECT_NEAR(response.c(i, j), ref(i, j),
+                    1e-9 * std::max(1.0, std::abs(ref(i, j))));
+  }
+
+  // The one-shot fault is consumed: a follow-up request on the same server
+  // is pristine.
+  auto again = server.submit(make_request(a, b));
+  ASSERT_TRUE(again.ok());
+  const GemmResponse clean = again->get();
+  EXPECT_FALSE(clean.trace.detected);
+  EXPECT_EQ(clean.c, ref);
+}
+
+TEST(Serve, UnlocalisableFaultsTakeTheBlockRecomputeRung) {
+  Launcher launcher;
+  GemmServer server(launcher);
+  Rng rng(29);
+  const Matrix a = uniform_matrix(64, 64, -1.0, 1.0, rng);
+  const Matrix b = uniform_matrix(64, 64, -1.0, 1.0, rng);
+  const Matrix ref = naive_matmul(a, b, false);
+
+  // Two corrupted elements in one checksum block defeat single-error
+  // localisation; the serving config's per-block recompute rung repairs the
+  // block bit-exactly without a full re-execution (cf. test_recompute.cpp,
+  // where the classic ladder must fall back to a full recompute).
+  GemmRequest request = make_request(a, b);
+  std::vector<FaultConfig> faults(2);
+  faults[0].site = FaultSite::kFinalAdd;
+  faults[0].sm_id = 0;
+  faults[0].module_id = 0;
+  faults[0].error_vec = 1ULL << 60;
+  faults[1] = faults[0];
+  faults[1].module_id = 1;
+  request.fault_plan = faults;
+  auto admitted = server.submit(std::move(request));
+  ASSERT_TRUE(admitted.ok());
+  const GemmResponse response = admitted->get();
+
+  EXPECT_TRUE(response.clean);
+  EXPECT_EQ(response.trace.faults_fired, 2u);
+  EXPECT_EQ(response.rung, RecoveryRung::kBlockRecompute);
+  EXPECT_GE(response.trace.block_recomputes, 1u);
+  EXPECT_EQ(response.trace.full_recomputes, 0u);
+  EXPECT_EQ(response.trace.corrections, 0u);
+  EXPECT_EQ(response.c, ref) << "block recompute is bit-exact";
+}
+
+TEST(Serve, StopDrainsQueuedRequests) {
+  Launcher launcher;
+  ServeConfig config;
+  config.start_paused = true;
+  GemmServer server(launcher, config);
+  Rng rng(31);
+  const Matrix a = uniform_matrix(32, 32, -1.0, 1.0, rng);
+  const Matrix b = uniform_matrix(32, 32, -1.0, 1.0, rng);
+
+  std::vector<std::future<GemmResponse>> pending;
+  for (int i = 0; i < 6; ++i) {
+    auto admitted = server.submit(make_request(a, b));
+    ASSERT_TRUE(admitted.ok());
+    pending.push_back(std::move(*admitted));
+  }
+  server.stop();  // must serve the backlog before joining
+  for (auto& f : pending) EXPECT_TRUE(f.get().clean);
+  EXPECT_EQ(server.stats().completed, 6u);
+
+  // Post-stop submissions are refused as overload.
+  auto late = server.submit(make_request(a, b));
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.error().code, ErrorCode::kOverloaded);
+}
+
+// ---- recovery-ladder unit tests (fake schemes, no launcher) ---------------
+
+class FakeScheme final : public baselines::ProtectedMultiplier {
+ public:
+  FakeScheme(std::string_view name, int clean_after)
+      : name_(name), clean_after_(clean_after) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return name_;
+  }
+  [[nodiscard]] Result<baselines::SchemeResult> multiply(
+      const Matrix& a, const Matrix&) override {
+    ++calls;
+    baselines::SchemeResult result;
+    result.c = a;
+    result.detected = true;
+    result.clean = calls > clean_after_;
+    return result;
+  }
+  int calls = 0;
+
+ private:
+  std::string_view name_;
+  int clean_after_;
+};
+
+TEST(RecoveryLadder, RetrySettlesTransientFailures) {
+  FakeScheme primary("fake", /*clean_after=*/1);  // first call unclean
+  const Matrix a(2, 2, 1.0);
+  RecoveryPolicy policy;  // retry_budget = 1
+  auto outcome = run_ladder(primary, nullptr, a, a, primary.multiply(a, a),
+                            policy);
+  EXPECT_TRUE(outcome.ok);
+  EXPECT_EQ(outcome.rung, RecoveryRung::kRetry);
+  EXPECT_EQ(outcome.retries, 1u);
+  EXPECT_FALSE(outcome.tmr_escalated);
+}
+
+TEST(RecoveryLadder, EscalatesToTmrWhenRetriesExhaust) {
+  FakeScheme primary("fake", /*clean_after=*/100);  // never clean
+  FakeScheme tmr("fake-tmr", /*clean_after=*/0);    // always clean
+  const Matrix a(2, 2, 1.0);
+  RecoveryPolicy policy;
+  auto outcome =
+      run_ladder(primary, &tmr, a, a, primary.multiply(a, a), policy);
+  EXPECT_TRUE(outcome.ok);
+  EXPECT_EQ(outcome.rung, RecoveryRung::kTmr);
+  EXPECT_EQ(outcome.retries, 1u);
+  EXPECT_TRUE(outcome.tmr_escalated);
+  EXPECT_EQ(tmr.calls, 1);
+}
+
+TEST(RecoveryLadder, FailsWithDiagnosisWhenExhausted) {
+  FakeScheme primary("fake", /*clean_after=*/100);
+  const Matrix a(2, 2, 1.0);
+  RecoveryPolicy policy;
+  policy.retry_budget = 2;
+  policy.escalate_tmr = false;
+  auto outcome = run_ladder(primary, nullptr, a, a, primary.multiply(a, a),
+                            policy);
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_EQ(outcome.rung, RecoveryRung::kFailed);
+  EXPECT_EQ(outcome.retries, 2u);
+  EXPECT_FALSE(outcome.diagnosis.empty());
+  ASSERT_TRUE(outcome.result.has_value());  // best-effort data still attached
+}
+
+TEST(RecoveryLadder, RungOfMapsSchemeOutcomes) {
+  baselines::SchemeResult r;
+  EXPECT_EQ(rung_of(r), RecoveryRung::kNone);
+  r.detected = true;
+  r.corrected = true;
+  EXPECT_EQ(rung_of(r), RecoveryRung::kCorrected);
+  r.block_recomputes = 1;
+  EXPECT_EQ(rung_of(r), RecoveryRung::kBlockRecompute);
+  r.recomputed = 1;
+  EXPECT_EQ(rung_of(r), RecoveryRung::kFullRecompute);
+}
+
+}  // namespace

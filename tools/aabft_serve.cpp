@@ -1,0 +1,352 @@
+// Open-loop Poisson load generator and soak driver for the GEMM serving
+// layer (src/serve). Three phases, all against one simulated device:
+//
+//   1. serial throughput   — batching disabled (max_batch = 1)
+//   2. batched throughput  — cross-request batching at max_batch = 8; the
+//      speedup over phase 1 is the coalescing win. The >= 2x gate applies
+//      on hosts with >= 4 pool workers (matching bench_executor's batching
+//      criterion); smaller hosts still verify correctness and report it.
+//   3. soak — AABFT_SERVE_REQUESTS mixed-shape requests with Poisson
+//      arrivals and one exponent-bit fault armed per request. Every
+//      response must come back clean; responses without corrections must be
+//      bit-identical to the fault-free reference, corrected responses may
+//      differ from it only in the patched elements (within 1e-9 relative).
+//      Single-fault damage must be repaired below the full-recompute rung.
+//
+// Exits nonzero on any wrong or unclean response, or a violated gate.
+// Summary JSON (throughput + aggregated server telemetry) goes to
+// $AABFT_SERVE_JSON, defaulting to BENCH_serve.json.
+//
+//   AABFT_SERVE_REQUESTS      soak request count (default 2000)
+//   AABFT_SERVE_RATE          soak arrival rate, requests/s (default 300)
+//   AABFT_SERVE_FAULTS        faults armed per soak request (default 1)
+//   AABFT_SERVE_SEED          RNG seed (default 42)
+//   AABFT_SERVE_THROUGHPUT_N  requests per throughput phase (default 64)
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "abft/padding.hpp"
+#include "core/rng.hpp"
+#include "core/table.hpp"
+#include "fp/fault_vector.hpp"
+#include "linalg/matmul.hpp"
+#include "linalg/workload.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace aabft;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+double env_double_or(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  return (value != nullptr && *value != '\0') ? std::strtod(value, nullptr)
+                                              : fallback;
+}
+
+int failures = 0;
+void check(bool ok, const std::string& what) {
+  if (ok) return;
+  ++failures;
+  std::fprintf(stderr, "FAIL: %s\n", what.c_str());
+}
+
+/// A soak problem with its fault-free ground truth and the extent of the
+/// kernel grid the protected product launches (for picking SM ids that are
+/// guaranteed to execute).
+struct Problem {
+  linalg::Matrix a;
+  linalg::Matrix b;
+  linalg::Matrix ref;
+  std::size_t grid_blocks = 0;
+};
+
+std::size_t grid_blocks_of(std::size_t m, std::size_t k, std::size_t q,
+                           const abft::AabftConfig& config) {
+  (void)k;
+  const std::size_t bs = config.bs;
+  const auto encoded = [&](std::size_t dim) {
+    return abft::padded_dim(dim, bs) / bs * (bs + 1);
+  };
+  const auto ceil_div = [](std::size_t a, std::size_t b) {
+    return (a + b - 1) / b;
+  };
+  return ceil_div(encoded(m), config.gemm.bm) *
+         ceil_div(encoded(q), config.gemm.bn);
+}
+
+std::vector<gpusim::FaultConfig> random_fault_plan(
+    Rng& rng, std::size_t count, const Problem& problem,
+    const abft::AabftConfig& config, int num_sms) {
+  std::vector<gpusim::FaultConfig> plan(count);
+  const std::size_t k = problem.a.cols();
+  const auto sm_limit = std::min<std::uint64_t>(
+      static_cast<std::uint64_t>(num_sms), problem.grid_blocks);
+  for (auto& fault : plan) {
+    fault.site = static_cast<gpusim::FaultSite>(rng.below(3));
+    fault.sm_id = static_cast<int>(rng.below(sm_limit));
+    fault.module_id =
+        static_cast<int>(rng.below(config.gemm.rx * config.gemm.ry));
+    fault.k_injection = fault.site == gpusim::FaultSite::kFinalAdd
+                            ? 0
+                            : static_cast<std::int64_t>(rng.below(k));
+    // Figure 4: sign/exponent flips are detected with probability ~1, so an
+    // armed-and-fired fault must surface as detect -> repair, never as
+    // silent corruption.
+    fault.error_vec = fp::make_error_vec(fp::BitField::kExponent, 1, rng);
+  }
+  return plan;
+}
+
+/// Submit `count` identical-shape fault-free requests while the server is
+/// paused, resume, and time until every response arrived.
+double timed_burst(serve::GemmServer& server, const linalg::Matrix& a,
+                   const linalg::Matrix& b, std::size_t count) {
+  server.pause();
+  std::vector<std::future<serve::GemmResponse>> pending;
+  pending.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    serve::GemmRequest request;
+    request.a = a;
+    request.b = b;
+    auto admitted = server.submit(std::move(request));
+    check(admitted.ok(), "throughput request admitted");
+    if (admitted.ok()) pending.push_back(std::move(*admitted));
+  }
+  const auto start = Clock::now();
+  server.resume();
+  for (auto& f : pending) {
+    const serve::GemmResponse response = f.get();
+    check(response.status == serve::ResponseStatus::kOk && response.clean,
+          "throughput response clean");
+  }
+  return seconds_since(start);
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t requests = env_size_or("AABFT_SERVE_REQUESTS", 2000);
+  const std::size_t throughput_n = env_size_or("AABFT_SERVE_THROUGHPUT_N", 64);
+  const std::size_t faults_per_request = env_size_or("AABFT_SERVE_FAULTS", 1);
+  const double rate = env_double_or("AABFT_SERVE_RATE", 300.0);
+  const auto seed = static_cast<std::uint64_t>(env_size_or("AABFT_SERVE_SEED", 42));
+
+  gpusim::Launcher launcher;
+  Rng rng(seed);
+  std::printf("aabft_serve: %u pool worker(s), seed %llu\n\n",
+              launcher.workers(), static_cast<unsigned long long>(seed));
+
+  // -- throughput: serial vs batched ---------------------------------------
+  const linalg::Matrix ta = linalg::uniform_matrix(64, 64, -1.0, 1.0, rng);
+  const linalg::Matrix tb = linalg::uniform_matrix(64, 64, -1.0, 1.0, rng);
+  double serial_s = 0.0;
+  double batched_s = 0.0;
+  {
+    serve::ServeConfig config;
+    config.batch.max_batch = 1;
+    serve::GemmServer server(launcher, config);
+    (void)timed_burst(server, ta, tb, 4);  // warm-up: pool + lane creation
+    serial_s = timed_burst(server, ta, tb, throughput_n);
+  }
+  std::size_t batches = 0;
+  {
+    serve::ServeConfig config;
+    config.batch.max_batch = 8;
+    serve::GemmServer server(launcher, config);
+    (void)timed_burst(server, ta, tb, 4);
+    batched_s = timed_burst(server, ta, tb, throughput_n);
+    batches = server.stats().batches;
+  }
+  const double speedup = batched_s > 0.0 ? serial_s / batched_s : 0.0;
+  const bool gate_applies = launcher.workers() >= 4;
+  std::printf("throughput, %zu requests of 64x64x64:\n", throughput_n);
+  std::printf("  serial (max_batch=1)  : %8.3f s\n", serial_s);
+  std::printf("  batched (max_batch=8) : %8.3f s  (%.2fx, %zu dispatches)\n",
+              batched_s, speedup, batches);
+  if (gate_applies)
+    check(speedup >= 2.0, "batching speedup >= 2x on >= 4 workers (got " +
+                              std::to_string(speedup) + "x)");
+  else
+    std::printf("  note: %u pool worker(s) — the >= 2x gate applies on >= 4 "
+                "workers\n",
+                launcher.workers());
+  std::printf("\n");
+
+  // -- soak ----------------------------------------------------------------
+  serve::ServeConfig config;
+  const abft::AabftConfig& aabft_cfg = config.aabft;
+  std::vector<Problem> pool;
+  const std::size_t shapes[][3] = {{32, 32, 32}, {48, 40, 56}, {64, 64, 64},
+                                   {33, 32, 33}, {80, 48, 64}, {64, 96, 32}};
+  for (const auto& shape : shapes)
+    for (int copy = 0; copy < 3; ++copy) {
+      Problem problem;
+      problem.a =
+          linalg::uniform_matrix(shape[0], shape[1], -1.0, 1.0, rng);
+      problem.b =
+          linalg::uniform_matrix(shape[1], shape[2], -1.0, 1.0, rng);
+      problem.ref = linalg::naive_matmul(problem.a, problem.b,
+                                         aabft_cfg.gemm.use_fma);
+      problem.grid_blocks =
+          grid_blocks_of(shape[0], shape[1], shape[2], aabft_cfg);
+      pool.push_back(std::move(problem));
+    }
+
+  serve::GemmServer server(launcher, config);
+  std::vector<std::pair<std::size_t, std::future<serve::GemmResponse>>>
+      inflight;
+  inflight.reserve(requests);
+  std::size_t overload_backoffs = 0;
+
+  const auto soak_start = Clock::now();
+  double next_arrival_s = 0.0;
+  for (std::size_t i = 0; i < requests; ++i) {
+    next_arrival_s += -std::log(1.0 - rng.next_unit()) / rate;
+    std::this_thread::sleep_until(
+        soak_start + std::chrono::duration<double>(next_arrival_s));
+    const std::size_t p = rng.below(pool.size());
+    const auto priority = static_cast<serve::Priority>(rng.below(3));
+    const auto plan =
+        faults_per_request == 0
+            ? std::vector<gpusim::FaultConfig>{}
+            : random_fault_plan(rng, faults_per_request, pool[p], aabft_cfg,
+                                launcher.device().num_sms);
+    for (;;) {
+      serve::GemmRequest request;
+      request.a = pool[p].a;
+      request.b = pool[p].b;
+      request.priority = priority;
+      if (i % 8 == 0) request.deadline_ms = 60000.0;  // generous: admissible
+      request.fault_plan = plan;
+      auto admitted = server.submit(std::move(request));
+      if (admitted.ok()) {
+        inflight.emplace_back(p, std::move(*admitted));
+        break;
+      }
+      if (admitted.error().code != ErrorCode::kOverloaded) {
+        check(false, "unexpected admission refusal: " +
+                         admitted.error().message);
+        break;
+      }
+      ++overload_backoffs;  // open-loop generator outran the server
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+
+  std::size_t corrected_total = 0;
+  std::size_t full_recomputes_total = 0;
+  std::size_t fired_total = 0;
+  std::size_t bitwise_identical = 0;
+  for (auto& [p, f] : inflight) {
+    const serve::GemmResponse r = f.get();
+    const Problem& problem = pool[p];
+    check(r.status == serve::ResponseStatus::kOk && r.clean,
+          "response " + std::to_string(r.id) + " clean (rung " +
+              std::string(to_string(r.rung)) + ", diagnosis: " + r.diagnosis +
+              ")");
+    check(r.c.rows() == problem.ref.rows() && r.c.cols() == problem.ref.cols(),
+          "response " + std::to_string(r.id) + " has the request's extents");
+    const auto& t = r.trace;
+    check(t.enqueue_ns <= t.dispatch_ns && t.dispatch_ns <= t.compute_ns &&
+              t.compute_ns <= t.repair_ns && t.repair_ns <= t.complete_ns,
+          "response " + std::to_string(r.id) + " trace timestamps monotone");
+    corrected_total += t.corrected ? 1 : 0;
+    full_recomputes_total += t.full_recomputes;
+    fired_total += t.faults_fired;
+    if (r.c.rows() != problem.ref.rows() || r.c.cols() != problem.ref.cols())
+      continue;
+    if (t.corrections == 0) {
+      // No checksum patches: repair (if any) was bit-exact, so the result
+      // must match the fault-free reference bit for bit.
+      check(r.c == problem.ref,
+            "response " + std::to_string(r.id) + " bit-identical (rung " +
+                std::string(to_string(r.rung)) + ")");
+      ++bitwise_identical;
+    } else {
+      // Patched elements carry the checksum-sum rounding; everything else
+      // must still be bit-identical.
+      std::size_t diffs = 0;
+      bool within_tol = true;
+      for (std::size_t row = 0; row < r.c.rows(); ++row)
+        for (std::size_t col = 0; col < r.c.cols(); ++col) {
+          const double got = r.c(row, col);
+          const double want = problem.ref(row, col);
+          if (got == want) continue;
+          ++diffs;
+          const double rel =
+              std::abs(got - want) / std::max(1e-300, std::abs(want));
+          within_tol = within_tol && rel <= 1e-9;
+        }
+      check(diffs <= t.corrections,
+            "response " + std::to_string(r.id) + ": " + std::to_string(diffs) +
+                " deviations exceed the " + std::to_string(t.corrections) +
+                " patched elements");
+      check(within_tol, "response " + std::to_string(r.id) +
+                            " patched elements within 1e-9 relative");
+    }
+  }
+  server.stop();
+
+  const serve::ServerStats stats = server.stats();
+  check(stats.failed == 0, "no failed responses");
+  check(stats.completed == inflight.size(), "every admitted request completed");
+  if (faults_per_request == 1) {
+    check(full_recomputes_total == 0,
+          "single-fault damage repaired below the full-recompute rung (" +
+              std::to_string(full_recomputes_total) + " full recomputes)");
+    check(corrected_total >= 1, "at least one response took the correction path");
+  }
+
+  std::printf("soak, %zu requests over %zu problems:\n", requests, pool.size());
+  std::printf("  faults armed/fired      : %llu / %zu\n",
+              static_cast<unsigned long long>(stats.faults_armed), fired_total);
+  std::printf("  corrected / block-rec / full-rec : %zu / %llu / %zu\n",
+              corrected_total,
+              static_cast<unsigned long long>(stats.block_recomputes),
+              full_recomputes_total);
+  std::printf("  bit-identical responses : %zu\n", bitwise_identical);
+  std::printf("  overload backoffs       : %zu\n", overload_backoffs);
+  std::printf("  e2e latency             : p50 %.3f ms, p95 %.3f ms, "
+              "p99 %.3f ms, max %.3f ms\n",
+              stats.e2e_ns.p50() / 1e6, stats.e2e_ns.p95() / 1e6,
+              stats.e2e_ns.p99() / 1e6, stats.e2e_ns.max() / 1e6);
+
+  // -- summary JSON --------------------------------------------------------
+  const char* env = std::getenv("AABFT_SERVE_JSON");
+  const std::string path =
+      (env != nullptr && *env != '\0') ? env : "BENCH_serve.json";
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fprintf(f,
+                 "{\n\"workers\": %u,\n"
+                 "\"throughput\": {\"requests\": %zu, \"serial_s\": %.6f, "
+                 "\"batched_s\": %.6f, \"speedup\": %.3f, "
+                 "\"gate_applies\": %s},\n"
+                 "\"soak\": {\"requests\": %zu, \"overload_backoffs\": %zu, "
+                 "\"bitwise_identical\": %zu, \"fired\": %zu},\n"
+                 "\"serve\": %s}\n",
+                 launcher.workers(), throughput_n, serial_s, batched_s,
+                 speedup, gate_applies ? "true" : "false", requests,
+                 overload_backoffs, bitwise_identical, fired_total,
+                 server.telemetry_json().c_str());
+    std::fclose(f);
+    std::printf("(json written to %s)\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "could not write %s\n", path.c_str());
+  }
+
+  std::printf("\n%s (%d failure(s))\n", failures == 0 ? "PASS" : "FAIL",
+              failures);
+  return failures == 0 ? 0 : 1;
+}
