@@ -1,0 +1,149 @@
+// ProtectedBlas3 operation benchmark.
+//
+// Sweeps every op kind (GEMM, SYRK, Cholesky, LU) through the ProtectedBlas3
+// API twice — once on the unprotected scheme and once on the A-ABFT scheme —
+// and reports throughput plus the protection overhead per kind. The
+// factorizations exercise the checksum-carry path (panel = bs), so this is
+// the perf trajectory of the whole blas3 subsystem, not just GEMM.
+//
+// Machine-readable output: BENCH_blas3.json (op, scheme, n, ns/op, gflops,
+// overhead vs unprotected) in the current directory, or $AABFT_BENCH_JSON.
+//
+//   AABFT_BENCH_MAX_N   largest dimension in the sweep (default 512)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/schemes.hpp"
+#include "bench/bench_common.hpp"
+#include "core/rng.hpp"
+#include "gpusim/kernel.hpp"
+#include "linalg/matmul.hpp"
+#include "linalg/workload.hpp"
+
+namespace {
+
+using namespace aabft;
+using baselines::OpDescriptor;
+using baselines::OpKind;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+linalg::Matrix random_matrix(std::size_t rows, std::size_t cols,
+                             std::uint64_t seed) {
+  Rng rng(seed);
+  return linalg::uniform_matrix(rows, cols, -1.0, 1.0, rng);
+}
+
+linalg::Matrix spd_matrix(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  const linalg::Matrix m = linalg::uniform_matrix(n, n, -1.0, 1.0, rng);
+  linalg::Matrix a = linalg::naive_matmul(m, m.transposed(), false);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  return a;
+}
+
+struct Row {
+  std::string op;
+  std::string scheme;
+  std::size_t n = 0;
+  double ns_per_op = 0.0;
+  double gflops = 0.0;
+  double overhead = 0.0;  ///< protected time / unprotected time (same op, n)
+};
+
+double time_execute(baselines::ProtectedBlas3& scheme,
+                    const OpDescriptor& desc, const linalg::Matrix& a,
+                    const linalg::Matrix& b) {
+  auto run = [&] {
+    auto result = scheme.execute(desc, a, b);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s failed on %s: %s\n", scheme.name().data(),
+                   std::string(to_string(desc.kind)).c_str(),
+                   result.error().message.c_str());
+      std::exit(1);
+    }
+  };
+  run();  // warm-up
+  const auto start = Clock::now();
+  run();
+  return seconds_since(start);
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t max_n = env_size_or("AABFT_BENCH_MAX_N", 512);
+  std::vector<std::size_t> sweep;
+  for (std::size_t n :
+       {std::size_t{128}, std::size_t{256}, std::size_t{512},
+        std::size_t{1024}})
+    if (n <= max_n) sweep.push_back(n);
+  if (sweep.empty()) sweep.push_back(std::max<std::size_t>(max_n, 64));
+
+  gpusim::Launcher launcher;
+  abft::AabftConfig aabft;
+  baselines::UnprotectedScheme raw(launcher);
+  baselines::AabftScheme protected_scheme(launcher, aabft);
+
+  std::vector<Row> rows;
+  for (const std::size_t n : sweep) {
+    const linalg::Matrix a = random_matrix(n, n, 1);
+    const linalg::Matrix b = random_matrix(n, n, 2);
+    const linalg::Matrix spd = spd_matrix(n, 3);
+    const linalg::Matrix none;
+
+    struct Case {
+      OpDescriptor desc;
+      const linalg::Matrix* a;
+      const linalg::Matrix* b;
+    };
+    const Case cases[] = {
+        {OpDescriptor::gemm(n, n, n), &a, &b},
+        {OpDescriptor::syrk(n, n), &a, &none},
+        {OpDescriptor::cholesky(n), &spd, &none},
+        {OpDescriptor::lu(n), &spd, &none},
+    };
+    for (const Case& c : cases) {
+      const double flops = c.desc.flops();
+      const double raw_s = time_execute(raw, c.desc, *c.a, *c.b);
+      const double prot_s = time_execute(protected_scheme, c.desc, *c.a, *c.b);
+      const auto emit = [&](const char* scheme, double s) {
+        Row row;
+        row.op = std::string(to_string(c.desc.kind));
+        row.scheme = scheme;
+        row.n = n;
+        row.ns_per_op = 1e9 * s / std::max(1.0, flops);
+        row.gflops = flops / s / 1e9;
+        row.overhead = raw_s > 0.0 ? prot_s / raw_s : 0.0;
+        rows.push_back(row);
+      };
+      emit("unprotected", raw_s);
+      emit("a-abft", prot_s);
+    }
+  }
+
+  std::printf("%-10s %-12s %6s %12s %10s %9s\n", "op", "scheme", "n",
+              "ns/flop", "gflops", "overhead");
+  for (const Row& row : rows)
+    std::printf("%-10s %-12s %6zu %12.4f %10.3f %8.2fx\n", row.op.c_str(),
+                row.scheme.c_str(), row.n, row.ns_per_op, row.gflops,
+                row.overhead);
+
+  bench::BenchJson json;
+  for (const Row& row : rows)
+    json.begin_row()
+        .str("op", row.op)
+        .str("scheme", row.scheme)
+        .num("n", row.n)
+        .num("ns_per_flop", row.ns_per_op)
+        .num("gflops", row.gflops, 3)
+        .num("overhead", row.overhead, 2);
+  json.write("BENCH_blas3.json");
+  return 0;
+}

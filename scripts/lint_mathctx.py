@@ -317,8 +317,11 @@ def try_clang_query(files) -> bool:
 
 
 def default_targets(root: Path) -> list[Path]:
-    """src/ kernel sources plus the tools/ drivers (which may launch kernels)."""
-    return sorted((root / "src").rglob("*.cpp")) + sorted((root / "tools").glob("*.cpp"))
+    """src/ kernel sources plus the tools/ and bench/ drivers (both launch
+    kernels and must go through MathCtx like everything else)."""
+    return (sorted((root / "src").rglob("*.cpp"))
+            + sorted((root / "tools").glob("*.cpp"))
+            + sorted((root / "bench").glob("*.cpp")))
 
 
 def run(root: Path, files=None) -> list[str]:

@@ -17,6 +17,23 @@ ProtectedLu::ProtectedLu(gpusim::Launcher& launcher, ProtectedLuConfig config)
 
 LuResult ProtectedLu::factor(const Matrix& a) {
   AABFT_REQUIRE(a.rows() == a.cols(), "LU factorisation needs a square matrix");
+  LuResult first = factor_once(a);
+  if (first.carry_mismatches == 0) return first;
+  // The trailing matrix was corrupted between protected updates; the factors
+  // derived from it are not trustworthy. Restart once from the pristine
+  // input (the one panel-level recompute of the carry ladder).
+  LuResult retry = factor_once(a);
+  retry.factor_restarts = first.factor_restarts + 1;
+  retry.protected_updates += first.protected_updates;
+  retry.faults_detected += first.faults_detected;
+  retry.corrections += first.corrections;
+  retry.block_recomputes += first.block_recomputes;
+  retry.recomputations += first.recomputations;
+  retry.carry_mismatches += first.carry_mismatches;
+  return retry;
+}
+
+LuResult ProtectedLu::factor_once(const Matrix& a) {
   const std::size_t n = a.rows();
   const std::size_t panel = config_.panel;
 
@@ -27,10 +44,20 @@ LuResult ProtectedLu::factor(const Matrix& a) {
   Matrix& m = result.lu;
 
   AabftMultiplier mult(launcher_, config_.aabft);
+  ChecksumCarry carry(n, config_.aabft.bs, panel);
+  carry.init(m);
 
   for (std::size_t k0 = 0; k0 < n; k0 += panel) {
     const std::size_t kb = std::min(panel, n - k0);
     const std::size_t k_end = k0 + kb;
+
+    // CHECK_BEFORE: the panel's columns must still agree with the carried
+    // sums before they are consumed.
+    if (const std::size_t mism = carry.verify_panel(m, k0, k_end)) {
+      result.carry_mismatches += mism;
+      result.ok = false;
+      return result;
+    }
 
     // ---- panel factorisation with partial pivoting (host, O(n * kb^2)) ----
     for (std::size_t j = k0; j < k_end; ++j) {
@@ -44,10 +71,14 @@ LuResult ProtectedLu::factor(const Matrix& a) {
         }
       }
       if (best == 0.0) {
-        result.ok = false;  // singular (to working precision)
+        result.singular = true;  // singular (to working precision)
+        result.ok = false;
         return result;
       }
       if (piv != j) {
+        // Columns right of the panel keep their carried sums current; the
+        // panel's own columns are mid-elimination and never verified again.
+        carry.note_row_swap(m, j, piv, k_end);
         for (std::size_t c = 0; c < n; ++c) std::swap(m(j, c), m(piv, c));
         std::swap(result.perm[j], result.perm[piv]);
       }
@@ -84,12 +115,16 @@ LuResult ProtectedLu::factor(const Matrix& a) {
     ++result.protected_updates;
     if (update.error_detected()) ++result.faults_detected;
     result.corrections += update.corrections.size();
+    result.block_recomputes += update.block_recomputes;
     result.recomputations += update.recomputations;
     if (update.uncorrectable || !update.recheck_clean) result.ok = false;
 
     for (std::size_t i = 0; i < m2; ++i)
       for (std::size_t j = 0; j < n2; ++j)
         m(k_end + i, k_end + j) -= update.c(i, j);
+
+    // Carry the update's verified checksums into the running sums.
+    carry.apply_update(update.c_fc, mult.codec(), k_end, n2);
   }
 
   return result;

@@ -9,13 +9,23 @@
 // partial pivoting whose O(n^3) trailing updates — the part worth
 // protecting — run through the A-ABFT protected multiplier (detection,
 // localisation, correction, recompute fallback), while the O(n * panel^2)
-// panel factorisations and triangular solves stay on the host.
+// panel factorisations and triangular solves stay on the host. The trailing
+// matrix's checksums are additionally *carried* across panel updates
+// (abft::ChecksumCarry, blas3.hpp) and verified before each panel is
+// consumed (the MAGMA CHECK_BEFORE pattern), so corruption between
+// protected updates restarts the factorisation instead of leaking into the
+// factors.
+//
+// Serving entry point: the ProtectedBlas3 operation API (OpKind::kLu via
+// baselines::AabftScheme::execute) wraps this engine; the class itself
+// remains the rich interface for code that needs LuResult's full detail.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
 #include "abft/aabft.hpp"
+#include "abft/blas3.hpp"
 #include "gpusim/kernel.hpp"
 #include "linalg/matrix.hpp"
 
@@ -29,7 +39,11 @@ struct LuResult {
   std::size_t protected_updates = 0;   ///< A-ABFT-protected GEMM updates run
   std::size_t faults_detected = 0;     ///< updates that flagged an error
   std::size_t corrections = 0;         ///< localised repairs applied
+  std::size_t block_recomputes = 0;    ///< checksum blocks recomputed in place
   std::size_t recomputations = 0;      ///< transient-fault re-executions
+  std::size_t carry_mismatches = 0;    ///< carried-checksum checks that failed
+  std::size_t factor_restarts = 0;     ///< full refactor after a carry mismatch
+  bool singular = false;               ///< a pivot column was exactly zero
   bool ok = true;                      ///< factorisation completed cleanly
 };
 
@@ -42,7 +56,9 @@ class ProtectedLu {
  public:
   ProtectedLu(gpusim::Launcher& launcher, ProtectedLuConfig config);
 
-  /// Factor a square matrix: P A = L U with partial pivoting.
+  /// Factor a square matrix: P A = L U with partial pivoting. One carry
+  /// mismatch restarts the factorisation from the pristine input; a second
+  /// gives up (ok = false).
   [[nodiscard]] LuResult factor(const linalg::Matrix& a);
 
   /// Solve A x = b given a factorisation (forward/back substitution).
@@ -54,6 +70,8 @@ class ProtectedLu {
                                        const LuResult& lu);
 
  private:
+  [[nodiscard]] LuResult factor_once(const linalg::Matrix& a);
+
   gpusim::Launcher& launcher_;
   ProtectedLuConfig config_;
 };

@@ -1,0 +1,111 @@
+// BLAS-3 / one-sided-factorization operation descriptors.
+//
+// The ProtectedBlas3 interface (scheme.hpp) executes *operations*, not just
+// GEMMs. An OpDescriptor names the operation kind and its shape; every layer
+// above the schemes — admission control, batch keys, the recovery ladder,
+// benchmarks — keys off the descriptor instead of assuming C = A * B:
+//
+//   kGemm      C (m x q) = A (m x k) * B (k x q)
+//   kSyrk      C (m x m) = A (m x k) * A^T        (B unused)
+//   kCholesky  A (n x n) = L * L^T, SPD input     (B unused; m = k = q = n)
+//   kLu        P A (n x n) = L * U, partial pivots (B unused; m = k = q = n)
+//
+// The flop model is per-op-kind (the classical LAPACK operation counts), so
+// deadline-feasibility estimates stop over-charging factorizations as if
+// they were full GEMMs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "linalg/matrix.hpp"
+
+namespace aabft::baselines {
+
+enum class OpKind : std::uint8_t {
+  kGemm = 0,
+  kSyrk,
+  kCholesky,
+  kLu,
+};
+inline constexpr std::size_t kNumOpKinds = 4;
+
+[[nodiscard]] constexpr std::string_view to_string(OpKind kind) noexcept {
+  switch (kind) {
+    case OpKind::kGemm: return "gemm";
+    case OpKind::kSyrk: return "syrk";
+    case OpKind::kCholesky: return "cholesky";
+    case OpKind::kLu: return "lu";
+  }
+  return "?";
+}
+
+/// Kind + shape of one operation. For GEMM the three extents are independent;
+/// SYRK has q == m (the Gram result is square); the factorizations are square
+/// in every extent (m == k == q == n).
+struct OpDescriptor {
+  OpKind kind = OpKind::kGemm;
+  std::size_t m = 0;  ///< result rows
+  std::size_t k = 0;  ///< inner dimension (== n for the factorizations)
+  std::size_t q = 0;  ///< result columns
+
+  [[nodiscard]] static constexpr OpDescriptor gemm(std::size_t m, std::size_t k,
+                                                   std::size_t q) noexcept {
+    return {OpKind::kGemm, m, k, q};
+  }
+  [[nodiscard]] static constexpr OpDescriptor syrk(std::size_t m,
+                                                   std::size_t k) noexcept {
+    return {OpKind::kSyrk, m, k, m};
+  }
+  [[nodiscard]] static constexpr OpDescriptor cholesky(std::size_t n) noexcept {
+    return {OpKind::kCholesky, n, n, n};
+  }
+  [[nodiscard]] static constexpr OpDescriptor lu(std::size_t n) noexcept {
+    return {OpKind::kLu, n, n, n};
+  }
+
+  /// Descriptor matching a concrete operand pair (B ignored except for GEMM).
+  [[nodiscard]] static OpDescriptor of(OpKind kind, const linalg::Matrix& a,
+                                       const linalg::Matrix& b) noexcept {
+    switch (kind) {
+      case OpKind::kGemm: return gemm(a.rows(), a.cols(), b.cols());
+      case OpKind::kSyrk: return syrk(a.rows(), a.cols());
+      case OpKind::kCholesky: return cholesky(a.rows());
+      case OpKind::kLu: return lu(a.rows());
+    }
+    return {};
+  }
+
+  /// True when the operation consumes a second operand.
+  [[nodiscard]] constexpr bool uses_b() const noexcept {
+    return kind == OpKind::kGemm;
+  }
+
+  /// True when the operation is a one-sided factorization (square input,
+  /// panel-granular protection, no admission-time padding).
+  [[nodiscard]] constexpr bool is_factorization() const noexcept {
+    return kind == OpKind::kCholesky || kind == OpKind::kLu;
+  }
+
+  /// Classical per-op flop counts (the deadline-feasibility cost model):
+  /// GEMM 2 m k q, SYRK m^2 k (triangular output), Cholesky n^3 / 3,
+  /// LU 2 n^3 / 3.
+  [[nodiscard]] constexpr std::uint64_t flops() const noexcept {
+    const auto um = static_cast<std::uint64_t>(m);
+    const auto uk = static_cast<std::uint64_t>(k);
+    const auto uq = static_cast<std::uint64_t>(q);
+    switch (kind) {
+      case OpKind::kGemm: return 2ull * um * uk * uq;
+      case OpKind::kSyrk: return um * um * uk;
+      case OpKind::kCholesky: return um * um * um / 3ull;
+      case OpKind::kLu: return 2ull * um * um * um / 3ull;
+    }
+    return 0;
+  }
+
+  [[nodiscard]] constexpr bool operator==(const OpDescriptor&) const noexcept =
+      default;
+};
+
+}  // namespace aabft::baselines

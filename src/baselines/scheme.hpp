@@ -1,14 +1,25 @@
-// The unified protection-scheme interface.
+// The unified protection-scheme interface: ProtectedBlas3.
 //
-// Every contender of the paper's experiments — unprotected GEMM, manually
-// bounded ABFT, A-ABFT, SEA-ABFT and the TMR variants — implements the same
-// small surface, so the experiment drivers (perf_suite, inject/campaign,
-// inject/sweep) iterate over a scheme list instead of special-casing five
-// incompatible result types.
+// Every contender of the paper's experiments — unprotected, manually bounded
+// ABFT, A-ABFT, SEA-ABFT and the TMR variants — implements the same small
+// surface, so the experiment drivers (perf_suite, inject/campaign,
+// inject/sweep) and the serving layer iterate over a scheme list instead of
+// special-casing incompatible result types.
 //
-// Two facets:
-//   - ProtectedMultiplier: run the scheme's *full* pipeline on raw operands
-//     and report what happened through the shared SchemeResult core.
+// The interface is operation-shaped, not GEMM-shaped: an OpDescriptor
+// (op.hpp) names what to run — GEMM, SYRK, a right-looking Cholesky or LU
+// panel factorization — and execute() returns the shared OpOutcome core.
+// Schemes advertise coverage through supports(); asking for an op a scheme
+// does not implement is a recoverable refusal (ErrorCode::kUnsupportedOp),
+// never an assertion.
+//
+// Three facets:
+//   - execute / execute_batch: run the scheme's *full* pipeline on raw
+//     operands and report what happened through the shared OpOutcome core.
+//   - multiply / multiply_batch: non-virtual GEMM compatibility shims.
+//     They build the GEMM descriptor and forward to execute(), so the
+//     pre-redesign drivers keep their exact call shape — and the GEMM path
+//     stays bit-identical to the old ProtectedMultiplier interface.
 //   - ProductChecker (optional, via make_checker): check an *externally
 //     computed* full-checksum product. Fault-injection campaigns need this —
 //     both ABFT contenders must judge the same faulty product so the
@@ -16,9 +27,9 @@
 //     their execution (TMR replicas, unprotected) return nullptr and are
 //     skipped by campaigns, with no branching in the driver.
 //
-// Recoverable misuse (shape mismatches) is reported through Result<> per the
-// DESIGN.md §4.7 error-handling contract; exceptions remain reserved for
-// genuine precondition bugs.
+// Recoverable misuse (shape mismatches, unsupported op kinds) is reported
+// through Result<> per the DESIGN.md §4.7 error-handling contract;
+// exceptions remain reserved for genuine precondition bugs.
 #pragma once
 
 #include <cstddef>
@@ -30,27 +41,42 @@
 
 #include "abft/checksum.hpp"
 #include "abft/encoder.hpp"
+#include "baselines/op.hpp"
 #include "core/result.hpp"
 #include "gpusim/kernel.hpp"
 #include "linalg/matrix.hpp"
 
 namespace aabft::baselines {
 
-/// What every scheme can report about one protected multiply. Scheme-specific
-/// detail (check reports, correction lists, replica votes) stays on the
-/// concrete multiplier APIs; this core is what the generic drivers consume.
-struct SchemeResult {
-  linalg::Matrix c;            ///< the (stripped) product
+/// What every scheme can report about one protected operation. Scheme-
+/// specific detail (check reports, correction lists, replica votes) stays on
+/// the concrete APIs; this core is what the generic drivers consume.
+struct OpOutcome {
+  /// The data result: the (stripped) product for GEMM/SYRK, the combined
+  /// factors for the factorizations (L with unit upper part implied plus U
+  /// for LU; the lower-triangular L for Cholesky).
+  linalg::Matrix c;
+  /// Row permutation of a pivoted factorization (factored row i of PA is
+  /// original row perm[i]); empty for every other op kind.
+  std::vector<std::size_t> perm;
   bool detected = false;       ///< the scheme flagged an error
   bool corrected = false;      ///< ... and repaired it in place
   std::size_t corrections = 0;      ///< localised elements patched in place
   std::size_t block_recomputes = 0; ///< checksum blocks recomputed in place
-  std::size_t recomputed = 0;  ///< full re-executions performed
-  /// The scheme believes the returned product is fault-free (always true for
+  std::size_t recomputed = 0;  ///< full re-executions performed (whole
+                               ///< product, or panel updates / factor
+                               ///< restarts for the factorizations)
+  /// Protected panel updates run (factorizations only; 0 for GEMM/SYRK).
+  std::size_t protected_updates = 0;
+  /// The scheme believes the returned result is fault-free (always true for
   /// schemes without detection; false when detection fired and neither
   /// correction nor recomputation resolved it).
   bool clean = true;
 };
+
+/// Pre-redesign name of the outcome core; the fields GEMM drivers consume
+/// are unchanged.
+using SchemeResult = OpOutcome;
 
 /// Checks an externally computed full-checksum product (see header comment).
 /// A checker may hold references into the ProductCheckContext it was created
@@ -73,29 +99,55 @@ struct ProductCheckContext {
   std::size_t inner_dim;
 };
 
-class ProtectedMultiplier {
+class ProtectedBlas3 {
  public:
-  virtual ~ProtectedMultiplier() = default;
+  virtual ~ProtectedBlas3() = default;
 
   /// Stable scheme identifier ("unprotected", "fixed-abft", "a-abft",
   /// "sea-abft", "tmr", "diverse-tmr") — the key the drivers report under.
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;
 
-  /// Run the full pipeline: C = A * B with this scheme's protection.
-  /// Shape mismatches are returned as errors, not thrown.
-  [[nodiscard]] virtual Result<SchemeResult> multiply(
-      const linalg::Matrix& a, const linalg::Matrix& b) = 0;
+  /// True when execute() implements this op kind. The default interface
+  /// contract is GEMM-only; schemes with factorization coverage override.
+  [[nodiscard]] virtual bool supports(OpKind kind) const noexcept {
+    return kind == OpKind::kGemm;
+  }
 
-  /// Multiply independent problems. The default runs them sequentially;
-  /// schemes with a pipelined implementation (A-ABFT) override it to overlap
-  /// problems across streams. Result i always corresponds to problem i and
-  /// is bit-identical to a sequential multiply(problems[i]).
-  [[nodiscard]] virtual std::vector<Result<SchemeResult>> multiply_batch(
+  /// Run the operation named by `desc` with this scheme's protection. For
+  /// ops with uses_b() == false, `b` is ignored (pass an empty matrix).
+  /// Shape mismatches and unsupported op kinds are returned as errors, not
+  /// thrown.
+  [[nodiscard]] virtual Result<OpOutcome> execute(const OpDescriptor& desc,
+                                                  const linalg::Matrix& a,
+                                                  const linalg::Matrix& b) = 0;
+
+  /// Execute independent problems of one op kind. The default runs them
+  /// sequentially; schemes with a pipelined implementation (A-ABFT GEMM)
+  /// override it to overlap problems across streams. Result i always
+  /// corresponds to problem i and is bit-identical to a sequential
+  /// execute(problems[i]).
+  [[nodiscard]] virtual std::vector<Result<OpOutcome>> execute_batch(
+      OpKind kind,
       std::span<const std::pair<linalg::Matrix, linalg::Matrix>> problems) {
-    std::vector<Result<SchemeResult>> out;
+    std::vector<Result<OpOutcome>> out;
     out.reserve(problems.size());
-    for (const auto& [a, b] : problems) out.push_back(multiply(a, b));
+    for (const auto& [a, b] : problems)
+      out.push_back(execute(OpDescriptor::of(kind, a, b), a, b));
     return out;
+  }
+
+  /// GEMM compatibility shim: C = A * B with this scheme's protection.
+  /// Exactly execute() with the GEMM descriptor — same validation, same
+  /// bits, same bookkeeping as the pre-redesign ProtectedMultiplier API.
+  [[nodiscard]] Result<OpOutcome> multiply(const linalg::Matrix& a,
+                                           const linalg::Matrix& b) {
+    return execute(OpDescriptor::gemm(a.rows(), a.cols(), b.cols()), a, b);
+  }
+
+  /// GEMM batch compatibility shim (see multiply).
+  [[nodiscard]] std::vector<Result<OpOutcome>> multiply_batch(
+      std::span<const std::pair<linalg::Matrix, linalg::Matrix>> problems) {
+    return execute_batch(OpKind::kGemm, problems);
   }
 
   /// Checker over an already-encoded operand pair, or nullptr when the
@@ -105,5 +157,9 @@ class ProtectedMultiplier {
     return nullptr;
   }
 };
+
+/// Pre-redesign name of the scheme interface (GEMM drivers use the multiply
+/// shims and never see the descriptor).
+using ProtectedMultiplier = ProtectedBlas3;
 
 }  // namespace aabft::baselines

@@ -1,9 +1,13 @@
 #include "baselines/schemes.hpp"
 
+#include <array>
 #include <optional>
 #include <string>
+#include <utility>
 
+#include "abft/blas3.hpp"
 #include "abft/checker.hpp"
+#include "abft/protected_lu.hpp"
 
 namespace aabft::baselines {
 
@@ -11,8 +15,8 @@ using linalg::Matrix;
 
 namespace {
 
-/// Shared recoverable-misuse validation. `bs` == 0 for schemes without a
-/// checksum blocking requirement.
+/// Shared recoverable-misuse validation for product ops. `bs` == 0 for
+/// schemes without a checksum blocking requirement.
 std::optional<Error> validate_shapes(const Matrix& a, const Matrix& b,
                                      std::size_t bs) {
   if (a.cols() != b.rows())
@@ -26,6 +30,26 @@ std::optional<Error> validate_shapes(const Matrix& a, const Matrix& b,
                        "checksum block size " +
                        std::to_string(bs));
   return std::nullopt;
+}
+
+/// Recoverable-misuse validation for the single-operand ops (B is ignored):
+/// SYRK takes any nonempty A, the factorizations need a nonempty square A.
+std::optional<Error> validate_single_operand(const OpDescriptor& desc,
+                                             const Matrix& a) {
+  if (a.rows() == 0 || a.cols() == 0)
+    return Error{ErrorCode::kInvalidArgument, "empty operand"};
+  if (desc.is_factorization() && a.rows() != a.cols())
+    return shape_error(std::string(to_string(desc.kind)) +
+                       " needs a square matrix, got " +
+                       std::to_string(a.rows()) + "x" +
+                       std::to_string(a.cols()));
+  return std::nullopt;
+}
+
+Error unsupported(std::string_view scheme, OpKind kind) {
+  return unsupported_op_error("scheme '" + std::string(scheme) +
+                              "' does not implement op kind '" +
+                              std::string(to_string(kind)) + "'");
 }
 
 class FixedAbftChecker final : public ProductChecker {
@@ -81,26 +105,146 @@ class SeaAbftChecker final : public ProductChecker {
   SeaBounds bounds_;
 };
 
+SchemeResult to_scheme_result(abft::AabftResult raw) {
+  SchemeResult result;
+  result.c = std::move(raw.c);
+  result.detected = raw.error_detected();
+  result.corrected = !raw.corrections.empty() && raw.recheck_clean;
+  result.corrections = raw.corrections.size();
+  result.block_recomputes = raw.block_recomputes;
+  result.recomputed = raw.recomputations;
+  result.clean = !raw.uncorrectable && raw.recheck_clean;
+  return result;
+}
+
+Result<OpOutcome> chol_outcome(abft::CholResult raw) {
+  if (raw.not_positive_definite)
+    return Error{ErrorCode::kInvalidArgument,
+                 "matrix is not positive definite"};
+  OpOutcome out;
+  out.c = std::move(raw.l);
+  out.detected = raw.faults_detected > 0 || raw.carry_mismatches > 0;
+  out.corrections = raw.corrections;
+  out.block_recomputes = raw.block_recomputes;
+  // Panel-level full repairs: per-update re-executions plus whole-factor
+  // restarts after a carry mismatch.
+  out.recomputed = raw.recomputations + raw.factor_restarts;
+  out.protected_updates = raw.protected_updates;
+  out.corrected = out.detected && raw.ok && raw.corrections > 0;
+  out.clean = raw.ok;
+  return out;
+}
+
+Result<OpOutcome> lu_outcome(abft::LuResult raw) {
+  if (raw.singular)
+    return Error{ErrorCode::kInvalidArgument,
+                 "matrix is singular (to working precision)"};
+  OpOutcome out;
+  out.c = std::move(raw.lu);
+  out.perm = std::move(raw.perm);
+  out.detected = raw.faults_detected > 0 || raw.carry_mismatches > 0;
+  out.corrections = raw.corrections;
+  out.block_recomputes = raw.block_recomputes;
+  out.recomputed = raw.recomputations + raw.factor_restarts;
+  out.protected_updates = raw.protected_updates;
+  out.corrected = out.detected && raw.ok && raw.corrections > 0;
+  out.clean = raw.ok;
+  return out;
+}
+
+/// Whole-result majority vote over three raw factorizations. Element voting
+/// (the GEMM TMR) is unsound here: a fault that flips a pivot decision
+/// changes the permutation, making per-element comparison meaningless — so
+/// replicas vote as units, compared bitwise including the permutation.
+Result<OpOutcome> tmr_factor_vote(gpusim::Launcher& launcher, OpKind kind,
+                                  const Matrix& a,
+                                  const linalg::GemmConfig& gemm) {
+  std::array<abft::RawFactorResult, 3> runs;
+  for (auto& run : runs)
+    run = kind == OpKind::kCholesky ? abft::raw_cholesky(launcher, a, gemm)
+                                    : abft::raw_lu(launcher, a, gemm);
+
+  auto agree = [](const abft::RawFactorResult& x,
+                  const abft::RawFactorResult& y) {
+    return x.ok == y.ok && x.perm == y.perm && x.f == y.f;  // bitwise
+  };
+  const bool ab = agree(runs[0], runs[1]);
+  const bool ac = agree(runs[0], runs[2]);
+  const bool bc = agree(runs[1], runs[2]);
+
+  std::size_t winner = 0;
+  bool majority = true;
+  if (ab || ac) {
+    winner = 0;
+  } else if (bc) {
+    winner = 1;
+  } else {
+    majority = false;  // all three disagree: nothing to vouch for
+  }
+
+  abft::RawFactorResult& voted = runs[winner];
+  if (majority && !voted.ok)
+    return Error{ErrorCode::kInvalidArgument,
+                 kind == OpKind::kCholesky
+                     ? "matrix is not positive definite"
+                     : "matrix is singular (to working precision)"};
+
+  OpOutcome out;
+  out.c = std::move(voted.f);
+  out.perm = std::move(voted.perm);
+  out.detected = !(ab && ac && bc);
+  out.corrected = out.detected && majority;
+  out.clean = majority;
+  return out;
+}
+
 }  // namespace
 
 UnprotectedScheme::UnprotectedScheme(gpusim::Launcher& launcher,
                                      linalg::GemmConfig gemm)
-    : mult_(launcher, gemm) {}
+    : launcher_(launcher), gemm_(gemm), mult_(launcher, gemm) {}
 
-Result<SchemeResult> UnprotectedScheme::multiply(const Matrix& a,
-                                                 const Matrix& b) {
-  if (auto err = validate_shapes(a, b, 0)) return *err;
+Result<OpOutcome> UnprotectedScheme::execute(const OpDescriptor& desc,
+                                             const Matrix& a,
+                                             const Matrix& b) {
   SchemeResult result;
-  result.c = mult_.multiply(a, b);
-  return result;
+  switch (desc.kind) {
+    case OpKind::kGemm: {
+      if (auto err = validate_shapes(a, b, 0)) return *err;
+      result.c = mult_.multiply(a, b);
+      return result;
+    }
+    case OpKind::kSyrk: {
+      if (auto err = validate_single_operand(desc, a)) return *err;
+      result.c = abft::raw_syrk(launcher_, a, gemm_);
+      return result;
+    }
+    case OpKind::kCholesky:
+    case OpKind::kLu: {
+      if (auto err = validate_single_operand(desc, a)) return *err;
+      abft::RawFactorResult raw =
+          desc.kind == OpKind::kCholesky ? abft::raw_cholesky(launcher_, a, gemm_)
+                                         : abft::raw_lu(launcher_, a, gemm_);
+      if (!raw.ok)
+        return Error{ErrorCode::kInvalidArgument,
+                     desc.kind == OpKind::kCholesky
+                         ? "matrix is not positive definite"
+                         : "matrix is singular (to working precision)"};
+      result.c = std::move(raw.f);
+      result.perm = std::move(raw.perm);
+      return result;
+    }
+  }
+  return unsupported(name(), desc.kind);
 }
 
 FixedAbftScheme::FixedAbftScheme(gpusim::Launcher& launcher,
                                  FixedAbftConfig config)
     : mult_(launcher, config), bs_(config.bs), epsilon_(config.epsilon) {}
 
-Result<SchemeResult> FixedAbftScheme::multiply(const Matrix& a,
-                                               const Matrix& b) {
+Result<OpOutcome> FixedAbftScheme::execute(const OpDescriptor& desc,
+                                           const Matrix& a, const Matrix& b) {
+  if (desc.kind != OpKind::kGemm) return unsupported(name(), desc.kind);
   if (auto err = validate_shapes(a, b, bs_)) return *err;
   FixedAbftResult raw = mult_.multiply(a, b);
   SchemeResult result;
@@ -116,34 +260,48 @@ std::unique_ptr<ProductChecker> FixedAbftScheme::make_checker(
 }
 
 AabftScheme::AabftScheme(gpusim::Launcher& launcher, abft::AabftConfig config)
-    : mult_(launcher, config) {}
+    : launcher_(launcher), mult_(launcher, config) {}
 
-namespace {
-
-SchemeResult to_scheme_result(abft::AabftResult raw) {
-  SchemeResult result;
-  result.c = std::move(raw.c);
-  result.detected = raw.error_detected();
-  result.corrected = !raw.corrections.empty() && raw.recheck_clean;
-  result.corrections = raw.corrections.size();
-  result.block_recomputes = raw.block_recomputes;
-  result.recomputed = raw.recomputations;
-  result.clean = !raw.uncorrectable && raw.recheck_clean;
-  return result;
+Result<OpOutcome> AabftScheme::execute(const OpDescriptor& desc,
+                                       const Matrix& a, const Matrix& b) {
+  switch (desc.kind) {
+    case OpKind::kGemm: {
+      Result<abft::AabftResult> raw = mult_.multiply(a, b);
+      if (!raw.ok()) return raw.error();
+      return to_scheme_result(std::move(raw).value());
+    }
+    case OpKind::kSyrk: {
+      if (auto err = validate_single_operand(desc, a)) return *err;
+      abft::ProtectedSyrk syrk(launcher_, mult_.config());
+      return to_scheme_result(syrk.multiply(a));
+    }
+    case OpKind::kCholesky: {
+      if (auto err = validate_single_operand(desc, a)) return *err;
+      // Panel width = the checksum block size, so the carry stays aligned.
+      abft::ProtectedCholConfig config;
+      config.panel = mult_.config().bs;
+      config.aabft = mult_.config();
+      abft::ProtectedCholesky chol(launcher_, config);
+      return chol_outcome(chol.factor(a));
+    }
+    case OpKind::kLu: {
+      if (auto err = validate_single_operand(desc, a)) return *err;
+      abft::ProtectedLuConfig config;
+      config.panel = mult_.config().bs;
+      config.aabft = mult_.config();
+      abft::ProtectedLu lu(launcher_, config);
+      return lu_outcome(lu.factor(a));
+    }
+  }
+  return unsupported(name(), desc.kind);
 }
 
-}  // namespace
-
-Result<SchemeResult> AabftScheme::multiply(const Matrix& a, const Matrix& b) {
-  Result<abft::AabftResult> raw = mult_.multiply(a, b);
-  if (!raw.ok()) return raw.error();
-  return to_scheme_result(std::move(raw).value());
-}
-
-std::vector<Result<SchemeResult>> AabftScheme::multiply_batch(
-    std::span<const std::pair<Matrix, Matrix>> problems) {
+std::vector<Result<OpOutcome>> AabftScheme::execute_batch(
+    OpKind kind, std::span<const std::pair<Matrix, Matrix>> problems) {
+  if (kind != OpKind::kGemm)
+    return ProtectedBlas3::execute_batch(kind, problems);  // sequential
   std::vector<Result<abft::AabftResult>> raw = mult_.multiply_batch(problems);
-  std::vector<Result<SchemeResult>> out;
+  std::vector<Result<OpOutcome>> out;
   out.reserve(raw.size());
   for (auto& r : raw) {
     if (r.ok())
@@ -162,7 +320,9 @@ std::unique_ptr<ProductChecker> AabftScheme::make_checker(
 SeaAbftScheme::SeaAbftScheme(gpusim::Launcher& launcher, SeaAbftConfig config)
     : mult_(launcher, config), bs_(config.bs) {}
 
-Result<SchemeResult> SeaAbftScheme::multiply(const Matrix& a, const Matrix& b) {
+Result<OpOutcome> SeaAbftScheme::execute(const OpDescriptor& desc,
+                                         const Matrix& a, const Matrix& b) {
+  if (desc.kind != OpKind::kGemm) return unsupported(name(), desc.kind);
   if (auto err = validate_shapes(a, b, bs_)) return *err;
   SeaAbftResult raw = mult_.multiply(a, b);
   SchemeResult result;
@@ -178,27 +338,49 @@ std::unique_ptr<ProductChecker> SeaAbftScheme::make_checker(
 }
 
 TmrScheme::TmrScheme(gpusim::Launcher& launcher, TmrConfig config)
-    : mult_(launcher, config) {}
+    : launcher_(launcher), gemm_(config.gemm), mult_(launcher, config) {}
 
-Result<SchemeResult> TmrScheme::multiply(const Matrix& a, const Matrix& b) {
-  if (auto err = validate_shapes(a, b, 0)) return *err;
-  TmrResult raw = mult_.multiply(a, b);
-  SchemeResult result;
-  result.c = std::move(raw.c);
-  result.detected = raw.error_detected();
-  // Majority voting repairs any element where two replicas still agree.
-  result.corrected =
-      raw.mismatched_elements > 0 && raw.unresolved_elements == 0;
-  result.clean = raw.unresolved_elements == 0;
-  return result;
+Result<OpOutcome> TmrScheme::execute(const OpDescriptor& desc, const Matrix& a,
+                                     const Matrix& b) {
+  switch (desc.kind) {
+    case OpKind::kGemm:
+    case OpKind::kSyrk: {
+      // SYRK is the element-voting TMR GEMM of (A, A^T).
+      const Matrix* rhs = &b;
+      Matrix a_t;
+      if (desc.kind == OpKind::kSyrk) {
+        if (auto err = validate_single_operand(desc, a)) return *err;
+        a_t = a.transposed();
+        rhs = &a_t;
+      } else if (auto err = validate_shapes(a, b, 0)) {
+        return *err;
+      }
+      TmrResult raw = mult_.multiply(a, *rhs);
+      SchemeResult result;
+      result.c = std::move(raw.c);
+      result.detected = raw.error_detected();
+      // Majority voting repairs any element where two replicas still agree.
+      result.corrected =
+          raw.mismatched_elements > 0 && raw.unresolved_elements == 0;
+      result.clean = raw.unresolved_elements == 0;
+      return result;
+    }
+    case OpKind::kCholesky:
+    case OpKind::kLu: {
+      if (auto err = validate_single_operand(desc, a)) return *err;
+      return tmr_factor_vote(launcher_, desc.kind, a, gemm_);
+    }
+  }
+  return unsupported(name(), desc.kind);
 }
 
 DiverseTmrScheme::DiverseTmrScheme(gpusim::Launcher& launcher,
                                    DiverseTmrConfig config)
     : mult_(launcher, config) {}
 
-Result<SchemeResult> DiverseTmrScheme::multiply(const Matrix& a,
-                                                const Matrix& b) {
+Result<OpOutcome> DiverseTmrScheme::execute(const OpDescriptor& desc,
+                                            const Matrix& a, const Matrix& b) {
+  if (desc.kind != OpKind::kGemm) return unsupported(name(), desc.kind);
   if (auto err = validate_shapes(a, b, 0)) return *err;
   DiverseTmrResult raw = mult_.multiply(a, b);
   SchemeResult result;
@@ -210,9 +392,9 @@ Result<SchemeResult> DiverseTmrScheme::multiply(const Matrix& a,
   return result;
 }
 
-std::vector<std::unique_ptr<ProtectedMultiplier>> make_schemes(
+std::vector<std::unique_ptr<ProtectedBlas3>> make_schemes(
     gpusim::Launcher& launcher, const SchemeSuiteConfig& config) {
-  std::vector<std::unique_ptr<ProtectedMultiplier>> schemes;
+  std::vector<std::unique_ptr<ProtectedBlas3>> schemes;
 
   schemes.push_back(
       std::make_unique<UnprotectedScheme>(launcher, config.gemm));

@@ -1,10 +1,21 @@
-// Adapters binding every concrete multiplier to the ProtectedMultiplier
+// Adapters binding every concrete scheme to the ProtectedBlas3 operation
 // interface, plus the factory that assembles the standard contender list.
 //
-// The adapters own their multiplier and translate its scheme-specific result
-// type into the shared SchemeResult core; the rich APIs (AabftResult with
-// check reports and corrections, TMR vote counts, ...) remain available on
-// the concrete classes for code that needs the detail.
+// The adapters own their engines and translate scheme-specific result types
+// into the shared OpOutcome core; the rich APIs (AabftResult with check
+// reports and corrections, LuResult/CholResult with carry counters, TMR vote
+// counts, ...) remain available on the concrete classes for code that needs
+// the detail.
+//
+// Operation coverage:
+//   - a-abft:      GEMM, SYRK, Cholesky, LU — the full protected family
+//                  (factorizations via the checksum-carry panel engines).
+//   - unprotected: GEMM, SYRK, Cholesky, LU — raw references, no checking.
+//   - tmr:         GEMM/SYRK by element-voting replicas, Cholesky/LU by
+//                  whole-result majority vote over three raw factorizations
+//                  (element voting is unsound under pivot divergence).
+//   - fixed-abft, sea-abft, diverse-tmr: GEMM only; other kinds come back
+//                  as ErrorCode::kUnsupportedOp.
 #pragma once
 
 #include <memory>
@@ -34,27 +45,34 @@ struct SchemeSuiteConfig {
   bool include_diverse_tmr = false;
 };
 
-class UnprotectedScheme final : public ProtectedMultiplier {
+class UnprotectedScheme final : public ProtectedBlas3 {
  public:
   UnprotectedScheme(gpusim::Launcher& launcher, linalg::GemmConfig gemm = {});
   [[nodiscard]] std::string_view name() const noexcept override {
     return "unprotected";
   }
-  [[nodiscard]] Result<SchemeResult> multiply(const linalg::Matrix& a,
-                                              const linalg::Matrix& b) override;
+  [[nodiscard]] bool supports(OpKind /*kind*/) const noexcept override {
+    return true;  // raw references for every op kind
+  }
+  [[nodiscard]] Result<OpOutcome> execute(const OpDescriptor& desc,
+                                          const linalg::Matrix& a,
+                                          const linalg::Matrix& b) override;
 
  private:
+  gpusim::Launcher& launcher_;
+  linalg::GemmConfig gemm_;
   UnprotectedMultiplier mult_;
 };
 
-class FixedAbftScheme final : public ProtectedMultiplier {
+class FixedAbftScheme final : public ProtectedBlas3 {
  public:
   FixedAbftScheme(gpusim::Launcher& launcher, FixedAbftConfig config = {});
   [[nodiscard]] std::string_view name() const noexcept override {
     return "fixed-abft";
   }
-  [[nodiscard]] Result<SchemeResult> multiply(const linalg::Matrix& a,
-                                              const linalg::Matrix& b) override;
+  [[nodiscard]] Result<OpOutcome> execute(const OpDescriptor& desc,
+                                          const linalg::Matrix& a,
+                                          const linalg::Matrix& b) override;
   [[nodiscard]] std::unique_ptr<ProductChecker> make_checker(
       const ProductCheckContext& ctx) override;
 
@@ -64,33 +82,41 @@ class FixedAbftScheme final : public ProtectedMultiplier {
   double epsilon_;
 };
 
-class AabftScheme final : public ProtectedMultiplier {
+class AabftScheme final : public ProtectedBlas3 {
  public:
   AabftScheme(gpusim::Launcher& launcher, abft::AabftConfig config = {});
   [[nodiscard]] std::string_view name() const noexcept override {
     return "a-abft";
   }
-  [[nodiscard]] Result<SchemeResult> multiply(const linalg::Matrix& a,
-                                              const linalg::Matrix& b) override;
-  /// Pipelined across streams — see AabftMultiplier::multiply_batch.
-  [[nodiscard]] std::vector<Result<SchemeResult>> multiply_batch(
+  [[nodiscard]] bool supports(OpKind /*kind*/) const noexcept override {
+    return true;  // the full protected BLAS-3 / factorization family
+  }
+  [[nodiscard]] Result<OpOutcome> execute(const OpDescriptor& desc,
+                                          const linalg::Matrix& a,
+                                          const linalg::Matrix& b) override;
+  /// GEMM batches pipeline across streams (AabftMultiplier::multiply_batch);
+  /// other op kinds run sequentially.
+  [[nodiscard]] std::vector<Result<OpOutcome>> execute_batch(
+      OpKind kind,
       std::span<const std::pair<linalg::Matrix, linalg::Matrix>> problems)
       override;
   [[nodiscard]] std::unique_ptr<ProductChecker> make_checker(
       const ProductCheckContext& ctx) override;
 
  private:
+  gpusim::Launcher& launcher_;
   abft::AabftMultiplier mult_;
 };
 
-class SeaAbftScheme final : public ProtectedMultiplier {
+class SeaAbftScheme final : public ProtectedBlas3 {
  public:
   SeaAbftScheme(gpusim::Launcher& launcher, SeaAbftConfig config = {});
   [[nodiscard]] std::string_view name() const noexcept override {
     return "sea-abft";
   }
-  [[nodiscard]] Result<SchemeResult> multiply(const linalg::Matrix& a,
-                                              const linalg::Matrix& b) override;
+  [[nodiscard]] Result<OpOutcome> execute(const OpDescriptor& desc,
+                                          const linalg::Matrix& a,
+                                          const linalg::Matrix& b) override;
   [[nodiscard]] std::unique_ptr<ProductChecker> make_checker(
       const ProductCheckContext& ctx) override;
 
@@ -99,25 +125,32 @@ class SeaAbftScheme final : public ProtectedMultiplier {
   std::size_t bs_;
 };
 
-class TmrScheme final : public ProtectedMultiplier {
+class TmrScheme final : public ProtectedBlas3 {
  public:
   TmrScheme(gpusim::Launcher& launcher, TmrConfig config = {});
   [[nodiscard]] std::string_view name() const noexcept override { return "tmr"; }
-  [[nodiscard]] Result<SchemeResult> multiply(const linalg::Matrix& a,
-                                              const linalg::Matrix& b) override;
+  [[nodiscard]] bool supports(OpKind /*kind*/) const noexcept override {
+    return true;  // replica voting covers every op kind
+  }
+  [[nodiscard]] Result<OpOutcome> execute(const OpDescriptor& desc,
+                                          const linalg::Matrix& a,
+                                          const linalg::Matrix& b) override;
 
  private:
+  gpusim::Launcher& launcher_;
+  linalg::GemmConfig gemm_;
   TmrMultiplier mult_;
 };
 
-class DiverseTmrScheme final : public ProtectedMultiplier {
+class DiverseTmrScheme final : public ProtectedBlas3 {
  public:
   DiverseTmrScheme(gpusim::Launcher& launcher, DiverseTmrConfig config = {});
   [[nodiscard]] std::string_view name() const noexcept override {
     return "diverse-tmr";
   }
-  [[nodiscard]] Result<SchemeResult> multiply(const linalg::Matrix& a,
-                                              const linalg::Matrix& b) override;
+  [[nodiscard]] Result<OpOutcome> execute(const OpDescriptor& desc,
+                                          const linalg::Matrix& a,
+                                          const linalg::Matrix& b) override;
 
  private:
   DiverseTmrMultiplier mult_;
@@ -125,7 +158,7 @@ class DiverseTmrScheme final : public ProtectedMultiplier {
 
 /// The standard contender list in Table-I order: unprotected, fixed-abft,
 /// a-abft, sea-abft, tmr (and diverse-tmr when enabled).
-[[nodiscard]] std::vector<std::unique_ptr<ProtectedMultiplier>> make_schemes(
+[[nodiscard]] std::vector<std::unique_ptr<ProtectedBlas3>> make_schemes(
     gpusim::Launcher& launcher, const SchemeSuiteConfig& config = {});
 
 }  // namespace aabft::baselines

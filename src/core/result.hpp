@@ -25,6 +25,7 @@ enum class ErrorCode {
   kExecutionFailed, ///< an asynchronous pipeline failed to complete
   kOverloaded,      ///< admission refused: the request queue is full
   kDeadlineInfeasible, ///< admission refused: the deadline cannot be met
+  kUnsupportedOp,   ///< the scheme does not implement the requested op kind
 };
 
 struct Error {
@@ -83,6 +84,11 @@ class [[nodiscard]] Result {
 /// Shorthand for the common shape-mismatch refusal.
 [[nodiscard]] inline Error shape_error(std::string message) {
   return Error{ErrorCode::kShapeMismatch, std::move(message)};
+}
+
+/// Shorthand for refusing an operation kind a scheme does not implement.
+[[nodiscard]] inline Error unsupported_op_error(std::string message) {
+  return Error{ErrorCode::kUnsupportedOp, std::move(message)};
 }
 
 }  // namespace aabft

@@ -7,28 +7,63 @@
 
 namespace aabft::serve {
 
+using baselines::OpDescriptor;
+using baselines::OpKind;
+
 Result<std::future<GemmResponse>> AdmissionController::admit(
     GemmRequest&& request, BoundedRequestQueue& queue, std::uint64_t now_ns) {
   const std::size_t m = request.a.rows();
   const std::size_t k = request.a.cols();
-  const std::size_t q = request.b.cols();
-  if (m == 0 || k == 0 || q == 0)
+  if (m == 0 || k == 0)
     return Error{ErrorCode::kInvalidArgument, "empty operand"};
-  if (k != request.b.rows())
-    return shape_error("inner dimensions must agree: A is " +
-                       std::to_string(m) + "x" + std::to_string(k) +
-                       ", B is " + std::to_string(request.b.rows()) + "x" +
-                       std::to_string(q));
   if (request.deadline_ms < 0.0)
     return Error{ErrorCode::kInvalidArgument, "negative deadline"};
   if (request.fault_plan.size() > gpusim::FaultController::kMaxFaults)
     return Error{ErrorCode::kInvalidArgument,
                  "fault plan exceeds FaultController::kMaxFaults"};
 
-  const std::size_t padded_m = abft::padded_dim(m, bs_);
-  const std::size_t padded_q = abft::padded_dim(q, bs_);
-  const std::uint64_t flops = flops_of(padded_m, k, padded_q);
+  // Per-kind shape validation and the operation descriptor. GEMM problems
+  // are padded here so equal-shape requests coalesce into one dispatch;
+  // single-operand kinds keep original extents (their engines pad
+  // internally) and their descriptor records the original problem.
+  PendingRequest item;
+  item.orig_m = m;
+  switch (request.kind) {
+    case OpKind::kGemm: {
+      const std::size_t q = request.b.cols();
+      if (q == 0) return Error{ErrorCode::kInvalidArgument, "empty operand"};
+      if (k != request.b.rows())
+        return shape_error("inner dimensions must agree: A is " +
+                           std::to_string(m) + "x" + std::to_string(k) +
+                           ", B is " + std::to_string(request.b.rows()) + "x" +
+                           std::to_string(q));
+      const std::size_t padded_m = abft::padded_dim(m, bs_);
+      const std::size_t padded_q = abft::padded_dim(q, bs_);
+      item.orig_q = q;
+      if (padded_m != m) request.a = abft::pad_to(request.a, padded_m, k);
+      if (padded_q != q) request.b = abft::pad_to(request.b, k, padded_q);
+      item.desc = OpDescriptor::gemm(padded_m, k, padded_q);
+      break;
+    }
+    case OpKind::kSyrk:
+      item.orig_q = m;  // the product A A^T is m x m
+      item.desc = OpDescriptor::syrk(m, k);
+      break;
+    case OpKind::kCholesky:
+    case OpKind::kLu:
+      if (m != k)
+        return shape_error(std::string(to_string(request.kind)) +
+                           " needs a square matrix, got " + std::to_string(m) +
+                           "x" + std::to_string(k));
+      item.orig_q = m;
+      item.desc = request.kind == OpKind::kCholesky ? OpDescriptor::cholesky(m)
+                                                    : OpDescriptor::lu(m);
+      break;
+  }
 
+  // Deadline feasibility with the per-kind flop model (2mkq GEMM, m^2 k
+  // SYRK, n^3/3 Cholesky, 2n^3/3 LU — see OpDescriptor::flops).
+  const std::uint64_t flops = static_cast<std::uint64_t>(item.desc.flops());
   if (request.deadline_ms > 0.0) {
     const double backlog =
         static_cast<double>(backlog_flops_.load(std::memory_order_relaxed));
@@ -43,14 +78,10 @@ Result<std::future<GemmResponse>> AdmissionController::admit(
                        std::to_string(request.deadline_ms) + " ms"};
   }
 
-  PendingRequest item;
-  item.orig_m = m;
-  item.orig_q = q;
   if (request.id == 0)
     request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
-  if (padded_m != m) request.a = abft::pad_to(request.a, padded_m, k);
-  if (padded_q != q) request.b = abft::pad_to(request.b, k, padded_q);
   item.request = std::move(request);
+  item.est_flops = flops;
   item.trace.enqueue_ns = now_ns;
   // Telemetry estimate of the depth this request lands at; concurrent
   // admissions may skew it by their in-flight pushes, which is acceptable

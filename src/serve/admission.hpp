@@ -9,7 +9,8 @@
 //
 // Deadline feasibility uses a deliberately simple cost model: estimated
 // service time = (backlog flops + request flops) * est_ns_per_flop /
-// workers, with flops = 2 m k q of the padded problem. The backlog counter
+// workers, with per-op-kind flops from OpDescriptor::flops (2 m k q for the
+// padded GEMM, m^2 k SYRK, n^3/3 Cholesky, 2 n^3/3 LU). The backlog counter
 // is maintained by the server (admit adds, on_complete retires).
 #pragma once
 
@@ -35,10 +36,10 @@ class AdmissionController {
                       unsigned workers) noexcept
       : config_(config), bs_(bs), workers_(workers != 0 ? workers : 1) {}
 
-  /// Validate shapes, assign an id, estimate deadline feasibility, pad the
-  /// operands to checksum-block multiples and enqueue. On success the
-  /// pending request (with enqueue trace fields filled) has been pushed and
-  /// its future is returned.
+  /// Validate shapes per op kind, assign an id, estimate deadline
+  /// feasibility, pad GEMM operands to checksum-block multiples and enqueue.
+  /// On success the pending request (with its OpDescriptor and enqueue trace
+  /// fields filled) has been pushed and its future is returned.
   [[nodiscard]] Result<std::future<GemmResponse>> admit(
       GemmRequest&& request, BoundedRequestQueue& queue, std::uint64_t now_ns);
 
@@ -51,7 +52,8 @@ class AdmissionController {
     return backlog_flops_.load(std::memory_order_relaxed);
   }
 
-  /// The padded-problem flop count the backlog model uses.
+  /// The padded-problem GEMM flop count (the backlog model's historical
+  /// helper; other op kinds go through OpDescriptor::flops).
   [[nodiscard]] static std::uint64_t flops_of(std::size_t m, std::size_t k,
                                               std::size_t q) noexcept {
     return 2ull * m * k * q;

@@ -22,20 +22,25 @@
 
 namespace aabft::serve {
 
-/// A queued request: the (padded) operands plus everything needed to fulfil
-/// the caller's future later. Move-only (owns a promise).
+/// A queued request: the operands (padded for GEMM) plus everything needed
+/// to fulfil the caller's future later. Move-only (owns a promise).
 struct PendingRequest {
-  GemmRequest request;  ///< operands already padded to block multiples
+  GemmRequest request;  ///< GEMM operands already padded to block multiples
+  /// The operation this request runs — for GEMM, the *padded* problem shape
+  /// (single-operand kinds keep original extents; engines pad internally).
+  baselines::OpDescriptor desc;
   std::size_t orig_m = 0;  ///< pre-padding result extents, for unpadding
   std::size_t orig_q = 0;
+  std::uint64_t est_flops = 0;  ///< the admission backlog-model charge
   std::promise<GemmResponse> promise;
   RequestTrace trace;  ///< enqueue_ns / queue_depth filled at admission
 };
 
-/// Batch-compatibility key: padded result extents + inner dimension. Two
-/// requests with equal keys multiply through identical kernel grids and can
-/// share one multiply_batch dispatch.
+/// Batch-compatibility key: op kind + padded result extents + inner
+/// dimension. Two requests with equal keys run through identical compute
+/// pipelines (for GEMM, identical kernel grids) and can share one dispatch.
 struct ShapeKey {
+  baselines::OpKind kind = baselines::OpKind::kGemm;
   std::size_t m = 0;
   std::size_t k = 0;
   std::size_t q = 0;
@@ -43,7 +48,7 @@ struct ShapeKey {
 };
 
 [[nodiscard]] inline ShapeKey shape_of(const PendingRequest& item) noexcept {
-  return {item.request.a.rows(), item.request.a.cols(), item.request.b.cols()};
+  return {item.desc.kind, item.desc.m, item.desc.k, item.desc.q};
 }
 
 class BoundedRequestQueue {

@@ -12,8 +12,9 @@ RecoveryRung rung_of(const baselines::SchemeResult& r) noexcept {
   return RecoveryRung::kNone;
 }
 
-RecoveryOutcome run_ladder(baselines::ProtectedMultiplier& primary,
-                           baselines::ProtectedMultiplier* tmr,
+RecoveryOutcome run_ladder(baselines::ProtectedBlas3& primary,
+                           baselines::ProtectedBlas3* tmr,
+                           const baselines::OpDescriptor& desc,
                            const linalg::Matrix& a, const linalg::Matrix& b,
                            Result<baselines::SchemeResult> first,
                            const RecoveryPolicy& policy) {
@@ -42,15 +43,15 @@ RecoveryOutcome run_ladder(baselines::ProtectedMultiplier& primary,
 
   while (outcome.retries < policy.retry_budget) {
     ++outcome.retries;
-    if (consider(primary.multiply(a, b), RecoveryRung::kRetry)) {
+    if (consider(primary.execute(desc, a, b), RecoveryRung::kRetry)) {
       outcome.ok = true;
       return outcome;
     }
   }
 
-  if (policy.escalate_tmr && tmr != nullptr) {
+  if (policy.escalate_tmr && tmr != nullptr && tmr->supports(desc.kind)) {
     outcome.tmr_escalated = true;
-    if (consider(tmr->multiply(a, b), RecoveryRung::kTmr)) {
+    if (consider(tmr->execute(desc, a, b), RecoveryRung::kTmr)) {
       outcome.ok = true;
       return outcome;
     }

@@ -1,12 +1,15 @@
 // The per-response recovery ladder.
 //
-// The scheme itself already climbs the cheap rungs inside one multiply
+// The scheme itself already climbs the cheap rungs inside one operation
 // (A-ABFT detect -> locate_and_correct patch -> per-block recompute ->
-// bounded full recomputes). The serving layer adds the rungs above it:
-// re-dispatch the whole multiply (bounded by a per-request retry budget —
-// one-shot faults have been consumed by then, so a retry is usually clean),
-// then escalate to the TMR scheme, and finally fail with a diagnosis
-// instead of serving a result nobody vouches for.
+// bounded full recomputes; for the panel factorizations, block recomputes
+// act at panel-update granularity and "full recompute" includes the
+// restart-once after a carry mismatch). The serving layer adds the rungs
+// above it: re-dispatch the whole operation (bounded by a per-request retry
+// budget — one-shot faults have been consumed by then, so a retry is
+// usually clean), then escalate to the TMR scheme (element voting for
+// products, whole-result replica voting for factorizations), and finally
+// fail with a diagnosis instead of serving a result nobody vouches for.
 #pragma once
 
 #include <cstddef>
@@ -39,13 +42,14 @@ struct RecoveryOutcome {
 /// Map a clean in-scheme result onto the deepest rung that ran.
 [[nodiscard]] RecoveryRung rung_of(const baselines::SchemeResult& r) noexcept;
 
-/// Climb the serve-level rungs. `first` is the result of the already-run
-/// primary multiply (possibly with faults armed); retries and the TMR
-/// escalation re-run fault-free. `tmr` may be nullptr to disable escalation
-/// regardless of policy.
+/// Climb the serve-level rungs for one operation. `first` is the result of
+/// the already-run primary execute (possibly with faults armed); retries and
+/// the TMR escalation re-run fault-free. `tmr` may be nullptr to disable
+/// escalation regardless of policy; it is also skipped when it does not
+/// support `desc.kind`.
 [[nodiscard]] RecoveryOutcome run_ladder(
-    baselines::ProtectedMultiplier& primary,
-    baselines::ProtectedMultiplier* tmr, const linalg::Matrix& a,
+    baselines::ProtectedBlas3& primary, baselines::ProtectedBlas3* tmr,
+    const baselines::OpDescriptor& desc, const linalg::Matrix& a,
     const linalg::Matrix& b, Result<baselines::SchemeResult> first,
     const RecoveryPolicy& policy);
 

@@ -1,9 +1,12 @@
-// Request/response types of the GEMM serving layer.
+// Request/response types of the protected BLAS-3 serving layer.
 //
-// A GemmRequest is one protected multiplication a tenant submits: operands,
-// a priority class, an optional latency deadline, and (for fault-campaign
-// traffic) a per-request fault plan armed for exactly this request's
-// protected multiply. The response carries the data result, the scheme's
+// A GemmRequest (historical name; `OpRequest` is the kind-neutral alias) is
+// one protected operation a tenant submits: an op kind (GEMM, SYRK,
+// Cholesky, LU), operands, a priority class, an optional latency deadline,
+// and (for fault-campaign traffic) a per-request fault plan armed for
+// exactly this request's protected compute. Single-operand kinds (SYRK and
+// the factorizations) read only `a`; `b` may be left empty. The response
+// carries the data result (plus the pivot permutation for LU), the scheme's
 // cleanliness verdict, which rung of the recovery ladder produced the
 // answer, and a structured per-request trace (timestamps + outcome counters)
 // that the server aggregates into its telemetry.
@@ -14,10 +17,13 @@
 #include <string_view>
 #include <vector>
 
+#include "baselines/op.hpp"
 #include "gpusim/fault_site.hpp"
 #include "linalg/matrix.hpp"
 
 namespace aabft::serve {
+
+using baselines::OpKind;
 
 /// Dispatch priority classes; lower enumerator value pops first.
 enum class Priority : std::uint8_t {
@@ -29,6 +35,9 @@ inline constexpr std::size_t kNumPriorities = 3;
 
 struct GemmRequest {
   std::uint64_t id = 0;  ///< 0 = assigned by the server at admission
+  /// The requested operation. GEMM reads `a` and `b`; SYRK computes
+  /// A * A^T from `a` alone; Cholesky/LU factor the square `a`.
+  OpKind kind = OpKind::kGemm;
   linalg::Matrix a;
   linalg::Matrix b;
   Priority priority = Priority::kNormal;
@@ -85,8 +94,13 @@ struct RequestTrace {
 
 struct GemmResponse {
   std::uint64_t id = 0;
+  OpKind kind = OpKind::kGemm;  ///< echoes the request's op kind
   ResponseStatus status = ResponseStatus::kOk;
-  linalg::Matrix c;  ///< the m x q data result (original, unpadded extents)
+  /// The data result in original (unpadded) extents: the m x q product for
+  /// GEMM, the m x m product for SYRK, the packed factors for Cholesky/LU.
+  linalg::Matrix c;
+  /// LU only: row permutation (factored row i of PA is original row perm[i]).
+  std::vector<std::size_t> perm;
   /// The serving scheme vouches for the result (detection passed clean,
   /// possibly after repair). Always false for kFailed responses.
   bool clean = false;
@@ -94,6 +108,10 @@ struct GemmResponse {
   std::string diagnosis;  ///< failure description when status == kFailed
   RequestTrace trace;
 };
+
+/// Kind-neutral aliases: the request/response types serve every op kind.
+using OpRequest = GemmRequest;
+using OpResponse = GemmResponse;
 
 inline std::string_view to_string(RecoveryRung rung) noexcept {
   switch (rung) {

@@ -37,6 +37,14 @@ Result<std::future<GemmResponse>> GemmServer::submit(GemmRequest request) {
     std::lock_guard<std::mutex> lk(stats_mu_);
     ++stats_.submitted;
   }
+  if (!primary_.supports(request.kind)) {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    ++stats_.rejected_unsupported;
+    return unsupported_op_error(
+        "scheme '" + std::string(primary_.name()) +
+        "' does not implement op kind '" +
+        std::string(baselines::to_string(request.kind)) + "'");
+  }
   auto admitted = admission_.admit(std::move(request), queue_, now_ns());
   {
     std::lock_guard<std::mutex> lk(stats_mu_);
@@ -46,6 +54,7 @@ Result<std::future<GemmResponse>> GemmServer::submit(GemmRequest request) {
       switch (admitted.error().code) {
         case ErrorCode::kOverloaded: ++stats_.rejected_queue_full; break;
         case ErrorCode::kDeadlineInfeasible: ++stats_.rejected_deadline; break;
+        case ErrorCode::kUnsupportedOp: ++stats_.rejected_unsupported; break;
         default: ++stats_.rejected_shape; break;
       }
     }
@@ -127,10 +136,16 @@ void GemmServer::serve_batch(std::vector<PendingRequest>&& batch) {
                           std::move(item.request.b));
   }
 
+  // Batches are kind-homogeneous (the batch key includes the op kind).
+  const bool gemm_batch =
+      batch.front().desc.kind == baselines::OpKind::kGemm;
+
   // Result<> has no default constructor, hence the optional wrapper; a slot
   // left empty means the compute task died before producing a result.
   std::vector<std::optional<Result<baselines::SchemeResult>>> results(n);
-  if (!any_faults) {
+  if (gemm_batch && !any_faults) {
+    // The pipelined GEMM fast path — bit-identical to the pre-ProtectedBlas3
+    // server (multiply_batch is the execute_batch(kGemm, ...) shim).
     auto batch_results = primary_.multiply_batch(problems);
     const std::uint64_t compute_ns = now_ns();
     for (std::size_t i = 0; i < n; ++i) {
@@ -138,10 +153,11 @@ void GemmServer::serve_batch(std::vector<PendingRequest>&& batch) {
       batch[i].trace.compute_ns = compute_ns;
     }
   } else {
-    // Per-request fault plans need per-request controller lifecycles, so
-    // each multiply runs as its own host task: arm -> multiply under a
-    // thread-scoped controller -> read fired count -> disarm. Tasks spread
-    // round-robin over the stream lanes and overlap across pool workers.
+    // Per-request fault plans need per-request controller lifecycles (and
+    // non-GEMM kinds have no batched dispatch), so each operation runs as
+    // its own host task: arm -> execute under a thread-scoped controller ->
+    // read fired count -> disarm. Tasks spread round-robin over the stream
+    // lanes and overlap across pool workers.
     ensure_lanes(std::min<std::size_t>(
         n, std::max<std::size_t>(1, launcher_.workers())));
     for (std::size_t i = 0; i < n; ++i) {
@@ -151,13 +167,13 @@ void GemmServer::serve_batch(std::vector<PendingRequest>&& batch) {
             PendingRequest& item = batch[i];
             const auto& [a, b] = problems[i];
             if (item.request.fault_plan.empty()) {
-              results[i] = primary_.multiply(a, b);
+              results[i] = primary_.execute(item.desc, a, b);
             } else {
               gpusim::FaultController ctl;
               ctl.arm_many(item.request.fault_plan);
               {
                 gpusim::ScopedFaultController guard(&ctl);
-                results[i] = primary_.multiply(a, b);
+                results[i] = primary_.execute(item.desc, a, b);
               }
               ctl.disarm();
               item.trace.faults_fired = ctl.fired_count();
@@ -177,27 +193,29 @@ void GemmServer::serve_batch(std::vector<PendingRequest>&& batch) {
                          ErrorCode::kExecutionFailed,
                          "compute task did not produce a result"});
     RecoveryOutcome outcome = run_ladder(
-        primary_, config_.recovery.escalate_tmr ? &tmr_ : nullptr,
+        primary_, config_.recovery.escalate_tmr ? &tmr_ : nullptr, item.desc,
         problems[i].first, problems[i].second, std::move(first),
         config_.recovery);
     item.trace.repair_ns = now_ns();
 
     GemmResponse response;
     response.id = item.request.id;
+    response.kind = item.desc.kind;
     item.trace.retries = outcome.retries;
     item.trace.tmr_escalated = outcome.tmr_escalated;
     if (outcome.result) {
-      const baselines::SchemeResult& r = *outcome.result;
+      baselines::SchemeResult& r = *outcome.result;
       item.trace.corrected = r.corrected;
       item.trace.corrections = r.corrections;
       item.trace.block_recomputes = r.block_recomputes;
       item.trace.full_recomputes = r.recomputed;
       item.trace.detected =
           r.detected || outcome.rung != RecoveryRung::kNone;
-      linalg::Matrix c = r.c;
+      linalg::Matrix c = std::move(r.c);
       if (c.rows() != item.orig_m || c.cols() != item.orig_q)
         c = abft::unpad_to(c, item.orig_m, item.orig_q);
       response.c = std::move(c);
+      response.perm = std::move(r.perm);
     } else {
       item.trace.detected = true;
     }
@@ -215,10 +233,12 @@ void GemmServer::serve_batch(std::vector<PendingRequest>&& batch) {
 
     {
       std::lock_guard<std::mutex> lk(stats_mu_);
-      if (outcome.ok)
+      if (outcome.ok) {
         ++stats_.completed;
-      else
+        ++stats_.completed_by_kind[static_cast<std::size_t>(item.desc.kind)];
+      } else {
         ++stats_.failed;
+      }
       if (item.trace.detected) ++stats_.detected;
       if (item.trace.corrected) ++stats_.corrected;
       stats_.corrections += item.trace.corrections;
@@ -234,9 +254,7 @@ void GemmServer::serve_batch(std::vector<PendingRequest>&& batch) {
       stats_.e2e_ns.record(item.trace.complete_ns - item.trace.enqueue_ns);
     }
     item.promise.set_value(std::move(response));
-    admission_.on_complete(AdmissionController::flops_of(
-        problems[i].first.rows(), problems[i].first.cols(),
-        problems[i].second.cols()));
+    admission_.on_complete(item.est_flops);
   }
 
   std::lock_guard<std::mutex> lk(stats_mu_);

@@ -1,12 +1,16 @@
-// GemmServer: the multi-tenant fault-tolerant GEMM serving front end.
+// GemmServer: the multi-tenant fault-tolerant BLAS-3 serving front end.
 //
-// One dispatcher thread pops priority-ordered batches of shape-compatible
-// requests from the bounded queue (BatchAssembler), runs them through the
-// A-ABFT protected multiplier — pipelined across executor streams when the
-// batch has per-request fault plans, via multiply_batch otherwise — and
-// settles every response through the recovery ladder (serve/recovery.hpp).
-// Clients talk to the server through submit(), which returns a future for
-// the response or an admission refusal as a Result error.
+// One dispatcher thread pops priority-ordered batches of shape-and-kind-
+// compatible requests from the bounded queue (BatchAssembler) and runs them
+// through the primary A-ABFT scheme on the ProtectedBlas3 operation API:
+// clean GEMM batches go through the pipelined multiply_batch fast path
+// (bit-identical to the pre-redesign server), while faulted batches and the
+// other op kinds (SYRK, Cholesky, LU) run as per-request host tasks through
+// execute(). Every response settles through the recovery ladder
+// (serve/recovery.hpp). Clients talk to the server through submit(), which
+// returns a future for the response or an admission refusal as a Result
+// error; op kinds the primary scheme does not support are refused as
+// kUnsupportedOp values, never asserted.
 //
 // Thread model: submit() is safe from any number of client threads (queue
 // and admission are synchronized); the dispatcher exclusively owns batch
@@ -60,8 +64,8 @@ class GemmServer {
   GemmServer& operator=(const GemmServer&) = delete;
 
   /// Admit a request. On success the future resolves to the response once
-  /// the dispatcher has served it; refusals (shape, overload, deadline) come
-  /// back immediately as Result errors.
+  /// the dispatcher has served it; refusals (shape, overload, deadline,
+  /// unsupported op kind) come back immediately as Result errors.
   [[nodiscard]] Result<std::future<GemmResponse>> submit(GemmRequest request);
 
   /// Gate / ungate the dispatcher between batches. While paused, admitted

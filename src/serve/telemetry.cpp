@@ -26,7 +26,13 @@ std::string to_json(const ServerStats& stats) {
   field("rejected_queue_full", stats.rejected_queue_full);
   field("rejected_deadline", stats.rejected_deadline);
   field("rejected_shape", stats.rejected_shape);
+  field("rejected_unsupported", stats.rejected_unsupported);
   field("completed", stats.completed);
+  for (std::size_t i = 0; i < baselines::kNumOpKinds; ++i)
+    field((std::string("completed_") +
+           std::string(to_string(static_cast<baselines::OpKind>(i))))
+              .c_str(),
+          stats.completed_by_kind[i]);
   field("failed", stats.failed);
   field("detected", stats.detected);
   field("corrected", stats.corrected);

@@ -6,10 +6,12 @@
 // not internally synchronized — see core/latency.hpp).
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <string>
 
+#include "baselines/op.hpp"
 #include "core/latency.hpp"
 
 namespace aabft::serve {
@@ -21,10 +23,14 @@ struct ServerStats {
   std::uint64_t rejected_queue_full = 0;
   std::uint64_t rejected_deadline = 0;
   std::uint64_t rejected_shape = 0;
+  /// The primary scheme does not implement the requested op kind.
+  std::uint64_t rejected_unsupported = 0;
 
   // Completion and the recovery ladder.
   std::uint64_t completed = 0;
   std::uint64_t failed = 0;
+  /// Completed responses broken down by op kind (index = OpKind value).
+  std::array<std::uint64_t, baselines::kNumOpKinds> completed_by_kind{};
   std::uint64_t detected = 0;
   std::uint64_t corrected = 0;
   std::uint64_t corrections = 0;

@@ -17,8 +17,11 @@
 #include <utility>
 #include <vector>
 
+#include "abft/aabft.hpp"
 #include "abft/encoder.hpp"
 #include "abft/gemv.hpp"
+#include "baselines/op.hpp"
+#include "baselines/schemes.hpp"
 #include "baselines/sea_abft.hpp"
 #include "core/rng.hpp"
 #include "gpusim/kernel.hpp"
@@ -286,6 +289,72 @@ TEST(FastPath, ProtectedGemvBitIdenticalUnderFaults) {
   EXPECT_EQ(fast.recomputations, ref.recomputations);
   EXPECT_EQ(fast_fired, ref_fired);
   expect_counters_eq(fast_counters, ref_counters);
+}
+
+TEST(FastPath, ProtectedBlas3GemmPathBitIdentical) {
+  // The ProtectedBlas3 redesign regression: AabftScheme::execute on a GEMM
+  // descriptor must be byte-identical to the direct AabftMultiplier it wraps
+  // — same product bits, same fault bookkeeping — across 1..8-fault
+  // campaigns. Any divergence means the adapter grew its own math.
+  ForceInstrumentedGuard guard;
+  Rng rng(7027);
+  const auto num_sms = static_cast<std::uint64_t>(gpusim::k20c().num_sms);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 32 + 16 * rng.below(3);  // 32..64
+    const Matrix a = random_matrix(n, n, 5000 + trial);
+    const Matrix b = random_matrix(n, n, 6000 + trial);
+
+    const std::size_t num_faults = 1 + rng.below(FaultController::kMaxFaults);
+    std::vector<FaultConfig> faults(num_faults);
+    for (auto& fault : faults) {
+      const std::uint64_t site = rng.below(3);
+      fault.site = site == 0   ? FaultSite::kInnerMul
+                   : site == 1 ? FaultSite::kInnerAdd
+                               : FaultSite::kFinalAdd;
+      fault.sm_id = static_cast<int>(rng.below(num_sms));
+      fault.module_id = static_cast<int>(rng.below(16));
+      fault.k_injection = fault.site == FaultSite::kFinalAdd
+                              ? 0
+                              : static_cast<std::int64_t>(rng.below(n));
+      fault.error_vec = 1ULL << (52 + rng.below(10));
+    }
+
+    abft::AabftConfig config;
+    config.bs = 16;
+
+    auto via_scheme = [&] {
+      gpusim::Launcher launcher(gpusim::k20c(), 1);
+      FaultController controller;
+      controller.arm_many(faults);
+      launcher.set_fault_controller(&controller);
+      baselines::AabftScheme scheme(launcher, config);
+      auto result = scheme.execute(
+          baselines::OpDescriptor::gemm(n, n, n), a, b);
+      launcher.set_fault_controller(nullptr);
+      return std::pair(std::move(result), controller.fired_count());
+    }();
+    auto via_mult = [&] {
+      gpusim::Launcher launcher(gpusim::k20c(), 1);
+      FaultController controller;
+      controller.arm_many(faults);
+      launcher.set_fault_controller(&controller);
+      abft::AabftMultiplier mult(launcher, config);
+      auto result = mult.multiply(a, b);
+      launcher.set_fault_controller(nullptr);
+      return std::pair(std::move(result), controller.fired_count());
+    }();
+
+    EXPECT_EQ(via_scheme.second, via_mult.second) << "trial " << trial;
+    ASSERT_EQ(via_scheme.first.ok(), via_mult.first.ok()) << "trial " << trial;
+    if (!via_scheme.first.ok()) continue;  // both refused identically
+    const baselines::SchemeResult& s = *via_scheme.first;
+    const abft::AabftResult& m = *via_mult.first;
+    EXPECT_TRUE(bits_equal(s.c, m.c)) << "trial " << trial;
+    EXPECT_EQ(s.detected, m.error_detected()) << "trial " << trial;
+    EXPECT_EQ(s.corrections, m.corrections.size()) << "trial " << trial;
+    EXPECT_EQ(s.block_recomputes, m.block_recomputes) << "trial " << trial;
+    EXPECT_EQ(s.recomputed, m.recomputations) << "trial " << trial;
+  }
 }
 
 TEST(FastPath, SeaSchemeBitIdentical) {

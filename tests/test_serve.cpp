@@ -1,13 +1,18 @@
 // GemmServer end-to-end tests: admission control, priority dispatch,
-// cross-request batching, per-request fault plans and the recovery ladder.
+// cross-request batching, per-request fault plans, the recovery ladder, and
+// the non-GEMM request kinds (SYRK, Cholesky, LU) of the ProtectedBlas3 API.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <future>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "abft/blas3.hpp"
+#include "abft/protected_lu.hpp"
+#include "baselines/op.hpp"
 #include "core/result.hpp"
 #include "core/rng.hpp"
 #include "gpusim/kernel.hpp"
@@ -34,6 +39,28 @@ GemmRequest make_request(const Matrix& a, const Matrix& b,
   request.b = b;
   request.priority = priority;
   return request;
+}
+
+GemmRequest make_op_request(OpKind kind, const Matrix& a) {
+  GemmRequest request;
+  request.kind = kind;
+  request.a = a;
+  return request;
+}
+
+/// Well-conditioned SPD matrix: M M^T + n I.
+Matrix spd_matrix(std::size_t n, Rng& rng) {
+  const Matrix m = uniform_matrix(n, n, -1.0, 1.0, rng);
+  Matrix a = naive_matmul(m, m.transposed(), false);
+  for (std::size_t i = 0; i < n; ++i)
+    a(i, i) += static_cast<double>(n);
+  return a;
+}
+
+double chol_residual(const Matrix& a, const Matrix& l) {
+  abft::CholResult chol;
+  chol.l = l;
+  return abft::ProtectedCholesky::residual(a, chol);
 }
 
 void expect_monotone(const RequestTrace& t) {
@@ -283,6 +310,195 @@ TEST(Serve, UnlocalisableFaultsTakeTheBlockRecomputeRung) {
   EXPECT_EQ(response.c, ref) << "block recompute is bit-exact";
 }
 
+// ---- non-GEMM request kinds ------------------------------------------------
+
+TEST(Serve, SyrkRequestIsBitIdentical) {
+  Launcher launcher;
+  GemmServer server(launcher);
+  Rng rng(37);
+  const Matrix a = uniform_matrix(48, 40, -1.0, 1.0, rng);  // pads internally
+  const Matrix ref = naive_matmul(a, a.transposed(), false);
+
+  auto admitted = server.submit(make_op_request(OpKind::kSyrk, a));
+  ASSERT_TRUE(admitted.ok()) << admitted.error().message;
+  const GemmResponse response = admitted->get();
+
+  EXPECT_EQ(response.status, ResponseStatus::kOk);
+  EXPECT_TRUE(response.clean);
+  EXPECT_EQ(response.kind, OpKind::kSyrk);
+  EXPECT_EQ(response.c, ref);
+  expect_monotone(response.trace);
+
+  server.stop();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed_by_kind[static_cast<std::size_t>(OpKind::kSyrk)],
+            1u);
+}
+
+TEST(Serve, CholeskyRequestFactorsSpdInput) {
+  Launcher launcher;
+  GemmServer server(launcher);
+  Rng rng(41);
+  const Matrix a = spd_matrix(64, rng);
+
+  auto admitted = server.submit(make_op_request(OpKind::kCholesky, a));
+  ASSERT_TRUE(admitted.ok()) << admitted.error().message;
+  const GemmResponse response = admitted->get();
+
+  EXPECT_EQ(response.status, ResponseStatus::kOk);
+  EXPECT_TRUE(response.clean);
+  EXPECT_EQ(response.kind, OpKind::kCholesky);
+  ASSERT_EQ(response.c.rows(), 64u);
+  ASSERT_EQ(response.c.cols(), 64u);
+  for (std::size_t i = 0; i < 64; ++i)
+    for (std::size_t j = i + 1; j < 64; ++j)
+      EXPECT_EQ(response.c(i, j), 0.0) << "L is lower triangular";
+  EXPECT_LE(chol_residual(a, response.c), 1e-9);
+
+  server.stop();
+  EXPECT_EQ(server.stats().completed_by_kind[static_cast<std::size_t>(
+                OpKind::kCholesky)],
+            1u);
+}
+
+TEST(Serve, LuRequestFactorsWithPivoting) {
+  Launcher launcher;
+  GemmServer server(launcher);
+  Rng rng(43);
+  const std::size_t n = 64;
+  Matrix a = uniform_matrix(n, n, -1.0, 1.0, rng);
+  for (std::size_t i = 0; i < n; ++i)
+    a(i, i) += static_cast<double>(n);  // well conditioned
+
+  auto admitted = server.submit(make_op_request(OpKind::kLu, a));
+  ASSERT_TRUE(admitted.ok()) << admitted.error().message;
+  const GemmResponse response = admitted->get();
+
+  EXPECT_EQ(response.status, ResponseStatus::kOk);
+  EXPECT_TRUE(response.clean);
+  EXPECT_EQ(response.kind, OpKind::kLu);
+  ASSERT_EQ(response.perm.size(), n);
+  std::vector<std::size_t> sorted = response.perm;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_EQ(sorted[i], i) << "perm is a permutation of 0..n-1";
+
+  abft::LuResult lu;
+  lu.lu = response.c;
+  lu.perm = response.perm;
+  EXPECT_LE(abft::ProtectedLu::residual(a, lu), 1e-9);
+}
+
+TEST(Serve, AdmissionRejectsRectangularFactorizations) {
+  Launcher launcher;
+  GemmServer server(launcher);
+  Rng rng(47);
+  const Matrix rect = uniform_matrix(8, 4, -1.0, 1.0, rng);
+
+  auto chol = server.submit(make_op_request(OpKind::kCholesky, rect));
+  ASSERT_FALSE(chol.ok());
+  EXPECT_EQ(chol.error().code, ErrorCode::kShapeMismatch);
+  auto lu = server.submit(make_op_request(OpKind::kLu, rect));
+  ASSERT_FALSE(lu.ok());
+  EXPECT_EQ(lu.error().code, ErrorCode::kShapeMismatch);
+  EXPECT_EQ(server.stats().rejected_shape, 2u);
+}
+
+TEST(Serve, BatchKeySeparatesOpKinds) {
+  // A 64x64 SYRK and a 64x64x64 GEMM share extents but not a compute
+  // pipeline; the batch key (which includes the op kind) must keep them in
+  // separate dispatches.
+  Launcher launcher;
+  ServeConfig config;
+  config.start_paused = true;
+  config.batch.max_batch = 8;
+  GemmServer server(launcher, config);
+  Rng rng(53);
+  const Matrix a = uniform_matrix(64, 64, -1.0, 1.0, rng);
+  const Matrix b = uniform_matrix(64, 64, -1.0, 1.0, rng);
+
+  auto g1 = server.submit(make_request(a, b));
+  auto g2 = server.submit(make_request(a, b));
+  auto s1 = server.submit(make_op_request(OpKind::kSyrk, a));
+  auto s2 = server.submit(make_op_request(OpKind::kSyrk, a));
+  ASSERT_TRUE(g1.ok() && g2.ok() && s1.ok() && s2.ok());
+  server.resume();
+
+  EXPECT_EQ(g1->get().trace.batch_size, 2u);
+  EXPECT_EQ(g2->get().trace.batch_size, 2u);
+  const GemmResponse r1 = s1->get();
+  const GemmResponse r2 = s2->get();
+  EXPECT_EQ(r1.trace.batch_size, 2u) << "same-kind SYRKs coalesce";
+  EXPECT_EQ(r1.c, naive_matmul(a, a.transposed(), false));
+  EXPECT_EQ(r2.c, r1.c);
+
+  server.stop();
+  EXPECT_EQ(server.stats().batches, 2u);
+}
+
+TEST(Serve, FaultedSyrkIsRepairedClean) {
+  Launcher launcher;
+  GemmServer server(launcher);
+  Rng rng(59);
+  const Matrix a = uniform_matrix(64, 64, -1.0, 1.0, rng);
+  const Matrix ref = naive_matmul(a, a.transposed(), false);
+
+  GemmRequest request = make_op_request(OpKind::kSyrk, a);
+  FaultConfig fault;  // deterministic: block 0 runs on SM 0, module 0, k = 0
+  fault.site = FaultSite::kFinalAdd;
+  fault.sm_id = 0;
+  fault.module_id = 0;
+  fault.error_vec = 1ULL << 60;
+  request.fault_plan = {fault};
+  auto admitted = server.submit(std::move(request));
+  ASSERT_TRUE(admitted.ok());
+  const GemmResponse response = admitted->get();
+
+  EXPECT_EQ(response.status, ResponseStatus::kOk);
+  EXPECT_TRUE(response.clean);
+  EXPECT_EQ(response.trace.faults_fired, 1u);
+  EXPECT_TRUE(response.trace.detected);
+  EXPECT_EQ(response.trace.full_recomputes, 0u);
+  if (response.trace.corrections == 0) {
+    EXPECT_EQ(response.c, ref);
+  } else {
+    for (std::size_t i = 0; i < ref.rows(); ++i)
+      for (std::size_t j = 0; j < ref.cols(); ++j)
+        EXPECT_NEAR(response.c(i, j), ref(i, j),
+                    1e-9 * std::max(1.0, std::abs(ref(i, j))));
+  }
+}
+
+TEST(Serve, FaultedCholeskyIsRepairedClean) {
+  Launcher launcher;
+  GemmServer server(launcher);
+  Rng rng(61);
+  const std::size_t n = 64;
+  const Matrix a = spd_matrix(n, rng);
+
+  // The fault lands in the first protected trailing update (the 32x32
+  // A22 -= L21 L21^T SYRK at panel 0): the scheme must detect and repair it
+  // inside the factorisation, never in the served factors.
+  GemmRequest request = make_op_request(OpKind::kCholesky, a);
+  FaultConfig fault;
+  fault.site = FaultSite::kFinalAdd;
+  fault.sm_id = 0;
+  fault.module_id = 0;
+  fault.error_vec = 1ULL << 60;
+  request.fault_plan = {fault};
+  auto admitted = server.submit(std::move(request));
+  ASSERT_TRUE(admitted.ok());
+  const GemmResponse response = admitted->get();
+
+  EXPECT_EQ(response.status, ResponseStatus::kOk);
+  EXPECT_TRUE(response.clean);
+  EXPECT_EQ(response.trace.faults_fired, 1u);
+  EXPECT_TRUE(response.trace.detected);
+  EXPECT_EQ(response.trace.full_recomputes, 0u)
+      << "single-fault damage must be repaired below the full-recompute rung";
+  EXPECT_LE(chol_residual(a, response.c), 1e-9);
+}
+
 TEST(Serve, StopDrainsQueuedRequests) {
   Launcher launcher;
   ServeConfig config;
@@ -310,17 +526,26 @@ TEST(Serve, StopDrainsQueuedRequests) {
 
 // ---- recovery-ladder unit tests (fake schemes, no launcher) ---------------
 
-class FakeScheme final : public baselines::ProtectedMultiplier {
+class FakeScheme final : public baselines::ProtectedBlas3 {
  public:
-  FakeScheme(std::string_view name, int clean_after)
-      : name_(name), clean_after_(clean_after) {}
+  FakeScheme(std::string_view name, int clean_after,
+             bool factorizations = true)
+      : name_(name), clean_after_(clean_after),
+        factorizations_(factorizations) {}
 
   [[nodiscard]] std::string_view name() const noexcept override {
     return name_;
   }
-  [[nodiscard]] Result<baselines::SchemeResult> multiply(
-      const Matrix& a, const Matrix&) override {
+  [[nodiscard]] bool supports(baselines::OpKind kind) const noexcept override {
+    return factorizations_ || kind == baselines::OpKind::kGemm;
+  }
+  [[nodiscard]] Result<baselines::SchemeResult> execute(
+      const baselines::OpDescriptor& desc, const Matrix& a,
+      const Matrix&) override {
+    if (!supports(desc.kind))
+      return unsupported_op_error("fake scheme: unsupported kind");
     ++calls;
+    last_kind = desc.kind;
     baselines::SchemeResult result;
     result.c = a;
     result.detected = true;
@@ -328,18 +553,22 @@ class FakeScheme final : public baselines::ProtectedMultiplier {
     return result;
   }
   int calls = 0;
+  baselines::OpKind last_kind = baselines::OpKind::kGemm;
 
  private:
   std::string_view name_;
   int clean_after_;
+  bool factorizations_;
 };
+
+const baselines::OpDescriptor kFakeDesc = baselines::OpDescriptor::gemm(2, 2, 2);
 
 TEST(RecoveryLadder, RetrySettlesTransientFailures) {
   FakeScheme primary("fake", /*clean_after=*/1);  // first call unclean
   const Matrix a(2, 2, 1.0);
   RecoveryPolicy policy;  // retry_budget = 1
-  auto outcome = run_ladder(primary, nullptr, a, a, primary.multiply(a, a),
-                            policy);
+  auto outcome = run_ladder(primary, nullptr, kFakeDesc, a, a,
+                            primary.multiply(a, a), policy);
   EXPECT_TRUE(outcome.ok);
   EXPECT_EQ(outcome.rung, RecoveryRung::kRetry);
   EXPECT_EQ(outcome.retries, 1u);
@@ -351,8 +580,8 @@ TEST(RecoveryLadder, EscalatesToTmrWhenRetriesExhaust) {
   FakeScheme tmr("fake-tmr", /*clean_after=*/0);    // always clean
   const Matrix a(2, 2, 1.0);
   RecoveryPolicy policy;
-  auto outcome =
-      run_ladder(primary, &tmr, a, a, primary.multiply(a, a), policy);
+  auto outcome = run_ladder(primary, &tmr, kFakeDesc, a, a,
+                            primary.multiply(a, a), policy);
   EXPECT_TRUE(outcome.ok);
   EXPECT_EQ(outcome.rung, RecoveryRung::kTmr);
   EXPECT_EQ(outcome.retries, 1u);
@@ -366,13 +595,31 @@ TEST(RecoveryLadder, FailsWithDiagnosisWhenExhausted) {
   RecoveryPolicy policy;
   policy.retry_budget = 2;
   policy.escalate_tmr = false;
-  auto outcome = run_ladder(primary, nullptr, a, a, primary.multiply(a, a),
-                            policy);
+  auto outcome = run_ladder(primary, nullptr, kFakeDesc, a, a,
+                            primary.multiply(a, a), policy);
   EXPECT_FALSE(outcome.ok);
   EXPECT_EQ(outcome.rung, RecoveryRung::kFailed);
   EXPECT_EQ(outcome.retries, 2u);
   EXPECT_FALSE(outcome.diagnosis.empty());
   ASSERT_TRUE(outcome.result.has_value());  // best-effort data still attached
+}
+
+TEST(RecoveryLadder, SkipsTmrForUnsupportedKinds) {
+  // The escalation rung must ask the TMR scheme whether it implements the
+  // op kind; a kind-blind escalation would turn an unclean factorisation
+  // into an unsupported_op error response.
+  FakeScheme primary("fake", /*clean_after=*/100);  // never clean
+  FakeScheme tmr("fake-tmr", /*clean_after=*/0, /*factorizations=*/false);
+  const Matrix a(2, 2, 1.0);
+  const auto desc = baselines::OpDescriptor::cholesky(2);
+  RecoveryPolicy policy;
+  auto outcome = run_ladder(primary, &tmr, desc, a, a,
+                            primary.execute(desc, a, a), policy);
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_FALSE(outcome.tmr_escalated);
+  EXPECT_EQ(tmr.calls, 0);
+  EXPECT_EQ(primary.last_kind, baselines::OpKind::kCholesky)
+      << "retries re-dispatch with the original op descriptor";
 }
 
 TEST(RecoveryLadder, RungOfMapsSchemeOutcomes) {

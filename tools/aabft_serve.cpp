@@ -1,17 +1,21 @@
-// Open-loop Poisson load generator and soak driver for the GEMM serving
-// layer (src/serve). Three phases, all against one simulated device:
+// Open-loop Poisson load generator and soak driver for the protected BLAS-3
+// serving layer (src/serve). Three phases, all against one simulated device:
 //
 //   1. serial throughput   — batching disabled (max_batch = 1)
 //   2. batched throughput  — cross-request batching at max_batch = 8; the
 //      speedup over phase 1 is the coalescing win. The >= 2x gate applies
 //      on hosts with >= 4 pool workers (matching bench_executor's batching
 //      criterion); smaller hosts still verify correctness and report it.
-//   3. soak — AABFT_SERVE_REQUESTS mixed-shape requests with Poisson
-//      arrivals and one exponent-bit fault armed per request. Every
-//      response must come back clean; responses without corrections must be
-//      bit-identical to the fault-free reference, corrected responses may
-//      differ from it only in the patched elements (within 1e-9 relative).
-//      Single-fault damage must be repaired below the full-recompute rung.
+//   3. soak — AABFT_SERVE_REQUESTS requests of mixed op kinds (GEMM, SYRK,
+//      Cholesky) over mixed shapes, with Poisson arrivals and one
+//      exponent-bit fault armed per request. Every response must come back
+//      clean; responses without corrections must be bit-identical to the
+//      fault-free reference. Corrected GEMM/SYRK responses may differ from
+//      it only in the patched elements (within 1e-9 relative); corrected
+//      Cholesky responses must reconstruct the input (patch rounding
+//      propagates through the factorisation, so bitwise comparison does not
+//      apply). Single-fault damage must be repaired below the
+//      full-recompute rung.
 //
 // Exits nonzero on any wrong or unclean response, or a violated gate.
 // Summary JSON (throughput + aggregated server telemetry) goes to
@@ -63,13 +67,15 @@ void check(bool ok, const std::string& what) {
 }
 
 /// A soak problem with its fault-free ground truth and the extent of the
-/// kernel grid the protected product launches (for picking SM ids that are
+/// kernel grid the protected compute launches (for picking SM ids that are
 /// guaranteed to execute).
 struct Problem {
+  serve::OpKind kind = serve::OpKind::kGemm;
   linalg::Matrix a;
-  linalg::Matrix b;
-  linalg::Matrix ref;
+  linalg::Matrix b;    ///< GEMM only; empty for the single-operand kinds
+  linalg::Matrix ref;  ///< the fault-free result (for Cholesky: the factor L)
   std::size_t grid_blocks = 0;
+  std::size_t fault_k = 0;  ///< inner extent k_injection draws from
 };
 
 std::size_t grid_blocks_of(std::size_t m, std::size_t k, std::size_t q,
@@ -90,7 +96,7 @@ std::vector<gpusim::FaultConfig> random_fault_plan(
     Rng& rng, std::size_t count, const Problem& problem,
     const abft::AabftConfig& config, int num_sms) {
   std::vector<gpusim::FaultConfig> plan(count);
-  const std::size_t k = problem.a.cols();
+  const std::size_t k = problem.fault_k;
   const auto sm_limit = std::min<std::uint64_t>(
       static_cast<std::uint64_t>(num_sms), problem.grid_blocks);
   for (auto& fault : plan) {
@@ -191,7 +197,7 @@ int main() {
   const std::size_t shapes[][3] = {{32, 32, 32}, {48, 40, 56}, {64, 64, 64},
                                    {33, 32, 33}, {80, 48, 64}, {64, 96, 32}};
   for (const auto& shape : shapes)
-    for (int copy = 0; copy < 3; ++copy) {
+    for (int copy = 0; copy < 2; ++copy) {
       Problem problem;
       problem.a =
           linalg::uniform_matrix(shape[0], shape[1], -1.0, 1.0, rng);
@@ -201,6 +207,47 @@ int main() {
                                          aabft_cfg.gemm.use_fma);
       problem.grid_blocks =
           grid_blocks_of(shape[0], shape[1], shape[2], aabft_cfg);
+      problem.fault_k = shape[1];
+      pool.push_back(std::move(problem));
+    }
+  const std::size_t syrk_shapes[][2] = {{32, 32}, {48, 40}, {64, 24}};
+  for (const auto& shape : syrk_shapes)
+    for (int copy = 0; copy < 2; ++copy) {
+      Problem problem;
+      problem.kind = serve::OpKind::kSyrk;
+      problem.a =
+          linalg::uniform_matrix(shape[0], shape[1], -1.0, 1.0, rng);
+      problem.ref = linalg::naive_matmul(problem.a, problem.a.transposed(),
+                                         aabft_cfg.gemm.use_fma);
+      problem.grid_blocks =
+          grid_blocks_of(shape[0], shape[1], shape[0], aabft_cfg);
+      problem.fault_k = shape[1];
+      pool.push_back(std::move(problem));
+    }
+  // Cholesky references come from a clean protected run on the same device
+  // (the factorisation is deterministic, so corrections == 0 responses must
+  // match it bit for bit). Faults target the first trailing update's grid.
+  baselines::AabftScheme ref_scheme(launcher, aabft_cfg);
+  const std::size_t chol_sizes[] = {48, 64, 96};
+  for (const std::size_t n : chol_sizes)
+    for (int copy = 0; copy < 2; ++copy) {
+      Problem problem;
+      problem.kind = serve::OpKind::kCholesky;
+      const linalg::Matrix seed_m =
+          linalg::uniform_matrix(n, n, -1.0, 1.0, rng);
+      problem.a = linalg::naive_matmul(seed_m, seed_m.transposed(),
+                                       aabft_cfg.gemm.use_fma);
+      for (std::size_t i = 0; i < n; ++i)
+        problem.a(i, i) += static_cast<double>(n);  // SPD, well conditioned
+      auto ref = ref_scheme.execute(baselines::OpDescriptor::cholesky(n),
+                                    problem.a, linalg::Matrix());
+      check(ref.ok() && ref->clean, "clean reference Cholesky factors");
+      if (!ref.ok()) continue;
+      problem.ref = std::move(ref->c);
+      const std::size_t panel = aabft_cfg.bs;
+      problem.grid_blocks =
+          grid_blocks_of(n - panel, panel, n - panel, aabft_cfg);
+      problem.fault_k = panel;
       pool.push_back(std::move(problem));
     }
 
@@ -225,6 +272,7 @@ int main() {
                                 launcher.device().num_sms);
     for (;;) {
       serve::GemmRequest request;
+      request.kind = pool[p].kind;
       request.a = pool[p].a;
       request.b = pool[p].b;
       request.priority = priority;
@@ -274,6 +322,24 @@ int main() {
             "response " + std::to_string(r.id) + " bit-identical (rung " +
                 std::string(to_string(r.rung)) + ")");
       ++bitwise_identical;
+    } else if (problem.kind == serve::OpKind::kCholesky) {
+      // Patch rounding in a trailing update propagates through every later
+      // panel, so the factors are not elementwise-comparable to the clean
+      // run; the served factors must still reconstruct the input.
+      double residual = 0.0;
+      const std::size_t nn = problem.a.rows();
+      for (std::size_t row = 0; row < nn; ++row)
+        for (std::size_t col = 0; col < nn; ++col) {
+          double s = 0.0;
+          const std::size_t tmax = std::min(row, col) + 1;
+          for (std::size_t x = 0; x < tmax; ++x)
+            s += r.c(row, x) * r.c(col, x);
+          residual = std::max(residual, std::abs(problem.a(row, col) - s));
+        }
+      check(residual <= 1e-6,
+            "response " + std::to_string(r.id) +
+                " corrected Cholesky reconstructs the input (residual " +
+                std::to_string(residual) + ")");
     } else {
       // Patched elements carry the checksum-sum rounding; everything else
       // must still be bit-identical.
@@ -302,6 +368,10 @@ int main() {
   const serve::ServerStats stats = server.stats();
   check(stats.failed == 0, "no failed responses");
   check(stats.completed == inflight.size(), "every admitted request completed");
+  if (requests >= 100)
+    check(stats.completed_by_kind[0] > 0 && stats.completed_by_kind[1] > 0 &&
+              stats.completed_by_kind[2] > 0,
+          "the soak exercised GEMM, SYRK and Cholesky");
   if (faults_per_request == 1) {
     check(full_recomputes_total == 0,
           "single-fault damage repaired below the full-recompute rung (" +
@@ -310,6 +380,12 @@ int main() {
   }
 
   std::printf("soak, %zu requests over %zu problems:\n", requests, pool.size());
+  std::printf("  completed by kind       : gemm %llu, syrk %llu, cholesky "
+              "%llu, lu %llu\n",
+              static_cast<unsigned long long>(stats.completed_by_kind[0]),
+              static_cast<unsigned long long>(stats.completed_by_kind[1]),
+              static_cast<unsigned long long>(stats.completed_by_kind[2]),
+              static_cast<unsigned long long>(stats.completed_by_kind[3]));
   std::printf("  faults armed/fired      : %llu / %zu\n",
               static_cast<unsigned long long>(stats.faults_armed), fired_total);
   std::printf("  corrected / block-rec / full-rec : %zu / %llu / %zu\n",
