@@ -317,8 +317,10 @@ def try_clang_query(files) -> bool:
 
 
 def default_targets(root: Path) -> list[Path]:
-    """src/ kernel sources plus the tools/ and bench/ drivers (both launch
-    kernels and must go through MathCtx like everything else)."""
+    """src/ kernel sources — every layer, including serve/ and fleet/ (they
+    host no kernels themselves but relay fault plans into launches) — plus
+    the tools/ and bench/ drivers (both launch kernels and must go through
+    MathCtx like everything else)."""
     return (sorted((root / "src").rglob("*.cpp"))
             + sorted((root / "tools").glob("*.cpp"))
             + sorted((root / "bench").glob("*.cpp")))

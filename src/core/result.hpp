@@ -26,6 +26,7 @@ enum class ErrorCode {
   kOverloaded,      ///< admission refused: the request queue is full
   kDeadlineInfeasible, ///< admission refused: the deadline cannot be met
   kUnsupportedOp,   ///< the scheme does not implement the requested op kind
+  kUnavailable,     ///< required data or devices are fenced beyond recovery
 };
 
 struct Error {

@@ -1,0 +1,475 @@
+#include "fleet/fleet_server.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/require.hpp"
+#include "fp/fault_vector.hpp"
+
+namespace aabft::fleet {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] std::uint64_t ns_since(Clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           start)
+          .count());
+}
+
+[[nodiscard]] serve::GemmResponse failed_response(std::uint64_t id,
+                                                  baselines::OpKind kind,
+                                                  std::string diagnosis) {
+  serve::GemmResponse resp;
+  resp.id = id;
+  resp.kind = kind;
+  resp.status = serve::ResponseStatus::kFailed;
+  resp.clean = false;
+  resp.rung = serve::RecoveryRung::kFailed;
+  resp.diagnosis = std::move(diagnosis);
+  return resp;
+}
+
+}  // namespace
+
+FleetServer::FleetServer(FleetConfig config)
+    : config_(config),
+      store_(config.devices),
+      router_(config.router),
+      queues_(config.devices, config.queue_capacity_per_shard),
+      chaos_rng_(config.chaos_seed) {
+  AABFT_REQUIRE(config_.devices >= 3,
+                "FleetServer: need >= 3 devices (erasure coding strips "
+                "operands as devices-1 data + 1 parity)");
+  AABFT_REQUIRE(config_.inflight_window >= 1,
+                "FleetServer: in-flight window must be at least 1");
+  shards_.reserve(config_.devices);
+  for (std::size_t s = 0; s < config_.devices; ++s) {
+    auto shard = std::make_unique<Shard>(config_.health);
+    shard->index = s;
+    gpusim::DeviceSpec spec = config_.device_spec;
+    spec.name += " [device " + std::to_string(s) + "]";
+    // One Launcher per shard = one failure domain per shard: distinct worker
+    // pools, so thread-scoped fault controllers on shard s's launches can
+    // never be observed by shard t's kernels.
+    shard->launcher = std::make_unique<gpusim::Launcher>(
+        std::move(spec), config_.workers_per_device);
+    shard->server =
+        std::make_unique<serve::GemmServer>(*shard->launcher, config_.serve);
+    shards_.push_back(std::move(shard));
+  }
+  for (auto& shard : shards_) {
+    Shard* s = shard.get();
+    s->feeder = std::thread([this, s] { feeder_loop(*s); });
+    s->collector = std::thread([this, s] { collector_loop(*s); });
+  }
+}
+
+FleetServer::~FleetServer() { stop(); }
+
+serve::ShapeKey FleetServer::route_key(const FleetRequest& req) const {
+  const auto dims_of = [&](const linalg::Matrix& m, std::uint64_t handle) {
+    if (handle == FleetRequest::kInlineOperand)
+      return std::make_pair(m.rows(), m.cols());
+    auto d = store_.dims(handle);
+    return d.ok() ? *d : std::make_pair<std::size_t, std::size_t>(0, 0);
+  };
+  serve::ShapeKey key;
+  key.kind = req.request.kind;
+  const auto [am, ak] = dims_of(req.request.a, req.a_handle);
+  key.m = am;
+  key.k = ak;
+  key.q = key.kind == baselines::OpKind::kGemm
+              ? dims_of(req.request.b, req.b_handle).second
+              : am;
+  return key;
+}
+
+Result<std::future<FleetResponse>> FleetServer::submit(FleetRequest req) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (stopping_.load(std::memory_order_acquire)) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return Error{ErrorCode::kUnavailable, "fleet is stopping"};
+  }
+  for (std::uint64_t handle : {req.a_handle, req.b_handle}) {
+    if (handle == FleetRequest::kInlineOperand) continue;
+    auto d = store_.dims(handle);
+    if (!d.ok()) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return d.error();
+    }
+  }
+  const auto shard =
+      router_.route(route_key(req), shard_loads(), availabilities());
+  if (!shard) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return Error{ErrorCode::kUnavailable,
+                 "every device in the fleet is fenced"};
+  }
+  Job job;
+  job.req = std::move(req);
+  job.fleet_id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  job.req.request.id = job.fleet_id;  // shard admission preserves nonzero ids
+  job.submitted_at = Clock::now();
+  auto fut = job.promise.get_future();
+  if (!queues_.try_push(*shard, std::move(job))) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return Error{ErrorCode::kOverloaded,
+                 "fleet queue for shard " + std::to_string(*shard) +
+                     " is full"};
+  }
+  shards_[*shard]->routed.fetch_add(1, std::memory_order_relaxed);
+  return fut;
+}
+
+Result<serve::GemmRequest> FleetServer::resolve(const Job& job,
+                                                bool& reconstructed) const {
+  serve::GemmRequest out = job.req.request;  // keep the pristine copy intact
+  const auto fetch = [&](std::uint64_t handle,
+                         linalg::Matrix& into) -> Result<bool> {
+    if (handle == FleetRequest::kInlineOperand) return true;
+    auto fetched = store_.get(handle);
+    if (!fetched.ok()) return fetched.error();
+    into = std::move(fetched->matrix);
+    reconstructed |= fetched->reconstructed;
+    return true;
+  };
+  if (auto a = fetch(job.req.a_handle, out.a); !a.ok()) return a.error();
+  if (auto b = fetch(job.req.b_handle, out.b); !b.ok()) return b.error();
+  return out;
+}
+
+void FleetServer::feeder_loop(Shard& shard) {
+  for (;;) {
+    if (shard.fenced.load(std::memory_order_acquire)) {
+      redistribute(shard);
+      break;
+    }
+    auto popped =
+        queues_.pop(shard.index, std::chrono::microseconds(500));
+    if (!popped) {
+      if (queues_.closed() && queues_.total_depth() == 0) break;
+      continue;
+    }
+    if (popped->stolen)
+      shard.stolen.fetch_add(1, std::memory_order_relaxed);
+    Job job = std::move(popped->item);
+
+    if (shard.fenced.load(std::memory_order_acquire)) {
+      // Fenced between the pop and here: serve it elsewhere, then drain.
+      std::size_t served_by = shard.index, replays = 0;
+      bool recon = false;
+      auto resp =
+          replay_on_survivor(job, shard.index, served_by, replays, recon);
+      finish(shard, std::move(job), std::move(resp), served_by, replays,
+             recon);
+      continue;
+    }
+
+    bool recon = false;
+    auto resolved = resolve(job, recon);
+    if (!resolved.ok()) {
+      finish(shard, std::move(job),
+             failed_response(job.fleet_id, job.req.request.kind,
+                             resolved.error().message),
+             shard.index, 0, recon);
+      continue;
+    }
+    serve::GemmRequest to_run = std::move(*resolved);
+
+    // Device-corruption chaos: arm extra faults scoped to this dispatch (and
+    // therefore to this shard's launcher — the fault plan travels inside the
+    // request and is consulted only by the serving shard's worker pool).
+    std::size_t chaos = shard.chaos_faults.load(std::memory_order_relaxed);
+    chaos = std::min(chaos, gpusim::FaultController::kMaxFaults -
+                                std::min(gpusim::FaultController::kMaxFaults,
+                                         to_run.fault_plan.size()));
+    const std::size_t chaos_armed = chaos;
+    for (std::size_t i = 0; i < chaos; ++i) {
+      gpusim::FaultConfig fault;
+      fault.site = gpusim::FaultSite::kFinalAdd;
+      fault.sm_id = 0;  // block 0 runs on SM 0: the fault always lands
+      fault.module_id = 0;
+      fault.k_injection = 0;
+      {
+        std::lock_guard<std::mutex> lk(chaos_mu_);
+        fault.error_vec =
+            fp::make_error_vec(fp::BitField::kExponent, 1, chaos_rng_);
+      }
+      to_run.fault_plan.push_back(fault);
+    }
+
+    auto sub = shard.server->submit(std::move(to_run));
+    if (!sub.ok()) {
+      // Deterministic refusals (shape) fail outright; transient ones
+      // (overload — impossible while inflight_window <= server capacity)
+      // would fail the same way and surface in the diagnosis.
+      finish(shard, std::move(job),
+             failed_response(job.fleet_id, job.req.request.kind,
+                             sub.error().message),
+             shard.index, 0, recon);
+      continue;
+    }
+    {
+      std::unique_lock<std::mutex> lk(shard.inflight_mu);
+      shard.inflight_cv.wait(lk, [&] {
+        return shard.inflight.size() < config_.inflight_window ||
+               shard.fenced.load(std::memory_order_acquire);
+      });
+      shard.inflight.push_back(
+          Inflight{std::move(job), std::move(*sub), chaos_armed, recon});
+      shard.inflight_count.store(shard.inflight.size(),
+                                 std::memory_order_relaxed);
+    }
+    shard.inflight_cv.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lk(shard.inflight_mu);
+    shard.feeder_done = true;
+  }
+  shard.inflight_cv.notify_all();
+}
+
+void FleetServer::collector_loop(Shard& shard) {
+  for (;;) {
+    Inflight item;
+    {
+      std::unique_lock<std::mutex> lk(shard.inflight_mu);
+      shard.inflight_cv.wait(
+          lk, [&] { return !shard.inflight.empty() || shard.feeder_done; });
+      if (shard.inflight.empty()) break;  // feeder exited and we drained
+      item = std::move(shard.inflight.front());
+      shard.inflight.pop_front();
+      shard.inflight_count.store(shard.inflight.size(),
+                                 std::memory_order_relaxed);
+    }
+    shard.inflight_cv.notify_all();
+
+    serve::GemmResponse resp = item.fut.get();
+    // Fence state *at collection time* decides trust: a response harvested
+    // after the device was quarantined is discarded and replayed, even if it
+    // looks clean.
+    const bool untrusted = shard.fenced.load(std::memory_order_acquire);
+    if (!untrusted) {
+      // A correction explained by the request's *own* armed fault plan is the
+      // A-ABFT ladder doing its job, not device pathology — don't let
+      // client-injected test faults poison the device's health. Fleet chaos
+      // injection (inject_device_faults) models real corruption and is
+      // always blamed.
+      const bool self_inflicted =
+          !item.job.req.request.fault_plan.empty() && item.chaos_armed == 0;
+      Observation obs;
+      obs.ok = resp.status == serve::ResponseStatus::kOk;
+      obs.corrected = resp.trace.corrected && !self_inflicted;
+      obs.tmr_escalated = resp.trace.tmr_escalated && !self_inflicted;
+      obs.retries = self_inflicted ? 0 : resp.trace.retries;
+      shard.health.observe(obs);
+      if (shard.health.fenced()) fence(shard.index);
+    }
+
+    std::size_t served_by = shard.index, replays = 0;
+    bool recon = item.reconstructed;
+    if (shard.fenced.load(std::memory_order_acquire) ||
+        resp.status == serve::ResponseStatus::kFailed) {
+      resp = replay_on_survivor(item.job, shard.index, served_by, replays,
+                                recon);
+      if (replays > 0)
+        shard.replayed.fetch_add(1, std::memory_order_relaxed);
+    }
+    finish(shard, std::move(item.job), std::move(resp), served_by, replays,
+           recon);
+  }
+}
+
+serve::GemmResponse FleetServer::replay_on_survivor(const Job& job,
+                                                    std::size_t exclude,
+                                                    std::size_t& served_by,
+                                                    std::size_t& replays,
+                                                    bool& reconstructed) {
+  serve::GemmResponse last = failed_response(
+      job.fleet_id, job.req.request.kind,
+      "no surviving device could serve the request");
+  for (std::size_t attempt = 0; attempt < config_.replay_budget; ++attempt) {
+    // Healthiest surviving shard with the least in-flight work.
+    std::size_t target = shards_.size();
+    double best = 0.0;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (s == exclude || shards_[s]->fenced.load(std::memory_order_acquire))
+        continue;
+      const double score =
+          shards_[s]->health.availability() /
+          (1.0 + static_cast<double>(
+                     shards_[s]->inflight_count.load(std::memory_order_relaxed)) +
+           static_cast<double>(queues_.depth(s)));
+      if (target == shards_.size() || score > best) {
+        target = s;
+        best = score;
+      }
+    }
+    if (target == shards_.size()) return last;  // nobody left
+
+    bool recon = false;
+    auto resolved = resolve(job, recon);
+    if (!resolved.ok()) {
+      last.diagnosis = resolved.error().message;
+      return last;  // operands unrecoverable: retrying cannot help
+    }
+    auto sub = shards_[target]->server->submit(std::move(*resolved));
+    if (!sub.ok()) {
+      last.diagnosis = sub.error().message;
+      exclude = target;
+      continue;
+    }
+    ++replays;
+    replays_.fetch_add(1, std::memory_order_relaxed);
+    reconstructed |= recon;
+    last = sub->get();
+    served_by = target;
+    if (last.status == serve::ResponseStatus::kOk &&
+        !shards_[target]->fenced.load(std::memory_order_acquire))
+      return last;
+    exclude = target;  // target failed (or got fenced meanwhile): try another
+  }
+  return last;
+}
+
+void FleetServer::fence(std::size_t shard) {
+  bool expected = false;
+  if (!shards_[shard]->fenced.compare_exchange_strong(
+          expected, true, std::memory_order_acq_rel))
+    return;  // already fenced
+  shards_[shard]->health.force_fence();
+  store_.fence_shard(shard);
+  router_.forget_shard(shard);
+  fenced_count_.fetch_add(1, std::memory_order_relaxed);
+  // Wake the feeder (it drains and re-routes the shard's queue) and anyone
+  // blocked on the in-flight window.
+  shards_[shard]->inflight_cv.notify_all();
+}
+
+void FleetServer::force_fail(std::size_t shard) {
+  AABFT_REQUIRE(shard < shards_.size(), "force_fail: shard out of range");
+  fence(shard);
+}
+
+void FleetServer::inject_device_faults(std::size_t shard,
+                                       std::size_t faults_per_request) {
+  AABFT_REQUIRE(shard < shards_.size(),
+                "inject_device_faults: shard out of range");
+  shards_[shard]->chaos_faults.store(faults_per_request,
+                                     std::memory_order_relaxed);
+}
+
+void FleetServer::redistribute(Shard& from) {
+  std::vector<Job> orphans = queues_.drain_shard(from.index);
+  for (Job& job : orphans) {
+    // Prefer re-queueing on a survivor (its feeder applies the normal
+    // path, including parity reconstruction); replay inline only when no
+    // queue will take the job (shutdown or total overload).
+    std::size_t target = shards_.size();
+    std::size_t best_depth = 0;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (shards_[s]->fenced.load(std::memory_order_acquire)) continue;
+      const std::size_t depth = queues_.depth(s);
+      if (target == shards_.size() || depth < best_depth) {
+        target = s;
+        best_depth = depth;
+      }
+    }
+    if (target != shards_.size() && queues_.try_push(target, std::move(job)))
+      continue;
+    // try_push moves only on success; on failure the job is still ours.
+    std::size_t served_by = from.index, replays = 0;
+    bool recon = false;
+    auto resp =
+        replay_on_survivor(job, from.index, served_by, replays, recon);
+    finish(from, std::move(job), std::move(resp), served_by, replays, recon);
+  }
+}
+
+void FleetServer::finish(Shard& collector_shard, Job&& job,
+                         serve::GemmResponse&& resp, std::size_t served_by,
+                         std::size_t replays, bool reconstructed) {
+  resp.id = job.fleet_id;  // fleet-scope id, whatever shard served it
+  FleetResponse out;
+  out.response = std::move(resp);
+  out.shard = served_by;
+  out.replays = replays;
+  out.operands_reconstructed = reconstructed;
+  {
+    std::lock_guard<std::mutex> lk(collector_shard.e2e_mu);
+    collector_shard.fleet_e2e_ns.record(ns_since(job.submitted_at));
+  }
+  job.promise.set_value(std::move(out));
+}
+
+std::vector<ShardLoad> FleetServer::shard_loads() const {
+  std::vector<ShardLoad> loads(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    loads[s].queued = queues_.depth(s);
+    loads[s].inflight =
+        shards_[s]->inflight_count.load(std::memory_order_relaxed);
+    loads[s].backlog_flops =
+        static_cast<double>(shards_[s]->server->backlog_flops());
+  }
+  return loads;
+}
+
+std::vector<double> FleetServer::availabilities() const {
+  std::vector<double> avail(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s)
+    avail[s] = shards_[s]->health.availability();
+  return avail;
+}
+
+void FleetServer::stop() {
+  std::lock_guard<std::mutex> stop_lk(stop_mu_);
+  if (stopped_) return;
+  stopping_.store(true, std::memory_order_release);
+  queues_.close();
+  for (auto& shard : shards_)
+    if (shard->feeder.joinable()) shard->feeder.join();
+  for (auto& shard : shards_)
+    if (shard->collector.joinable()) shard->collector.join();
+  // Collectors may replay onto sibling servers right up to their exit, so
+  // the per-shard servers stop only after every collector has joined.
+  for (auto& shard : shards_) shard->server->stop();
+  stopped_ = true;
+}
+
+FleetStats FleetServer::stats() const {
+  FleetStats stats;
+  stats.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    ShardStats s;
+    s.shard = shard->index;
+    s.device = shard->launcher->device().name;
+    s.server = shard->server->stats();
+    s.state = shard->health.state();
+    s.availability = shard->health.availability();
+    s.correction_rate = shard->health.correction_rate();
+    s.failure_rate = shard->health.failure_rate();
+    s.observations = shard->health.observations();
+    s.routed = shard->routed.load(std::memory_order_relaxed);
+    s.stolen = shard->stolen.load(std::memory_order_relaxed);
+    s.replayed = shard->replayed.load(std::memory_order_relaxed);
+    s.queued = queues_.depth(shard->index);
+    s.inflight = shard->inflight_count.load(std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lk(shard->e2e_mu);
+      s.fleet_e2e_ns = shard->fleet_e2e_ns;
+    }
+    serve::merge_into(stats.totals, s.server);
+    stats.shards.push_back(std::move(s));
+  }
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.steals = queues_.steals();
+  stats.replays = replays_.load(std::memory_order_relaxed);
+  stats.reconstructions = store_.reconstructions();
+  stats.fenced_devices = fenced_count_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace aabft::fleet

@@ -1,0 +1,204 @@
+// FleetServer: N launcher "devices", each fronted by its own GemmServer,
+// behind one fleet-wide front door — the device-level failure-domain layer
+// on top of the element-level A-ABFT recovery ladder (DESIGN.md §9).
+//
+// Request path: submit() routes by load and health (ShardRouter) into
+// per-shard fleet queues; each shard's *feeder* thread pops its own queue
+// (stealing from the deepest sibling when idle — ShardQueues), resolves
+// erasure-coded operand handles against the OperandStore, and dispatches to
+// the shard's GemmServer with a bounded in-flight window; the shard's
+// *collector* thread harvests responses in dispatch order, feeds the health
+// model, and fulfils the fleet future.
+//
+// Failure domains: every device is a distinct gpusim::Launcher with its own
+// worker pool, so per-request ScopedFaultControllers (and injected chaos
+// faults) are scoped to one device and can never fire on another. When a
+// device's EWMA correction rate spikes past the fence threshold — or
+// force_fail() simulates an abrupt loss — the fleet fences it: the router
+// stops placing there, its queued work is re-routed, its in-flight responses
+// are discarded and replayed on surviving shards, and the operand store
+// reconstructs any operand stripes it held from XOR parity, bit-identically.
+// Clients see only slower responses, never wrong ones.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/latency.hpp"
+#include "core/result.hpp"
+#include "core/rng.hpp"
+#include "fleet/health.hpp"
+#include "fleet/parity.hpp"
+#include "fleet/router.hpp"
+#include "fleet/steal.hpp"
+#include "fleet/telemetry.hpp"
+#include "gpusim/kernel.hpp"
+#include "serve/server.hpp"
+
+namespace aabft::fleet {
+
+struct FleetConfig {
+  std::size_t devices = 3;          ///< launcher shards (>= 3 for parity)
+  unsigned workers_per_device = 2;  ///< worker threads per simulated device
+  gpusim::DeviceSpec device_spec = gpusim::k20c();
+  serve::ServeConfig serve;  ///< per-shard server configuration
+  HealthConfig health;
+  RouterConfig router;
+  std::size_t queue_capacity_per_shard = 256;  ///< fleet-queue bound
+  std::size_t inflight_window = 8;   ///< dispatched-uncollected cap per shard
+  std::size_t replay_budget = 2;     ///< re-run attempts per failed response
+  std::uint64_t chaos_seed = 0x51cb75Full;  ///< device-corruption RNG seed
+};
+
+/// A fleet submission: a normal serve request whose operands may instead be
+/// references into the fleet's erasure-coded operand store (set a handle and
+/// leave the corresponding matrix empty).
+struct FleetRequest {
+  static constexpr std::uint64_t kInlineOperand = ~0ull;
+  serve::GemmRequest request;
+  std::uint64_t a_handle = kInlineOperand;
+  std::uint64_t b_handle = kInlineOperand;
+};
+
+struct FleetResponse {
+  serve::GemmResponse response;
+  std::size_t shard = 0;  ///< shard whose result was accepted
+  std::size_t replays = 0;
+  /// An operand stripe was rebuilt from parity to serve this response.
+  bool operands_reconstructed = false;
+};
+
+class FleetServer {
+ public:
+  explicit FleetServer(FleetConfig config = {});
+  ~FleetServer();
+  FleetServer(const FleetServer&) = delete;
+  FleetServer& operator=(const FleetServer&) = delete;
+
+  /// Stripe an operand across the fleet with XOR parity; the handle goes in
+  /// FleetRequest::a_handle / b_handle.
+  [[nodiscard]] std::uint64_t register_operand(const linalg::Matrix& m) {
+    return store_.put(m);
+  }
+
+  /// Route and enqueue. Refusals: kUnavailable (every device fenced, or the
+  /// fleet is stopping), kOverloaded (target shard's fleet queue full),
+  /// kInvalidArgument (unknown operand handle).
+  [[nodiscard]] Result<std::future<FleetResponse>> submit(FleetRequest req);
+
+  /// Abrupt device loss: fence `shard` now. Queued work re-routes, in-flight
+  /// work replays on survivors, stored operand stripes reconstruct from
+  /// parity. Idempotent.
+  void force_fail(std::size_t shard);
+
+  /// Chaos: arm `faults_per_request` device-corruption faults on every
+  /// subsequent request dispatched to `shard` (modelling a device whose
+  /// hardware has gone bad). The health model should fence it autonomously.
+  void inject_device_faults(std::size_t shard, std::size_t faults_per_request);
+
+  /// Refuse new work, drain the queues, join all shard threads and stop the
+  /// per-shard servers. Idempotent; the destructor calls it.
+  void stop();
+
+  [[nodiscard]] FleetStats stats() const;
+  [[nodiscard]] std::string telemetry_json() const { return to_json(stats()); }
+  [[nodiscard]] std::size_t devices() const noexcept { return shards_.size(); }
+  [[nodiscard]] bool fenced(std::size_t shard) const {
+    return shards_[shard]->fenced.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] const OperandStore& operand_store() const noexcept {
+    return store_;
+  }
+  [[nodiscard]] std::uint64_t steals() const { return queues_.steals(); }
+  [[nodiscard]] const FleetConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Job {
+    FleetRequest req;  ///< pristine client request (operands retained)
+    std::uint64_t fleet_id = 0;
+    std::promise<FleetResponse> promise;
+    std::chrono::steady_clock::time_point submitted_at;
+  };
+
+  struct Inflight {
+    Job job;
+    std::future<serve::GemmResponse> fut;
+    std::size_t chaos_armed = 0;  ///< fleet-injected faults on this dispatch
+    bool reconstructed = false;   ///< operands came through a parity rebuild
+  };
+
+  struct Shard {
+    std::size_t index = 0;
+    std::unique_ptr<gpusim::Launcher> launcher;
+    std::unique_ptr<serve::GemmServer> server;
+    DeviceHealth health;
+    std::atomic<bool> fenced{false};
+    std::atomic<std::size_t> chaos_faults{0};
+    std::atomic<std::uint64_t> routed{0};
+    std::atomic<std::uint64_t> stolen{0};
+    std::atomic<std::uint64_t> replayed{0};
+
+    std::mutex inflight_mu;
+    std::condition_variable inflight_cv;
+    std::deque<Inflight> inflight;
+    std::atomic<std::size_t> inflight_count{0};  ///< lock-free load signal
+    bool feeder_done = false;
+
+    mutable std::mutex e2e_mu;
+    LatencyRecorder fleet_e2e_ns;
+
+    std::thread feeder;
+    std::thread collector;
+
+    explicit Shard(HealthConfig health_config) : health(health_config) {}
+  };
+
+  void feeder_loop(Shard& shard);
+  void collector_loop(Shard& shard);
+  void fence(std::size_t shard);
+  /// Re-route a fenced shard's queued jobs to survivors (replaying inline
+  /// when no queue will take them).
+  void redistribute(Shard& from);
+  /// Resolve a job's operands into a dispatchable request (parity
+  /// reconstruction when a holding shard is fenced). Errors surface as a
+  /// ready kFailed response.
+  [[nodiscard]] Result<serve::GemmRequest> resolve(const Job& job,
+                                                   bool& reconstructed) const;
+  /// Run the job synchronously on the healthiest surviving shard (the replay
+  /// path for fenced/failed responses). Fulfils nothing — returns the
+  /// response for the caller to judge.
+  [[nodiscard]] serve::GemmResponse replay_on_survivor(
+      const Job& job, std::size_t exclude, std::size_t& served_by,
+      std::size_t& replays, bool& reconstructed);
+  void finish(Shard& collector_shard, Job&& job, serve::GemmResponse&& resp,
+              std::size_t served_by, std::size_t replays, bool reconstructed);
+  [[nodiscard]] std::vector<ShardLoad> shard_loads() const;
+  [[nodiscard]] std::vector<double> availabilities() const;
+  [[nodiscard]] serve::ShapeKey route_key(const FleetRequest& req) const;
+
+  FleetConfig config_;
+  OperandStore store_;
+  ShardRouter router_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  ShardQueues<Job> queues_;
+  Rng chaos_rng_;  ///< guarded by chaos_mu_
+  std::mutex chaos_mu_;
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> replays_{0};
+  std::atomic<std::size_t> fenced_count_{0};
+  std::atomic<bool> stopping_{false};
+  std::mutex stop_mu_;
+  bool stopped_ = false;
+};
+
+}  // namespace aabft::fleet

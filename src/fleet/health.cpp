@@ -1,0 +1,57 @@
+#include "fleet/health.hpp"
+
+#include <algorithm>
+
+namespace aabft::fleet {
+
+const char* to_string(HealthState state) noexcept {
+  switch (state) {
+    case HealthState::kHealthy: return "healthy";
+    case HealthState::kDegraded: return "degraded";
+    case HealthState::kFenced: return "fenced";
+  }
+  return "unknown";
+}
+
+void DeviceHealth::observe(const Observation& obs) noexcept {
+  if (fenced()) return;  // latched: a quarantined device stays quarantined
+
+  const auto ewma = [&](std::atomic<double>& rate, double sample) {
+    const double next = (1.0 - config_.alpha) *
+                            rate.load(std::memory_order_relaxed) +
+                        config_.alpha * sample;
+    rate.store(next, std::memory_order_relaxed);
+    return next;
+  };
+  const double corr = ewma(correction_rate_, obs.corrected ? 1.0 : 0.0);
+  const double fail = ewma(failure_rate_, obs.ok ? 0.0 : 1.0);
+  const double tmr = ewma(tmr_rate_, obs.tmr_escalated ? 1.0 : 0.0);
+  const double retry =
+      ewma(retry_rate_, obs.retries > 0 ? static_cast<double>(obs.retries)
+                                        : 0.0);
+  const std::uint64_t n =
+      observations_.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  const double penalty = config_.correction_weight * corr +
+                         config_.failure_weight * fail +
+                         config_.tmr_weight * tmr +
+                         config_.retry_weight * retry;
+  const double score = std::clamp(1.0 - penalty, 0.0, 1.0);
+
+  if (n >= config_.min_observations &&
+      (corr > config_.fence_correction_rate ||
+       fail > config_.fence_failure_rate)) {
+    force_fence();
+    return;
+  }
+
+  availability_.store(score, std::memory_order_release);
+  const HealthState next = score < config_.degrade_score
+                               ? HealthState::kDegraded
+                               : HealthState::kHealthy;
+  // kHealthy -> kDegraded can flap back once rates decay; only kFenced is
+  // latched (handled above by the early return).
+  state_.store(static_cast<int>(next), std::memory_order_release);
+}
+
+}  // namespace aabft::fleet

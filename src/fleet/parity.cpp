@@ -1,0 +1,133 @@
+#include "fleet/parity.hpp"
+
+#include <cstring>
+
+#include "core/require.hpp"
+
+namespace aabft::fleet {
+
+OperandStore::OperandStore(std::size_t shards) : shards_(shards) {
+  AABFT_REQUIRE(shards >= 3,
+                "OperandStore: need >= 3 shards (shards-1 data + 1 parity)");
+  fenced_.assign(shards_, false);
+}
+
+std::uint64_t OperandStore::put(const linalg::Matrix& m) {
+  auto striped = std::make_shared<Striped>();
+  striped->rows = m.rows();
+  striped->cols = m.cols();
+  striped->words = m.rows() * m.cols();
+
+  const std::size_t data_stripes = shards_ - 1;
+  const std::size_t stripe_words =
+      striped->words == 0 ? 0
+                          : (striped->words + data_stripes - 1) / data_stripes;
+
+  // Stripe the row-major payload as uint64 bit patterns; the tail stripe is
+  // zero-padded so every stripe XORs against parity at equal length.
+  striped->data.assign(data_stripes,
+                       std::vector<std::uint64_t>(stripe_words, 0));
+  const double* payload = m.data();
+  for (std::size_t w = 0; w < striped->words; ++w) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &payload[w], sizeof(bits));
+    striped->data[w / stripe_words][w % stripe_words] = bits;
+  }
+  striped->parity.assign(stripe_words, 0);
+  for (const auto& stripe : striped->data)
+    for (std::size_t w = 0; w < stripe_words; ++w)
+      striped->parity[w] ^= stripe[w];
+
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::uint64_t handle = next_handle_++;
+  striped->parity_shard = handle % shards_;
+  store_.emplace(handle, std::move(striped));
+  return handle;
+}
+
+Result<OperandStore::Fetched> OperandStore::get(std::uint64_t handle) const {
+  std::shared_ptr<const Striped> striped;
+  std::vector<bool> fenced;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = store_.find(handle);
+    if (it == store_.end())
+      return Error{ErrorCode::kInvalidArgument,
+                   "OperandStore: unknown operand handle " +
+                       std::to_string(handle)};
+    striped = it->second;
+    fenced = fenced_;
+  }
+
+  const std::size_t data_stripes = shards_ - 1;
+  const auto shard_of = [&](std::size_t stripe) {
+    return (striped->parity_shard + 1 + stripe) % shards_;
+  };
+
+  std::size_t lost_stripe = data_stripes;  // sentinel: none lost
+  std::size_t lost = 0;
+  for (std::size_t i = 0; i < data_stripes; ++i) {
+    if (fenced[shard_of(i)]) {
+      lost_stripe = i;
+      ++lost;
+    }
+  }
+  const bool parity_lost = fenced[striped->parity_shard];
+  if (lost + (parity_lost ? 1u : 0u) >= 2)
+    return Error{ErrorCode::kUnavailable,
+                 "OperandStore: " + std::to_string(lost + (parity_lost ? 1 : 0)) +
+                     " stripes of operand " + std::to_string(handle) +
+                     " are on fenced shards; XOR parity covers one"};
+
+  Fetched out;
+  out.matrix = linalg::Matrix(striped->rows, striped->cols);
+  double* payload = out.matrix.data();
+  const std::size_t stripe_words =
+      striped->data.empty() ? 0 : striped->data.front().size();
+
+  std::vector<std::uint64_t> rebuilt;
+  if (lost == 1) {
+    // XOR of the parity stripe and every surviving data stripe is exactly
+    // the lost stripe's bit pattern.
+    rebuilt = striped->parity;
+    for (std::size_t i = 0; i < data_stripes; ++i)
+      if (i != lost_stripe)
+        for (std::size_t w = 0; w < stripe_words; ++w)
+          rebuilt[w] ^= striped->data[i][w];
+    out.reconstructed = true;
+    reconstructions_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  for (std::size_t w = 0; w < striped->words; ++w) {
+    const std::size_t stripe = w / stripe_words;
+    const std::uint64_t bits = stripe == lost_stripe
+                                   ? rebuilt[w % stripe_words]
+                                   : striped->data[stripe][w % stripe_words];
+    std::memcpy(&payload[w], &bits, sizeof(bits));
+  }
+  return out;
+}
+
+Result<std::pair<std::size_t, std::size_t>> OperandStore::dims(
+    std::uint64_t handle) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = store_.find(handle);
+  if (it == store_.end())
+    return Error{ErrorCode::kInvalidArgument,
+                 "OperandStore: unknown operand handle " +
+                     std::to_string(handle)};
+  return std::make_pair(it->second->rows, it->second->cols);
+}
+
+void OperandStore::fence_shard(std::size_t shard) {
+  AABFT_REQUIRE(shard < shards_, "OperandStore: shard index out of range");
+  std::lock_guard<std::mutex> lk(mu_);
+  fenced_[shard] = true;
+}
+
+std::size_t OperandStore::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return store_.size();
+}
+
+}  // namespace aabft::fleet

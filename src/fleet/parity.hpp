@@ -1,0 +1,88 @@
+// Erasure-coded operand spares: registered operand matrices are striped
+// across the fleet's shards with a rotating XOR parity stripe (RAID-5 over
+// device failure domains, the memec pattern from the exemplars). Losing any
+// single shard — the fleet fences a device whose correction rate spikes —
+// leaves every registered operand reconstructible from the survivors.
+//
+// XOR runs over the raw uint64 bit patterns of the doubles, so a
+// reconstructed stripe is bit-identical to the original: re-running a fenced
+// device's request on a healthy shard with reconstructed operands produces
+// exactly the response the client would have seen. Losing two or more
+// shards exceeds the single-parity code and comes back as kUnavailable.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/result.hpp"
+#include "linalg/matrix.hpp"
+
+namespace aabft::fleet {
+
+/// A shard-striped operand store. Thread-safe: put/get/fence may race from
+/// any thread (stripes are immutable once published; the index hands out
+/// shared_ptr snapshots under a short lock).
+class OperandStore {
+ public:
+  /// `shards` is the number of failure domains to stripe over; the code is
+  /// shards-1 data stripes + 1 parity stripe, so at least 3 shards are
+  /// required for the parity to buy anything.
+  explicit OperandStore(std::size_t shards);
+
+  /// Register an operand; returns its handle. The parity stripe's shard
+  /// rotates with the handle so parity load spreads across the fleet.
+  [[nodiscard]] std::uint64_t put(const linalg::Matrix& m);
+
+  struct Fetched {
+    linalg::Matrix matrix;
+    /// True when at least one stripe had to be rebuilt from parity (its
+    /// shard was fenced) rather than read directly.
+    bool reconstructed = false;
+  };
+
+  /// Reassemble the operand from whichever stripes live on unfenced shards.
+  /// Errors: kInvalidArgument for an unknown handle, kUnavailable when more
+  /// than one of the handle's stripes is on a fenced shard.
+  [[nodiscard]] Result<Fetched> get(std::uint64_t handle) const;
+
+  /// The registered operand's extents without reassembling it (the router
+  /// shapes its placement key from these). kInvalidArgument when unknown.
+  [[nodiscard]] Result<std::pair<std::size_t, std::size_t>> dims(
+      std::uint64_t handle) const;
+
+  /// Mark a shard's stripes as lost. Idempotent; there is no un-fence.
+  void fence_shard(std::size_t shard);
+
+  [[nodiscard]] std::size_t shards() const noexcept { return shards_; }
+  [[nodiscard]] std::size_t size() const;
+  /// Total stripes rebuilt from parity across all get() calls.
+  [[nodiscard]] std::uint64_t reconstructions() const noexcept {
+    return reconstructions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Striped {
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    std::size_t words = 0;         ///< payload words (before zero padding)
+    std::size_t parity_shard = 0;  ///< shard holding the parity stripe
+    /// data[i] lives on shard (parity_shard + 1 + i) % shards; all stripes
+    /// have equal length (the last data stripe is zero-padded).
+    std::vector<std::vector<std::uint64_t>> data;
+    std::vector<std::uint64_t> parity;
+  };
+
+  const std::size_t shards_;
+  mutable std::mutex mu_;
+  std::uint64_t next_handle_ = 0;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const Striped>> store_;
+  std::vector<bool> fenced_;
+  mutable std::atomic<std::uint64_t> reconstructions_{0};
+};
+
+}  // namespace aabft::fleet

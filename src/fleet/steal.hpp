@@ -1,0 +1,143 @@
+// Work stealing between shard queues. Each shard's feeder thread pops from
+// its own deque FIFO (front — preserves per-shard arrival order); when its
+// own deque is empty it steals from the *back* of the deepest sibling
+// (LIFO-steal: the freshest request moves, which is the one whose operands
+// are most likely still warm and whose shape affinity matters least).
+//
+// One mutex + one condition variable cover all N deques: pushes are rare
+// relative to compute (requests are whole protected BLAS-3 operations, not
+// micro-tasks), so the shared lock is nowhere near contended and keeps the
+// steal decision (scan every depth, pick the max) atomic with the take.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "core/require.hpp"
+
+namespace aabft::fleet {
+
+template <typename T>
+class ShardQueues {
+ public:
+  ShardQueues(std::size_t shards, std::size_t capacity_per_shard)
+      : capacity_(capacity_per_shard), queues_(shards) {
+    AABFT_REQUIRE(shards >= 1, "ShardQueues: need at least one shard");
+    AABFT_REQUIRE(capacity_per_shard >= 1,
+                  "ShardQueues: capacity must be at least 1");
+  }
+
+  /// Enqueue onto `shard`. False when that shard's queue is full or the
+  /// queues are closed (caller turns this into a kOverloaded refusal).
+  bool try_push(std::size_t shard, T&& item) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (closed_ || queues_[shard].size() >= capacity_) return false;
+      queues_[shard].push_back(std::move(item));
+    }
+    cv_.notify_all();
+    return true;
+  }
+
+  struct Popped {
+    T item;
+    bool stolen = false;  ///< came from a sibling's queue, not `shard`'s own
+  };
+
+  /// Dequeue for `shard`: own queue front first; if empty and `allow_steal`,
+  /// the back of the deepest sibling. Blocks up to `timeout` for work;
+  /// nullopt on timeout or when closed with nothing left to take.
+  std::optional<Popped> pop(std::size_t shard,
+                            std::chrono::microseconds timeout,
+                            bool allow_steal = true) {
+    std::unique_lock<std::mutex> lk(mu_);
+    const auto takeable = [&]() -> std::size_t {
+      if (!queues_[shard].empty()) return shard;
+      if (allow_steal) {
+        std::size_t victim = shard, depth = 0;
+        for (std::size_t s = 0; s < queues_.size(); ++s)
+          if (s != shard && queues_[s].size() > depth) {
+            victim = s;
+            depth = queues_[s].size();
+          }
+        if (victim != shard) return victim;
+      }
+      return queues_.size();  // sentinel: nothing to take
+    };
+    if (!cv_.wait_for(lk, timeout, [&] {
+          return closed_ || takeable() != queues_.size();
+        }))
+      return std::nullopt;
+    const std::size_t source = takeable();
+    if (source == queues_.size()) return std::nullopt;  // closed and drained
+
+    Popped out{std::move(source == shard ? queues_[source].front()
+                                         : queues_[source].back()),
+               source != shard};
+    if (source == shard)
+      queues_[source].pop_front();
+    else
+      queues_[source].pop_back();
+    if (out.stolen) ++steals_;
+    return out;
+  }
+
+  /// Refuse further pushes. pop() keeps draining what is queued, then
+  /// returns nullopt forever.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Remove and return everything queued on `shard` (the fence path: the
+  /// caller re-routes these to surviving shards).
+  std::vector<T> drain_shard(std::size_t shard) {
+    std::vector<T> out;
+    std::lock_guard<std::mutex> lk(mu_);
+    out.reserve(queues_[shard].size());
+    while (!queues_[shard].empty()) {
+      out.push_back(std::move(queues_[shard].front()));
+      queues_[shard].pop_front();
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::size_t depth(std::size_t shard) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return queues_[shard].size();
+  }
+  [[nodiscard]] std::size_t total_depth() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::size_t total = 0;
+    for (const auto& q : queues_) total += q.size();
+    return total;
+  }
+  [[nodiscard]] std::uint64_t steals() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return steals_;
+  }
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return closed_;
+  }
+  [[nodiscard]] std::size_t shards() const noexcept { return queues_.size(); }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  const std::size_t capacity_;
+  std::vector<std::deque<T>> queues_;
+  std::uint64_t steals_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace aabft::fleet

@@ -33,30 +33,31 @@ GemmServer::GemmServer(gpusim::Launcher& launcher, ServeConfig config)
 GemmServer::~GemmServer() { stop(); }
 
 Result<std::future<GemmResponse>> GemmServer::submit(GemmRequest request) {
-  {
-    std::lock_guard<std::mutex> lk(stats_mu_);
-    ++stats_.submitted;
-  }
+  StatsBoard::bump(stats_.submitted);
   if (!primary_.supports(request.kind)) {
-    std::lock_guard<std::mutex> lk(stats_mu_);
-    ++stats_.rejected_unsupported;
+    StatsBoard::bump(stats_.rejected_unsupported);
     return unsupported_op_error(
         "scheme '" + std::string(primary_.name()) +
         "' does not implement op kind '" +
         std::string(baselines::to_string(request.kind)) + "'");
   }
   auto admitted = admission_.admit(std::move(request), queue_, now_ns());
-  {
-    std::lock_guard<std::mutex> lk(stats_mu_);
-    if (admitted.ok()) {
-      ++stats_.admitted;
-    } else {
-      switch (admitted.error().code) {
-        case ErrorCode::kOverloaded: ++stats_.rejected_queue_full; break;
-        case ErrorCode::kDeadlineInfeasible: ++stats_.rejected_deadline; break;
-        case ErrorCode::kUnsupportedOp: ++stats_.rejected_unsupported; break;
-        default: ++stats_.rejected_shape; break;
-      }
+  if (admitted.ok()) {
+    StatsBoard::bump(stats_.admitted);
+  } else {
+    switch (admitted.error().code) {
+      case ErrorCode::kOverloaded:
+        StatsBoard::bump(stats_.rejected_queue_full);
+        break;
+      case ErrorCode::kDeadlineInfeasible:
+        StatsBoard::bump(stats_.rejected_deadline);
+        break;
+      case ErrorCode::kUnsupportedOp:
+        StatsBoard::bump(stats_.rejected_unsupported);
+        break;
+      default:
+        StatsBoard::bump(stats_.rejected_shape);
+        break;
     }
   }
   return admitted;
@@ -92,10 +93,7 @@ void GemmServer::stop() {
   if (dispatcher_.joinable()) dispatcher_.join();
 }
 
-ServerStats GemmServer::stats() const {
-  std::lock_guard<std::mutex> lk(stats_mu_);
-  return stats_;
-}
+ServerStats GemmServer::stats() const { return stats_.snapshot(); }
 
 void GemmServer::ensure_lanes(std::size_t want) {
   while (lanes_.size() < want) lanes_.push_back(launcher_.create_stream());
@@ -231,36 +229,32 @@ void GemmServer::serve_batch(std::vector<PendingRequest>&& batch) {
     item.trace.complete_ns = now_ns();
     response.trace = item.trace;
 
-    {
-      std::lock_guard<std::mutex> lk(stats_mu_);
-      if (outcome.ok) {
-        ++stats_.completed;
-        ++stats_.completed_by_kind[static_cast<std::size_t>(item.desc.kind)];
-      } else {
-        ++stats_.failed;
-      }
-      if (item.trace.detected) ++stats_.detected;
-      if (item.trace.corrected) ++stats_.corrected;
-      stats_.corrections += item.trace.corrections;
-      stats_.block_recomputes += item.trace.block_recomputes;
-      stats_.full_recomputes += item.trace.full_recomputes;
-      stats_.retries += item.trace.retries;
-      if (item.trace.tmr_escalated) ++stats_.tmr_escalations;
-      stats_.faults_armed += item.trace.faults_armed;
-      stats_.faults_fired += item.trace.faults_fired;
-      stats_.queue_wait_ns.record(item.trace.dispatch_ns -
-                                  item.trace.enqueue_ns);
-      stats_.service_ns.record(item.trace.repair_ns - item.trace.dispatch_ns);
-      stats_.e2e_ns.record(item.trace.complete_ns - item.trace.enqueue_ns);
+    if (outcome.ok) {
+      StatsBoard::bump(stats_.completed);
+      StatsBoard::bump(
+          stats_.completed_by_kind[static_cast<std::size_t>(item.desc.kind)]);
+    } else {
+      StatsBoard::bump(stats_.failed);
     }
+    if (item.trace.detected) StatsBoard::bump(stats_.detected);
+    if (item.trace.corrected) StatsBoard::bump(stats_.corrected);
+    StatsBoard::bump(stats_.corrections, item.trace.corrections);
+    StatsBoard::bump(stats_.block_recomputes, item.trace.block_recomputes);
+    StatsBoard::bump(stats_.full_recomputes, item.trace.full_recomputes);
+    StatsBoard::bump(stats_.retries, item.trace.retries);
+    if (item.trace.tmr_escalated) StatsBoard::bump(stats_.tmr_escalations);
+    StatsBoard::bump(stats_.faults_armed, item.trace.faults_armed);
+    StatsBoard::bump(stats_.faults_fired, item.trace.faults_fired);
+    stats_.record_queue_wait(item.trace.dispatch_ns - item.trace.enqueue_ns);
+    stats_.record_service(item.trace.repair_ns - item.trace.dispatch_ns);
+    stats_.record_e2e(item.trace.complete_ns - item.trace.enqueue_ns);
     item.promise.set_value(std::move(response));
     admission_.on_complete(item.est_flops);
   }
 
-  std::lock_guard<std::mutex> lk(stats_mu_);
-  ++stats_.batches;
-  if (n >= 2) stats_.batched_requests += n;
-  stats_.max_batch = std::max(stats_.max_batch, n);
+  StatsBoard::bump(stats_.batches);
+  if (n >= 2) StatsBoard::bump(stats_.batched_requests, n);
+  stats_.note_batch_size(n);
 }
 
 }  // namespace aabft::serve

@@ -13,10 +13,12 @@
 // kUnsupportedOp values, never asserted.
 //
 // Thread model: submit() is safe from any number of client threads (queue
-// and admission are synchronized); the dispatcher exclusively owns batch
-// assembly, the recovery ladder and the mutable ServerStats (guarded by a
-// mutex only so stats() can snapshot). pause()/resume() gate the dispatcher
-// between batches — test drivers use them to build up coalescible queues.
+// and admission are synchronized, stats counters are lock-free atomics on a
+// StatsBoard); the dispatcher exclusively owns batch assembly and the
+// recovery ladder. stats() snapshots the board in one acquire pass, so a
+// fleet aggregator can poll per-shard stats mid-run without torn reads.
+// pause()/resume() gate the dispatcher between batches — test drivers use
+// them to build up coalescible queues.
 #pragma once
 
 #include <chrono>
@@ -80,6 +82,11 @@ class GemmServer {
   [[nodiscard]] ServerStats stats() const;
   [[nodiscard]] std::string telemetry_json() const { return to_json(stats()); }
   [[nodiscard]] std::size_t queue_depth() const { return queue_.depth(); }
+  /// Outstanding admitted-but-not-completed flops (the admission backlog
+  /// model) — the fleet router folds this into shard load.
+  [[nodiscard]] std::uint64_t backlog_flops() const noexcept {
+    return admission_.backlog_flops();
+  }
   [[nodiscard]] const ServeConfig& config() const noexcept { return config_; }
 
   /// Nanoseconds on the server's monotonic clock (0 = construction time) —
@@ -104,8 +111,7 @@ class GemmServer {
   BoundedRequestQueue queue_;
   AdmissionController admission_;
 
-  mutable std::mutex stats_mu_;
-  ServerStats stats_;
+  StatsBoard stats_;
 
   std::mutex stop_mu_;  ///< serializes stop() calls (idempotent join)
   mutable std::mutex pause_mu_;

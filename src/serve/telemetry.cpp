@@ -1,5 +1,6 @@
 #include "serve/telemetry.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 namespace aabft::serve {
@@ -14,6 +15,74 @@ void append_recorder(std::ostringstream& out, const char* name,
 }
 
 }  // namespace
+
+void merge_into(ServerStats& into, const ServerStats& from) {
+  into.submitted += from.submitted;
+  into.admitted += from.admitted;
+  into.rejected_queue_full += from.rejected_queue_full;
+  into.rejected_deadline += from.rejected_deadline;
+  into.rejected_shape += from.rejected_shape;
+  into.rejected_unsupported += from.rejected_unsupported;
+  into.completed += from.completed;
+  into.failed += from.failed;
+  for (std::size_t i = 0; i < baselines::kNumOpKinds; ++i)
+    into.completed_by_kind[i] += from.completed_by_kind[i];
+  into.detected += from.detected;
+  into.corrected += from.corrected;
+  into.corrections += from.corrections;
+  into.block_recomputes += from.block_recomputes;
+  into.full_recomputes += from.full_recomputes;
+  into.retries += from.retries;
+  into.tmr_escalations += from.tmr_escalations;
+  into.faults_armed += from.faults_armed;
+  into.faults_fired += from.faults_fired;
+  into.batches += from.batches;
+  into.batched_requests += from.batched_requests;
+  into.max_batch = std::max(into.max_batch, from.max_batch);
+  into.queue_wait_ns.merge(from.queue_wait_ns);
+  into.service_ns.merge(from.service_ns);
+  into.e2e_ns.merge(from.e2e_ns);
+}
+
+ServerStats StatsBoard::snapshot() const {
+  ServerStats s;
+  {
+    std::lock_guard<std::mutex> lk(recorder_mu_);
+    s.queue_wait_ns = queue_wait_ns_;
+    s.service_ns = service_ns_;
+    s.e2e_ns = e2e_ns_;
+  }
+  // One acquire pass over the counters: everything bumped before the fence's
+  // matching release-or-later writes is visible, and each field is a single
+  // whole load — no torn reads while workers are live.
+  std::atomic_thread_fence(std::memory_order_acquire);
+  const auto load = [](const std::atomic<std::uint64_t>& a) {
+    return a.load(std::memory_order_relaxed);
+  };
+  s.submitted = load(submitted);
+  s.admitted = load(admitted);
+  s.rejected_queue_full = load(rejected_queue_full);
+  s.rejected_deadline = load(rejected_deadline);
+  s.rejected_shape = load(rejected_shape);
+  s.rejected_unsupported = load(rejected_unsupported);
+  s.completed = load(completed);
+  s.failed = load(failed);
+  for (std::size_t i = 0; i < baselines::kNumOpKinds; ++i)
+    s.completed_by_kind[i] = load(completed_by_kind[i]);
+  s.detected = load(detected);
+  s.corrected = load(corrected);
+  s.corrections = load(corrections);
+  s.block_recomputes = load(block_recomputes);
+  s.full_recomputes = load(full_recomputes);
+  s.retries = load(retries);
+  s.tmr_escalations = load(tmr_escalations);
+  s.faults_armed = load(faults_armed);
+  s.faults_fired = load(faults_fired);
+  s.batches = load(batches);
+  s.batched_requests = load(batched_requests);
+  s.max_batch = max_batch_.load(std::memory_order_relaxed);
+  return s;
+}
 
 std::string to_json(const ServerStats& stats) {
   std::ostringstream out;

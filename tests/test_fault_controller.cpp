@@ -1,8 +1,10 @@
 // FaultController lifecycle tests: one-shot firing, disarm()/re-arm
-// bookkeeping across back-to-back protected multiplies, and the
-// thread-scoped controller override used by the serving layer.
+// bookkeeping across back-to-back protected multiplies, the thread-scoped
+// controller override used by the serving layer, and fault-domain isolation
+// across distinct Launchers (the fleet's per-device blast-radius contract).
 #include <gtest/gtest.h>
 
+#include <thread>
 #include <vector>
 
 #include "abft/aabft.hpp"
@@ -136,6 +138,68 @@ TEST(FaultController, ScopedOverrideShadowsLauncherController) {
   EXPECT_NE(blocked_matmul(launcher, a, b), ref);
   EXPECT_EQ(attached.fired_count(), 1u);
   launcher.set_fault_controller(nullptr);
+}
+
+TEST(FaultController, ScopedFaultOnOneLauncherNeverFiresOnAnother) {
+  // The fleet's failure-domain contract: device 0 and device 1 are distinct
+  // Launchers with distinct worker pools, so a per-request fault armed (via
+  // the thread-scoped override) around device 0's launches must be invisible
+  // to concurrent launches on device 1 — device 1's results stay
+  // bit-identical to the reference for the whole campaign.
+  Rng rng(59);
+  const Matrix a = uniform_matrix(64, 64, -1.0, 1.0, rng);
+  const Matrix b = uniform_matrix(64, 64, -1.0, 1.0, rng);
+  const Matrix ref = naive_matmul(a, b, false);
+
+  Launcher device0(k20c(), 2);
+  Launcher device1(k20c(), 2);
+
+  constexpr int kRounds = 24;
+  int clean_rounds = 0;
+  std::thread bystander([&] {
+    for (int i = 0; i < kRounds; ++i)
+      if (blocked_matmul(device1, a, b) == ref) ++clean_rounds;
+  });
+
+  std::size_t fired = 0;
+  for (int i = 0; i < kRounds; ++i) {
+    FaultController per_request;
+    per_request.arm(deterministic_fault());
+    {
+      ScopedFaultController guard(&per_request);
+      EXPECT_NE(blocked_matmul(device0, a, b), ref);
+    }
+    per_request.disarm();
+    fired += per_request.fired_count();
+  }
+  bystander.join();
+
+  EXPECT_EQ(fired, static_cast<std::size_t>(kRounds))
+      << "every armed fault fired on device 0";
+  EXPECT_EQ(clean_rounds, kRounds)
+      << "device 1 observed a fault armed for device 0";
+}
+
+TEST(FaultController, AttachedControllerIsPerLauncher) {
+  // A controller attached to one launcher is consulted only by that
+  // launcher's launches; a sibling device with no controller stays pristine.
+  Rng rng(61);
+  const Matrix a = uniform_matrix(64, 64, -1.0, 1.0, rng);
+  const Matrix b = uniform_matrix(64, 64, -1.0, 1.0, rng);
+  const Matrix ref = naive_matmul(a, b, false);
+
+  Launcher device0(k20c(), 2);
+  Launcher device1(k20c(), 2);
+  FaultController attached;
+  attached.arm(deterministic_fault());
+  device0.set_fault_controller(&attached);
+
+  EXPECT_EQ(blocked_matmul(device1, a, b), ref);
+  EXPECT_EQ(attached.fired_count(), 0u)
+      << "device 1 consulted device 0's controller";
+  EXPECT_NE(blocked_matmul(device0, a, b), ref);
+  EXPECT_EQ(attached.fired_count(), 1u);
+  device0.set_fault_controller(nullptr);
 }
 
 }  // namespace

@@ -1,31 +1,41 @@
 // Open-loop Poisson load generator and soak driver for the protected BLAS-3
-// serving layer (src/serve). Three phases, all against one simulated device:
+// serving layer (src/serve) and the sharded fleet layer (src/fleet). Phases
+// (selected by AABFT_SERVE_PHASES, a comma list; all run by default):
 //
-//   1. serial throughput   — batching disabled (max_batch = 1)
-//   2. batched throughput  — cross-request batching at max_batch = 8; the
-//      speedup over phase 1 is the coalescing win. The >= 2x gate applies
-//      on hosts with >= 4 pool workers (matching bench_executor's batching
+//   throughput — 1. serial (batching disabled, max_batch = 1);
+//      2. batched (cross-request batching at max_batch = 8). The speedup
+//      over serial is the coalescing win; the >= 2x gate applies on hosts
+//      with >= 4 pool workers (matching bench_executor's batching
 //      criterion); smaller hosts still verify correctness and report it.
-//   3. soak — AABFT_SERVE_REQUESTS requests of mixed op kinds (GEMM, SYRK,
+//   soak — AABFT_SERVE_REQUESTS requests of mixed op kinds (GEMM, SYRK,
 //      Cholesky) over mixed shapes, with Poisson arrivals and one
-//      exponent-bit fault armed per request. Every response must come back
-//      clean; responses without corrections must be bit-identical to the
-//      fault-free reference. Corrected GEMM/SYRK responses may differ from
-//      it only in the patched elements (within 1e-9 relative); corrected
-//      Cholesky responses must reconstruct the input (patch rounding
-//      propagates through the factorisation, so bitwise comparison does not
-//      apply). Single-fault damage must be repaired below the
-//      full-recompute rung.
+//      exponent-bit fault armed per request, against one simulated device.
+//      Every response must come back clean; responses without corrections
+//      must be bit-identical to the fault-free reference. Corrected
+//      GEMM/SYRK responses may differ from it only in the patched elements
+//      (within 1e-9 relative); corrected Cholesky responses must
+//      reconstruct the input (patch rounding propagates through the
+//      factorisation, so bitwise comparison does not apply). Single-fault
+//      damage must be repaired below the full-recompute rung.
+//   fleet — two rounds of AABFT_SERVE_FLEET_REQUESTS erasure-coded-operand
+//      GEMM requests (one fault armed each) against a 3-device FleetServer:
+//      a clean round, then a round with one device force-failed mid-run.
+//      Gates: zero wrong responses in both rounds, every request completed,
+//      exactly one fenced device, at least one operand served through a
+//      parity reconstruction, and the degraded round's p99 stays within a
+//      bounded factor of the clean round's.
 //
 // Exits nonzero on any wrong or unclean response, or a violated gate.
-// Summary JSON (throughput + aggregated server telemetry) goes to
-// $AABFT_SERVE_JSON, defaulting to BENCH_serve.json.
+// Summary JSON (throughput + aggregated server + per-shard fleet telemetry)
+// goes to $AABFT_SERVE_JSON, defaulting to BENCH_serve.json.
 //
-//   AABFT_SERVE_REQUESTS      soak request count (default 2000)
-//   AABFT_SERVE_RATE          soak arrival rate, requests/s (default 300)
-//   AABFT_SERVE_FAULTS        faults armed per soak request (default 1)
-//   AABFT_SERVE_SEED          RNG seed (default 42)
-//   AABFT_SERVE_THROUGHPUT_N  requests per throughput phase (default 64)
+//   AABFT_SERVE_PHASES          comma list (default "throughput,soak,fleet")
+//   AABFT_SERVE_REQUESTS        soak request count (default 2000)
+//   AABFT_SERVE_RATE            soak arrival rate, requests/s (default 300)
+//   AABFT_SERVE_FAULTS          faults armed per soak request (default 1)
+//   AABFT_SERVE_SEED            RNG seed (default 42)
+//   AABFT_SERVE_THROUGHPUT_N    requests per throughput phase (default 64)
+//   AABFT_SERVE_FLEET_REQUESTS  requests per fleet round (default 240)
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -39,6 +49,7 @@
 #include "abft/padding.hpp"
 #include "core/rng.hpp"
 #include "core/table.hpp"
+#include "fleet/fleet_server.hpp"
 #include "fp/fault_vector.hpp"
 #include "linalg/matmul.hpp"
 #include "linalg/workload.hpp"
@@ -148,6 +159,13 @@ int main() {
   const std::size_t faults_per_request = env_size_or("AABFT_SERVE_FAULTS", 1);
   const double rate = env_double_or("AABFT_SERVE_RATE", 300.0);
   const auto seed = static_cast<std::uint64_t>(env_size_or("AABFT_SERVE_SEED", 42));
+  const char* phases_env = std::getenv("AABFT_SERVE_PHASES");
+  const std::string phases = (phases_env != nullptr && *phases_env != '\0')
+                                 ? phases_env
+                                 : "throughput,soak,fleet";
+  const auto has_phase = [&phases](const char* name) {
+    return phases.find(name) != std::string::npos;
+  };
 
   gpusim::Launcher launcher;
   Rng rng(seed);
@@ -159,38 +177,46 @@ int main() {
   const linalg::Matrix tb = linalg::uniform_matrix(64, 64, -1.0, 1.0, rng);
   double serial_s = 0.0;
   double batched_s = 0.0;
-  {
-    serve::ServeConfig config;
-    config.batch.max_batch = 1;
-    serve::GemmServer server(launcher, config);
-    (void)timed_burst(server, ta, tb, 4);  // warm-up: pool + lane creation
-    serial_s = timed_burst(server, ta, tb, throughput_n);
-  }
-  std::size_t batches = 0;
-  {
-    serve::ServeConfig config;
-    config.batch.max_batch = 8;
-    serve::GemmServer server(launcher, config);
-    (void)timed_burst(server, ta, tb, 4);
-    batched_s = timed_burst(server, ta, tb, throughput_n);
-    batches = server.stats().batches;
-  }
-  const double speedup = batched_s > 0.0 ? serial_s / batched_s : 0.0;
+  double speedup = 0.0;
   const bool gate_applies = launcher.workers() >= 4;
-  std::printf("throughput, %zu requests of 64x64x64:\n", throughput_n);
-  std::printf("  serial (max_batch=1)  : %8.3f s\n", serial_s);
-  std::printf("  batched (max_batch=8) : %8.3f s  (%.2fx, %zu dispatches)\n",
-              batched_s, speedup, batches);
-  if (gate_applies)
-    check(speedup >= 2.0, "batching speedup >= 2x on >= 4 workers (got " +
-                              std::to_string(speedup) + "x)");
-  else
-    std::printf("  note: %u pool worker(s) — the >= 2x gate applies on >= 4 "
-                "workers\n",
-                launcher.workers());
-  std::printf("\n");
+  if (has_phase("throughput")) {
+    {
+      serve::ServeConfig config;
+      config.batch.max_batch = 1;
+      serve::GemmServer server(launcher, config);
+      (void)timed_burst(server, ta, tb, 4);  // warm-up: pool + lane creation
+      serial_s = timed_burst(server, ta, tb, throughput_n);
+    }
+    std::size_t batches = 0;
+    {
+      serve::ServeConfig config;
+      config.batch.max_batch = 8;
+      serve::GemmServer server(launcher, config);
+      (void)timed_burst(server, ta, tb, 4);
+      batched_s = timed_burst(server, ta, tb, throughput_n);
+      batches = server.stats().batches;
+    }
+    speedup = batched_s > 0.0 ? serial_s / batched_s : 0.0;
+    std::printf("throughput, %zu requests of 64x64x64:\n", throughput_n);
+    std::printf("  serial (max_batch=1)  : %8.3f s\n", serial_s);
+    std::printf("  batched (max_batch=8) : %8.3f s  (%.2fx, %zu dispatches)\n",
+                batched_s, speedup, batches);
+    if (gate_applies)
+      check(speedup >= 2.0, "batching speedup >= 2x on >= 4 workers (got " +
+                                std::to_string(speedup) + "x)");
+    else
+      std::printf("  note: %u pool worker(s) — the >= 2x gate applies on >= 4 "
+                  "workers\n",
+                  launcher.workers());
+    std::printf("\n");
+  }
 
   // -- soak ----------------------------------------------------------------
+  std::size_t overload_backoffs = 0;
+  std::size_t bitwise_identical = 0;
+  std::size_t fired_total = 0;
+  std::string serve_telemetry = "{}";
+  if (has_phase("soak")) {
   serve::ServeConfig config;
   const abft::AabftConfig& aabft_cfg = config.aabft;
   std::vector<Problem> pool;
@@ -255,7 +281,6 @@ int main() {
   std::vector<std::pair<std::size_t, std::future<serve::GemmResponse>>>
       inflight;
   inflight.reserve(requests);
-  std::size_t overload_backoffs = 0;
 
   const auto soak_start = Clock::now();
   double next_arrival_s = 0.0;
@@ -295,8 +320,6 @@ int main() {
 
   std::size_t corrected_total = 0;
   std::size_t full_recomputes_total = 0;
-  std::size_t fired_total = 0;
-  std::size_t bitwise_identical = 0;
   for (auto& [p, f] : inflight) {
     const serve::GemmResponse r = f.get();
     const Problem& problem = pool[p];
@@ -398,6 +421,150 @@ int main() {
               "p99 %.3f ms, max %.3f ms\n",
               stats.e2e_ns.p50() / 1e6, stats.e2e_ns.p95() / 1e6,
               stats.e2e_ns.p99() / 1e6, stats.e2e_ns.max() / 1e6);
+  serve_telemetry = server.telemetry_json();
+  }  // soak phase
+
+  // -- fleet: sharded multi-device rounds with a forced mid-run loss --------
+  double fleet_clean_p99_ms = 0.0;
+  double fleet_degraded_p99_ms = 0.0;
+  std::size_t fleet_requests = 0;
+  std::uint64_t fleet_reconstructions = 0;
+  std::uint64_t fleet_replays = 0;
+  std::string fleet_telemetry = "{}";
+  if (has_phase("fleet")) {
+    fleet_requests = env_size_or("AABFT_SERVE_FLEET_REQUESTS", 240);
+    fleet::FleetConfig fleet_config;
+    const abft::AabftConfig& aabft_cfg = fleet_config.serve.aabft;
+
+    // GEMM-only problem pool; operands go through the erasure-coded store.
+    std::vector<Problem> pool;
+    const std::size_t shapes[][3] = {
+        {32, 32, 32}, {48, 40, 56}, {64, 64, 64}, {33, 32, 33}};
+    for (const auto& shape : shapes) {
+      Problem problem;
+      problem.a = linalg::uniform_matrix(shape[0], shape[1], -1.0, 1.0, rng);
+      problem.b = linalg::uniform_matrix(shape[1], shape[2], -1.0, 1.0, rng);
+      problem.ref =
+          linalg::naive_matmul(problem.a, problem.b, aabft_cfg.gemm.use_fma);
+      problem.grid_blocks =
+          grid_blocks_of(shape[0], shape[1], shape[2], aabft_cfg);
+      problem.fault_k = shape[1];
+      pool.push_back(std::move(problem));
+    }
+
+    // One round: submit `fleet_requests` handle-based requests (one
+    // exponent fault armed each), optionally force-failing device 0 at the
+    // halfway mark. Returns the merged fleet-layer p99 in milliseconds.
+    const auto run_round = [&](bool force_fail, const char* label) {
+      fleet::FleetServer fleet(fleet_config);
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> handles;
+      handles.reserve(pool.size());
+      for (const Problem& problem : pool)
+        handles.emplace_back(fleet.register_operand(problem.a),
+                             fleet.register_operand(problem.b));
+      std::vector<std::pair<std::size_t, std::future<fleet::FleetResponse>>>
+          pending;
+      pending.reserve(fleet_requests);
+      for (std::size_t i = 0; i < fleet_requests; ++i) {
+        if (force_fail && i == fleet_requests / 2) fleet.force_fail(0);
+        const std::size_t p = i % pool.size();
+        fleet::FleetRequest request;
+        request.request.kind = serve::OpKind::kGemm;
+        request.a_handle = handles[p].first;
+        request.b_handle = handles[p].second;
+        request.request.fault_plan =
+            random_fault_plan(rng, 1, pool[p], aabft_cfg,
+                              fleet_config.device_spec.num_sms);
+        for (;;) {
+          auto admitted = fleet.submit(request);  // operands are handles:
+          if (admitted.ok()) {                    // resubmit stays cheap
+            pending.emplace_back(p, std::move(*admitted));
+            break;
+          }
+          if (admitted.error().code != ErrorCode::kOverloaded) {
+            check(false, std::string(label) + " admission refusal: " +
+                             admitted.error().message);
+            break;
+          }
+          ++overload_backoffs;
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+      }
+      std::size_t completed = 0;
+      bool any_reconstructed = false;
+      for (auto& [p, f] : pending) {
+        fleet::FleetResponse response = f.get();
+        const serve::GemmResponse& r = response.response;
+        const Problem& problem = pool[p];
+        check(r.status == serve::ResponseStatus::kOk && r.clean,
+              std::string(label) + " response " + std::to_string(r.id) +
+                  " clean (diagnosis: " + r.diagnosis + ")");
+        if (r.status != serve::ResponseStatus::kOk) continue;
+        ++completed;
+        any_reconstructed |= response.operands_reconstructed;
+        // Zero-wrong-responses bar: bit-identical except checksum-patched
+        // elements (same criterion as the single-device soak).
+        std::size_t diffs = 0;
+        bool within_tol = true;
+        for (std::size_t row = 0; row < r.c.rows(); ++row)
+          for (std::size_t col = 0; col < r.c.cols(); ++col) {
+            const double got = r.c(row, col);
+            const double want = problem.ref(row, col);
+            if (got == want) continue;
+            ++diffs;
+            const double rel =
+                std::abs(got - want) / std::max(1e-300, std::abs(want));
+            within_tol = within_tol && rel <= 1e-9;
+          }
+        check(diffs <= r.trace.corrections,
+              std::string(label) + " response " + std::to_string(r.id) + ": " +
+                  std::to_string(diffs) + " deviations exceed the " +
+                  std::to_string(r.trace.corrections) + " patched elements");
+        check(within_tol, std::string(label) + " response " +
+                              std::to_string(r.id) +
+                              " patched elements within 1e-9 relative");
+      }
+      check(completed == fleet_requests,
+            std::string(label) + ": every request completed (" +
+                std::to_string(completed) + "/" +
+                std::to_string(fleet_requests) + ")");
+      fleet.stop();
+      const fleet::FleetStats stats = fleet.stats();
+      LatencyRecorder e2e;
+      for (const auto& shard : stats.shards) e2e.merge(shard.fleet_e2e_ns);
+      const double p99_ms = static_cast<double>(e2e.p99()) / 1e6;
+      std::printf("  %-9s: %zu/%zu ok, p99 %.3f ms, %llu steals, %llu "
+                  "replays, %llu reconstructions, %zu fenced\n",
+                  label, completed, fleet_requests,
+                  p99_ms, static_cast<unsigned long long>(stats.steals),
+                  static_cast<unsigned long long>(stats.replays),
+                  static_cast<unsigned long long>(stats.reconstructions),
+                  stats.fenced_devices);
+      if (force_fail) {
+        check(stats.fenced_devices == 1, "exactly one device fenced");
+        check(any_reconstructed && stats.reconstructions > 0,
+              "at least one response served through a parity reconstruction");
+        fleet_reconstructions = stats.reconstructions;
+        fleet_replays = stats.replays;
+        fleet_telemetry = to_json(stats);
+      }
+      return p99_ms;
+    };
+
+    std::printf("fleet, %zu devices, 2 rounds of %zu requests:\n",
+                fleet_config.devices, fleet_requests);
+    fleet_clean_p99_ms = run_round(false, "clean");
+    fleet_degraded_p99_ms = run_round(true, "degraded");
+    // Bounded p99 inflation: losing 1 of 3 devices mid-run may slow the
+    // tail but must not blow it up (the floor absorbs scheduler noise on
+    // tiny rounds).
+    check(fleet_degraded_p99_ms <=
+              10.0 * std::max(fleet_clean_p99_ms, 5.0),
+          "degraded p99 (" + std::to_string(fleet_degraded_p99_ms) +
+              " ms) within 10x of clean p99 (" +
+              std::to_string(fleet_clean_p99_ms) + " ms)");
+    std::printf("\n");
+  }
 
   // -- summary JSON --------------------------------------------------------
   const char* env = std::getenv("AABFT_SERVE_JSON");
@@ -406,16 +573,24 @@ int main() {
   if (std::FILE* f = std::fopen(path.c_str(), "w")) {
     std::fprintf(f,
                  "{\n\"workers\": %u,\n"
+                 "\"phases\": \"%s\",\n"
                  "\"throughput\": {\"requests\": %zu, \"serial_s\": %.6f, "
                  "\"batched_s\": %.6f, \"speedup\": %.3f, "
                  "\"gate_applies\": %s},\n"
                  "\"soak\": {\"requests\": %zu, \"overload_backoffs\": %zu, "
                  "\"bitwise_identical\": %zu, \"fired\": %zu},\n"
+                 "\"fleet\": {\"requests_per_round\": %zu, "
+                 "\"clean_p99_ms\": %.3f, \"degraded_p99_ms\": %.3f, "
+                 "\"replays\": %llu, \"reconstructions\": %llu, "
+                 "\"degraded\": %s},\n"
                  "\"serve\": %s}\n",
-                 launcher.workers(), throughput_n, serial_s, batched_s,
-                 speedup, gate_applies ? "true" : "false", requests,
+                 launcher.workers(), phases.c_str(), throughput_n, serial_s,
+                 batched_s, speedup, gate_applies ? "true" : "false", requests,
                  overload_backoffs, bitwise_identical, fired_total,
-                 server.telemetry_json().c_str());
+                 fleet_requests, fleet_clean_p99_ms, fleet_degraded_p99_ms,
+                 static_cast<unsigned long long>(fleet_replays),
+                 static_cast<unsigned long long>(fleet_reconstructions),
+                 fleet_telemetry.c_str(), serve_telemetry.c_str());
     std::fclose(f);
     std::printf("(json written to %s)\n", path.c_str());
   } else {
