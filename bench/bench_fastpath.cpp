@@ -57,24 +57,36 @@ struct Row {
   }
 };
 
-/// Run `body` once per path and convert wall-clock to ns per logical op.
+/// Interleaved best-of-3 per path, converted to ns per logical op. The
+/// bodies allocate multi-megabyte results, so whichever path runs later
+/// inherits a warmer allocator; alternating timed runs (instead of all-fenced
+/// then all-instrumented) keeps the ratio honest — the old ordering showed
+/// phantom sub-1x "regressions" on the memory-bound encode rows.
 template <typename Body>
 Row measure(std::string scheme, std::size_t n, std::uint64_t ops, Body&& body) {
   Row row;
   row.scheme = std::move(scheme);
   row.n = n;
-  // Fenced first (also warms caches for the slower instrumented pass).
   gpusim::set_force_instrumented(false);
-  body();  // warm-up
-  auto start = Clock::now();
-  body();
-  row.fenced_ns_per_op = 1e9 * seconds_since(start) / static_cast<double>(ops);
+  body();  // warm-up both paths: caches, allocator pools, pool threads
   gpusim::set_force_instrumented(true);
-  start = Clock::now();
   body();
-  row.instrumented_ns_per_op =
-      1e9 * seconds_since(start) / static_cast<double>(ops);
+  double fenced_s = 1e300;
+  double instrumented_s = 1e300;
+  for (int trial = 0; trial < 3; ++trial) {
+    gpusim::set_force_instrumented(false);
+    auto start = Clock::now();
+    body();
+    fenced_s = std::min(fenced_s, seconds_since(start));
+    gpusim::set_force_instrumented(true);
+    start = Clock::now();
+    body();
+    instrumented_s = std::min(instrumented_s, seconds_since(start));
+  }
   gpusim::set_force_instrumented(false);
+  row.fenced_ns_per_op = 1e9 * fenced_s / static_cast<double>(ops);
+  row.instrumented_ns_per_op =
+      1e9 * instrumented_s / static_cast<double>(ops);
   return row;
 }
 

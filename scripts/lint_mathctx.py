@@ -320,7 +320,12 @@ def default_targets(root: Path) -> list[Path]:
     """src/ kernel sources — every layer, including serve/ and fleet/ (they
     host no kernels themselves but relay fault plans into launches) — plus
     the tools/ and bench/ drivers (both launch kernels and must go through
-    MathCtx like everything else)."""
+    MathCtx like everything else). The fused online-checking kernels
+    (abft/fused_gemm.cpp: light encoders, fused_encode_matmul and its
+    k-panel screen) are covered by the same glob; the screen's coarse
+    bound/compare arithmetic is deliberately outside MathCtx and carries
+    per-line `aabft-lint: allow` marks with bulk-counted totals, so any new
+    unannotated raw FP there still fails the lint."""
     return (sorted((root / "src").rglob("*.cpp"))
             + sorted((root / "tools").glob("*.cpp"))
             + sorted((root / "bench").glob("*.cpp")))

@@ -113,6 +113,7 @@ AabftResult AabftMultiplier::run(const Matrix& a, const Matrix& b,
                 "rows of A must be a multiple of the checksum block size");
   AABFT_REQUIRE(codec_.divides(b.cols()),
                 "columns of B must be a multiple of the checksum block size");
+  if (config_.fused_gemm) return run_fused(a, b, trace);
 
   // Step 1: encode + blockwise maxima (Algorithm 1), step 3's global
   // reduction is launched inside encode_* right after.
@@ -123,11 +124,58 @@ AabftResult AabftMultiplier::run(const Matrix& a, const Matrix& b,
   Matrix c_fc = linalg::blocked_matmul(launcher_, a_cc.data, b_rc.data,
                                        config_.gemm);
 
+  const auto encoded_a = [&]() -> const Matrix& { return a_cc.data; };
+  const auto encoded_b = [&]() -> const Matrix& { return b_rc.data; };
+  return settle(std::move(c_fc), a_cc.pmax, b_rc.pmax, a.cols(), trace,
+                encoded_a, encoded_b);
+}
+
+AabftResult AabftMultiplier::run_fused(const Matrix& a, const Matrix& b,
+                                       EpsilonTrace* trace) {
+  // Step 1, light form: compact checksum side-buffers + p-max tables, no
+  // encoded-matrix materialisation (fused_gemm.hpp).
+  const LightEncoded a_light =
+      encode_columns_light(launcher_, a, codec_, config_.p);
+  const LightEncoded b_light = encode_rows_light(launcher_, b, codec_,
+                                                 config_.p);
+
+  // Step 2, fused: the product stages the encoding virtually and screens its
+  // own column checksums at panel boundaries — the recovery ladder's rung 0.
+  FusedGemmConfig fused = config_.fused;
+  fused.use_fma = config_.gemm.use_fma;
+  FusedProduct product = fused_encode_matmul(launcher_, a, b, a_light.sums,
+                                             b_light.sums, codec_, fused);
+
+  // The repair rungs (correction re-check aside) operate on the encoded
+  // operands; materialise them only if one actually engages.
+  std::optional<Matrix> a_enc;
+  std::optional<Matrix> b_enc;
+  const auto encoded_a = [&]() -> const Matrix& {
+    if (!a_enc) a_enc = materialize_columns(a, a_light.sums, codec_);
+    return *a_enc;
+  };
+  const auto encoded_b = [&]() -> const Matrix& {
+    if (!b_enc) b_enc = materialize_rows(b, b_light.sums, codec_);
+    return *b_enc;
+  };
+  AabftResult result = settle(std::move(product.c_fc), a_light.pmax,
+                              b_light.pmax, a.cols(), trace, encoded_a,
+                              encoded_b);
+  result.fused = true;
+  result.panel_detections = product.panel_detections;
+  result.panel_recomputes = product.panel_recomputes;
+  return result;
+}
+
+AabftResult AabftMultiplier::settle(
+    Matrix c_fc, const PMaxTable& a_pmax, const PMaxTable& b_pmax,
+    std::size_t k, EpsilonTrace* trace,
+    const std::function<const Matrix&()>& encoded_a,
+    const std::function<const Matrix&()>& encoded_b) {
   // Step 4: bounds determination + reference checksums + comparison
   // (Algorithm 2).
-  CheckReport report =
-      check_product(launcher_, c_fc, codec_, a_cc.pmax, b_rc.pmax, a.cols(),
-                    config_.bounds, trace);
+  CheckReport report = check_product(launcher_, c_fc, codec_, a_pmax, b_pmax,
+                                     k, config_.bounds, trace);
 
   AabftResult result;
   result.report = report;
@@ -139,9 +187,8 @@ AabftResult AabftMultiplier::run(const Matrix& a, const Matrix& b,
     result.uncorrectable = outcome.uncorrectable;
     if (!result.corrections.empty() && !result.uncorrectable) {
       // Verify the patch: the corrected matrix must pass a clean re-check.
-      const CheckReport recheck =
-          check_product(launcher_, c_fc, codec_, a_cc.pmax, b_rc.pmax,
-                        a.cols(), config_.bounds, nullptr);
+      const CheckReport recheck = check_product(
+          launcher_, c_fc, codec_, a_pmax, b_pmax, k, config_.bounds, nullptr);
       result.recheck_clean = recheck.clean();
     } else {
       result.recheck_clean = false;
@@ -157,15 +204,15 @@ AabftResult AabftMultiplier::run(const Matrix& a, const Matrix& b,
       CheckReport current =
           result.corrections.empty()
               ? report
-              : check_product(launcher_, c_fc, codec_, a_cc.pmax, b_rc.pmax,
-                              a.cols(), config_.bounds, nullptr);
+              : check_product(launcher_, c_fc, codec_, a_pmax, b_pmax, k,
+                              config_.bounds, nullptr);
       while (!current.clean() && block_rounds-- > 0) {
         const auto blocks = flagged_blocks(current);
-        recompute_blocks(launcher_, c_fc, a_cc.data, b_rc.data, blocks, codec_,
-                         config_.gemm);
+        recompute_blocks(launcher_, c_fc, encoded_a(), encoded_b(), blocks,
+                         codec_, config_.gemm);
         result.block_recomputes += blocks.size();
-        current = check_product(launcher_, c_fc, codec_, a_cc.pmax, b_rc.pmax,
-                                a.cols(), config_.bounds, nullptr);
+        current = check_product(launcher_, c_fc, codec_, a_pmax, b_pmax, k,
+                                config_.bounds, nullptr);
       }
       if (current.clean()) {
         result.uncorrectable = false;
@@ -174,14 +221,16 @@ AabftResult AabftMultiplier::run(const Matrix& a, const Matrix& b,
     }
 
     // Recovery of last resort for transient faults: re-execute the product.
+    // blocked_matmul over the materialised encoded operands is bit-identical
+    // to a clean fused product (the accumulation order is blocking-
+    // independent), so both pipelines share this rung.
     std::size_t attempts = config_.max_recompute_attempts;
     while ((result.uncorrectable || !result.recheck_clean) && attempts-- > 0) {
-      c_fc = linalg::blocked_matmul(launcher_, a_cc.data, b_rc.data,
+      c_fc = linalg::blocked_matmul(launcher_, encoded_a(), encoded_b(),
                                     config_.gemm);
       ++result.recomputations;
-      const CheckReport recheck =
-          check_product(launcher_, c_fc, codec_, a_cc.pmax, b_rc.pmax,
-                        a.cols(), config_.bounds, nullptr);
+      const CheckReport recheck = check_product(
+          launcher_, c_fc, codec_, a_pmax, b_pmax, k, config_.bounds, nullptr);
       if (recheck.clean()) {
         result.uncorrectable = false;
         result.recheck_clean = true;

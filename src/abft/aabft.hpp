@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <optional>
 #include <span>
 #include <utility>
@@ -25,6 +26,7 @@
 #include "abft/checksum.hpp"
 #include "abft/correction.hpp"
 #include "abft/encoder.hpp"
+#include "abft/fused_gemm.hpp"
 #include "abft/padding.hpp"
 #include "core/result.hpp"
 #include "gpusim/kernel.hpp"
@@ -39,6 +41,15 @@ struct AabftConfig {
   BoundParams bounds;         ///< omega, FMA mode, bound policy
   linalg::GemmConfig gemm;    ///< product-kernel blocking
   bool correct_errors = true; ///< attempt single-error correction
+  /// Run the fused online-checking pipeline (fused_gemm.hpp): light encode +
+  /// product with the checksum accumulation folded into the k-panel loop and
+  /// screened per panel. Bit-identical to the classic path; the classic
+  /// encoded operands are materialised lazily, only when a repair rung needs
+  /// them.
+  bool fused_gemm = false;
+  /// Fused-kernel blocking and screen parameters. use_fma is kept in sync
+  /// with gemm.use_fma by set_fma() / the pipeline.
+  FusedGemmConfig fused;
   /// When correction alone does not yield a clean product, re-derive only
   /// the still-flagged (BS+1)x(BS+1) blocks from the encoded operands (see
   /// abft::recompute_blocks) up to this many rounds before falling back to a
@@ -54,10 +65,12 @@ struct AabftConfig {
   void set_fma(bool fma) noexcept {
     bounds.fma = fma;
     gemm.use_fma = fma;
+    fused.use_fma = fma;
   }
 
   [[nodiscard]] bool valid() const noexcept {
-    return bs >= 2 && p >= 1 && gemm.valid() && bounds.fma == gemm.use_fma;
+    return bs >= 2 && p >= 1 && gemm.valid() && fused.valid() &&
+           bounds.fma == gemm.use_fma;
   }
 };
 
@@ -70,6 +83,9 @@ struct AabftResult {
   bool recheck_clean = true;           ///< the post-correction check passed
   std::size_t block_recomputes = 0;    ///< checksum blocks recomputed in place
   std::size_t recomputations = 0;      ///< full re-executions performed
+  bool fused = false;                  ///< produced by the fused pipeline
+  std::size_t panel_detections = 0;    ///< online panel-screen mismatches
+  std::size_t panel_recomputes = 0;    ///< tile panel replays (ladder rung 0)
 
   [[nodiscard]] bool error_detected() const noexcept {
     return !report.clean();
@@ -118,6 +134,17 @@ class AabftMultiplier {
  private:
   AabftResult run(const linalg::Matrix& a, const linalg::Matrix& b,
                   EpsilonTrace* trace);
+  AabftResult run_fused(const linalg::Matrix& a, const linalg::Matrix& b,
+                        EpsilonTrace* trace);
+  /// Steps 4-5 shared by the classic and fused pipelines: check, then the
+  /// recovery ladder (correction, block recompute, full recompute), then
+  /// strip. The encoded-operand providers are only invoked by repair rungs —
+  /// the fused pipeline materialises them lazily.
+  AabftResult settle(linalg::Matrix c_fc, const PMaxTable& a_pmax,
+                     const PMaxTable& b_pmax, std::size_t k,
+                     EpsilonTrace* trace,
+                     const std::function<const linalg::Matrix&()>& encoded_a,
+                     const std::function<const linalg::Matrix&()>& encoded_b);
   /// Recoverable-misuse check shared by multiply and multiply_batch.
   [[nodiscard]] std::optional<Error> validate(const linalg::Matrix& a,
                                               const linalg::Matrix& b) const;

@@ -122,6 +122,9 @@ struct CholResult {
   linalg::Matrix l;
   std::size_t protected_updates = 0;  ///< A-ABFT-protected trailing SYRKs run
   std::size_t faults_detected = 0;    ///< updates that flagged an error
+  std::size_t panel_detections = 0;   ///< online k-panel screen mismatches
+  std::size_t panel_recomputes = 0;   ///< fused-update tile panel replays
+  bool fused_updates = false;         ///< updates ran the fused pipeline
   std::size_t corrections = 0;        ///< localised repairs applied
   std::size_t block_recomputes = 0;   ///< checksum blocks recomputed in place
   std::size_t recomputations = 0;     ///< transient-fault re-executions

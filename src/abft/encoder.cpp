@@ -86,18 +86,24 @@ EncodedMatrix encode_columns(gpusim::Launcher& launcher, const Matrix& a,
     // (same per-column rounding chains, bulk-counted ops).
     if (!gpusim::force_instrumented()) {
       // local_sums doubles as the checksum accumulator until the final abs.
+      // __restrict raw spans (the source row, the abs tile row and the sum
+      // accumulator never alias) keep the loop on the vectorizable fast path;
+      // going through SharedArray::operator[] defeated that and left the
+      // fenced branch slower than the instrumented one.
+      double* __restrict sums = local_sums.data();
       for (std::size_t r = 0; r < bs; ++r) {
-        const double* a_row = a.data() + (row0 + r) * n + col0;
-        for (std::size_t c = 0; c < width; ++c) {
-          local_sums[c] = math.canonical(local_sums[c] + a_row[c]);
-          asub[r * width + c] = std::fabs(a_row[c]);
-        }
+        const double* __restrict a_row = a.data() + (row0 + r) * n + col0;
+        double* __restrict abs_row = asub.data() + r * width;
+        math.add_rows(sums, a_row, width);  // per-column chains ascend r
+        for (std::size_t c = 0; c < width; ++c)
+          abs_row[c] = std::fabs(a_row[c]);
       }
-      math.count_adds(bs * width);
       math.count_compares(bs * width);  // the per-element abs
+      double* __restrict cs_row =
+          enc.data() + codec.checksum_index(br) * n + col0;
       for (std::size_t c = 0; c < width; ++c) {
-        enc(codec.checksum_index(br), col0 + c) = local_sums[c];
-        local_sums[c] = std::fabs(local_sums[c]);
+        cs_row[c] = sums[c];
+        sums[c] = std::fabs(sums[c]);
       }
       math.count_compares(width);  // abs of each checksum
     } else {
@@ -134,10 +140,11 @@ EncodedMatrix encode_columns(gpusim::Launcher& launcher, const Matrix& a,
     // the reduction over the checksum entries (maxSum path).
     for (std::size_t pass = 0; pass < p; ++pass) {
       for (std::size_t r = 0; r < bs; ++r) {
+        const double* __restrict abs_row = asub.data() + r * width;
         double max_val = 0.0;
         std::size_t max_id = 0;
         for (std::size_t c = 0; c < width; ++c) {
-          const double v = asub[r * width + c];
+          const double v = abs_row[c];
           if (v > max_val) {
             max_val = v;
             max_id = c;
@@ -214,17 +221,16 @@ EncodedMatrix encode_rows(gpusim::Launcher& launcher, const Matrix& b,
     // left-to-right and replaces the element by its absolute value. Not an
     // injection site — raw bulk-counted loop unless force-instrumented.
     if (!gpusim::force_instrumented()) {
+      // Same __restrict raw-span structure as encode_a's fenced branch.
       for (std::size_t r = 0; r < height; ++r) {
-        const double* b_row = b.data() + (row0 + r) * b.cols() + col0;
-        double sum = 0.0;
-        for (std::size_t c = 0; c < bs; ++c) {
-          sum = math.canonical(sum + b_row[c]);
-          bsub[r * bs + c] = std::fabs(b_row[c]);
-        }
+        const double* __restrict b_row = b.data() + (row0 + r) * b.cols() + col0;
+        double* __restrict abs_row = bsub.data() + r * bs;
+        const double sum = math.sum_strided(b_row, bs, 1);
+        for (std::size_t c = 0; c < bs; ++c)
+          abs_row[c] = std::fabs(b_row[c]);
         enc(row0 + r, codec.checksum_index(bc)) = sum;
         local_sums[r] = std::fabs(sum);
       }
-      math.count_adds(height * bs);
       math.count_compares(height * bs + height);
     } else {
       for (std::size_t r = 0; r < height; ++r) {

@@ -88,8 +88,9 @@ GemvResult ProtectedGemv::multiply(const std::vector<double>& x) {
       const std::size_t block = blk.block.x;
       const std::size_t row0 = block * (bs + 1);
       math.load_doubles(bs + 1);
-      double ref = 0.0;
-      for (std::size_t i = 0; i < bs; ++i) ref = math.add(ref, y_enc[row0 + i]);
+      // Fenced span sum (no injection sites in the check kernel): identical
+      // rounding chain and add count as the per-op loop it replaces.
+      const double ref = math.sum_strided(y_enc.data() + row0, bs, 1);
       const double stored = y_enc[codec_.checksum_index(block)];
 
       const double y_bound = determine_upper_bound(

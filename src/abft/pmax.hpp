@@ -7,6 +7,7 @@
 // merges the per-block lists into p values per full vector.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <limits>
 #include <vector>
@@ -22,55 +23,66 @@ struct PMaxEntry {
 
 /// A fixed-capacity, descending-sorted list of the largest absolute values
 /// seen so far. Capacity is the paper's parameter p (typically 2).
+///
+/// Storage is inline (no heap): the encoders allocate one list per
+/// (vector, block) candidate slot — tens of thousands for a single encode —
+/// and a vector-backed entry array made that a per-list allocation storm
+/// that dominated the encode hot path.
 class PMaxList {
  public:
+  /// Largest supported p. The paper uses p = 2; anything beyond a handful of
+  /// maxima stops refining the bound (Section IV-E), so the cap is generous.
+  static constexpr std::size_t kMaxP = 8;
+
   PMaxList() = default;
   explicit PMaxList(std::size_t p) : capacity_(p) {
     AABFT_REQUIRE(p >= 1, "p must be at least 1");
-    entries_.reserve(p);
+    AABFT_REQUIRE(p <= kMaxP, "p exceeds PMaxList::kMaxP");
   }
 
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
-  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
-  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
 
   [[nodiscard]] const PMaxEntry& operator[](std::size_t i) const {
-    AABFT_REQUIRE(i < entries_.size(), "PMaxList index out of range");
+    AABFT_REQUIRE(i < size_, "PMaxList index out of range");
     return entries_[i];
   }
 
   /// Largest tracked absolute value (0 if empty).
   [[nodiscard]] double max_value() const noexcept {
-    return entries_.empty() ? 0.0 : entries_.front().value;
+    return size_ == 0 ? 0.0 : entries_.front().value;
   }
 
   /// Smallest tracked absolute value, i.e. the p-th largest of the vector
   /// once the list is full (0 if empty).
   [[nodiscard]] double min_value() const noexcept {
-    return entries_.empty() ? 0.0 : entries_.back().value;
+    return size_ == 0 ? 0.0 : entries_[size_ - 1].value;
   }
 
   /// Whether the list is full: min_value() is then a valid upper bound for
   /// every element *not* in the list.
-  [[nodiscard]] bool saturated() const noexcept {
-    return entries_.size() == capacity_;
-  }
+  [[nodiscard]] bool saturated() const noexcept { return size_ == capacity_; }
 
   /// Offer a candidate; kept only if it ranks among the p largest. Returns
   /// the number of comparisons performed (for op accounting in kernels).
   std::size_t offer(double abs_value, std::size_t index) {
     AABFT_REQUIRE(abs_value >= 0.0, "offer expects an absolute value");
     std::size_t comparisons = 1;
-    if (saturated() && abs_value <= entries_.back().value) return comparisons;
-    // Insertion into the (tiny) sorted array.
-    std::size_t pos = entries_.size();
+    if (size_ == capacity_ && abs_value <= entries_[size_ - 1].value)
+      return comparisons;
+    // Insertion into the (tiny) sorted array. When saturated the early-out
+    // above guarantees the new value ranks strictly above the last entry, so
+    // the insertion position is always < capacity_.
+    std::size_t pos = size_;
     while (pos > 0 && entries_[pos - 1].value < abs_value) {
       --pos;
       ++comparisons;
     }
-    entries_.insert(entries_.begin() + static_cast<std::ptrdiff_t>(pos),
-                    PMaxEntry{abs_value, index});
-    if (entries_.size() > capacity_) entries_.pop_back();
+    const std::size_t last = size_ < capacity_ ? size_ : capacity_ - 1;
+    for (std::size_t i = last; i > pos; --i) entries_[i] = entries_[i - 1];
+    entries_[pos] = PMaxEntry{abs_value, index};
+    if (size_ < capacity_) ++size_;
     return comparisons;
   }
 
@@ -85,22 +97,23 @@ class PMaxList {
 
   /// Whether `index` is one of the tracked positions.
   [[nodiscard]] bool contains(std::size_t index) const noexcept {
-    for (const auto& e : entries_)
-      if (e.index == index) return true;
+    for (std::size_t i = 0; i < size_; ++i)
+      if (entries_[i].index == index) return true;
     return false;
   }
 
   /// Value at a tracked index; requires contains(index).
   [[nodiscard]] double value_at(std::size_t index) const {
-    for (const auto& e : entries_)
-      if (e.index == index) return e.value;
+    for (std::size_t i = 0; i < size_; ++i)
+      if (entries_[i].index == index) return entries_[i].value;
     AABFT_REQUIRE(false, "index not tracked by this PMaxList");
     return 0.0;
   }
 
  private:
   std::size_t capacity_ = 2;
-  std::vector<PMaxEntry> entries_;
+  std::size_t size_ = 0;
+  std::array<PMaxEntry, kMaxP> entries_{};
 };
 
 /// One PMaxList per vector (per encoded row of A_cc / encoded column of B_rc).

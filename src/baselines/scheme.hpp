@@ -68,6 +68,15 @@ struct OpOutcome {
                                ///< restarts for the factorizations)
   /// Protected panel updates run (factorizations only; 0 for GEMM/SYRK).
   std::size_t protected_updates = 0;
+  /// Online k-panel screen events of the fused A-ABFT GEMM (rung 0 of the
+  /// recovery ladder): mismatches observed mid-product, and tile panel
+  /// replays that repaired them before the operation finished. 0 for every
+  /// other scheme/path.
+  std::size_t panel_detections = 0;
+  std::size_t panel_recomputes = 0;
+  /// The operation's checksums were accumulated inside the product kernel
+  /// (fused pipeline) instead of a standalone encode pass.
+  bool fused_encode = false;
   /// The scheme believes the returned result is fault-free (always true for
   /// schemes without detection; false when detection fired and neither
   /// correction nor recomputation resolved it).

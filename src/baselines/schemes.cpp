@@ -108,9 +108,14 @@ class SeaAbftChecker final : public ProductChecker {
 SchemeResult to_scheme_result(abft::AabftResult raw) {
   SchemeResult result;
   result.c = std::move(raw.c);
-  result.detected = raw.error_detected();
+  // An online panel-screen mismatch is a detection even when the tile replay
+  // repaired it before the end-of-product check (which then reports clean).
+  result.detected = raw.error_detected() || raw.panel_detections > 0;
   result.corrected = !raw.corrections.empty() && raw.recheck_clean;
   result.corrections = raw.corrections.size();
+  result.panel_detections = raw.panel_detections;
+  result.panel_recomputes = raw.panel_recomputes;
+  result.fused_encode = raw.fused;
   result.block_recomputes = raw.block_recomputes;
   result.recomputed = raw.recomputations;
   result.clean = !raw.uncorrectable && raw.recheck_clean;
@@ -123,8 +128,12 @@ Result<OpOutcome> chol_outcome(abft::CholResult raw) {
                  "matrix is not positive definite"};
   OpOutcome out;
   out.c = std::move(raw.l);
-  out.detected = raw.faults_detected > 0 || raw.carry_mismatches > 0;
+  out.detected = raw.faults_detected > 0 || raw.carry_mismatches > 0 ||
+                 raw.panel_detections > 0;
   out.corrections = raw.corrections;
+  out.panel_detections = raw.panel_detections;
+  out.panel_recomputes = raw.panel_recomputes;
+  out.fused_encode = raw.fused_updates;
   out.block_recomputes = raw.block_recomputes;
   // Panel-level full repairs: per-update re-executions plus whole-factor
   // restarts after a carry mismatch.
@@ -142,8 +151,12 @@ Result<OpOutcome> lu_outcome(abft::LuResult raw) {
   OpOutcome out;
   out.c = std::move(raw.lu);
   out.perm = std::move(raw.perm);
-  out.detected = raw.faults_detected > 0 || raw.carry_mismatches > 0;
+  out.detected = raw.faults_detected > 0 || raw.carry_mismatches > 0 ||
+                 raw.panel_detections > 0;
   out.corrections = raw.corrections;
+  out.panel_detections = raw.panel_detections;
+  out.panel_recomputes = raw.panel_recomputes;
+  out.fused_encode = raw.fused_updates;
   out.block_recomputes = raw.block_recomputes;
   out.recomputed = raw.recomputations + raw.factor_restarts;
   out.protected_updates = raw.protected_updates;

@@ -225,6 +225,29 @@ class MathCtx {
     }
   }
 
+  /// Left-to-right sum of squares of n elements spaced `stride` apart,
+  /// starting from 0.0 and rounding both operations exactly like chained
+  /// add(mul(x, x)) calls. Counts n muls + n adds in bulk. The norm kernels
+  /// use this for their fenced fast path.
+  [[nodiscard]] double sum_squares_strided(const double* v, std::size_t n,
+                                           std::size_t stride) noexcept {
+    counters_.muls += n;
+    counters_.adds += n;
+    double s = 0.0;
+    if (precision_ == Precision::kSingle) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const double x = v[i * stride];
+        s = round_result(s + round_result(x * x));
+      }
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        const double x = v[i * stride];
+        s = s + x * x;
+      }
+    }
+    return s;
+  }
+
   /// Left-to-right sum of n elements spaced `stride` apart, starting from
   /// 0.0 and rounding after every addition exactly like chained add() calls.
   /// Counts n adds in bulk. Checker kernels use this for checksum

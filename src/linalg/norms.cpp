@@ -16,11 +16,18 @@ std::vector<double> row_norms2(gpusim::Launcher& launcher, const Matrix& a) {
                   [&](gpusim::BlockCtx& blk) {
                     auto& math = blk.math;
                     const std::size_t r = blk.block.x;
-                    math.load_doubles(a.cols());
+                    const std::size_t n = a.cols();
+                    math.load_doubles(n);
                     double s = 0.0;
-                    for (std::size_t c = 0; c < a.cols(); ++c) {
-                      const double x = a(r, c);
-                      s = math.add(s, math.mul(x, x));
+                    if (!gpusim::force_instrumented()) {
+                      // Fenced fast path: vectorizable span sum with the
+                      // identical rounding chain to the per-op branch.
+                      s = math.sum_squares_strided(a.data() + r * n, n, 1);
+                    } else {
+                      for (std::size_t c = 0; c < n; ++c) {
+                        const double x = a(r, c);
+                        s = math.add(s, math.mul(x, x));
+                      }
                     }
                     out[r] = std::sqrt(s);
                     math.store_doubles(1);
@@ -34,11 +41,17 @@ std::vector<double> col_norms2(gpusim::Launcher& launcher, const Matrix& a) {
                   [&](gpusim::BlockCtx& blk) {
                     auto& math = blk.math;
                     const std::size_t c = blk.block.x;
-                    math.load_doubles(a.rows());
+                    const std::size_t n = a.rows();
+                    const std::size_t stride = a.cols();
+                    math.load_doubles(n);
                     double s = 0.0;
-                    for (std::size_t r = 0; r < a.rows(); ++r) {
-                      const double x = a(r, c);
-                      s = math.add(s, math.mul(x, x));
+                    if (!gpusim::force_instrumented()) {
+                      s = math.sum_squares_strided(a.data() + c, n, stride);
+                    } else {
+                      for (std::size_t r = 0; r < n; ++r) {
+                        const double x = a(r, c);
+                        s = math.add(s, math.mul(x, x));
+                      }
                     }
                     out[c] = std::sqrt(s);
                     math.store_doubles(1);

@@ -9,6 +9,9 @@ RecoveryRung rung_of(const baselines::SchemeResult& r) noexcept {
   if (r.recomputed > 0) return RecoveryRung::kFullRecompute;
   if (r.block_recomputes > 0) return RecoveryRung::kBlockRecompute;
   if (r.corrected) return RecoveryRung::kCorrected;
+  // Earliest rung: the fused product's online screen caught and repaired the
+  // fault at k-panel granularity, before the operation even finished.
+  if (r.panel_recomputes > 0) return RecoveryRung::kPanelRecompute;
   return RecoveryRung::kNone;
 }
 

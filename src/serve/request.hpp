@@ -60,6 +60,8 @@ enum class ResponseStatus : std::uint8_t {
 /// response (the deepest repair that ran, for clean responses).
 enum class RecoveryRung : std::uint8_t {
   kNone = 0,        ///< clean first pass, nothing detected
+  kPanelRecompute,  ///< online k-panel screen + tile replay inside the fused
+                    ///< product — repaired before the operation finished
   kCorrected,       ///< localisation + checksum patch (abft::locate_and_correct)
   kBlockRecompute,  ///< per-block bit-exact recompute (abft::recompute_blocks)
   kFullRecompute,   ///< full product re-execution inside the scheme
@@ -86,10 +88,14 @@ struct RequestTrace {
   bool detected = false;
   bool corrected = false;
   std::size_t corrections = 0;       ///< elements patched from checksums
+  std::size_t panel_detections = 0;  ///< online k-panel screen mismatches
+  std::size_t panel_recomputes = 0;  ///< fused-product tile panel replays
   std::size_t block_recomputes = 0;  ///< checksum blocks recomputed in place
   std::size_t full_recomputes = 0;   ///< in-scheme full re-executions
   std::size_t retries = 0;           ///< serve-level re-dispatches
   bool tmr_escalated = false;
+  /// Checksums were accumulated inside the product kernel (fused pipeline).
+  bool fused_encode = false;
 };
 
 struct GemmResponse {
@@ -116,6 +122,7 @@ using OpResponse = GemmResponse;
 inline std::string_view to_string(RecoveryRung rung) noexcept {
   switch (rung) {
     case RecoveryRung::kNone: return "none";
+    case RecoveryRung::kPanelRecompute: return "panel-recompute";
     case RecoveryRung::kCorrected: return "corrected";
     case RecoveryRung::kBlockRecompute: return "block-recompute";
     case RecoveryRung::kFullRecompute: return "full-recompute";

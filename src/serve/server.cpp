@@ -205,6 +205,9 @@ void GemmServer::serve_batch(std::vector<PendingRequest>&& batch) {
       baselines::SchemeResult& r = *outcome.result;
       item.trace.corrected = r.corrected;
       item.trace.corrections = r.corrections;
+      item.trace.panel_detections = r.panel_detections;
+      item.trace.panel_recomputes = r.panel_recomputes;
+      item.trace.fused_encode = r.fused_encode;
       item.trace.block_recomputes = r.block_recomputes;
       item.trace.full_recomputes = r.recomputed;
       item.trace.detected =
@@ -239,6 +242,8 @@ void GemmServer::serve_batch(std::vector<PendingRequest>&& batch) {
     if (item.trace.detected) StatsBoard::bump(stats_.detected);
     if (item.trace.corrected) StatsBoard::bump(stats_.corrected);
     StatsBoard::bump(stats_.corrections, item.trace.corrections);
+    StatsBoard::bump(stats_.panel_detections, item.trace.panel_detections);
+    if (item.trace.fused_encode) StatsBoard::bump(stats_.fused_encode_requests);
     StatsBoard::bump(stats_.block_recomputes, item.trace.block_recomputes);
     StatsBoard::bump(stats_.full_recomputes, item.trace.full_recomputes);
     StatsBoard::bump(stats_.retries, item.trace.retries);

@@ -46,7 +46,9 @@ struct ServeConfig {
   RecoveryPolicy recovery;
   /// Scheme configuration for the primary A-ABFT multiplier. The serving
   /// default enables one per-block recompute round so single-block damage is
-  /// repaired bit-exactly without a full re-execution.
+  /// repaired bit-exactly without a full re-execution, and runs GEMMs
+  /// through the fused online-checking pipeline (bit-identical to the
+  /// classic one, no standalone encode pass, panel-granular rung-0 repair).
   abft::AabftConfig aabft = default_aabft();
   /// Start with the dispatcher gated; call resume() to begin serving.
   bool start_paused = false;
@@ -54,6 +56,7 @@ struct ServeConfig {
   [[nodiscard]] static abft::AabftConfig default_aabft() noexcept {
     abft::AabftConfig config;
     config.max_block_recomputes = 1;
+    config.fused_gemm = true;
     return config;
   }
 };

@@ -30,6 +30,8 @@ void merge_into(ServerStats& into, const ServerStats& from) {
   into.detected += from.detected;
   into.corrected += from.corrected;
   into.corrections += from.corrections;
+  into.panel_detections += from.panel_detections;
+  into.fused_encode_requests += from.fused_encode_requests;
   into.block_recomputes += from.block_recomputes;
   into.full_recomputes += from.full_recomputes;
   into.retries += from.retries;
@@ -72,6 +74,8 @@ ServerStats StatsBoard::snapshot() const {
   s.detected = load(detected);
   s.corrected = load(corrected);
   s.corrections = load(corrections);
+  s.panel_detections = load(panel_detections);
+  s.fused_encode_requests = load(fused_encode_requests);
   s.block_recomputes = load(block_recomputes);
   s.full_recomputes = load(full_recomputes);
   s.retries = load(retries);
@@ -106,6 +110,8 @@ std::string to_json(const ServerStats& stats) {
   field("detected", stats.detected);
   field("corrected", stats.corrected);
   field("corrections", stats.corrections);
+  field("panel_detections", stats.panel_detections);
+  field("fused_encode_requests", stats.fused_encode_requests);
   field("block_recomputes", stats.block_recomputes);
   field("full_recomputes", stats.full_recomputes);
   field("retries", stats.retries);

@@ -310,6 +310,49 @@ TEST(Serve, UnlocalisableFaultsTakeTheBlockRecomputeRung) {
   EXPECT_EQ(response.c, ref) << "block recompute is bit-exact";
 }
 
+TEST(Serve, PanelChecksDetectAndRepairInFlight) {
+  Launcher launcher;
+  GemmServer server(launcher);  // default_aabft: fused online checking on
+  Rng rng(53);
+  const Matrix a = uniform_matrix(64, 64, -1.0, 1.0, rng);
+  const Matrix b = uniform_matrix(64, 64, -1.0, 1.0, rng);
+  const Matrix ref = naive_matmul(a, b, false);
+
+  // An inner-loop fault lands inside a k-panel of the fused kernel; the
+  // online panel screen must catch it mid-product and replay the tile, so
+  // the final verify sees a clean product (earliest ladder rung).
+  GemmRequest request = make_request(a, b);
+  FaultConfig fault;  // deterministic: tile 0 runs on SM 0
+  fault.site = FaultSite::kInnerAdd;
+  fault.sm_id = 0;
+  fault.module_id = 3;
+  fault.k_injection = 7;
+  fault.error_vec = 1ULL << 62;
+  request.fault_plan = {fault};
+  auto admitted = server.submit(std::move(request));
+  ASSERT_TRUE(admitted.ok());
+  const GemmResponse response = admitted->get();
+
+  EXPECT_EQ(response.status, ResponseStatus::kOk);
+  EXPECT_TRUE(response.clean);
+  EXPECT_EQ(response.trace.faults_fired, 1u);
+  EXPECT_TRUE(response.trace.fused_encode);
+  EXPECT_GE(response.trace.panel_detections, 1u);
+  EXPECT_GE(response.trace.panel_recomputes, 1u);
+  EXPECT_EQ(response.rung, RecoveryRung::kPanelRecompute);
+  EXPECT_EQ(std::string_view(to_string(response.rung)), "panel-recompute");
+  EXPECT_EQ(response.trace.corrections, 0u)
+      << "panel replay repairs before the final check needs to patch";
+  EXPECT_EQ(response.trace.full_recomputes, 0u);
+  EXPECT_EQ(response.c, ref) << "panel replay is bit-exact";
+  expect_monotone(response.trace);
+
+  server.stop();
+  const ServerStats stats = server.stats();
+  EXPECT_GE(stats.panel_detections, 1u);
+  EXPECT_GE(stats.fused_encode_requests, 1u);
+}
+
 // ---- non-GEMM request kinds ------------------------------------------------
 
 TEST(Serve, SyrkRequestIsBitIdentical) {
@@ -626,7 +669,9 @@ TEST(RecoveryLadder, RungOfMapsSchemeOutcomes) {
   baselines::SchemeResult r;
   EXPECT_EQ(rung_of(r), RecoveryRung::kNone);
   r.detected = true;
-  r.corrected = true;
+  r.panel_recomputes = 1;  // online repair only: the earliest rung
+  EXPECT_EQ(rung_of(r), RecoveryRung::kPanelRecompute);
+  r.corrected = true;  // later rungs take precedence when both fired
   EXPECT_EQ(rung_of(r), RecoveryRung::kCorrected);
   r.block_recomputes = 1;
   EXPECT_EQ(rung_of(r), RecoveryRung::kBlockRecompute);

@@ -99,6 +99,9 @@ std::size_t grid_blocks_of(std::size_t m, std::size_t k, std::size_t q,
   const auto ceil_div = [](std::size_t a, std::size_t b) {
     return (a + b - 1) / b;
   };
+  if (config.fused_gemm)
+    // The fused kernel tiles C_fc directly: one block per (bs+1)x(bs+1) tile.
+    return ceil_div(encoded(m), bs + 1) * ceil_div(encoded(q), bs + 1);
   return ceil_div(encoded(m), config.gemm.bm) *
          ceil_div(encoded(q), config.gemm.bn);
 }
@@ -110,11 +113,13 @@ std::vector<gpusim::FaultConfig> random_fault_plan(
   const std::size_t k = problem.fault_k;
   const auto sm_limit = std::min<std::uint64_t>(
       static_cast<std::uint64_t>(num_sms), problem.grid_blocks);
+  const std::size_t modules = config.fused_gemm
+                                  ? config.fused.rx * config.fused.ry
+                                  : config.gemm.rx * config.gemm.ry;
   for (auto& fault : plan) {
     fault.site = static_cast<gpusim::FaultSite>(rng.below(3));
     fault.sm_id = static_cast<int>(rng.below(sm_limit));
-    fault.module_id =
-        static_cast<int>(rng.below(config.gemm.rx * config.gemm.ry));
+    fault.module_id = static_cast<int>(rng.below(modules));
     fault.k_injection = fault.site == gpusim::FaultSite::kFinalAdd
                             ? 0
                             : static_cast<std::int64_t>(rng.below(k));
@@ -401,6 +406,15 @@ int main() {
               std::to_string(full_recomputes_total) + " full recomputes)");
     check(corrected_total >= 1, "at least one response took the correction path");
   }
+  if (config.aabft.fused_gemm) {
+    check(stats.fused_encode_requests > 0,
+          "requests were served through the fused encode path");
+    // Inner-loop faults (2/3 of armed sites) land inside a k-panel and must
+    // surface through the online panel checks before the final verify.
+    if (faults_per_request >= 1 && requests >= 100)
+      check(stats.panel_detections >= 1,
+            "online panel checks detected in-flight faults");
+  }
 
   std::printf("soak, %zu requests over %zu problems:\n", requests, pool.size());
   std::printf("  completed by kind       : gemm %llu, syrk %llu, cholesky "
@@ -415,6 +429,10 @@ int main() {
               corrected_total,
               static_cast<unsigned long long>(stats.block_recomputes),
               full_recomputes_total);
+  std::printf("  panel detections (online) : %llu  (fused-encode requests: "
+              "%llu)\n",
+              static_cast<unsigned long long>(stats.panel_detections),
+              static_cast<unsigned long long>(stats.fused_encode_requests));
   std::printf("  bit-identical responses : %zu\n", bitwise_identical);
   std::printf("  overload backoffs       : %zu\n", overload_backoffs);
   std::printf("  e2e latency             : p50 %.3f ms, p95 %.3f ms, "
