@@ -341,16 +341,57 @@ def run(root: Path, files=None) -> list[str]:
     return messages
 
 
+def list_waivers(root: Path, targets) -> list[str]:
+    """Every `aabft-lint: allow` mark in the scanned set, as `file:line`
+    entries (with the waived line's text for review)."""
+    entries = []
+    for path in targets:
+        rel = path.relative_to(root) if path.is_relative_to(root) else path
+        for i, line in enumerate(path.read_text(encoding="utf-8").splitlines(),
+                                 start=1):
+            if ALLOW_MARK in line:
+                entries.append(f"{rel}:{i}: {line.strip()}")
+    return entries
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--root", type=Path,
                         default=Path(__file__).resolve().parent.parent)
     parser.add_argument("--self-test", action="store_true",
                         help="also require the seeded fixture to fail")
+    parser.add_argument("--list-waivers", action="store_true",
+                        help="print every `aabft-lint: allow` mark as "
+                             "file:line and exit")
+    parser.add_argument("--waiver-baseline", type=Path, default=None,
+                        help="with --list-waivers: fail (exit 1) if the "
+                             "waiver count exceeds the count recorded in "
+                             "this baseline file")
     parser.add_argument("files", nargs="*", type=Path,
                         help="specific files to scan (default: src/**/*.cpp + tools/*.cpp)")
     args = parser.parse_args()
     root = args.root.resolve()
+
+    if args.list_waivers:
+        waivers = list_waivers(root, args.files or default_targets(root))
+        for entry in waivers:
+            print(entry)
+        print(f"lint_mathctx: {len(waivers)} waiver(s)")
+        if args.waiver_baseline is not None:
+            try:
+                budget = int(args.waiver_baseline.read_text().split()[0])
+            except (OSError, ValueError, IndexError):
+                print(f"lint_mathctx: unreadable waiver baseline "
+                      f"{args.waiver_baseline}")
+                return 2
+            if len(waivers) > budget:
+                print(f"lint_mathctx: waiver count {len(waivers)} exceeds the "
+                      f"checked-in budget {budget} -- new `{ALLOW_MARK}` "
+                      "marks need review; if legitimate, raise "
+                      f"{args.waiver_baseline} in the same change")
+                return 1
+            print(f"lint_mathctx: within waiver budget ({budget})")
+        return 0
 
     if try_clang_query(args.files or default_targets(root)):
         print("lint_mathctx: clang-query cross-check ran (advisory)")

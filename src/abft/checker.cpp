@@ -1,7 +1,7 @@
+#include "core/sync.hpp"
 #include "abft/checker.hpp"
 
 #include <cmath>
-#include <mutex>
 #include <numeric>
 
 #include "abft/upper_bound.hpp"
@@ -67,7 +67,8 @@ CheckReport check_product(gpusim::Launcher& launcher, const Matrix& c_fc,
           b_block_max[bc], b_pmax[bc * (bs + 1) + j].max_value());
 
   CheckReport report;
-  std::mutex report_mutex;
+  core::Mutex report_mutex{core::LockRank::kKernelReduction,
+                           "kernel.check_merge"};
 
   launcher.launch("check", Dim3{grid_cols, grid_rows, 1}, [&](BlockCtx& blk) {
     auto& math = blk.math;
@@ -134,7 +135,7 @@ CheckReport check_product(gpusim::Launcher& launcher, const Matrix& c_fc,
     }
 
     if (!local_mismatches.empty() || trace != nullptr) {
-      const std::lock_guard<std::mutex> lock(report_mutex);
+      const core::MutexLock lock(report_mutex);
       for (auto& m : local_mismatches) report.mismatches.push_back(m);
       if (trace != nullptr) {
         trace->column_epsilons.insert(trace->column_epsilons.end(),

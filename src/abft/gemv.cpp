@@ -1,7 +1,7 @@
+#include "core/sync.hpp"
 #include "abft/gemv.hpp"
 
 #include <cmath>
-#include <mutex>
 
 #include "abft/upper_bound.hpp"
 #include "core/require.hpp"
@@ -81,7 +81,8 @@ GemvResult ProtectedGemv::multiply(const std::vector<double>& x) {
 
     // Check every block checksum.
     std::vector<GemvMismatch> current;
-    std::mutex current_mutex;
+    core::Mutex current_mutex{core::LockRank::kKernelReduction,
+                              "kernel.gemv_merge"};
     launcher_.launch("gemv_check", Dim3{enc_rows / (bs + 1), 1, 1},
                      [&](BlockCtx& blk) {
       auto& math = blk.math;
@@ -109,7 +110,7 @@ GemvResult ProtectedGemv::multiply(const std::vector<double>& x) {
       const double diff = math.abs(math.sub(ref, stored));
       math.count_compares(1);
       if (!(diff <= eps)) {  // NaN-aware
-        const std::lock_guard<std::mutex> lock(current_mutex);
+        const core::MutexLock lock(current_mutex);
         current.push_back({block, ref, stored, eps});
       }
     });

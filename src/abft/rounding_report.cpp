@@ -1,7 +1,7 @@
+#include "core/sync.hpp"
 #include "abft/rounding_report.hpp"
 
 #include <atomic>
-#include <mutex>
 
 #include "abft/upper_bound.hpp"
 #include "core/require.hpp"
@@ -25,7 +25,8 @@ RoundingAnalysis analyze_rounding(gpusim::Launcher& launcher,
   analysis.mean = linalg::Matrix(m, q, 0.0);
   analysis.sigma = linalg::Matrix(m, q, 0.0);
 
-  std::mutex stats_mutex;
+  core::Mutex stats_mutex{core::LockRank::kKernelReduction,
+                          "kernel.rounding_merge"};
   double max_sigma = 0.0;
   double sigma_sum = 0.0;
 
@@ -50,7 +51,7 @@ RoundingAnalysis analyze_rounding(gpusim::Launcher& launcher,
       local_sum += stats.sigma;  // aabft-lint: allow
     }
     math.store_doubles(2 * q);
-    const std::lock_guard<std::mutex> lock(stats_mutex);
+    const core::MutexLock lock(stats_mutex);
     max_sigma = std::max(max_sigma, local_max);
     sigma_sum += local_sum;  // aabft-lint: allow (host-side report reduction)
   });

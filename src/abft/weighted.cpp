@@ -1,7 +1,7 @@
+#include "core/sync.hpp"
 #include "abft/weighted.hpp"
 
 #include <cmath>
-#include <mutex>
 
 #include "abft/upper_bound.hpp"
 #include "core/require.hpp"
@@ -274,7 +274,8 @@ WeightedCheckReport weighted_check_product(
                                  a_pmax[br * (bs + 2) + i].max_value());
 
   WeightedCheckReport report;
-  std::mutex report_mutex;
+  core::Mutex report_mutex{core::LockRank::kKernelReduction,
+                           "kernel.weighted_merge"};
 
   launcher.launch("check_weighted", Dim3{grid_cols, grid_rows, 1},
                   [&](BlockCtx& blk) {
@@ -358,7 +359,7 @@ WeightedCheckReport weighted_check_product(
     }
 
     if (!local.empty()) {
-      const std::lock_guard<std::mutex> lock(report_mutex);
+      const core::MutexLock lock(report_mutex);
       report.mismatches.insert(report.mismatches.end(), local.begin(),
                                local.end());
     }

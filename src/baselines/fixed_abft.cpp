@@ -1,6 +1,6 @@
+#include "core/sync.hpp"
 #include "baselines/fixed_abft.hpp"
 
-#include <mutex>
 
 #include "baselines/plain_encode.hpp"
 #include "core/require.hpp"
@@ -25,7 +25,8 @@ CheckReport fixed_check_product(gpusim::Launcher& launcher, const Matrix& c_fc,
   const std::size_t grid_cols = c_fc.cols() / (bs + 1);
 
   CheckReport report;
-  std::mutex report_mutex;
+  core::Mutex report_mutex{core::LockRank::kKernelReduction,
+                           "kernel.fixed_merge"};
 
   launcher.launch("check_fixed", Dim3{grid_cols, grid_rows, 1},
                   [&](BlockCtx& blk) {
@@ -59,7 +60,7 @@ CheckReport fixed_check_product(gpusim::Launcher& launcher, const Matrix& c_fc,
         local.push_back({CheckKind::kRow, gbr, gbc, i, ref, stored, epsilon});
     }
     if (!local.empty()) {
-      const std::lock_guard<std::mutex> lock(report_mutex);
+      const core::MutexLock lock(report_mutex);
       report.mismatches.insert(report.mismatches.end(), local.begin(),
                                local.end());
     }

@@ -51,7 +51,7 @@ namespace aabft::baselines {
 /// What every scheme can report about one protected operation. Scheme-
 /// specific detail (check reports, correction lists, replica votes) stays on
 /// the concrete APIs; this core is what the generic drivers consume.
-struct OpOutcome {
+struct [[nodiscard]] OpOutcome {
   /// The data result: the (stripped) product for GEMM/SYRK, the combined
   /// factors for the factorizations (L with unit upper part implied plus U
   /// for LU; the lower-triangular L for Cholesky).

@@ -1,7 +1,7 @@
+#include "core/sync.hpp"
 #include "baselines/sea_abft.hpp"
 
 #include <cmath>
-#include <mutex>
 
 #include "baselines/plain_encode.hpp"
 #include "core/require.hpp"
@@ -91,7 +91,8 @@ CheckReport sea_check_product(gpusim::Launcher& launcher, const Matrix& c_fc,
   const std::size_t grid_cols = c_fc.cols() / (bs + 1);
 
   CheckReport report;
-  std::mutex report_mutex;
+  core::Mutex report_mutex{core::LockRank::kKernelReduction,
+                           "kernel.sea_merge"};
 
   launcher.launch("check_sea", Dim3{grid_cols, grid_rows, 1}, [&](BlockCtx& blk) {
     auto& math = blk.math;
@@ -137,7 +138,7 @@ CheckReport sea_check_product(gpusim::Launcher& launcher, const Matrix& c_fc,
     }
 
     if (!local.empty() || trace != nullptr) {
-      const std::lock_guard<std::mutex> lock(report_mutex);
+      const core::MutexLock lock(report_mutex);
       report.mismatches.insert(report.mismatches.end(), local.begin(),
                                local.end());
       if (trace != nullptr) {

@@ -1,0 +1,79 @@
+// Clang Thread Safety Analysis macros (DESIGN.md §11).
+//
+// These wrap the capability attributes understood by Clang's -Wthread-safety
+// static analysis so that locking contracts are stated in the code and
+// checked at compile time: which mutex guards which field (AABFT_GUARDED_BY),
+// which functions must/must-not be called with a lock held (AABFT_REQUIRES /
+// AABFT_EXCLUDES), and which functions acquire or release a capability
+// (AABFT_ACQUIRE / AABFT_RELEASE). On compilers without the attributes (GCC,
+// MSVC) every macro expands to nothing, so annotations cost nothing outside
+// the dedicated Clang CI lane.
+//
+// The annotated primitives that use these live in core/sync.hpp
+// (core::Mutex / core::MutexLock / core::UniqueLock / core::CondVar); shared
+// state throughout src/serve, src/fleet and src/gpusim is declared with
+// AABFT_GUARDED_BY so a new field or a forgotten lock is a compile error in
+// the thread-safety lane, not a TSan flake.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define AABFT_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef AABFT_THREAD_ANNOTATION
+#define AABFT_THREAD_ANNOTATION(x)  // not Clang: annotations compile away
+#endif
+
+/// Declares a type to be a capability ("mutex"): lockable state the analysis
+/// tracks through the acquire/release annotations below.
+#define AABFT_CAPABILITY(x) AABFT_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type whose constructor acquires and destructor releases
+/// a capability (core::MutexLock, core::UniqueLock).
+#define AABFT_SCOPED_CAPABILITY AABFT_THREAD_ANNOTATION(scoped_lockable)
+
+/// A data member readable/writable only while holding `x`.
+#define AABFT_GUARDED_BY(x) AABFT_THREAD_ANNOTATION(guarded_by(x))
+
+/// A pointer member whose *pointee* is guarded by `x`.
+#define AABFT_PT_GUARDED_BY(x) AABFT_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// The function may only be called while holding the listed capabilities
+/// (they are not acquired or released by the call).
+#define AABFT_REQUIRES(...) \
+  AABFT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// The function may only be called while *not* holding the listed
+/// capabilities (it acquires them internally).
+#define AABFT_EXCLUDES(...) AABFT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// The function acquires the listed capabilities (or, with no argument on a
+/// member of a capability class, the object itself) and holds them on return.
+#define AABFT_ACQUIRE(...) \
+  AABFT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// The function releases the listed capabilities (held on entry).
+#define AABFT_RELEASE(...) \
+  AABFT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// The function acquires the capability only when it returns `result`
+/// (try_lock-style).
+#define AABFT_TRY_ACQUIRE(result, ...) \
+  AABFT_THREAD_ANNOTATION(try_acquire_capability(result, __VA_ARGS__))
+
+/// Names an alias the analysis should treat as the same capability (e.g. a
+/// reference member standing in for the owner's mutex).
+#define AABFT_ACQUIRED_AFTER(...) \
+  AABFT_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define AABFT_ACQUIRED_BEFORE(...) \
+  AABFT_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+/// The function returns a reference to data guarded by `x` (caller must hold
+/// `x` to dereference it).
+#define AABFT_RETURN_CAPABILITY(x) AABFT_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the function's locking is deliberately invisible to the
+/// analysis. Every use must be justified in DESIGN.md §11's waiver table.
+#define AABFT_NO_THREAD_SAFETY_ANALYSIS \
+  AABFT_THREAD_ANNOTATION(no_thread_safety_analysis)

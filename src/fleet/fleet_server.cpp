@@ -193,7 +193,7 @@ void FleetServer::feeder_loop(Shard& shard) {
       fault.module_id = 0;
       fault.k_injection = 0;
       {
-        std::lock_guard<std::mutex> lk(chaos_mu_);
+        core::MutexLock lk(chaos_mu_);
         fault.error_vec =
             fp::make_error_vec(fp::BitField::kExponent, 1, chaos_rng_);
       }
@@ -212,11 +212,10 @@ void FleetServer::feeder_loop(Shard& shard) {
       continue;
     }
     {
-      std::unique_lock<std::mutex> lk(shard.inflight_mu);
-      shard.inflight_cv.wait(lk, [&] {
-        return shard.inflight.size() < config_.inflight_window ||
-               shard.fenced.load(std::memory_order_acquire);
-      });
+      core::UniqueLock lk(shard.inflight_mu);
+      while (shard.inflight.size() >= config_.inflight_window &&
+             !shard.fenced.load(std::memory_order_acquire))
+        shard.inflight_cv.wait(lk);
       shard.inflight.push_back(
           Inflight{std::move(job), std::move(*sub), chaos_armed, recon});
       shard.inflight_count.store(shard.inflight.size(),
@@ -225,7 +224,7 @@ void FleetServer::feeder_loop(Shard& shard) {
     shard.inflight_cv.notify_all();
   }
   {
-    std::lock_guard<std::mutex> lk(shard.inflight_mu);
+    core::MutexLock lk(shard.inflight_mu);
     shard.feeder_done = true;
   }
   shard.inflight_cv.notify_all();
@@ -235,9 +234,9 @@ void FleetServer::collector_loop(Shard& shard) {
   for (;;) {
     Inflight item;
     {
-      std::unique_lock<std::mutex> lk(shard.inflight_mu);
-      shard.inflight_cv.wait(
-          lk, [&] { return !shard.inflight.empty() || shard.feeder_done; });
+      core::UniqueLock lk(shard.inflight_mu);
+      while (shard.inflight.empty() && !shard.feeder_done)
+        shard.inflight_cv.wait(lk);
       if (shard.inflight.empty()) break;  // feeder exited and we drained
       item = std::move(shard.inflight.front());
       shard.inflight.pop_front();
@@ -398,7 +397,7 @@ void FleetServer::finish(Shard& collector_shard, Job&& job,
   out.replays = replays;
   out.operands_reconstructed = reconstructed;
   {
-    std::lock_guard<std::mutex> lk(collector_shard.e2e_mu);
+    core::MutexLock lk(collector_shard.e2e_mu);
     collector_shard.fleet_e2e_ns.record(ns_since(job.submitted_at));
   }
   job.promise.set_value(std::move(out));
@@ -424,7 +423,7 @@ std::vector<double> FleetServer::availabilities() const {
 }
 
 void FleetServer::stop() {
-  std::lock_guard<std::mutex> stop_lk(stop_mu_);
+  core::MutexLock stop_lk(stop_mu_);
   if (stopped_) return;
   stopping_.store(true, std::memory_order_release);
   queues_.close();
@@ -457,7 +456,7 @@ FleetStats FleetServer::stats() const {
     s.queued = queues_.depth(shard->index);
     s.inflight = shard->inflight_count.load(std::memory_order_relaxed);
     {
-      std::lock_guard<std::mutex> lk(shard->e2e_mu);
+      core::MutexLock lk(shard->e2e_mu);
       s.fleet_e2e_ns = shard->fleet_e2e_ns;
     }
     serve::merge_into(stats.totals, s.server);

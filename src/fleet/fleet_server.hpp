@@ -23,18 +23,18 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "core/latency.hpp"
 #include "core/result.hpp"
 #include "core/rng.hpp"
+#include "core/sync.hpp"
+#include "core/thread_annotations.hpp"
 #include "fleet/health.hpp"
 #include "fleet/parity.hpp"
 #include "fleet/router.hpp"
@@ -146,14 +146,14 @@ class FleetServer {
     std::atomic<std::uint64_t> stolen{0};
     std::atomic<std::uint64_t> replayed{0};
 
-    std::mutex inflight_mu;
-    std::condition_variable inflight_cv;
-    std::deque<Inflight> inflight;
+    core::Mutex inflight_mu{core::LockRank::kFleetInflight, "fleet.inflight"};
+    core::CondVar inflight_cv;
+    std::deque<Inflight> inflight AABFT_GUARDED_BY(inflight_mu);
     std::atomic<std::size_t> inflight_count{0};  ///< lock-free load signal
-    bool feeder_done = false;
+    bool feeder_done AABFT_GUARDED_BY(inflight_mu) = false;
 
-    mutable std::mutex e2e_mu;
-    LatencyRecorder fleet_e2e_ns;
+    mutable core::Mutex e2e_mu{core::LockRank::kFleetTelemetry, "fleet.e2e"};
+    LatencyRecorder fleet_e2e_ns AABFT_GUARDED_BY(e2e_mu);
 
     std::thread feeder;
     std::thread collector;
@@ -189,16 +189,16 @@ class FleetServer {
   ShardRouter router_;
   std::vector<std::unique_ptr<Shard>> shards_;
   ShardQueues<Job> queues_;
-  Rng chaos_rng_;  ///< guarded by chaos_mu_
-  std::mutex chaos_mu_;
+  core::Mutex chaos_mu_{core::LockRank::kFleetChaos, "fleet.chaos"};
+  Rng chaos_rng_ AABFT_GUARDED_BY(chaos_mu_);
   std::atomic<std::uint64_t> next_id_{1};
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> rejected_{0};
   std::atomic<std::uint64_t> replays_{0};
   std::atomic<std::size_t> fenced_count_{0};
   std::atomic<bool> stopping_{false};
-  std::mutex stop_mu_;
-  bool stopped_ = false;
+  core::Mutex stop_mu_{core::LockRank::kFleetControl, "fleet.stop"};
+  bool stopped_ AABFT_GUARDED_BY(stop_mu_) = false;
 };
 
 }  // namespace aabft::fleet

@@ -38,7 +38,7 @@ std::uint64_t OperandStore::put(const linalg::Matrix& m) {
     for (std::size_t w = 0; w < stripe_words; ++w)
       striped->parity[w] ^= stripe[w];
 
-  std::lock_guard<std::mutex> lk(mu_);
+  core::MutexLock lk(mu_);
   const std::uint64_t handle = next_handle_++;
   striped->parity_shard = handle % shards_;
   store_.emplace(handle, std::move(striped));
@@ -49,7 +49,7 @@ Result<OperandStore::Fetched> OperandStore::get(std::uint64_t handle) const {
   std::shared_ptr<const Striped> striped;
   std::vector<bool> fenced;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    core::MutexLock lk(mu_);
     auto it = store_.find(handle);
     if (it == store_.end())
       return Error{ErrorCode::kInvalidArgument,
@@ -110,7 +110,7 @@ Result<OperandStore::Fetched> OperandStore::get(std::uint64_t handle) const {
 
 Result<std::pair<std::size_t, std::size_t>> OperandStore::dims(
     std::uint64_t handle) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  core::MutexLock lk(mu_);
   auto it = store_.find(handle);
   if (it == store_.end())
     return Error{ErrorCode::kInvalidArgument,
@@ -121,12 +121,12 @@ Result<std::pair<std::size_t, std::size_t>> OperandStore::dims(
 
 void OperandStore::fence_shard(std::size_t shard) {
   AABFT_REQUIRE(shard < shards_, "OperandStore: shard index out of range");
-  std::lock_guard<std::mutex> lk(mu_);
+  core::MutexLock lk(mu_);
   fenced_[shard] = true;
 }
 
 std::size_t OperandStore::size() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  core::MutexLock lk(mu_);
   return store_.size();
 }
 

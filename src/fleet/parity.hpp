@@ -14,12 +14,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "core/result.hpp"
+#include "core/sync.hpp"
+#include "core/thread_annotations.hpp"
 #include "linalg/matrix.hpp"
 
 namespace aabft::fleet {
@@ -78,10 +79,12 @@ class OperandStore {
   };
 
   const std::size_t shards_;
-  mutable std::mutex mu_;
-  std::uint64_t next_handle_ = 0;
-  std::unordered_map<std::uint64_t, std::shared_ptr<const Striped>> store_;
-  std::vector<bool> fenced_;
+  mutable core::Mutex mu_{core::LockRank::kFleetOperandStore,
+                          "fleet.operand_store"};
+  std::uint64_t next_handle_ AABFT_GUARDED_BY(mu_) = 0;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const Striped>> store_
+      AABFT_GUARDED_BY(mu_);
+  std::vector<bool> fenced_ AABFT_GUARDED_BY(mu_);
   mutable std::atomic<std::uint64_t> reconstructions_{0};
 };
 

@@ -22,7 +22,7 @@ std::optional<std::size_t> ShardRouter::route(
   }
   if (!best) return std::nullopt;  // every device fenced or near-dead
 
-  std::lock_guard<std::mutex> lk(mu_);
+  core::MutexLock lk(mu_);
   auto it = affinity_.find(key);
   if (it != affinity_.end()) {
     const std::size_t affine = it->second;
@@ -38,7 +38,7 @@ std::optional<std::size_t> ShardRouter::route(
 }
 
 void ShardRouter::forget_shard(std::size_t shard) {
-  std::lock_guard<std::mutex> lk(mu_);
+  core::MutexLock lk(mu_);
   for (auto it = affinity_.begin(); it != affinity_.end();) {
     if (it->second == shard)
       it = affinity_.erase(it);

@@ -13,11 +13,12 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "core/sync.hpp"
+#include "core/thread_annotations.hpp"
 #include "serve/queue.hpp"
 
 namespace aabft::fleet {
@@ -57,11 +58,11 @@ class ShardRouter {
   /// availability floor (fleet-wide outage). Thread-safe.
   [[nodiscard]] std::optional<std::size_t> route(
       const serve::ShapeKey& key, const std::vector<ShardLoad>& loads,
-      const std::vector<double>& availability);
+      const std::vector<double>& availability) AABFT_EXCLUDES(mu_);
 
   /// Drop any shape affinities pinned to `shard` (called on fence so new
   /// same-shaped traffic immediately re-homes).
-  void forget_shard(std::size_t shard);
+  void forget_shard(std::size_t shard) AABFT_EXCLUDES(mu_);
 
   [[nodiscard]] const RouterConfig& config() const noexcept { return config_; }
 
@@ -75,8 +76,9 @@ class ShardRouter {
   }
 
   const RouterConfig config_;
-  std::mutex mu_;
-  std::unordered_map<serve::ShapeKey, std::size_t, ShapeKeyHash> affinity_;
+  core::Mutex mu_{core::LockRank::kFleetRouter, "fleet.router"};
+  std::unordered_map<serve::ShapeKey, std::size_t, ShapeKeyHash> affinity_
+      AABFT_GUARDED_BY(mu_);
 };
 
 }  // namespace aabft::fleet

@@ -11,15 +11,15 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "core/require.hpp"
+#include "core/sync.hpp"
+#include "core/thread_annotations.hpp"
 
 namespace aabft::fleet {
 
@@ -35,9 +35,9 @@ class ShardQueues {
 
   /// Enqueue onto `shard`. False when that shard's queue is full or the
   /// queues are closed (caller turns this into a kOverloaded refusal).
-  bool try_push(std::size_t shard, T&& item) {
+  bool try_push(std::size_t shard, T&& item) AABFT_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      core::MutexLock lk(mu_);
       if (closed_ || queues_[shard].size() >= capacity_) return false;
       queues_[shard].push_back(std::move(item));
     }
@@ -55,27 +55,14 @@ class ShardQueues {
   /// nullopt on timeout or when closed with nothing left to take.
   std::optional<Popped> pop(std::size_t shard,
                             std::chrono::microseconds timeout,
-                            bool allow_steal = true) {
-    std::unique_lock<std::mutex> lk(mu_);
-    const auto takeable = [&]() -> std::size_t {
-      if (!queues_[shard].empty()) return shard;
-      if (allow_steal) {
-        std::size_t victim = shard, depth = 0;
-        for (std::size_t s = 0; s < queues_.size(); ++s)
-          if (s != shard && queues_[s].size() > depth) {
-            victim = s;
-            depth = queues_[s].size();
-          }
-        if (victim != shard) return victim;
-      }
-      return queues_.size();  // sentinel: nothing to take
-    };
-    if (!cv_.wait_for(lk, timeout, [&] {
-          return closed_ || takeable() != queues_.size();
-        }))
-      return std::nullopt;
-    const std::size_t source = takeable();
-    if (source == queues_.size()) return std::nullopt;  // closed and drained
+                            bool allow_steal = true) AABFT_EXCLUDES(mu_) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    core::UniqueLock lk(mu_);
+    while (!closed_ && takeable(shard, allow_steal) == queues_.size())
+      if (cv_.wait_until(lk, deadline) == std::cv_status::timeout) break;
+    const std::size_t source = takeable(shard, allow_steal);
+    if (source == queues_.size())
+      return std::nullopt;  // timeout, or closed and drained
 
     Popped out{std::move(source == shard ? queues_[source].front()
                                          : queues_[source].back()),
@@ -90,9 +77,9 @@ class ShardQueues {
 
   /// Refuse further pushes. pop() keeps draining what is queued, then
   /// returns nullopt forever.
-  void close() {
+  void close() AABFT_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      core::MutexLock lk(mu_);
       closed_ = true;
     }
     cv_.notify_all();
@@ -100,9 +87,9 @@ class ShardQueues {
 
   /// Remove and return everything queued on `shard` (the fence path: the
   /// caller re-routes these to surviving shards).
-  std::vector<T> drain_shard(std::size_t shard) {
+  std::vector<T> drain_shard(std::size_t shard) AABFT_EXCLUDES(mu_) {
     std::vector<T> out;
-    std::lock_guard<std::mutex> lk(mu_);
+    core::MutexLock lk(mu_);
     out.reserve(queues_[shard].size());
     while (!queues_[shard].empty()) {
       out.push_back(std::move(queues_[shard].front()));
@@ -111,33 +98,51 @@ class ShardQueues {
     return out;
   }
 
-  [[nodiscard]] std::size_t depth(std::size_t shard) const {
-    std::lock_guard<std::mutex> lk(mu_);
+  [[nodiscard]] std::size_t depth(std::size_t shard) const
+      AABFT_EXCLUDES(mu_) {
+    core::MutexLock lk(mu_);
     return queues_[shard].size();
   }
-  [[nodiscard]] std::size_t total_depth() const {
-    std::lock_guard<std::mutex> lk(mu_);
+  [[nodiscard]] std::size_t total_depth() const AABFT_EXCLUDES(mu_) {
+    core::MutexLock lk(mu_);
     std::size_t total = 0;
     for (const auto& q : queues_) total += q.size();
     return total;
   }
-  [[nodiscard]] std::uint64_t steals() const {
-    std::lock_guard<std::mutex> lk(mu_);
+  [[nodiscard]] std::uint64_t steals() const AABFT_EXCLUDES(mu_) {
+    core::MutexLock lk(mu_);
     return steals_;
   }
-  [[nodiscard]] bool closed() const {
-    std::lock_guard<std::mutex> lk(mu_);
+  [[nodiscard]] bool closed() const AABFT_EXCLUDES(mu_) {
+    core::MutexLock lk(mu_);
     return closed_;
   }
   [[nodiscard]] std::size_t shards() const noexcept { return queues_.size(); }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  /// Source queue pop() should take from: `shard`'s own queue first, else
+  /// (when stealing) the deepest sibling; queues_.size() = nothing to take.
+  [[nodiscard]] std::size_t takeable(std::size_t shard, bool allow_steal) const
+      AABFT_REQUIRES(mu_) {
+    if (!queues_[shard].empty()) return shard;
+    if (allow_steal) {
+      std::size_t victim = shard, depth = 0;
+      for (std::size_t s = 0; s < queues_.size(); ++s)
+        if (s != shard && queues_[s].size() > depth) {
+          victim = s;
+          depth = queues_[s].size();
+        }
+      if (victim != shard) return victim;
+    }
+    return queues_.size();  // sentinel: nothing to take
+  }
+
+  mutable core::Mutex mu_{core::LockRank::kFleetQueues, "fleet.queues"};
+  core::CondVar cv_;
   const std::size_t capacity_;
-  std::vector<std::deque<T>> queues_;
-  std::uint64_t steals_ = 0;
-  bool closed_ = false;
+  std::vector<std::deque<T>> queues_ AABFT_GUARDED_BY(mu_);
+  std::uint64_t steals_ AABFT_GUARDED_BY(mu_) = 0;
+  bool closed_ AABFT_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace aabft::fleet

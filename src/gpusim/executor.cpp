@@ -12,7 +12,7 @@ Executor::Executor(unsigned workers) : workers_(std::max(1u, workers)) {
 
 Executor::~Executor() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    core::MutexLock lk(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -47,7 +47,7 @@ Executor::TaskPtr Executor::submit_host(std::string name,
 
 Executor::TaskPtr Executor::submit(TaskPtr task) {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    core::MutexLock lk(mu_);
     ready_.push_back(task);
   }
   // Wake the whole pool: a single launch with many blocks wants every
@@ -59,8 +59,8 @@ Executor::TaskPtr Executor::submit(TaskPtr task) {
 void Executor::wait(const TaskPtr& task, bool help) {
   if (help) execute(task);
   if (task->finished()) return;
-  std::unique_lock<std::mutex> lk(task->mu_);
-  task->done_cv_.wait(lk, [&] { return task->finished(); });
+  core::UniqueLock lk(task->mu_);
+  while (!task->finished()) task->done_cv_.wait(lk);
 }
 
 Executor::TaskPtr Executor::pick_task_locked() {
@@ -79,10 +79,13 @@ void Executor::worker_loop() {
   for (;;) {
     TaskPtr task;
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      cv_.wait(lk, [&] { return stop_ || pick_task_locked() != nullptr; });
-      task = pick_task_locked();
-      if (task == nullptr && stop_) return;  // drained
+      core::UniqueLock lk(mu_);
+      for (;;) {
+        task = pick_task_locked();
+        if (task != nullptr || stop_) break;
+        cv_.wait(lk);
+      }
+      if (task == nullptr) return;  // stopping and drained
     }
     if (task) execute(task);
   }
@@ -118,7 +121,7 @@ void Executor::execute(const TaskPtr& task) {
   }
   if (ran == 0) return;
   {
-    std::lock_guard<std::mutex> lk(task->mu_);
+    core::MutexLock lk(task->mu_);
     task->counters_ += local;
     if (error && !task->error_) task->error_ = error;
   }
@@ -127,22 +130,27 @@ void Executor::execute(const TaskPtr& task) {
 }
 
 void Executor::finalize(const TaskPtr& task) {
+  std::exception_ptr error;
   {
-    std::lock_guard<std::mutex> lk(task->mu_);
+    core::MutexLock lk(task->mu_);
     task->result_.kernel_name = task->name_;
     task->result_.blocks = task->total_;
     task->result_.counters = task->counters_;
+    error = task->error_;
   }
   // Release kernel/host closures eagerly: async bodies own captured operand
   // copies that should not outlive the launch.
   task->body_ = nullptr;
   task->host_ = nullptr;
+  // Completion hooks run with *no* task lock held: stream hooks take the
+  // stream mutex (rank kDeviceStream, below kDeviceTask) and launcher hooks
+  // take the log mutex, so holding mu_ here would invert the rank order.
   if (task->on_complete_) {
-    task->on_complete_(task->result_, task->error_);
+    task->on_complete_(task->result_, error);
     task->on_complete_ = nullptr;
   }
   {
-    std::lock_guard<std::mutex> lk(task->mu_);
+    core::MutexLock lk(task->mu_);
     task->done_.store(true, std::memory_order_release);
   }
   task->done_cv_.notify_all();
@@ -164,7 +172,7 @@ void on_op_done(const std::shared_ptr<StreamState>& state, Executor& executor,
   StreamState::Op next;
   bool have_next = false;
   {
-    std::lock_guard<std::mutex> lk(state->mu);
+    core::MutexLock lk(state->mu);
     if (state->pending.empty()) {
       state->in_flight = false;
     } else {
@@ -201,7 +209,7 @@ void submit_op(const std::shared_ptr<StreamState>& state, Executor& executor,
 void stream_enqueue(const std::shared_ptr<StreamState>& state,
                     Executor& executor, StreamState::Op op) {
   {
-    std::lock_guard<std::mutex> lk(state->mu);
+    core::MutexLock lk(state->mu);
     if (state->in_flight) {
       state->pending.push_back(std::move(op));
       return;
@@ -212,9 +220,8 @@ void stream_enqueue(const std::shared_ptr<StreamState>& state,
 }
 
 void stream_synchronize(const std::shared_ptr<StreamState>& state) {
-  std::unique_lock<std::mutex> lk(state->mu);
-  state->idle_cv.wait(
-      lk, [&] { return !state->in_flight && state->pending.empty(); });
+  core::UniqueLock lk(state->mu);
+  while (state->in_flight || !state->pending.empty()) state->idle_cv.wait(lk);
 }
 
 }  // namespace detail

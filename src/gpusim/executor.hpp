@@ -28,16 +28,16 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/sync.hpp"
+#include "core/thread_annotations.hpp"
 #include "gpusim/dim.hpp"
 #include "gpusim/fault_site.hpp"
 #include "gpusim/hazard.hpp"
@@ -99,7 +99,10 @@ class Executor {
     [[nodiscard]] const LaunchStats& stats() const noexcept { return result_; }
     /// First exception thrown by a block body, or null; valid once
     /// finished(). Synchronous launches rethrow it to the caller.
-    [[nodiscard]] std::exception_ptr error() const noexcept { return error_; }
+    [[nodiscard]] std::exception_ptr error() const AABFT_EXCLUDES(mu_) {
+      core::MutexLock lk(mu_);
+      return error_;
+    }
 
    private:
     friend class Executor;
@@ -110,10 +113,13 @@ class Executor {
     std::size_t total_ = 0;        // blocks (1 for host tasks)
     std::atomic<std::size_t> next_{0};
     std::atomic<std::size_t> remaining_{0};
-    std::mutex mu_;                // guards counter merge + done_cv_
-    std::condition_variable done_cv_;
-    PerfCounters counters_;
-    std::exception_ptr error_;     // first block failure, written under mu_
+    mutable core::Mutex mu_{core::LockRank::kDeviceTask, "device.task"};
+    core::CondVar done_cv_;
+    PerfCounters counters_ AABFT_GUARDED_BY(mu_);
+    std::exception_ptr error_ AABFT_GUARDED_BY(mu_);
+    /// Written once, by the worker that finishes the last block, before done_
+    /// is released; readers go through finished() first. Publication is the
+    /// done_ release/acquire pair, not mu_ — deliberately unguarded.
     LaunchStats result_;
     std::atomic<bool> done_{false};
     Completion on_complete_;
@@ -148,16 +154,16 @@ class Executor {
  private:
   void worker_loop();
   void execute(const TaskPtr& task);
-  TaskPtr pick_task_locked();
+  TaskPtr pick_task_locked() AABFT_REQUIRES(mu_);
   TaskPtr submit(TaskPtr task);
   void finalize(const TaskPtr& task);
 
   unsigned workers_;
   std::vector<std::thread> threads_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<TaskPtr> ready_;
-  bool stop_ = false;
+  core::Mutex mu_{core::LockRank::kDeviceExecutor, "device.executor"};
+  core::CondVar cv_;
+  std::deque<TaskPtr> ready_ AABFT_GUARDED_BY(mu_);
+  bool stop_ AABFT_GUARDED_BY(mu_) = false;
 };
 
 namespace detail {
@@ -175,10 +181,10 @@ struct StreamState {
     Executor::Completion on_complete;  // launcher-side hook (log append)
   };
 
-  std::mutex mu;
-  std::deque<Op> pending;
-  bool in_flight = false;
-  std::condition_variable idle_cv;
+  core::Mutex mu{core::LockRank::kDeviceStream, "device.stream"};
+  std::deque<Op> pending AABFT_GUARDED_BY(mu);
+  bool in_flight AABFT_GUARDED_BY(mu) = false;
+  core::CondVar idle_cv;
 };
 
 /// Enqueue `op` respecting stream FIFO order.

@@ -55,28 +55,28 @@ HazardError::HazardError(HazardRecord record)
     : std::runtime_error(record.describe()), record_(std::move(record)) {}
 
 void HazardSink::report(const HazardRecord& record) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::MutexLock lock(mu_);
   ++total_;
   if (records_.size() < kMaxRecords) records_.push_back(record);
 }
 
 std::vector<HazardRecord> HazardSink::records() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::MutexLock lock(mu_);
   return records_;
 }
 
 std::size_t HazardSink::total() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::MutexLock lock(mu_);
   return total_;
 }
 
 std::size_t HazardSink::dropped() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::MutexLock lock(mu_);
   return total_ - records_.size();
 }
 
 void HazardSink::clear() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::MutexLock lock(mu_);
   records_.clear();
   total_ = 0;
 }

@@ -39,12 +39,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "core/require.hpp"
+#include "core/sync.hpp"
+#include "core/thread_annotations.hpp"
 
 namespace aabft::gpusim {
 
@@ -102,16 +103,17 @@ class HazardSink {
  public:
   static constexpr std::size_t kMaxRecords = 4096;
 
-  void report(const HazardRecord& record);
-  [[nodiscard]] std::vector<HazardRecord> records() const;
-  [[nodiscard]] std::size_t total() const;    ///< including dropped
-  [[nodiscard]] std::size_t dropped() const;
-  void clear();
+  void report(const HazardRecord& record) AABFT_EXCLUDES(mu_);
+  [[nodiscard]] std::vector<HazardRecord> records() const AABFT_EXCLUDES(mu_);
+  /// Total reported, including dropped.
+  [[nodiscard]] std::size_t total() const AABFT_EXCLUDES(mu_);
+  [[nodiscard]] std::size_t dropped() const AABFT_EXCLUDES(mu_);
+  void clear() AABFT_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::vector<HazardRecord> records_;
-  std::size_t total_ = 0;
+  mutable core::Mutex mu_{core::LockRank::kDeviceHazard, "device.hazard"};
+  std::vector<HazardRecord> records_ AABFT_GUARDED_BY(mu_);
+  std::size_t total_ AABFT_GUARDED_BY(mu_) = 0;
 };
 
 /// Per-block analysis state, embedded in BlockCtx. Default-constructed it is

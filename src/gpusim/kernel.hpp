@@ -63,6 +63,8 @@
 #include <vector>
 
 #include "core/require.hpp"
+#include "core/sync.hpp"
+#include "core/thread_annotations.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/dim.hpp"
 #include "gpusim/executor.hpp"
@@ -171,11 +173,11 @@ class Launcher {
 
   /// Create a new stream. Streams created from the same launcher share the
   /// worker pool; see the header comment for ordering semantics.
-  [[nodiscard]] Stream create_stream() {
+  [[nodiscard]] Stream create_stream() AABFT_EXCLUDES(streams_mu_) {
     (void)pool();  // streams always need the pool, even with one worker
     auto state = std::make_shared<detail::StreamState>();
     {
-      std::lock_guard<std::mutex> lk(streams_mu_);
+      core::MutexLock lk(streams_mu_);
       streams_.push_back(state);
     }
     return Stream(std::move(state));
@@ -221,11 +223,11 @@ class Launcher {
   /// Wait until every stream created from this launcher is idle, then rethrow
   /// the first exception any async kernel/host task raised since the last
   /// synchronize() (hazard aborts, shared-memory overflows, ...).
-  void synchronize() {
+  void synchronize() AABFT_EXCLUDES(async_error_mu_) {
     drain();
     std::exception_ptr error;
     {
-      std::lock_guard<std::mutex> lk(async_error_mu_);
+      core::MutexLock lk(async_error_mu_);
       error = std::exchange(async_error_, nullptr);
     }
     if (error) std::rethrow_exception(error);
@@ -233,12 +235,13 @@ class Launcher {
 
   /// Launch log: one entry per completed kernel launch since the last clear.
   /// Returns a snapshot copy (see the thread-safety contract above).
-  [[nodiscard]] std::vector<LaunchStats> launch_log() const {
-    std::lock_guard<std::mutex> lk(log_mu_);
+  [[nodiscard]] std::vector<LaunchStats> launch_log() const
+      AABFT_EXCLUDES(log_mu_) {
+    core::MutexLock lk(log_mu_);
     return log_;
   }
-  void clear_launch_log() {
-    std::lock_guard<std::mutex> lk(log_mu_);
+  void clear_launch_log() AABFT_EXCLUDES(log_mu_) {
+    core::MutexLock lk(log_mu_);
     log_.clear();
   }
 
@@ -268,19 +271,23 @@ class Launcher {
                       .c_str());
   }
 
-  void note_async_error(std::exception_ptr error) {
-    std::lock_guard<std::mutex> lk(async_error_mu_);
+  void note_async_error(std::exception_ptr error)
+      AABFT_EXCLUDES(async_error_mu_) {
+    core::MutexLock lk(async_error_mu_);
     if (!async_error_) async_error_ = error;
   }
 
   /// Wait until every stream created from this launcher is idle, without
   /// rethrowing stored async errors (destructor-safe).
-  void drain() {
+  void drain() AABFT_EXCLUDES(streams_mu_) {
     std::vector<std::weak_ptr<detail::StreamState>> streams;
     {
-      std::lock_guard<std::mutex> lk(streams_mu_);
+      core::MutexLock lk(streams_mu_);
       streams = streams_;
     }
+    // stream_synchronize (rank kDeviceStream) runs with streams_mu_ released:
+    // waiting for stream idleness while holding the registry lock would stall
+    // create_stream() on other threads for the whole drain.
     for (auto& weak : streams)
       if (auto state = weak.lock()) detail::stream_synchronize(state);
   }
@@ -312,8 +319,8 @@ class Launcher {
     return *pool_;
   }
 
-  void append_log(const LaunchStats& stats) {
-    std::lock_guard<std::mutex> lk(log_mu_);
+  void append_log(const LaunchStats& stats) AABFT_EXCLUDES(log_mu_) {
+    core::MutexLock lk(log_mu_);
     log_.push_back(stats);
   }
 
@@ -325,17 +332,19 @@ class Launcher {
   HazardSink hazards_;
   std::atomic<int> sync_inflight_{0};
 
-  std::mutex async_error_mu_;
-  std::exception_ptr async_error_;
+  core::Mutex async_error_mu_{core::LockRank::kDeviceAsyncError,
+                              "device.async_error"};
+  std::exception_ptr async_error_ AABFT_GUARDED_BY(async_error_mu_);
 
   std::once_flag pool_once_;
   std::unique_ptr<Executor> pool_;
 
-  std::mutex streams_mu_;
-  std::vector<std::weak_ptr<detail::StreamState>> streams_;
+  core::Mutex streams_mu_{core::LockRank::kDeviceStreams, "device.streams"};
+  std::vector<std::weak_ptr<detail::StreamState>> streams_
+      AABFT_GUARDED_BY(streams_mu_);
 
-  mutable std::mutex log_mu_;
-  std::vector<LaunchStats> log_;
+  mutable core::Mutex log_mu_{core::LockRank::kDeviceLog, "device.log"};
+  std::vector<LaunchStats> log_ AABFT_GUARDED_BY(log_mu_);
 };
 
 }  // namespace aabft::gpusim

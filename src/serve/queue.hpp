@@ -10,14 +10,14 @@
 
 #include <array>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <future>
-#include <mutex>
 #include <optional>
 
 #include "core/require.hpp"
+#include "core/sync.hpp"
+#include "core/thread_annotations.hpp"
 #include "serve/request.hpp"
 
 namespace aabft::serve {
@@ -59,10 +59,11 @@ class BoundedRequestQueue {
 
   /// Admit an item. Returns the queue depth right after insertion (i.e.
   /// including the item) or nullopt when the queue is full or closed.
-  std::optional<std::size_t> try_push(PendingRequest&& item) {
+  std::optional<std::size_t> try_push(PendingRequest&& item)
+      AABFT_EXCLUDES(mu_) {
     std::size_t depth_after = 0;
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      core::MutexLock lk(mu_);
       if (closed_ || size_ >= capacity_) return std::nullopt;
       buckets_[static_cast<std::size_t>(item.request.priority)].push_back(
           std::move(item));
@@ -74,9 +75,9 @@ class BoundedRequestQueue {
 
   /// Block until an item is available or the queue is closed *and* drained
   /// (nullopt). Highest priority class first, FIFO within a class.
-  std::optional<PendingRequest> pop() {
-    std::unique_lock<std::mutex> lk(mu_);
-    cv_.wait(lk, [&] { return size_ > 0 || closed_; });
+  std::optional<PendingRequest> pop() AABFT_EXCLUDES(mu_) {
+    core::UniqueLock lk(mu_);
+    while (size_ == 0 && !closed_) cv_.wait(lk);
     if (size_ == 0) return std::nullopt;
     for (auto& bucket : buckets_)
       if (!bucket.empty()) {
@@ -90,8 +91,9 @@ class BoundedRequestQueue {
 
   /// Non-blocking: remove and return the first queued request whose padded
   /// shape equals `key`, scanning priority classes in order.
-  std::optional<PendingRequest> try_pop_matching(const ShapeKey& key) {
-    std::lock_guard<std::mutex> lk(mu_);
+  std::optional<PendingRequest> try_pop_matching(const ShapeKey& key)
+      AABFT_EXCLUDES(mu_) {
+    core::MutexLock lk(mu_);
     for (auto& bucket : buckets_)
       for (auto it = bucket.begin(); it != bucket.end(); ++it)
         if (shape_of(*it) == key) {
@@ -105,41 +107,45 @@ class BoundedRequestQueue {
 
   /// Block up to `timeout` for the queue to become nonempty (the batch
   /// assembler's linger wait). True when an item is available on return.
-  bool wait_nonempty_for(std::chrono::microseconds timeout) {
-    std::unique_lock<std::mutex> lk(mu_);
-    return cv_.wait_for(lk, timeout, [&] { return size_ > 0 || closed_; }) &&
-           size_ > 0;
+  bool wait_nonempty_for(std::chrono::microseconds timeout)
+      AABFT_EXCLUDES(mu_) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    core::UniqueLock lk(mu_);
+    while (size_ == 0 && !closed_)
+      if (cv_.wait_until(lk, deadline) == std::cv_status::timeout) break;
+    return size_ > 0;
   }
 
   /// Refuse further pushes; pop() drains the remainder and then returns
   /// nullopt forever.
-  void close() {
+  void close() AABFT_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      core::MutexLock lk(mu_);
       closed_ = true;
     }
     cv_.notify_all();
   }
 
-  [[nodiscard]] bool closed() const {
-    std::lock_guard<std::mutex> lk(mu_);
+  [[nodiscard]] bool closed() const AABFT_EXCLUDES(mu_) {
+    core::MutexLock lk(mu_);
     return closed_;
   }
 
-  [[nodiscard]] std::size_t depth() const {
-    std::lock_guard<std::mutex> lk(mu_);
+  [[nodiscard]] std::size_t depth() const AABFT_EXCLUDES(mu_) {
+    core::MutexLock lk(mu_);
     return size_;
   }
 
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::array<std::deque<PendingRequest>, kNumPriorities> buckets_;
+  mutable core::Mutex mu_{core::LockRank::kServeQueue, "serve.queue"};
+  core::CondVar cv_;
+  std::array<std::deque<PendingRequest>, kNumPriorities> buckets_
+      AABFT_GUARDED_BY(mu_);
   std::size_t capacity_;
-  std::size_t size_ = 0;
-  bool closed_ = false;
+  std::size_t size_ AABFT_GUARDED_BY(mu_) = 0;
+  bool closed_ AABFT_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace aabft::serve

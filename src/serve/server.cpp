@@ -64,27 +64,27 @@ Result<std::future<GemmResponse>> GemmServer::submit(GemmRequest request) {
 }
 
 void GemmServer::pause() {
-  std::lock_guard<std::mutex> lk(pause_mu_);
+  core::MutexLock lk(pause_mu_);
   paused_ = true;
 }
 
 void GemmServer::resume() {
   {
-    std::lock_guard<std::mutex> lk(pause_mu_);
+    core::MutexLock lk(pause_mu_);
     paused_ = false;
   }
   pause_cv_.notify_all();
 }
 
 bool GemmServer::paused() const {
-  std::lock_guard<std::mutex> lk(pause_mu_);
+  core::MutexLock lk(pause_mu_);
   return paused_ && !stopping_;
 }
 
 void GemmServer::stop() {
-  std::lock_guard<std::mutex> stop_lk(stop_mu_);
+  core::MutexLock stop_lk(stop_mu_);
   {
-    std::lock_guard<std::mutex> lk(pause_mu_);
+    core::MutexLock lk(pause_mu_);
     stopping_ = true;
     paused_ = false;
   }
@@ -103,8 +103,8 @@ void GemmServer::dispatch_loop() {
   BatchAssembler assembler(queue_, config_.batch);
   for (;;) {
     {
-      std::unique_lock<std::mutex> lk(pause_mu_);
-      pause_cv_.wait(lk, [&] { return !paused_ || stopping_; });
+      core::UniqueLock lk(pause_mu_);
+      while (paused_ && !stopping_) pause_cv_.wait(lk);
     }
     // Bounded wait so a pause() that lands while we sleep on an empty queue
     // is observed before the next pop.

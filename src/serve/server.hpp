@@ -22,12 +22,13 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "core/sync.hpp"
+#include "core/thread_annotations.hpp"
 
 #include "abft/aabft.hpp"
 #include "baselines/schemes.hpp"
@@ -105,7 +106,7 @@ class GemmServer {
   void dispatch_loop();
   void serve_batch(std::vector<PendingRequest>&& batch);
   void ensure_lanes(std::size_t want);
-  [[nodiscard]] bool paused() const;
+  [[nodiscard]] bool paused() const AABFT_EXCLUDES(pause_mu_);
 
   gpusim::Launcher& launcher_;
   ServeConfig config_;
@@ -116,11 +117,13 @@ class GemmServer {
 
   StatsBoard stats_;
 
-  std::mutex stop_mu_;  ///< serializes stop() calls (idempotent join)
-  mutable std::mutex pause_mu_;
-  std::condition_variable pause_cv_;
-  bool paused_ = false;
-  bool stopping_ = false;
+  /// Serializes stop() calls (idempotent join). Held across queue close and
+  /// the dispatcher join, so it ranks below every other serve lock.
+  core::Mutex stop_mu_{core::LockRank::kServeControl, "serve.stop"};
+  mutable core::Mutex pause_mu_{core::LockRank::kServePause, "serve.pause"};
+  core::CondVar pause_cv_;
+  bool paused_ AABFT_GUARDED_BY(pause_mu_) = false;
+  bool stopping_ AABFT_GUARDED_BY(pause_mu_) = false;
 
   std::chrono::steady_clock::time_point start_;
   std::vector<gpusim::Stream> lanes_;  // dispatcher-owned, created lazily

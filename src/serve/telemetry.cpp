@@ -49,7 +49,7 @@ void merge_into(ServerStats& into, const ServerStats& from) {
 ServerStats StatsBoard::snapshot() const {
   ServerStats s;
   {
-    std::lock_guard<std::mutex> lk(recorder_mu_);
+    core::MutexLock lk(recorder_mu_);
     s.queue_wait_ns = queue_wait_ns_;
     s.service_ns = service_ns_;
     s.e2e_ns = e2e_ns_;

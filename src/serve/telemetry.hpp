@@ -16,11 +16,12 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 
 #include "baselines/op.hpp"
 #include "core/latency.hpp"
+#include "core/sync.hpp"
+#include "core/thread_annotations.hpp"
 
 namespace aabft::serve {
 
@@ -120,16 +121,16 @@ class StatsBoard {
     }
   }
 
-  void record_queue_wait(std::uint64_t ns) {
-    std::lock_guard<std::mutex> lk(recorder_mu_);
+  void record_queue_wait(std::uint64_t ns) AABFT_EXCLUDES(recorder_mu_) {
+    core::MutexLock lk(recorder_mu_);
     queue_wait_ns_.record(ns);
   }
-  void record_service(std::uint64_t ns) {
-    std::lock_guard<std::mutex> lk(recorder_mu_);
+  void record_service(std::uint64_t ns) AABFT_EXCLUDES(recorder_mu_) {
+    core::MutexLock lk(recorder_mu_);
     service_ns_.record(ns);
   }
-  void record_e2e(std::uint64_t ns) {
-    std::lock_guard<std::mutex> lk(recorder_mu_);
+  void record_e2e(std::uint64_t ns) AABFT_EXCLUDES(recorder_mu_) {
+    core::MutexLock lk(recorder_mu_);
     e2e_ns_.record(ns);
   }
 
@@ -138,13 +139,14 @@ class StatsBoard {
   /// relaxed load each). Counters are independently monotone, so the
   /// snapshot is torn-read-free per field; it is not a cross-field
   /// linearisation point (completed may lag admitted by in-flight work).
-  [[nodiscard]] ServerStats snapshot() const;
+  [[nodiscard]] ServerStats snapshot() const AABFT_EXCLUDES(recorder_mu_);
 
  private:
-  mutable std::mutex recorder_mu_;
-  LatencyRecorder queue_wait_ns_;
-  LatencyRecorder service_ns_;
-  LatencyRecorder e2e_ns_;
+  mutable core::Mutex recorder_mu_{core::LockRank::kServeStats,
+                                   "serve.stats"};
+  LatencyRecorder queue_wait_ns_ AABFT_GUARDED_BY(recorder_mu_);
+  LatencyRecorder service_ns_ AABFT_GUARDED_BY(recorder_mu_);
+  LatencyRecorder e2e_ns_ AABFT_GUARDED_BY(recorder_mu_);
   std::atomic<std::size_t> max_batch_{0};
 };
 
