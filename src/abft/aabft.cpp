@@ -48,6 +48,58 @@ Result<AabftResult> AabftMultiplier::multiply(const Matrix& a,
   return run(a, b, nullptr);
 }
 
+Result<AabftResult> AabftMultiplier::multiply_preencoded(const PreencodedA& pre,
+                                                         const Matrix& b) {
+  AABFT_REQUIRE(pre.a != nullptr && pre.light != nullptr,
+                "PreencodedA must reference the operand and its light encode");
+  if (auto err = validate(*pre.a, b)) return *err;
+  return run(*pre.a, b, nullptr, &pre);
+}
+
+std::vector<Result<AabftResult>> AabftMultiplier::multiply_batch_preencoded(
+    std::span<const PreencodedProblem> problems, std::size_t streams) {
+  std::vector<Result<AabftResult>> results;
+  results.reserve(problems.size());
+  for (std::size_t i = 0; i < problems.size(); ++i)
+    results.emplace_back(
+        Error{ErrorCode::kExecutionFailed, "batch entry did not execute"});
+  if (problems.empty()) return results;
+
+  const std::size_t lanes_wanted =
+      streams != 0 ? streams : std::max<std::size_t>(1, launcher_.workers());
+  const std::size_t num_lanes = std::min(problems.size(), lanes_wanted);
+
+  std::vector<gpusim::Stream> lanes;
+  lanes.reserve(num_lanes);
+  for (std::size_t s = 0; s < num_lanes; ++s)
+    lanes.push_back(launcher_.create_stream());
+
+  // Same lane discipline as multiply_batch: one host task per problem, the
+  // product of one overlapping the (B-side) encode of another. The shared
+  // PreencodedA is read-only, so problems reusing one cached A are safe to
+  // overlap.
+  for (std::size_t i = 0; i < problems.size(); ++i) {
+    const PreencodedProblem& prob = problems[i];
+    AABFT_REQUIRE(prob.a != nullptr && prob.a->a != nullptr &&
+                      prob.a->light != nullptr && prob.b != nullptr,
+                  "PreencodedProblem must reference a PreencodedA and B");
+    if (auto err = validate(*prob.a->a, *prob.b)) {
+      results[i] = *err;
+      continue;
+    }
+    launcher_.launch_host_async(
+        lanes[i % num_lanes], "aabft_batch_pre", [this, prob, &results, i] {
+          try {
+            results[i] = run(*prob.a->a, *prob.b, nullptr, prob.a);
+          } catch (const std::exception& e) {
+            results[i] = Error{ErrorCode::kExecutionFailed, e.what()};
+          }
+        });
+  }
+  for (auto& lane : lanes) lane.synchronize();
+  return results;
+}
+
 std::vector<Result<AabftResult>> AabftMultiplier::multiply_batch(
     std::span<const std::pair<Matrix, Matrix>> problems, std::size_t streams) {
   std::vector<Result<AabftResult>> results;
@@ -106,36 +158,102 @@ AabftResult AabftMultiplier::multiply_padded(const Matrix& a, const Matrix& b) {
   return result;
 }
 
+void AabftMultiplier::maybe_verify_preencoded(const Matrix& a,
+                                              const PreencodedA& pre) {
+  const std::size_t every = config_.cache_verify_every;
+  if (every == 0) return;
+  const std::uint64_t n =
+      preencoded_served_.fetch_add(1, std::memory_order_relaxed);
+  if (n % every != 0) return;
+
+  // Fresh light encode of the operand the caller actually handed us; the
+  // cached side-buffer must match it bit for bit (the sums feed both the
+  // fused product and the materialised repair operands), and the p-max
+  // *values* must match (tie index choices are encoder-specific and do not
+  // enter the bounds).
+  const LightEncoded fresh = encode_columns_light(launcher_, a, codec_,
+                                                  config_.p);
+  AABFT_REQUIRE(fresh.sums == pre.light->sums,
+                "operand-cache consistency check failed: cached checksum "
+                "side-buffer is not bit-identical to a fresh encode (stale "
+                "or corrupted cache entry)");
+  AABFT_REQUIRE(fresh.pmax.size() == pre.light->pmax.size(),
+                "operand-cache consistency check failed: p-max table extent "
+                "mismatch");
+  for (std::size_t v = 0; v < fresh.pmax.size(); ++v) {
+    const PMaxList& want = fresh.pmax[v];
+    const PMaxList& got = pre.light->pmax[v];
+    AABFT_REQUIRE(want.size() == got.size(),
+                  "operand-cache consistency check failed: p-max list length "
+                  "mismatch");
+    for (std::size_t i = 0; i < want.size(); ++i)
+      AABFT_REQUIRE(want[i].value == got[i].value,
+                    "operand-cache consistency check failed: cached p-max "
+                    "value differs from a fresh encode");
+  }
+}
+
 AabftResult AabftMultiplier::run(const Matrix& a, const Matrix& b,
-                                 EpsilonTrace* trace) {
+                                 EpsilonTrace* trace,
+                                 const PreencodedA* pre_a) {
   AABFT_REQUIRE(a.cols() == b.rows(), "inner dimensions must agree");
   AABFT_REQUIRE(codec_.divides(a.rows()),
                 "rows of A must be a multiple of the checksum block size");
   AABFT_REQUIRE(codec_.divides(b.cols()),
                 "columns of B must be a multiple of the checksum block size");
-  if (config_.fused_gemm) return run_fused(a, b, trace);
+  if (pre_a != nullptr) maybe_verify_preencoded(a, *pre_a);
+  if (config_.fused_gemm) return run_fused(a, b, trace, pre_a);
 
   // Step 1: encode + blockwise maxima (Algorithm 1), step 3's global
-  // reduction is launched inside encode_* right after.
-  EncodedMatrix a_cc = encode_columns(launcher_, a, codec_, config_.p);
+  // reduction is launched inside encode_* right after. A cache hit replaces
+  // A's encode with the cached artifacts: the pre-materialised A_cc when the
+  // cache stored one, else a pure layout copy from the cached sums — either
+  // way bit-identical to encode_columns, so the product and every repair
+  // rung below are unchanged.
+  std::optional<EncodedMatrix> a_own;
+  std::optional<Matrix> a_materialized;
+  const Matrix* a_enc_data = nullptr;
+  const PMaxTable* a_pmax = nullptr;
+  if (pre_a != nullptr) {
+    a_pmax = &pre_a->light->pmax;
+    if (pre_a->encoded != nullptr) {
+      a_enc_data = pre_a->encoded;
+    } else {
+      a_materialized = materialize_columns(a, pre_a->light->sums, codec_);
+      a_enc_data = &*a_materialized;
+    }
+  } else {
+    a_own = encode_columns(launcher_, a, codec_, config_.p);
+    a_enc_data = &a_own->data;
+    a_pmax = &a_own->pmax;
+  }
   EncodedMatrix b_rc = encode_rows(launcher_, b, codec_, config_.p);
 
   // Step 2: the block-based product over the encoded operands (Algorithm 3).
-  Matrix c_fc = linalg::blocked_matmul(launcher_, a_cc.data, b_rc.data,
+  Matrix c_fc = linalg::blocked_matmul(launcher_, *a_enc_data, b_rc.data,
                                        config_.gemm);
 
-  const auto encoded_a = [&]() -> const Matrix& { return a_cc.data; };
+  const auto encoded_a = [&]() -> const Matrix& { return *a_enc_data; };
   const auto encoded_b = [&]() -> const Matrix& { return b_rc.data; };
-  return settle(std::move(c_fc), a_cc.pmax, b_rc.pmax, a.cols(), trace,
+  return settle(std::move(c_fc), *a_pmax, b_rc.pmax, a.cols(), trace,
                 encoded_a, encoded_b);
 }
 
 AabftResult AabftMultiplier::run_fused(const Matrix& a, const Matrix& b,
-                                       EpsilonTrace* trace) {
+                                       EpsilonTrace* trace,
+                                       const PreencodedA* pre_a) {
   // Step 1, light form: compact checksum side-buffers + p-max tables, no
-  // encoded-matrix materialisation (fused_gemm.hpp).
-  const LightEncoded a_light =
-      encode_columns_light(launcher_, a, codec_, config_.p);
+  // encoded-matrix materialisation (fused_gemm.hpp). A cache hit skips A's
+  // light encode entirely — the cached sums and p-max table are exactly what
+  // encode_columns_light would produce.
+  std::optional<LightEncoded> a_own;
+  const LightEncoded* a_light = nullptr;
+  if (pre_a != nullptr) {
+    a_light = pre_a->light;
+  } else {
+    a_own = encode_columns_light(launcher_, a, codec_, config_.p);
+    a_light = &*a_own;
+  }
   const LightEncoded b_light = encode_rows_light(launcher_, b, codec_,
                                                  config_.p);
 
@@ -143,22 +261,24 @@ AabftResult AabftMultiplier::run_fused(const Matrix& a, const Matrix& b,
   // own column checksums at panel boundaries — the recovery ladder's rung 0.
   FusedGemmConfig fused = config_.fused;
   fused.use_fma = config_.gemm.use_fma;
-  FusedProduct product = fused_encode_matmul(launcher_, a, b, a_light.sums,
+  FusedProduct product = fused_encode_matmul(launcher_, a, b, a_light->sums,
                                              b_light.sums, codec_, fused);
 
   // The repair rungs (correction re-check aside) operate on the encoded
-  // operands; materialise them only if one actually engages.
+  // operands; materialise them only if one actually engages (a cached A_cc,
+  // when present, short-circuits even that copy).
   std::optional<Matrix> a_enc;
   std::optional<Matrix> b_enc;
   const auto encoded_a = [&]() -> const Matrix& {
-    if (!a_enc) a_enc = materialize_columns(a, a_light.sums, codec_);
+    if (pre_a != nullptr && pre_a->encoded != nullptr) return *pre_a->encoded;
+    if (!a_enc) a_enc = materialize_columns(a, a_light->sums, codec_);
     return *a_enc;
   };
   const auto encoded_b = [&]() -> const Matrix& {
     if (!b_enc) b_enc = materialize_rows(b, b_light.sums, codec_);
     return *b_enc;
   };
-  AabftResult result = settle(std::move(product.c_fc), a_light.pmax,
+  AabftResult result = settle(std::move(product.c_fc), a_light->pmax,
                               b_light.pmax, a.cols(), trace, encoded_a,
                               encoded_b);
   result.fused = true;

@@ -14,6 +14,7 @@
 // is collected while encoding.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <optional>
@@ -60,6 +61,14 @@ struct AabftConfig {
   /// errors), re-execute the product and check once more — the standard
   /// recovery for transient faults. 0 disables recomputation.
   std::size_t max_recompute_attempts = 1;
+  /// Cache-consistency guard for the preencoded (operand-cache) paths: every
+  /// N-th multiply_preencoded / multiply_batch_preencoded problem re-runs the
+  /// light encode of A and requires the cached side-buffer and p-max values
+  /// to be bit-identical, throwing std::invalid_argument on a stale entry so
+  /// soaks catch cache bugs instead of serving from them. 0 disables the
+  /// check (the production default; the sampled check costs one extra encode
+  /// pass per N problems).
+  std::size_t cache_verify_every = 0;
 
   /// Keeps the GEMM kernel's FMA mode and the bound model consistent.
   void set_fma(bool fma) noexcept {
@@ -92,6 +101,26 @@ struct AabftResult {
   }
 };
 
+/// A pre-encoded left operand: borrowed views of the padded matrix, its
+/// light encode (compact checksum side-buffer + p-max table) and, when the
+/// consumer runs the classic (unfused) pipeline, optionally the materialised
+/// encoded matrix A_cc. The serving operand cache owns the storage; the
+/// multiplier only reads through these pointers for the duration of one
+/// multiply. `a` and `light` are mandatory; `encoded` may be null (the
+/// classic path then materialises A_cc from the sums, a pure layout copy).
+struct PreencodedA {
+  const linalg::Matrix* a = nullptr;
+  const LightEncoded* light = nullptr;
+  const linalg::Matrix* encoded = nullptr;
+};
+
+/// One problem of a preencoded batch: the shared pre-encoded A and this
+/// request's B. Both pointers borrow; the batch call does not copy.
+struct PreencodedProblem {
+  const PreencodedA* a = nullptr;
+  const linalg::Matrix* b = nullptr;
+};
+
 class AabftMultiplier {
  public:
   AabftMultiplier(gpusim::Launcher& launcher, AabftConfig config);
@@ -115,6 +144,21 @@ class AabftMultiplier {
       std::span<const std::pair<linalg::Matrix, linalg::Matrix>> problems,
       std::size_t streams = 0);
 
+  /// Protected multiply with a pre-encoded A (operand-cache hit path): the
+  /// O(m k) encode of A is skipped entirely — both pipelines consume the
+  /// cached side-buffers, and results are bit-identical to multiply(*pre.a,
+  /// b). Shape misuse comes back as an error; a stale cache entry caught by
+  /// the sampled consistency guard (cache_verify_every) throws.
+  [[nodiscard]] Result<AabftResult> multiply_preencoded(const PreencodedA& pre,
+                                                        const linalg::Matrix& b);
+
+  /// Batch counterpart of multiply_preencoded, pipelined across streams like
+  /// multiply_batch. Problems may share one PreencodedA (the repeated-weight
+  /// serving case) or mix different ones; results are indexed like
+  /// `problems` and bit-identical to sequential multiply_preencoded calls.
+  [[nodiscard]] std::vector<Result<AabftResult>> multiply_batch_preencoded(
+      std::span<const PreencodedProblem> problems, std::size_t streams = 0);
+
   /// Epsilon-trace variant for the bound-quality experiments (Tables II-IV):
   /// identical to multiply() but records every epsilon the check computed.
   [[nodiscard]] AabftResult multiply_traced(const linalg::Matrix& a,
@@ -133,9 +177,13 @@ class AabftMultiplier {
 
  private:
   AabftResult run(const linalg::Matrix& a, const linalg::Matrix& b,
-                  EpsilonTrace* trace);
+                  EpsilonTrace* trace, const PreencodedA* pre_a = nullptr);
   AabftResult run_fused(const linalg::Matrix& a, const linalg::Matrix& b,
-                        EpsilonTrace* trace);
+                        EpsilonTrace* trace, const PreencodedA* pre_a);
+  /// The sampled cache-consistency guard (config().cache_verify_every):
+  /// re-derives A's light encode and requires bit-identity with the cached
+  /// one. Throws std::invalid_argument on a stale entry.
+  void maybe_verify_preencoded(const linalg::Matrix& a, const PreencodedA& pre);
   /// Steps 4-5 shared by the classic and fused pipelines: check, then the
   /// recovery ladder (correction, block recompute, full recompute), then
   /// strip. The encoded-operand providers are only invoked by repair rungs —
@@ -152,6 +200,9 @@ class AabftMultiplier {
   gpusim::Launcher& launcher_;
   AabftConfig config_;
   PartitionedCodec codec_;
+  /// Preencoded problems served so far (drives the 1-in-N sampling of the
+  /// consistency guard); relaxed — exact sampling phase is irrelevant.
+  std::atomic<std::uint64_t> preencoded_served_{0};
 };
 
 }  // namespace aabft::abft

@@ -325,6 +325,28 @@ std::vector<Result<OpOutcome>> AabftScheme::execute_batch(
   return out;
 }
 
+Result<OpOutcome> AabftScheme::execute_preencoded(const abft::PreencodedA& pre,
+                                                  const Matrix& b) {
+  Result<abft::AabftResult> raw = mult_.multiply_preencoded(pre, b);
+  if (!raw.ok()) return raw.error();
+  return to_scheme_result(std::move(raw).value());
+}
+
+std::vector<Result<OpOutcome>> AabftScheme::execute_batch_preencoded(
+    std::span<const abft::PreencodedProblem> problems) {
+  std::vector<Result<abft::AabftResult>> raw =
+      mult_.multiply_batch_preencoded(problems);
+  std::vector<Result<OpOutcome>> out;
+  out.reserve(raw.size());
+  for (auto& r : raw) {
+    if (r.ok())
+      out.push_back(to_scheme_result(std::move(r).value()));
+    else
+      out.push_back(r.error());
+  }
+  return out;
+}
+
 std::unique_ptr<ProductChecker> AabftScheme::make_checker(
     const ProductCheckContext& ctx) {
   return std::make_unique<AabftChecker>(ctx, mult_.config().bounds);

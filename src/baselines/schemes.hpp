@@ -100,6 +100,14 @@ class AabftScheme final : public ProtectedBlas3 {
       OpKind kind,
       std::span<const std::pair<linalg::Matrix, linalg::Matrix>> problems)
       override;
+  /// Preencoded-A GEMM entry points for the serving layer's operand cache:
+  /// A's checksum artifacts come from the cache's one-time encode instead of
+  /// a per-request encode pass. Bit-identical to execute()/execute_batch()
+  /// on the same operands (see AabftMultiplier::multiply_preencoded).
+  [[nodiscard]] Result<OpOutcome> execute_preencoded(
+      const abft::PreencodedA& pre, const linalg::Matrix& b);
+  [[nodiscard]] std::vector<Result<OpOutcome>> execute_batch_preencoded(
+      std::span<const abft::PreencodedProblem> problems);
   [[nodiscard]] std::unique_ptr<ProductChecker> make_checker(
       const ProductCheckContext& ctx) override;
 

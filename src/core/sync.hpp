@@ -63,6 +63,7 @@ enum class LockRank : int {
   kFleetChaos = 110,     ///< chaos RNG draw per injected fault
   kFleetRouter = 120,    ///< ShardRouter shape-affinity map
   kFleetOperandStore = 130,  ///< OperandStore stripe index
+  kFleetCacheMap = 135,  ///< fleet-handle -> per-shard serve-cache handle map
   kFleetQueues = 140,    ///< ShardQueues (work stealing, one lock for all N)
   kFleetInflight = 150,  ///< per-shard dispatched-uncollected window
   kFleetTelemetry = 160, ///< per-shard fleet e2e latency recorder
@@ -71,6 +72,7 @@ enum class LockRank : int {
   kServeControl = 200,   ///< GemmServer::stop_mu_ (held across queue close)
   kServePause = 210,     ///< dispatcher pause/resume gate
   kServeQueue = 220,     ///< BoundedRequestQueue buckets
+  kServeOpCache = 225,   ///< OperandCache index + LRU bookkeeping
   kServeStats = 230,     ///< StatsBoard latency recorders
 
   // -- device layer (src/gpusim) --

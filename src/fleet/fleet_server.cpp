@@ -83,6 +83,11 @@ serve::ShapeKey FleetServer::route_key(const FleetRequest& req) const {
   key.q = key.kind == baselines::OpKind::kGemm
               ? dims_of(req.request.b, req.b_handle).second
               : am;
+  // Operand affinity: keep a handle's traffic on the shard whose serve cache
+  // already holds its encode. Fleet handles start at 0 and the serve-level
+  // key uses 0 for "no handle", so shift by one.
+  key.a_handle =
+      req.a_handle == FleetRequest::kInlineOperand ? 0 : req.a_handle + 1;
   return key;
 }
 
@@ -140,6 +145,89 @@ Result<serve::GemmRequest> FleetServer::resolve(const Job& job,
   return out;
 }
 
+Result<serve::GemmRequest> FleetServer::resolve_for(const Job& job,
+                                                    std::size_t shard,
+                                                    bool& reconstructed) {
+  // Only GEMM A handles ride the serve-layer operand cache; everything else
+  // (B operands, single-operand kinds, inline A) resolves to matrices.
+  const bool cacheable = job.req.request.kind == baselines::OpKind::kGemm &&
+                         job.req.a_handle != FleetRequest::kInlineOperand;
+  if (!cacheable) return resolve(job, reconstructed);
+
+  serve::GemmRequest out = job.req.request;
+  if (job.req.b_handle != FleetRequest::kInlineOperand) {
+    auto fetched = store_.get(job.req.b_handle);
+    if (!fetched.ok()) return fetched.error();
+    out.b = std::move(fetched->matrix);
+    reconstructed |= fetched->reconstructed;
+  }
+
+  const std::uint64_t epoch = store_epoch_.load(std::memory_order_acquire);
+  std::uint64_t mapped = 0;  // current-epoch serve handle on this shard
+  std::uint64_t stale = 0;   // older-epoch handle needing revalidation
+  {
+    core::MutexLock lk(cache_map_mu_);
+    auto it = cache_map_.find(job.req.a_handle);
+    if (it != cache_map_.end()) {
+      const CacheMapEntry& entry = it->second[shard];
+      if (entry.serve_handle != 0) {
+        (entry.epoch == epoch ? mapped : stale) = entry.serve_handle;
+      }
+    }
+  }
+  if (mapped != 0) {
+    out.a = linalg::Matrix();
+    out.a_handle = mapped;
+    return out;
+  }
+
+  // Unmapped on this shard, or the fleet fenced a device since the mapping
+  // was validated: re-fetch from the store, which is where a parity
+  // reconstruction of this operand would surface. Never performed while
+  // holding cache_map_mu_ — the store's lock ranks below it.
+  auto fetched = store_.get(job.req.a_handle);
+  if (!fetched.ok()) return fetched.error();
+  reconstructed |= fetched->reconstructed;
+
+  std::uint64_t serve_handle = 0;
+  if (stale != 0 && !fetched->reconstructed) {
+    // The operand survived the fence with every data stripe intact: the
+    // shard's cached encode is still the same bits. Revalidate, no re-encode.
+    serve_handle = stale;
+  } else {
+    if (stale != 0) {
+      // The operand came back through a parity rebuild: conservatively drop
+      // the shard's cached entry *before* re-registering, so the cache's
+      // content dedup publishes a fresh entry from the reconstructed bits.
+      shards_[shard]->server->invalidate_operand(stale);
+    }
+    auto reg = shards_[shard]->server->register_operand(fetched->matrix);
+    if (reg.ok()) serve_handle = *reg;
+  }
+  if (serve_handle == 0) {
+    // The shard's cache refused the operand (disabled, or it alone exceeds
+    // the byte budget): dispatch inline, correct but uncached.
+    out.a = std::move(fetched->matrix);
+    return out;
+  }
+  {
+    core::MutexLock lk(cache_map_mu_);
+    auto& slots = cache_map_[job.req.a_handle];
+    if (slots.size() != shards_.size()) slots.resize(shards_.size());
+    slots[shard] = CacheMapEntry{serve_handle, epoch};
+  }
+  out.a = linalg::Matrix();
+  out.a_handle = serve_handle;
+  return out;
+}
+
+void FleetServer::drop_cache_mapping(std::uint64_t fleet_handle,
+                                     std::size_t shard) {
+  core::MutexLock lk(cache_map_mu_);
+  auto it = cache_map_.find(fleet_handle);
+  if (it != cache_map_.end()) it->second[shard] = CacheMapEntry{};
+}
+
 void FleetServer::feeder_loop(Shard& shard) {
   for (;;) {
     if (shard.fenced.load(std::memory_order_acquire)) {
@@ -168,7 +256,7 @@ void FleetServer::feeder_loop(Shard& shard) {
     }
 
     bool recon = false;
-    auto resolved = resolve(job, recon);
+    auto resolved = resolve_for(job, shard.index, recon);
     if (!resolved.ok()) {
       finish(shard, std::move(job),
              failed_response(job.fleet_id, job.req.request.kind,
@@ -181,26 +269,46 @@ void FleetServer::feeder_loop(Shard& shard) {
     // Device-corruption chaos: arm extra faults scoped to this dispatch (and
     // therefore to this shard's launcher — the fault plan travels inside the
     // request and is consulted only by the serving shard's worker pool).
-    std::size_t chaos = shard.chaos_faults.load(std::memory_order_relaxed);
-    chaos = std::min(chaos, gpusim::FaultController::kMaxFaults -
-                                std::min(gpusim::FaultController::kMaxFaults,
-                                         to_run.fault_plan.size()));
-    const std::size_t chaos_armed = chaos;
-    for (std::size_t i = 0; i < chaos; ++i) {
-      gpusim::FaultConfig fault;
-      fault.site = gpusim::FaultSite::kFinalAdd;
-      fault.sm_id = 0;  // block 0 runs on SM 0: the fault always lands
-      fault.module_id = 0;
-      fault.k_injection = 0;
-      {
-        core::MutexLock lk(chaos_mu_);
-        fault.error_vec =
-            fp::make_error_vec(fp::BitField::kExponent, 1, chaos_rng_);
+    const auto arm_chaos = [&](serve::GemmRequest& req) {
+      std::size_t chaos = shard.chaos_faults.load(std::memory_order_relaxed);
+      chaos = std::min(chaos, gpusim::FaultController::kMaxFaults -
+                                  std::min(gpusim::FaultController::kMaxFaults,
+                                           req.fault_plan.size()));
+      for (std::size_t i = 0; i < chaos; ++i) {
+        gpusim::FaultConfig fault;
+        fault.site = gpusim::FaultSite::kFinalAdd;
+        fault.sm_id = 0;  // block 0 runs on SM 0: the fault always lands
+        fault.module_id = 0;
+        fault.k_injection = 0;
+        {
+          core::MutexLock lk(chaos_mu_);
+          fault.error_vec =
+              fp::make_error_vec(fp::BitField::kExponent, 1, chaos_rng_);
+        }
+        req.fault_plan.push_back(fault);
       }
-      to_run.fault_plan.push_back(fault);
-    }
+      return chaos;
+    };
+    std::size_t chaos_armed = arm_chaos(to_run);
 
+    const std::uint64_t used_handle = to_run.a_handle;
     auto sub = shard.server->submit(std::move(to_run));
+    if (!sub.ok() && used_handle != 0 &&
+        sub.error().code == ErrorCode::kInvalidArgument &&
+        job.req.a_handle != FleetRequest::kInlineOperand) {
+      // The shard's serve cache evicted the mapped entry between resolution
+      // and admission: drop the stale mapping and re-resolve once (the
+      // retry re-registers or falls back to an inline operand).
+      drop_cache_mapping(job.req.a_handle, shard.index);
+      bool recon_retry = false;
+      if (auto again = resolve_for(job, shard.index, recon_retry);
+          again.ok()) {
+        recon |= recon_retry;
+        serve::GemmRequest retry = std::move(*again);
+        chaos_armed = arm_chaos(retry);
+        sub = shard.server->submit(std::move(retry));
+      }
+    }
     if (!sub.ok()) {
       // Deterministic refusals (shape) fail outright; transient ones
       // (overload — impossible while inflight_window <= server capacity)
@@ -309,14 +417,24 @@ serve::GemmResponse FleetServer::replay_on_survivor(const Job& job,
     if (target == shards_.size()) return last;  // nobody left
 
     bool recon = false;
-    auto resolved = resolve(job, recon);
+    auto resolved = resolve_for(job, target, recon);
     if (!resolved.ok()) {
       last.diagnosis = resolved.error().message;
       return last;  // operands unrecoverable: retrying cannot help
     }
+    const std::uint64_t used_handle = resolved->a_handle;
     auto sub = shards_[target]->server->submit(std::move(*resolved));
     if (!sub.ok()) {
       last.diagnosis = sub.error().message;
+      if (used_handle != 0 &&
+          sub.error().code == ErrorCode::kInvalidArgument &&
+          job.req.a_handle != FleetRequest::kInlineOperand) {
+        // The target's serve cache evicted the mapped entry under us: drop
+        // the mapping and spend the next attempt on a fresh resolution
+        // (the same target stays eligible).
+        drop_cache_mapping(job.req.a_handle, target);
+        continue;
+      }
       exclude = target;
       continue;
     }
@@ -340,6 +458,10 @@ void FleetServer::fence(std::size_t shard) {
     return;  // already fenced
   shards_[shard]->health.force_fence();
   store_.fence_shard(shard);
+  // Every serve-cache mapping validated before this fence must re-check the
+  // store on next use — that is where a parity reconstruction (and the
+  // cache invalidation it mandates) surfaces.
+  store_epoch_.fetch_add(1, std::memory_order_release);
   router_.forget_shard(shard);
   fenced_count_.fetch_add(1, std::memory_order_relaxed);
   // Wake the feeder (it drains and re-routes the shard's queue) and anyone
@@ -467,6 +589,7 @@ FleetStats FleetServer::stats() const {
   stats.steals = queues_.steals();
   stats.replays = replays_.load(std::memory_order_relaxed);
   stats.reconstructions = store_.reconstructions();
+  stats.operand_dedups = store_.dedup_hits();
   stats.fenced_devices = fenced_count_.load(std::memory_order_relaxed);
   return stats;
 }

@@ -28,6 +28,7 @@
 #include <future>
 #include <memory>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/latency.hpp"
@@ -84,7 +85,10 @@ class FleetServer {
   FleetServer& operator=(const FleetServer&) = delete;
 
   /// Stripe an operand across the fleet with XOR parity; the handle goes in
-  /// FleetRequest::a_handle / b_handle.
+  /// FleetRequest::a_handle / b_handle. Content-addressed: re-registering an
+  /// identical matrix returns the existing handle. GEMM A handles also feed
+  /// the per-shard serve-layer operand caches — the first dispatch on a
+  /// shard encodes once, later dispatches reuse the cached checksums.
   [[nodiscard]] std::uint64_t register_operand(const linalg::Matrix& m) {
     return store_.put(m);
   }
@@ -172,6 +176,19 @@ class FleetServer {
   /// ready kFailed response.
   [[nodiscard]] Result<serve::GemmRequest> resolve(const Job& job,
                                                    bool& reconstructed) const;
+  /// resolve() plus the operand-cache fast path for the dispatch target: a
+  /// GEMM A handle maps to `shard`'s serve-cache handle (registered on first
+  /// use), so the request ships without the matrix and the shard reuses its
+  /// cached checksum encode. A store-epoch bump (any fence) forces
+  /// revalidation; an A that came back through parity reconstruction
+  /// invalidates the shard's cached entry before re-registering.
+  [[nodiscard]] Result<serve::GemmRequest> resolve_for(const Job& job,
+                                                       std::size_t shard,
+                                                       bool& reconstructed);
+  /// Forget a shard's serve-cache mapping for a fleet handle (after the
+  /// serve cache evicted or invalidated the entry underneath us).
+  void drop_cache_mapping(std::uint64_t fleet_handle, std::size_t shard)
+      AABFT_EXCLUDES(cache_map_mu_);
   /// Run the job synchronously on the healthiest surviving shard (the replay
   /// path for fenced/failed responses). Fulfils nothing — returns the
   /// response for the caller to judge.
@@ -188,6 +205,18 @@ class FleetServer {
   OperandStore store_;
   ShardRouter router_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// One slot per shard: the serve-cache handle this fleet operand maps to
+  /// there, and the store epoch the mapping was validated at. 0 = unmapped.
+  struct CacheMapEntry {
+    std::uint64_t serve_handle = 0;
+    std::uint64_t epoch = 0;
+  };
+  core::Mutex cache_map_mu_{core::LockRank::kFleetCacheMap, "fleet.cache_map"};
+  std::unordered_map<std::uint64_t, std::vector<CacheMapEntry>> cache_map_
+      AABFT_GUARDED_BY(cache_map_mu_);
+  /// Bumped by every fence: mappings validated at an older epoch re-check
+  /// the operand store (which is where a reconstruction would surface).
+  std::atomic<std::uint64_t> store_epoch_{1};
   ShardQueues<Job> queues_;
   core::Mutex chaos_mu_{core::LockRank::kFleetChaos, "fleet.chaos"};
   Rng chaos_rng_ AABFT_GUARDED_BY(chaos_mu_);

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "core/require.hpp"
+#include "serve/opcache/fingerprint.hpp"
 
 namespace aabft::fleet {
 
@@ -13,6 +14,19 @@ OperandStore::OperandStore(std::size_t shards) : shards_(shards) {
 }
 
 std::uint64_t OperandStore::put(const linalg::Matrix& m) {
+  // Content-addressed dedup: repeated-weight serving registers the same
+  // matrix over and over; striping it once is enough. Checked again under
+  // the publish lock in case a concurrent put of the same content wins.
+  const std::uint64_t fp = serve::opcache::fingerprint_matrix(m);
+  {
+    core::MutexLock lk(mu_);
+    auto it = dedup_.find(fp);
+    if (it != dedup_.end()) {
+      dedup_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+
   auto striped = std::make_shared<Striped>();
   striped->rows = m.rows();
   striped->cols = m.cols();
@@ -39,9 +53,14 @@ std::uint64_t OperandStore::put(const linalg::Matrix& m) {
       striped->parity[w] ^= stripe[w];
 
   core::MutexLock lk(mu_);
+  if (auto it = dedup_.find(fp); it != dedup_.end()) {
+    dedup_hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;  // lost a race to an identical concurrent put
+  }
   const std::uint64_t handle = next_handle_++;
   striped->parity_shard = handle % shards_;
   store_.emplace(handle, std::move(striped));
+  dedup_.emplace(fp, handle);
   return handle;
 }
 

@@ -37,6 +37,10 @@ class OperandStore {
 
   /// Register an operand; returns its handle. The parity stripe's shard
   /// rotates with the handle so parity load spreads across the fleet.
+  /// Handles are content-addressed: registering a matrix whose content
+  /// fingerprint matches an already-stored operand returns the existing
+  /// handle instead of striping a duplicate (stripes are immutable, so the
+  /// shared handle is safe under every fence/reconstruction path).
   [[nodiscard]] std::uint64_t put(const linalg::Matrix& m);
 
   struct Fetched {
@@ -65,6 +69,10 @@ class OperandStore {
   [[nodiscard]] std::uint64_t reconstructions() const noexcept {
     return reconstructions_.load(std::memory_order_relaxed);
   }
+  /// put() calls answered with an existing handle by content fingerprint.
+  [[nodiscard]] std::uint64_t dedup_hits() const noexcept {
+    return dedup_hits_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Striped {
@@ -84,8 +92,12 @@ class OperandStore {
   std::uint64_t next_handle_ AABFT_GUARDED_BY(mu_) = 0;
   std::unordered_map<std::uint64_t, std::shared_ptr<const Striped>> store_
       AABFT_GUARDED_BY(mu_);
+  /// Content fingerprint -> handle, for put()'s dedup path.
+  std::unordered_map<std::uint64_t, std::uint64_t> dedup_
+      AABFT_GUARDED_BY(mu_);
   std::vector<bool> fenced_ AABFT_GUARDED_BY(mu_);
   mutable std::atomic<std::uint64_t> reconstructions_{0};
+  mutable std::atomic<std::uint64_t> dedup_hits_{0};
 };
 
 }  // namespace aabft::fleet

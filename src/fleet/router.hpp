@@ -27,7 +27,8 @@ struct ShapeKeyHash {
   [[nodiscard]] std::size_t operator()(
       const serve::ShapeKey& key) const noexcept {
     std::size_t h = static_cast<std::size_t>(key.kind);
-    for (std::size_t part : {key.m, key.k, key.q})
+    for (std::size_t part :
+         {key.m, key.k, key.q, static_cast<std::size_t>(key.a_handle)})
       h = h * 1000003u + part;  // FNV-style mix; keys are tiny
     return h;
   }

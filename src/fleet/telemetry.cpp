@@ -40,6 +40,7 @@ std::string to_json(const FleetStats& stats) {
   out << "  \"steals\": " << stats.steals << ",\n";
   out << "  \"replays\": " << stats.replays << ",\n";
   out << "  \"reconstructions\": " << stats.reconstructions << ",\n";
+  out << "  \"operand_dedups\": " << stats.operand_dedups << ",\n";
   out << "  \"shards\": [\n";
   for (std::size_t i = 0; i < stats.shards.size(); ++i) {
     const ShardStats& s = stats.shards[i];

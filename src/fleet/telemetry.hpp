@@ -49,6 +49,9 @@ struct FleetStats {
   std::uint64_t steals = 0;
   std::uint64_t replays = 0;
   std::uint64_t reconstructions = 0;  ///< parity rebuilds in the operand store
+  /// register_operand calls answered with an existing handle by content
+  /// fingerprint (the operand store's dedup path).
+  std::uint64_t operand_dedups = 0;
   std::size_t fenced_devices = 0;
 };
 

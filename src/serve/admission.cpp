@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "abft/padding.hpp"
+#include "serve/opcache/fingerprint.hpp"
 
 namespace aabft::serve {
 
@@ -11,9 +12,28 @@ using baselines::OpDescriptor;
 using baselines::OpKind;
 
 Result<std::future<GemmResponse>> AdmissionController::admit(
-    GemmRequest&& request, BoundedRequestQueue& queue, std::uint64_t now_ns) {
-  const std::size_t m = request.a.rows();
-  const std::size_t k = request.a.cols();
+    GemmRequest&& request, BoundedRequestQueue& queue, std::uint64_t now_ns,
+    opcache::OperandCache* cache) {
+  // Resolve an explicit operand-cache reference first: the handle stands in
+  // for A entirely, so shape validation reads the cached entry's extents.
+  opcache::OperandCache::Pin pin;
+  if (request.a_handle != 0) {
+    if (request.kind != OpKind::kGemm)
+      return Error{ErrorCode::kInvalidArgument,
+                   "operand handles stand in for GEMM A operands only"};
+    if (cache == nullptr)
+      return Error{ErrorCode::kInvalidArgument,
+                   "request carries operand handle " +
+                       std::to_string(request.a_handle) +
+                       " but the server has no operand cache"};
+    pin = cache->acquire(request.a_handle);
+    if (!pin)
+      return Error{ErrorCode::kInvalidArgument,
+                   "unknown or evicted operand handle " +
+                       std::to_string(request.a_handle)};
+  }
+  const std::size_t m = pin ? pin->orig_rows : request.a.rows();
+  const std::size_t k = pin ? pin->orig_cols : request.a.cols();
   if (m == 0 || k == 0)
     return Error{ErrorCode::kInvalidArgument, "empty operand"};
   if (request.deadline_ms < 0.0)
@@ -37,10 +57,29 @@ Result<std::future<GemmResponse>> AdmissionController::admit(
                            std::to_string(m) + "x" + std::to_string(k) +
                            ", B is " + std::to_string(request.b.rows()) + "x" +
                            std::to_string(q));
-      const std::size_t padded_m = abft::padded_dim(m, bs_);
+      // Implicit cache hit: an inline A whose content fingerprint matches a
+      // registered entry reuses the cached encode. Fingerprinting reads the
+      // original (unpadded) matrix — register_operand hashed the same form.
+      if (!pin && cache != nullptr && cache->config().enabled &&
+          cache->config().implicit_fingerprinting) {
+        if (auto hit = cache->lookup(opcache::fingerprint_matrix(request.a)))
+          pin = cache->acquire(*hit);  // may race an eviction: stays cold
+      }
+      const std::size_t padded_m =
+          pin ? pin->padded.rows() : abft::padded_dim(m, bs_);
       const std::size_t padded_q = abft::padded_dim(q, bs_);
       item.orig_q = q;
-      if (padded_m != m) request.a = abft::pad_to(request.a, padded_m, k);
+      if (pin) {
+        // The cached padded copy serves; drop the inline operand (if any) so
+        // the queue does not hold a redundant O(m k) buffer.
+        request.a = linalg::Matrix();
+        request.a_handle = pin->handle;
+        item.a_handle = pin->handle;
+        item.pin = std::move(pin);
+        item.trace.cache_hit = true;
+      } else if (padded_m != m) {
+        request.a = abft::pad_to(request.a, padded_m, k);
+      }
       if (padded_q != q) request.b = abft::pad_to(request.b, k, padded_q);
       item.desc = OpDescriptor::gemm(padded_m, k, padded_q);
       break;
@@ -62,8 +101,15 @@ Result<std::future<GemmResponse>> AdmissionController::admit(
   }
 
   // Deadline feasibility with the per-kind flop model (2mkq GEMM, m^2 k
-  // SYRK, n^3/3 Cholesky, 2n^3/3 LU — see OpDescriptor::flops).
-  const std::uint64_t flops = static_cast<std::uint64_t>(item.desc.flops());
+  // SYRK, n^3/3 Cholesky, 2n^3/3 LU — see OpDescriptor::flops). GEMM also
+  // charges the checksum-encode passes: B's encode (2 k q', the small side
+  // for tall-A traffic) always, A's encode (2 m' k) only on a cache miss —
+  // the operand cache's economic win expressed in the admission model.
+  std::uint64_t flops = static_cast<std::uint64_t>(item.desc.flops());
+  if (request.kind == OpKind::kGemm) {
+    flops += 2ull * item.desc.k * item.desc.q;
+    if (!item.pin) flops += 2ull * item.desc.m * item.desc.k;
+  }
   if (request.deadline_ms > 0.0) {
     const double backlog =
         static_cast<double>(backlog_flops_.load(std::memory_order_relaxed));

@@ -40,8 +40,16 @@ class AdmissionController {
   /// feasibility, pad GEMM operands to checksum-block multiples and enqueue.
   /// On success the pending request (with its OpDescriptor and enqueue trace
   /// fields filled) has been pushed and its future is returned.
+  ///
+  /// `cache` (may be null) is the server's operand cache: an explicit
+  /// request.a_handle resolves and pins here (kInvalidArgument when unknown
+  /// or evicted), and inline GEMM A operands are fingerprinted for implicit
+  /// hits. The pin is taken at admission — not dispatch — so a queued
+  /// request can never lose its entry to eviction. On a hit the deadline
+  /// model charges only B's encode flops; a miss also charges A's.
   [[nodiscard]] Result<std::future<GemmResponse>> admit(
-      GemmRequest&& request, BoundedRequestQueue& queue, std::uint64_t now_ns);
+      GemmRequest&& request, BoundedRequestQueue& queue, std::uint64_t now_ns,
+      opcache::OperandCache* cache = nullptr);
 
   /// Retire a completed request's flops from the backlog estimate.
   void on_complete(std::uint64_t flops) noexcept {

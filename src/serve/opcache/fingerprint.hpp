@@ -1,0 +1,49 @@
+// Content fingerprinting for operand matrices (the opcache's implicit-hit
+// key and the fleet store's dedup key).
+//
+// The fingerprint is a 64-bit FNV-1a hash over the matrix shape followed by
+// the raw uint64 bit patterns of every element, in row-major order. Hashing
+// bit patterns (not values) makes the fingerprint exact under the cache's
+// bit-identity contract: two matrices fingerprint equal only if every
+// element is bit-equal (so -0.0 != +0.0 and distinct NaN payloads differ),
+// which is precisely the equivalence class under which a cached encode may
+// be substituted for a fresh one. Collisions across *different* contents are
+// possible at the usual 2^-64 odds; the sampled consistency guard
+// (AabftConfig::cache_verify_every) is the backstop.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "linalg/matrix.hpp"
+
+namespace aabft::serve::opcache {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 1469598103934665603ull;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+/// One FNV-1a round over a 64-bit word (word-granular, not byte-granular:
+/// the inputs are fixed-width words, and word rounds keep the hot loop to
+/// one xor + one multiply per element).
+[[nodiscard]] inline std::uint64_t fnv1a_word(std::uint64_t h,
+                                              std::uint64_t word) noexcept {
+  return (h ^ word) * kFnvPrime;
+}
+
+/// 64-bit content fingerprint of `m`: shape, then element bit patterns.
+[[nodiscard]] inline std::uint64_t fingerprint_matrix(
+    const linalg::Matrix& m) noexcept {
+  std::uint64_t h = kFnvOffsetBasis;
+  h = fnv1a_word(h, static_cast<std::uint64_t>(m.rows()));
+  h = fnv1a_word(h, static_cast<std::uint64_t>(m.cols()));
+  const double* payload = m.data();
+  const std::size_t n = m.rows() * m.cols();
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &payload[i], sizeof(bits));
+    h = fnv1a_word(h, bits);
+  }
+  return h;
+}
+
+}  // namespace aabft::serve::opcache

@@ -18,6 +18,7 @@
 #include "core/require.hpp"
 #include "core/sync.hpp"
 #include "core/thread_annotations.hpp"
+#include "serve/opcache/opcache.hpp"
 #include "serve/request.hpp"
 
 namespace aabft::serve {
@@ -32,6 +33,14 @@ struct PendingRequest {
   std::size_t orig_m = 0;  ///< pre-padding result extents, for unpadding
   std::size_t orig_q = 0;
   std::uint64_t est_flops = 0;  ///< the admission backlog-model charge
+  /// Resolved operand-cache handle (explicit or from an implicit fingerprint
+  /// hit; 0 = cold). Part of the batch key so cached-A batches coalesce and
+  /// every batch is uniformly cached or uniformly cold.
+  std::uint64_t a_handle = 0;
+  /// The pinned cache entry backing a_handle. Acquired at admission — not at
+  /// dispatch — so the entry cannot be evicted while this request waits in
+  /// the queue; released with the request.
+  opcache::OperandCache::Pin pin;
   std::promise<GemmResponse> promise;
   RequestTrace trace;  ///< enqueue_ns / queue_depth filled at admission
 };
@@ -44,11 +53,15 @@ struct ShapeKey {
   std::size_t m = 0;
   std::size_t k = 0;
   std::size_t q = 0;
+  /// Resolved operand-cache handle (0 = cold). Keying on it keeps batches
+  /// uniformly cached-A or uniformly cold, so one dispatch runs one pipeline.
+  std::uint64_t a_handle = 0;
   [[nodiscard]] bool operator==(const ShapeKey&) const noexcept = default;
 };
 
 [[nodiscard]] inline ShapeKey shape_of(const PendingRequest& item) noexcept {
-  return {item.desc.kind, item.desc.m, item.desc.k, item.desc.q};
+  return {item.desc.kind, item.desc.m, item.desc.k, item.desc.q,
+          item.a_handle};
 }
 
 class BoundedRequestQueue {

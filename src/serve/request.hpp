@@ -40,6 +40,12 @@ struct GemmRequest {
   OpKind kind = OpKind::kGemm;
   linalg::Matrix a;
   linalg::Matrix b;
+  /// Operand-cache handle standing in for `a` (GEMM only; 0 = none). Set it
+  /// to a handle from GemmServer::register_operand and leave `a` empty: the
+  /// dispatcher consumes the cached encoded artifacts, skipping A's
+  /// per-request checksum encode. Requests with inline `a` may still hit the
+  /// cache implicitly by content fingerprint.
+  std::uint64_t a_handle = 0;
   Priority priority = Priority::kNormal;
   /// End-to-end latency budget in milliseconds; 0 disables the deadline.
   /// Admission rejects requests whose estimated service time (including the
@@ -96,6 +102,9 @@ struct RequestTrace {
   bool tmr_escalated = false;
   /// Checksums were accumulated inside the product kernel (fused pipeline).
   bool fused_encode = false;
+  /// A's encode came from the operand cache (explicit handle or implicit
+  /// fingerprint match) instead of a per-request encode pass.
+  bool cache_hit = false;
 };
 
 struct GemmResponse {

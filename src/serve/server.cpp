@@ -25,6 +25,7 @@ GemmServer::GemmServer(gpusim::Launcher& launcher, ServeConfig config)
       tmr_(launcher, tmr_config_of(config.aabft)),
       queue_(config.admission.queue_capacity),
       admission_(config.admission, config.aabft.bs, launcher.workers()),
+      opcache_(launcher, config.aabft, config.opcache, &stats_),
       paused_(config.start_paused),
       start_(std::chrono::steady_clock::now()) {
   dispatcher_ = std::thread([this] { dispatch_loop(); });
@@ -41,7 +42,8 @@ Result<std::future<GemmResponse>> GemmServer::submit(GemmRequest request) {
         "' does not implement op kind '" +
         std::string(baselines::to_string(request.kind)) + "'");
   }
-  auto admitted = admission_.admit(std::move(request), queue_, now_ns());
+  auto admitted = admission_.admit(std::move(request), queue_, now_ns(),
+                                   &opcache_);
   if (admitted.ok()) {
     StatsBoard::bump(stats_.admitted);
   } else {
@@ -123,6 +125,9 @@ void GemmServer::serve_batch(std::vector<PendingRequest>&& batch) {
   const std::size_t n = batch.size();
   const std::uint64_t dispatch_ns = now_ns();
   bool any_faults = false;
+  // The batch key includes the resolved operand handle, so a batch is
+  // uniformly cache-backed or uniformly cold.
+  const bool cached = batch.front().pin != nullptr;
   std::vector<std::pair<linalg::Matrix, linalg::Matrix>> problems;
   problems.reserve(n);
   for (auto& item : batch) {
@@ -130,8 +135,14 @@ void GemmServer::serve_batch(std::vector<PendingRequest>&& batch) {
     item.trace.batch_size = n;
     item.trace.faults_armed = item.request.fault_plan.size();
     any_faults |= !item.request.fault_plan.empty();
-    problems.emplace_back(std::move(item.request.a),
-                          std::move(item.request.b));
+    // Cache-backed requests copy the pinned padded A into the problem slot:
+    // the recovery ladder's retry/TMR rungs need a real operand, and the
+    // copy is a memcpy — the O(m k) encode pass is what the cache elides.
+    if (cached)
+      problems.emplace_back(item.pin->padded, std::move(item.request.b));
+    else
+      problems.emplace_back(std::move(item.request.a),
+                            std::move(item.request.b));
   }
 
   // Batches are kind-homogeneous (the batch key includes the op kind).
@@ -143,8 +154,18 @@ void GemmServer::serve_batch(std::vector<PendingRequest>&& batch) {
   std::vector<std::optional<Result<baselines::SchemeResult>>> results(n);
   if (gemm_batch && !any_faults) {
     // The pipelined GEMM fast path — bit-identical to the pre-ProtectedBlas3
-    // server (multiply_batch is the execute_batch(kGemm, ...) shim).
-    auto batch_results = primary_.multiply_batch(problems);
+    // server (multiply_batch is the execute_batch(kGemm, ...) shim). Cache-
+    // backed batches run the preencoded variant, which consumes A's checksum
+    // side-buffers from the pinned entry instead of re-encoding.
+    std::vector<Result<baselines::SchemeResult>> batch_results;
+    if (cached) {
+      std::vector<abft::PreencodedProblem> pre(n);
+      for (std::size_t i = 0; i < n; ++i)
+        pre[i] = {&batch[i].pin->pre, &problems[i].second};
+      batch_results = primary_.execute_batch_preencoded(pre);
+    } else {
+      batch_results = primary_.multiply_batch(problems);
+    }
     const std::uint64_t compute_ns = now_ns();
     for (std::size_t i = 0; i < n; ++i) {
       results[i] = std::move(batch_results[i]);
@@ -161,17 +182,21 @@ void GemmServer::serve_batch(std::vector<PendingRequest>&& batch) {
     for (std::size_t i = 0; i < n; ++i) {
       launcher_.launch_host_async(
           lanes_[i % lanes_.size()], "serve_request",
-          [this, i, &batch, &problems, &results] {
+          [this, i, cached, &batch, &problems, &results] {
             PendingRequest& item = batch[i];
             const auto& [a, b] = problems[i];
+            const auto run_one = [&]() -> Result<baselines::SchemeResult> {
+              return cached ? primary_.execute_preencoded(item.pin->pre, b)
+                            : primary_.execute(item.desc, a, b);
+            };
             if (item.request.fault_plan.empty()) {
-              results[i] = primary_.execute(item.desc, a, b);
+              results[i] = run_one();
             } else {
               gpusim::FaultController ctl;
               ctl.arm_many(item.request.fault_plan);
               {
                 gpusim::ScopedFaultController guard(&ctl);
-                results[i] = primary_.execute(item.desc, a, b);
+                results[i] = run_one();
               }
               ctl.disarm();
               item.trace.faults_fired = ctl.fired_count();

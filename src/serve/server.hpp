@@ -45,6 +45,9 @@ struct ServeConfig {
   AdmissionConfig admission;
   BatchConfig batch;
   RecoveryPolicy recovery;
+  /// Operand checksum cache (serve/opcache): one-time encode of registered
+  /// weight operands, reused by every request that references them.
+  opcache::OpCacheConfig opcache;
   /// Scheme configuration for the primary A-ABFT multiplier. The serving
   /// default enables one per-block recompute round so single-block damage is
   /// repaired bit-exactly without a full re-execution, and runs GEMMs
@@ -73,6 +76,26 @@ class GemmServer {
   /// the dispatcher has served it; refusals (shape, overload, deadline,
   /// unsupported op kind) come back immediately as Result errors.
   [[nodiscard]] Result<std::future<GemmResponse>> submit(GemmRequest request);
+
+  /// One-time encode of a repeated-use GEMM A operand into the operand
+  /// cache. Returns the handle for GemmRequest::a_handle; registrations of
+  /// content-identical matrices dedup to the existing handle. Errors:
+  /// kUnavailable (cache disabled), kOverloaded (entry exceeds the byte
+  /// budget), kInvalidArgument (empty matrix).
+  [[nodiscard]] Result<std::uint64_t> register_operand(const linalg::Matrix& a) {
+    return opcache_.register_operand(a);
+  }
+
+  /// Drop a cached operand (the fleet calls this after a parity
+  /// reconstruction). In-flight requests pinning the entry finish with it;
+  /// later requests re-encode. False when the handle is unknown.
+  bool invalidate_operand(std::uint64_t handle) {
+    return opcache_.invalidate(handle);
+  }
+
+  [[nodiscard]] const opcache::OperandCache& operand_cache() const noexcept {
+    return opcache_;
+  }
 
   /// Gate / ungate the dispatcher between batches. While paused, admitted
   /// requests accumulate in the queue (and can then coalesce into batches).
@@ -116,6 +139,10 @@ class GemmServer {
   AdmissionController admission_;
 
   StatsBoard stats_;
+  /// Declared after stats_ (counter sink) and before the dispatcher thread:
+  /// every pin lives in a PendingRequest, and stop() drains those before any
+  /// member is destroyed, so the cache safely outlives all pins.
+  opcache::OperandCache opcache_;
 
   /// Serializes stop() calls (idempotent join). Held across queue close and
   /// the dispatcher join, so it ranks below every other serve lock.

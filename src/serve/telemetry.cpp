@@ -40,6 +40,13 @@ void merge_into(ServerStats& into, const ServerStats& from) {
   into.faults_fired += from.faults_fired;
   into.batches += from.batches;
   into.batched_requests += from.batched_requests;
+  into.opcache_hits += from.opcache_hits;
+  into.opcache_misses += from.opcache_misses;
+  into.opcache_registered += from.opcache_registered;
+  into.opcache_evictions += from.opcache_evictions;
+  into.opcache_invalidations += from.opcache_invalidations;
+  into.opcache_bytes += from.opcache_bytes;
+  into.opcache_pinned_bytes += from.opcache_pinned_bytes;
   into.max_batch = std::max(into.max_batch, from.max_batch);
   into.queue_wait_ns.merge(from.queue_wait_ns);
   into.service_ns.merge(from.service_ns);
@@ -84,6 +91,13 @@ ServerStats StatsBoard::snapshot() const {
   s.faults_fired = load(faults_fired);
   s.batches = load(batches);
   s.batched_requests = load(batched_requests);
+  s.opcache_hits = load(opcache_hits);
+  s.opcache_misses = load(opcache_misses);
+  s.opcache_registered = load(opcache_registered);
+  s.opcache_evictions = load(opcache_evictions);
+  s.opcache_invalidations = load(opcache_invalidations);
+  s.opcache_bytes = load(opcache_bytes);
+  s.opcache_pinned_bytes = load(opcache_pinned_bytes);
   s.max_batch = max_batch_.load(std::memory_order_relaxed);
   return s;
 }
@@ -121,6 +135,13 @@ std::string to_json(const ServerStats& stats) {
   field("batches", stats.batches);
   field("batched_requests", stats.batched_requests);
   field("max_batch", stats.max_batch);
+  field("opcache_hits", stats.opcache_hits);
+  field("opcache_misses", stats.opcache_misses);
+  field("opcache_registered", stats.opcache_registered);
+  field("opcache_evictions", stats.opcache_evictions);
+  field("opcache_invalidations", stats.opcache_invalidations);
+  field("opcache_bytes", stats.opcache_bytes);
+  field("opcache_pinned_bytes", stats.opcache_pinned_bytes);
   out << "  \"latency_ns\": {\n";
   append_recorder(out, "queue_wait", stats.queue_wait_ns, false);
   append_recorder(out, "service", stats.service_ns, false);

@@ -61,6 +61,19 @@ struct ServerStats {
   std::uint64_t batched_requests = 0;  ///< requests in batches of size >= 2
   std::size_t max_batch = 0;           ///< largest batch dispatched
 
+  // Operand checksum cache (serve/opcache). Hits count requests served from
+  // a cached encode (explicit handle or implicit fingerprint match); misses
+  // count fingerprint probes that found nothing. bytes / pinned_bytes are
+  // gauges (they go down on eviction / pin release); merging adds them, so a
+  // fleet total reads as cache bytes across all shards.
+  std::uint64_t opcache_hits = 0;
+  std::uint64_t opcache_misses = 0;
+  std::uint64_t opcache_registered = 0;
+  std::uint64_t opcache_evictions = 0;
+  std::uint64_t opcache_invalidations = 0;
+  std::uint64_t opcache_bytes = 0;
+  std::uint64_t opcache_pinned_bytes = 0;
+
   LatencyRecorder queue_wait_ns;  ///< enqueue -> dispatch
   LatencyRecorder service_ns;     ///< dispatch -> ladder settled
   LatencyRecorder e2e_ns;         ///< enqueue -> response delivered
@@ -105,10 +118,24 @@ class StatsBoard {
   std::atomic<std::uint64_t> faults_fired{0};
   std::atomic<std::uint64_t> batches{0};
   std::atomic<std::uint64_t> batched_requests{0};
+  std::atomic<std::uint64_t> opcache_hits{0};
+  std::atomic<std::uint64_t> opcache_misses{0};
+  std::atomic<std::uint64_t> opcache_registered{0};
+  std::atomic<std::uint64_t> opcache_evictions{0};
+  std::atomic<std::uint64_t> opcache_invalidations{0};
+  std::atomic<std::uint64_t> opcache_bytes{0};
+  std::atomic<std::uint64_t> opcache_pinned_bytes{0};
 
   static void bump(std::atomic<std::uint64_t>& counter,
                    std::uint64_t by = 1) noexcept {
     if (by != 0) counter.fetch_add(by, std::memory_order_relaxed);
+  }
+
+  /// Gauge decrement (opcache bytes retire on eviction, pinned bytes on pin
+  /// release); still a single whole-word RMW, so snapshots stay torn-free.
+  static void drop(std::atomic<std::uint64_t>& counter,
+                   std::uint64_t by = 1) noexcept {
+    if (by != 0) counter.fetch_sub(by, std::memory_order_relaxed);
   }
 
   /// Monotone max over dispatched batch sizes (dispatcher-only writer, but

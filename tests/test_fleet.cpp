@@ -444,6 +444,71 @@ TEST(FleetServer, ShutdownWithInflightWorkLosesNoRequests) {
   EXPECT_EQ(fleet.stats().totals.completed, kRequests);
 }
 
+TEST(FleetServer, ShardLossInvalidatesServeCacheEntries) {
+  Rng rng(97);
+  const Matrix a = uniform_matrix(48, 32, -1.0, 1.0, rng);
+  const Matrix b = uniform_matrix(32, 16, -1.0, 1.0, rng);
+  const Matrix ref = naive_matmul(a, b, false);
+
+  FleetServer fleet(small_fleet_config());
+  const auto a_handle = fleet.register_operand(a);
+  EXPECT_EQ(fleet.register_operand(a), a_handle)
+      << "content-identical registration dedups to the existing handle";
+  EXPECT_GE(fleet.stats().operand_dedups, 1u);
+
+  const auto submit_burst = [&](std::size_t n) {
+    std::vector<std::future<FleetResponse>> futures;
+    for (std::size_t i = 0; i < n; ++i) {
+      FleetRequest req;
+      req.request.kind = aabft::baselines::OpKind::kGemm;
+      req.request.b = b;
+      req.a_handle = a_handle;
+      auto submitted = fleet.submit(std::move(req));
+      EXPECT_TRUE(submitted.ok()) << submitted.error().message;
+      futures.push_back(std::move(*submitted));
+    }
+    return futures;
+  };
+  const auto drain = [&](std::vector<std::future<FleetResponse>>& futures) {
+    for (auto& fut : futures) {
+      FleetResponse resp = fut.get();
+      ASSERT_EQ(resp.response.status, serve::ResponseStatus::kOk)
+          << resp.response.diagnosis;
+      EXPECT_EQ(resp.response.c, ref)
+          << "zero wrong responses across the shard loss";
+    }
+  };
+
+  // Warm phase: the handle's encode lands in at least one shard's serve
+  // cache and later requests hit it.
+  auto warm = submit_burst(16);
+  drain(warm);
+  const FleetStats warm_stats = fleet.stats();
+  EXPECT_GE(warm_stats.totals.opcache_registered, 1u);
+  EXPECT_GE(warm_stats.totals.opcache_hits, 1u);
+
+  // Handle 0's parity stripe is on shard 0; its data stripes are on shards
+  // 1 and 2. Fence a data-stripe shard that leaves a cache-holding shard
+  // alive: post-fence fetches then reconstruct A from parity, and every
+  // surviving shard with a pre-fence cache entry must invalidate it.
+  const std::size_t victim =
+      warm_stats.shards[1].server.opcache_registered > 0 ? 2 : 1;
+  fleet.force_fail(victim);
+
+  auto after = submit_burst(16);
+  drain(after);
+  fleet.stop();
+
+  const FleetStats stats = fleet.stats();
+  EXPECT_TRUE(fleet.fenced(victim));
+  EXPECT_GT(stats.reconstructions, 0u)
+      << "the lost data stripe was rebuilt from parity";
+  EXPECT_GE(stats.totals.opcache_invalidations, 1u)
+      << "a reconstructed operand must invalidate surviving shards' cached "
+         "encodes before re-registering";
+  EXPECT_EQ(stats.totals.failed, 0u);
+}
+
 TEST(FleetServer, RefusalsAreValues) {
   FleetServer fleet(small_fleet_config());
   FleetRequest unknown;

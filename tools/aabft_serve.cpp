@@ -24,18 +24,35 @@
 //      exactly one fenced device, at least one operand served through a
 //      parity reconstruction, and the degraded round's p99 stays within a
 //      bounded factor of the clean round's.
+//   opcache — zipf weight-reuse traffic against the operand checksum cache
+//      (DESIGN.md §12): a catalogue of n x n weight matrices multiplied by
+//      skinny activation panels, weight popularity zipf(s)-distributed.
+//      Three rounds over one shared schedule: cold (cache disabled, every
+//      request re-encodes A inline), warm (weights registered up front,
+//      requests ship handles), and a warm faulted round (one exponent fault
+//      per request, sampled consistency guard on). Gates at the standard
+//      size: warm throughput >= 2x cold at the same offered load, warm p50
+//      and p99 below cold's, every warm request a cache hit, and zero wrong
+//      responses in the faulted round.
 //
 // Exits nonzero on any wrong or unclean response, or a violated gate.
 // Summary JSON (throughput + aggregated server + per-shard fleet telemetry)
 // goes to $AABFT_SERVE_JSON, defaulting to BENCH_serve.json.
 //
-//   AABFT_SERVE_PHASES          comma list (default "throughput,soak,fleet")
+//   AABFT_SERVE_PHASES          comma list (default
+//                               "throughput,soak,fleet,opcache")
 //   AABFT_SERVE_REQUESTS        soak request count (default 2000)
 //   AABFT_SERVE_RATE            soak arrival rate, requests/s (default 300)
 //   AABFT_SERVE_FAULTS          faults armed per soak request (default 1)
 //   AABFT_SERVE_SEED            RNG seed (default 42)
 //   AABFT_SERVE_THROUGHPUT_N    requests per throughput phase (default 64)
 //   AABFT_SERVE_FLEET_REQUESTS  requests per fleet round (default 240)
+//   AABFT_SERVE_ZIPF_REQUESTS   requests per opcache round (default 192)
+//   AABFT_SERVE_ZIPF_WEIGHTS    weight-catalogue size (default 8)
+//   AABFT_SERVE_ZIPF_N          weight dimension (default 384)
+//   AABFT_SERVE_ZIPF_Q          activation panel width (default 2)
+//   AABFT_SERVE_ZIPF_BS         checksum block size (default 2)
+//   AABFT_SERVE_ZIPF_S          zipf skew exponent (default 1.1)
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -167,7 +184,7 @@ int main() {
   const char* phases_env = std::getenv("AABFT_SERVE_PHASES");
   const std::string phases = (phases_env != nullptr && *phases_env != '\0')
                                  ? phases_env
-                                 : "throughput,soak,fleet";
+                                 : "throughput,soak,fleet,opcache";
   const auto has_phase = [&phases](const char* name) {
     return phases.find(name) != std::string::npos;
   };
@@ -584,6 +601,232 @@ int main() {
     std::printf("\n");
   }
 
+  // -- opcache: zipf weight-reuse traffic ----------------------------------
+  double zipf_cold_s = 0.0;
+  double zipf_warm_s = 0.0;
+  double zipf_speedup = 0.0;
+  double zipf_cold_p50_ms = 0.0;
+  double zipf_cold_p99_ms = 0.0;
+  double zipf_warm_p50_ms = 0.0;
+  double zipf_warm_p99_ms = 0.0;
+  std::size_t zipf_requests = 0;
+  std::size_t zipf_weights = 0;
+  std::size_t zipf_n = 0;
+  std::size_t zipf_q = 0;
+  std::uint64_t zipf_hits = 0;
+  std::uint64_t zipf_faults_fired = 0;
+  if (has_phase("opcache")) {
+    zipf_requests = env_size_or("AABFT_SERVE_ZIPF_REQUESTS", 192);
+    zipf_weights = env_size_or("AABFT_SERVE_ZIPF_WEIGHTS", 8);
+    zipf_n = env_size_or("AABFT_SERVE_ZIPF_N", 384);
+    zipf_q = env_size_or("AABFT_SERVE_ZIPF_Q", 2);
+    const double zipf_skew = env_double_or("AABFT_SERVE_ZIPF_S", 1.1);
+
+    // Inference-shaped traffic: a catalogue of zipf_n x zipf_n weight
+    // matrices multiplied against skinny zipf_n x zipf_q activation panels.
+    // The classic pipeline at a small checksum block keeps the activation
+    // side genuinely small after padding (q rounds up to bs), so the
+    // cacheable A-side work — encode_columns materialisation plus the p-max
+    // reduction — is the dominant per-request cost: exactly the regime the
+    // operand cache targets. Batching is disabled so the cold/warm delta is
+    // pure encode reuse, not coalescing.
+    serve::ServeConfig zipf_config;
+    zipf_config.aabft.bs = env_size_or("AABFT_SERVE_ZIPF_BS", 2);
+    zipf_config.aabft.fused_gemm = false;
+    zipf_config.batch.max_batch = 1;
+    zipf_config.admission.queue_capacity = zipf_requests + 8;
+    const abft::AabftConfig& zipf_aabft = zipf_config.aabft;
+
+    std::vector<linalg::Matrix> weight_pool;
+    for (std::size_t w = 0; w < zipf_weights; ++w)
+      weight_pool.push_back(
+          linalg::uniform_matrix(zipf_n, zipf_n, -1.0, 1.0, rng));
+    const std::size_t panels = 16;
+    std::vector<linalg::Matrix> panel_pool;
+    for (std::size_t i = 0; i < panels; ++i)
+      panel_pool.push_back(
+          linalg::uniform_matrix(zipf_n, zipf_q, -1.0, 1.0, rng));
+    std::vector<std::vector<linalg::Matrix>> zipf_refs(zipf_weights);
+    for (std::size_t w = 0; w < zipf_weights; ++w)
+      for (std::size_t i = 0; i < panels; ++i)
+        zipf_refs[w].push_back(linalg::naive_matmul(
+            weight_pool[w], panel_pool[i], zipf_aabft.gemm.use_fma));
+
+    // Zipf(s) popularity over weight ranks: rank r with probability
+    // proportional to 1/(r+1)^s — a few hot weights take most traffic, the
+    // tail stays warm. One schedule shared by every round keeps the offered
+    // load identical across cold/warm/faulted.
+    std::vector<double> zipf_cdf(zipf_weights);
+    double zipf_mass = 0.0;
+    for (std::size_t w = 0; w < zipf_weights; ++w) {
+      zipf_mass += 1.0 / std::pow(static_cast<double>(w + 1), zipf_skew);
+      zipf_cdf[w] = zipf_mass;
+    }
+    std::vector<std::pair<std::size_t, std::size_t>> schedule(zipf_requests);
+    for (auto& [w, i] : schedule) {
+      const double u = rng.next_unit() * zipf_mass;
+      w = static_cast<std::size_t>(
+          std::lower_bound(zipf_cdf.begin(), zipf_cdf.end(), u) -
+          zipf_cdf.begin());
+      if (w >= zipf_weights) w = zipf_weights - 1;
+      i = rng.below(panels);
+    }
+
+    Problem fault_shape;  // grid extents for the faulted round's plans
+    fault_shape.grid_blocks = grid_blocks_of(zipf_n, zipf_n, zipf_q,
+                                             zipf_aabft);
+    fault_shape.fault_k = zipf_n;
+
+    struct ZipfRound {
+      double elapsed_s = 0.0;
+      serve::ServerStats stats;
+    };
+    // One closed-loop round over the shared schedule: submit everything
+    // against a paused server, resume, time until the last response lands.
+    // `cached` registers the weight catalogue up front and ships handles;
+    // the cold server re-encodes every request's inline A.
+    const auto run_zipf_round = [&](bool cached, std::size_t faults,
+                                    const char* label) {
+      serve::ServeConfig config = zipf_config;
+      config.opcache.enabled = cached;
+      config.start_paused = true;
+      if (faults > 0) config.aabft.cache_verify_every = 8;  // guard in-band
+      serve::GemmServer server(launcher, config);
+      std::vector<std::uint64_t> handles(zipf_weights, 0);
+      if (cached)
+        for (std::size_t w = 0; w < zipf_weights; ++w) {
+          auto handle = server.register_operand(weight_pool[w]);
+          check(handle.ok(), std::string(label) + " weight registration");
+          if (handle.ok()) handles[w] = *handle;
+        }
+      std::vector<std::pair<std::size_t, std::future<serve::GemmResponse>>>
+          pending;
+      pending.reserve(zipf_requests);
+      for (const auto& [w, i] : schedule) {
+        serve::GemmRequest request;
+        if (cached)
+          request.a_handle = handles[w];
+        else
+          request.a = weight_pool[w];
+        request.b = panel_pool[i];
+        if (faults > 0)
+          request.fault_plan =
+              random_fault_plan(rng, faults, fault_shape, zipf_aabft,
+                                launcher.device().num_sms);
+        auto admitted = server.submit(std::move(request));
+        check(admitted.ok(), std::string(label) + " request admitted");
+        if (admitted.ok())
+          pending.emplace_back(w * panels + i, std::move(*admitted));
+      }
+      const auto start = Clock::now();
+      server.resume();
+      for (auto& [key, f] : pending) {
+        const serve::GemmResponse r = f.get();
+        const linalg::Matrix& ref = zipf_refs[key / panels][key % panels];
+        check(r.status == serve::ResponseStatus::kOk && r.clean,
+              std::string(label) + " response " + std::to_string(r.id) +
+                  " clean (diagnosis: " + r.diagnosis + ")");
+        if (r.status != serve::ResponseStatus::kOk) continue;
+        zipf_faults_fired += r.trace.faults_fired;
+        // Zero-wrong-responses bar (the soak criterion): bit-identical when
+        // nothing was patched, otherwise only checksum-patched elements may
+        // deviate and only within rounding.
+        if (r.trace.corrections == 0) {
+          check(r.c == ref, std::string(label) + " response " +
+                                std::to_string(r.id) + " bit-identical");
+        } else {
+          std::size_t diffs = 0;
+          bool within_tol = true;
+          for (std::size_t row = 0; row < r.c.rows(); ++row)
+            for (std::size_t col = 0; col < r.c.cols(); ++col) {
+              const double got = r.c(row, col);
+              const double want = ref(row, col);
+              if (got == want) continue;
+              ++diffs;
+              const double rel =
+                  std::abs(got - want) / std::max(1e-300, std::abs(want));
+              within_tol = within_tol && rel <= 1e-9;
+            }
+          check(diffs <= r.trace.corrections,
+                std::string(label) + " response " + std::to_string(r.id) +
+                    ": " + std::to_string(diffs) + " deviations exceed the " +
+                    std::to_string(r.trace.corrections) +
+                    " patched elements");
+          check(within_tol, std::string(label) + " response " +
+                                std::to_string(r.id) +
+                                " patched elements within 1e-9 relative");
+        }
+      }
+      ZipfRound round;
+      round.elapsed_s = seconds_since(start);
+      server.stop();
+      round.stats = server.stats();
+      check(round.stats.failed == 0,
+            std::string(label) + ": no failed responses");
+      check(round.stats.completed == pending.size(),
+            std::string(label) + ": every admitted request completed");
+      return round;
+    };
+
+    std::printf("opcache, %zu zipf(%.2f) requests over %zu weights of "
+                "%zux%zu (x%zu panels):\n",
+                zipf_requests, zipf_skew, zipf_weights, zipf_n, zipf_n,
+                zipf_q);
+    const ZipfRound cold = run_zipf_round(false, 0, "zipf-cold");
+    const ZipfRound warm = run_zipf_round(true, 0, "zipf-warm");
+    const ZipfRound faulted = run_zipf_round(true, 1, "zipf-faulted");
+    zipf_cold_s = cold.elapsed_s;
+    zipf_warm_s = warm.elapsed_s;
+    zipf_speedup = zipf_warm_s > 0.0 ? zipf_cold_s / zipf_warm_s : 0.0;
+    zipf_cold_p50_ms = static_cast<double>(cold.stats.e2e_ns.p50()) / 1e6;
+    zipf_cold_p99_ms = static_cast<double>(cold.stats.e2e_ns.p99()) / 1e6;
+    zipf_warm_p50_ms = static_cast<double>(warm.stats.e2e_ns.p50()) / 1e6;
+    zipf_warm_p99_ms = static_cast<double>(warm.stats.e2e_ns.p99()) / 1e6;
+    zipf_hits = warm.stats.opcache_hits;
+    std::printf("  cold (re-encode)  : %8.3f s  (p50 %8.3f ms, p99 %8.3f "
+                "ms)\n",
+                zipf_cold_s, zipf_cold_p50_ms, zipf_cold_p99_ms);
+    std::printf("  warm (cache hits) : %8.3f s  (p50 %8.3f ms, p99 %8.3f "
+                "ms)  %.2fx\n",
+                zipf_warm_s, zipf_warm_p50_ms, zipf_warm_p99_ms,
+                zipf_speedup);
+    std::printf("  warm hits/misses  : %llu / %llu  (registered %llu, "
+                "bytes %llu)\n",
+                static_cast<unsigned long long>(zipf_hits),
+                static_cast<unsigned long long>(warm.stats.opcache_misses),
+                static_cast<unsigned long long>(
+                    warm.stats.opcache_registered),
+                static_cast<unsigned long long>(warm.stats.opcache_bytes));
+    std::printf("  faulted round     : %8.3f s, %llu faults fired, %llu "
+                "corrected\n",
+                faulted.elapsed_s,
+                static_cast<unsigned long long>(faulted.stats.faults_fired),
+                static_cast<unsigned long long>(faulted.stats.corrected));
+    check(zipf_hits >= zipf_requests,
+          "every warm request served from the cache (" +
+              std::to_string(zipf_hits) + " hits)");
+    // The throughput/latency gates apply at the standard size; reduced
+    // smoke sweeps only verify correctness and the hit accounting.
+    const bool zipf_gate_applies = zipf_n >= 256 && zipf_requests >= 96;
+    if (zipf_gate_applies) {
+      check(zipf_speedup >= 2.0,
+            "warm zipf throughput >= 2x cold at the same offered load (got " +
+                std::to_string(zipf_speedup) + "x)");
+      check(zipf_warm_p50_ms < zipf_cold_p50_ms,
+            "warm p50 below cold p50 (" + std::to_string(zipf_warm_p50_ms) +
+                " vs " + std::to_string(zipf_cold_p50_ms) + " ms)");
+      check(zipf_warm_p99_ms < zipf_cold_p99_ms,
+            "warm p99 below cold p99 (" + std::to_string(zipf_warm_p99_ms) +
+                " vs " + std::to_string(zipf_cold_p99_ms) + " ms)");
+      check(zipf_faults_fired > 0,
+            "the faulted zipf round fired its armed faults");
+    } else {
+      std::printf("  note: reduced sweep — the >= 2x / latency gates apply "
+                  "at n >= 256 with >= 96 requests\n");
+    }
+    std::printf("\n");
+  }
+
   // -- summary JSON --------------------------------------------------------
   const char* env = std::getenv("AABFT_SERVE_JSON");
   const std::string path =
@@ -601,6 +844,12 @@ int main() {
                  "\"clean_p99_ms\": %.3f, \"degraded_p99_ms\": %.3f, "
                  "\"replays\": %llu, \"reconstructions\": %llu, "
                  "\"degraded\": %s},\n"
+                 "\"opcache\": {\"requests\": %zu, \"weights\": %zu, "
+                 "\"n\": %zu, \"q\": %zu, \"cold_s\": %.6f, "
+                 "\"warm_s\": %.6f, \"speedup\": %.3f, "
+                 "\"cold_p50_ms\": %.3f, \"cold_p99_ms\": %.3f, "
+                 "\"warm_p50_ms\": %.3f, \"warm_p99_ms\": %.3f, "
+                 "\"hits\": %llu, \"faulted_fired\": %llu},\n"
                  "\"serve\": %s}\n",
                  launcher.workers(), phases.c_str(), throughput_n, serial_s,
                  batched_s, speedup, gate_applies ? "true" : "false", requests,
@@ -608,7 +857,13 @@ int main() {
                  fleet_requests, fleet_clean_p99_ms, fleet_degraded_p99_ms,
                  static_cast<unsigned long long>(fleet_replays),
                  static_cast<unsigned long long>(fleet_reconstructions),
-                 fleet_telemetry.c_str(), serve_telemetry.c_str());
+                 fleet_telemetry.c_str(), zipf_requests, zipf_weights, zipf_n,
+                 zipf_q, zipf_cold_s, zipf_warm_s, zipf_speedup,
+                 zipf_cold_p50_ms, zipf_cold_p99_ms, zipf_warm_p50_ms,
+                 zipf_warm_p99_ms,
+                 static_cast<unsigned long long>(zipf_hits),
+                 static_cast<unsigned long long>(zipf_faults_fired),
+                 serve_telemetry.c_str());
     std::fclose(f);
     std::printf("(json written to %s)\n", path.c_str());
   } else {
